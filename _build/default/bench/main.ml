@@ -1,0 +1,566 @@
+(** Benchmark harness: regenerates every evaluation artefact of the
+    paper (Figures 3, 6, 7, 8, 9) plus the design-choice ablations
+    called out in DESIGN.md, and a Bechamel wall-clock suite for the
+    allocator hot paths.
+
+    By default every figure runs at a scaled-down size so the whole
+    suite finishes in a few minutes; [--full] approaches paper-scale
+    parameters.  Throughput numbers are simulated-machine throughput
+    (see lib/machine); the shapes, orderings and crossovers are the
+    reproduction targets, not the absolute values. *)
+
+module Tablefmt = Repro_util.Tablefmt
+
+let thread_counts = ref [ 1; 2; 4; 8; 16; 32; 48; 64 ]
+let full = ref false
+let figures = ref []
+let ablations = ref []
+let run_bechamel = ref false
+
+let scale n = if !full then n * 10 else n
+
+let note fmt = Printf.printf (fmt ^^ "\n%!")
+
+(* ---------- Figure 3 / safety matrix ---------- *)
+
+let figure3 () =
+  note "";
+  note "### Figure 3 / safety: heap-metadata corruption attacks";
+  note "(paper 3.2: a heap overflow corrupts PMDK's in-place metadata;";
+  note " Poseidon's segregated, MPK-protected metadata is unaffected.";
+  note " 'PMDK+canary' is the paper's 8 mitigation: it converts silent";
+  note " corruption into a detected leak.)";
+  List.iter
+    (fun row ->
+      Printf.printf "  %s\n" row.Workloads.Safety.attack;
+      List.iter
+        (fun (name, outcome) ->
+          Printf.printf "    %-12s %s\n" name
+            (Workloads.Safety.outcome_to_string outcome))
+        row.Workloads.Safety.results)
+    (Workloads.Safety.matrix ());
+  print_newline ()
+
+(* ---------- generic sweep over allocators and thread counts ---------- *)
+
+let factories () = Workloads.Factories.all ()
+
+let sweep ~title ~unit run =
+  let facs = factories () in
+  let table =
+    Tablefmt.create ~title
+      ~columns:
+        ("threads"
+         :: List.map
+              (fun f -> f.Workloads.Factories.name ^ " " ^ unit)
+              facs)
+  in
+  List.iter
+    (fun threads ->
+      let row = List.map (fun f -> run ~factory:f ~threads) facs in
+      Tablefmt.add_float_row table (string_of_int threads) row)
+    !thread_counts;
+  Tablefmt.print table
+
+(* ---------- Figure 6: microbenchmark ---------- *)
+
+let figure6 () =
+  note "";
+  note "### Figure 6: pairs of 100 mallocs + 100 frees, random order";
+  note "(expect: Poseidon scales ~linearly; PMDK saturates past ~16-32";
+  note " threads; Makalu collapses for sizes > 400 B)";
+  let sizes = [ 256; 1024; 4096; 128 * 1024; 256 * 1024; 512 * 1024 ] in
+  List.iter
+    (fun size ->
+      let per_thread = if size <= 4096 then scale 400 else scale 200 in
+      sweep
+        ~title:(Printf.sprintf "Fig 6 - %d B allocations" size)
+        ~unit:"Mops/s"
+        (fun ~factory ~threads ->
+          Workloads.Microbench.run ~factory ~size ~threads
+            ~total_ops:(per_thread * threads) ()))
+    sizes
+
+(* ---------- Figure 7: Larson ---------- *)
+
+let figure7 () =
+  note "";
+  note "### Figure 7: Larson server benchmark (cross-thread frees)";
+  note "(expect: Poseidon > PMDK > Makalu, up to ~4x at high threads)";
+  let duration_s = if !full then 0.02 else 0.004 in
+  sweep ~title:"Fig 7 - Larson" ~unit:"ops/s" (fun ~factory ~threads ->
+      Workloads.Larson.run ~factory ~threads ~duration_s ())
+
+(* ---------- Figure 8: high-performance applications ---------- *)
+
+let figure8 () =
+  note "";
+  note "### Figure 8: Ackermann / Kruskal / N-Queens";
+  note "(expect: Poseidon >> Makalu on Ackermann's large allocations;";
+  note " Makalu beats PMDK on N-Queens thanks to NUMA-local lazy mapping)";
+  sweep ~title:"Fig 8 - Ackermann (large alloc + memoised compute)"
+    ~unit:"Mops/s"
+    (fun ~factory ~threads ->
+      Workloads.Ackermann.run ~factory ~threads
+        ~iterations:(scale 16 * threads) ());
+  sweep ~title:"Fig 8 - Kruskal (3 x 512 B + MST of order 5)" ~unit:"Mops/s"
+    (fun ~factory ~threads ->
+      Workloads.Kruskal.run ~factory ~threads
+        ~iterations:(scale 100 * threads) ());
+  sweep ~title:"Fig 8 - N-Queens (one 32 B alloc per puzzle)" ~unit:"Mops/s"
+    (fun ~factory ~threads ->
+      Workloads.Nqueens.run ~factory ~threads
+        ~iterations:(scale 100 * threads) ())
+
+(* ---------- Figure 9: YCSB on the persistent B+-tree ---------- *)
+
+let figure9 () =
+  note "";
+  note "### Figure 9: YCSB Load / Workload A over FAST-FAIR-style B+-tree";
+  note "(expect: Poseidon ~ PMDK - the index dominates; both flatten past";
+  note " ~32 threads on NVMM bandwidth; Makalu degrades past ~16)";
+  let records = scale 10000 and operations = scale 10000 in
+  let facs = factories () in
+  let columns =
+    "threads"
+    :: List.map (fun f -> f.Workloads.Factories.name ^ " Mops/s") facs
+  in
+  let load_tbl = Tablefmt.create ~title:"Fig 9 - YCSB Load" ~columns in
+  let a_tbl = Tablefmt.create ~title:"Fig 9 - YCSB Workload A" ~columns in
+  List.iter
+    (fun threads ->
+      let results =
+        List.map
+          (fun factory ->
+            Workloads.Ycsb.run ~factory ~threads ~records ~operations ())
+          facs
+      in
+      Tablefmt.add_float_row load_tbl (string_of_int threads)
+        (List.map (fun r -> r.Workloads.Ycsb.load_mops) results);
+      Tablefmt.add_float_row a_tbl (string_of_int threads)
+        (List.map (fun r -> r.Workloads.Ycsb.a_mops) results))
+    !thread_counts;
+  Tablefmt.print load_tbl;
+  Tablefmt.print a_tbl
+
+(* ---------- extensions beyond the paper ---------- *)
+
+(* YCSB workloads B (95 % read) and C (100 % read) in addition to the
+   paper's Load/A pair: the allocator matters less as the read share
+   grows, so the three allocators should converge from A to C. *)
+let extension_ycsb_abc () =
+  note "";
+  note "### Extension: YCSB A/B/C read-ratio sweep";
+  note "(the allocator's influence shrinks as reads dominate)";
+  let records = scale 3000 and operations = scale 3000 in
+  let facs = factories () in
+  let table =
+    Tablefmt.create ~title:"YCSB A/B/C at 16 threads (Mops/s)"
+      ~columns:[ "workload"; "Poseidon"; "PMDK"; "Makalu" ]
+  in
+  let results =
+    List.map
+      (fun factory ->
+        Workloads.Ycsb.run_abc ~factory ~threads:16 ~records ~operations ())
+      facs
+  in
+  let row name f = Tablefmt.add_float_row table name (List.map f results) in
+  row "Load" (fun r -> r.Workloads.Ycsb.l);
+  row "A (50% read)" (fun r -> r.Workloads.Ycsb.a);
+  row "B (95% read)" (fun r -> r.Workloads.Ycsb.b);
+  row "C (100% read)" (fun r -> r.Workloads.Ycsb.c);
+  Tablefmt.print table
+
+(* identical recorded trace replayed on each allocator: the cleanest
+   per-operation cost comparison *)
+let extension_trace_replay () =
+  note "";
+  note "### Extension: identical trace replayed on each allocator";
+  let table =
+    Tablefmt.create ~title:"Recorded trace replay (single thread)"
+      ~columns:[ "trace"; "Poseidon ms"; "PMDK ms"; "Makalu ms" ]
+  in
+  let run_trace name trace =
+    let times =
+      List.map
+        (fun (factory : Workloads.Factories.factory) ->
+          let mach, inst = factory.Workloads.Factories.make () in
+          let r = Workloads.Trace.replay_timed ~mach inst trace in
+          r.Workloads.Trace.simulated_seconds *. 1e3)
+        (factories ())
+    in
+    Tablefmt.add_float_row table name times
+  in
+  run_trace "small (16-256 B)"
+    (Workloads.Trace.random ~seed:1 ~min_size:16 ~max_size:256
+       ~events:(scale 2000) ());
+  run_trace "mixed (16-4096 B)"
+    (Workloads.Trace.random ~seed:2 ~min_size:16 ~max_size:4096
+       ~events:(scale 2000) ());
+  run_trace "large (64-512 KiB)"
+    (Workloads.Trace.random ~seed:3 ~min_size:(64 * 1024)
+       ~max_size:(512 * 1024) ~events:(scale 500) ());
+  Tablefmt.print table
+
+(* ---------- ablations ---------- *)
+
+(* A2/A3: Poseidon with a single sub-heap shared by all CPUs, and with
+   MPK protection off, against stock Poseidon. *)
+let ablation_subheap_mpk () =
+  note "";
+  note "### Ablation - Poseidon design choices (256 B microbenchmark)";
+  note "(per-CPU sub-heaps carry the scalability; the MPK toggle is";
+  note " nearly free, as 4.3 claims)";
+  let single =
+    { Workloads.Factories.name = "1 sub-heap";
+      make =
+        (fun ?cfg () ->
+          let mach = Machine.create ?cfg () in
+          let heap =
+            Poseidon.Heap.create mach ~base:Workloads.Factories.heap_base
+              ~size:(1 lsl 38) ~heap_id:1 ~sub_data_size:(16 * 1024 * 1024)
+              ~single_subheap:true ()
+          in
+          (mach, Poseidon.instance heap)) }
+  in
+  let variants =
+    [ Workloads.Factories.poseidon ();
+      single;
+      { (Workloads.Factories.poseidon ~protected:false ()) with name = "no MPK" } ]
+  in
+  let table =
+    Tablefmt.create ~title:"Ablation - per-CPU sub-heaps and MPK"
+      ~columns:
+        ("threads"
+         :: List.map
+              (fun v -> v.Workloads.Factories.name ^ " Mops/s")
+              variants)
+  in
+  List.iter
+    (fun threads ->
+      let row =
+        List.map
+          (fun factory ->
+            Workloads.Microbench.run ~factory ~size:256 ~threads
+              ~total_ops:(scale 400 * threads) ())
+          variants
+      in
+      Tablefmt.add_float_row table (string_of_int threads) row)
+    !thread_counts;
+  Tablefmt.print table
+
+(* A1: hash-table metadata index vs heap occupancy - allocation cost
+   must stay flat as the number of live blocks grows (4.4). *)
+let ablation_index () =
+  note "";
+  note "### Ablation - constant-time metadata index (4.4)";
+  note "(alloc+free latency vs live blocks; the multi-level hash table";
+  note " keeps it flat regardless of pool occupancy)";
+  let mach = Machine.create () in
+  let heap =
+    Poseidon.Heap.create mach ~base:Workloads.Factories.heap_base
+      ~size:(1 lsl 38) ~heap_id:1 ~sub_data_size:(256 * 1024 * 1024) ()
+  in
+  let inst = Poseidon.instance heap in
+  let table =
+    Tablefmt.create ~title:"Ablation - alloc latency vs occupancy"
+      ~columns:[ "live blocks"; "ns/op" ]
+  in
+  let live = ref 0 in
+  let steps = if !full then 7 else 5 in
+  for step = 1 to steps do
+    let target = 2000 * (1 lsl step) in
+    let _ =
+      Machine.parallel mach ~threads:1 (fun _ ->
+          while !live < target do
+            match Alloc_intf.i_alloc inst 64 with
+            | Some _ -> incr live
+            | None -> failwith "ablation_index: out of memory"
+          done)
+    in
+    let batch = 2000 in
+    let secs =
+      Machine.parallel mach ~threads:1 (fun _ ->
+          for _ = 1 to batch do
+            match Alloc_intf.i_alloc inst 64 with
+            | Some p -> Alloc_intf.i_free inst p
+            | None -> failwith "ablation_index: out of memory"
+          done)
+    in
+    Tablefmt.add_row table (string_of_int target)
+      [ Printf.sprintf "%.0f" (secs *. 1e9 /. float_of_int (2 * batch)) ]
+  done;
+  Tablefmt.print table
+
+(* 8 future work: the paper suggests "a more advanced index scheme"
+   for huge capacities.  Compare the production multi-level table
+   (driven through the allocator: alloc/free latency vs population,
+   see ablation_index) with a standalone extendible-hash engine on
+   raw insert+lookup latency as the population grows. *)
+let extension_exthash () =
+  note "";
+  note "### Extension: extendible hashing as the 8 'advanced index scheme'";
+  note "(raw insert+lookup latency vs population; O(1) with exactly one";
+  note " directory load per lookup, vs the multi-level table's level scans)";
+  let table =
+    Tablefmt.create ~title:"Extendible hash index"
+      ~columns:[ "population"; "insert ns"; "lookup ns"; "directory depth" ]
+  in
+  let mach = Machine.create () in
+  let base = Workloads.Factories.heap_base in
+  Machine.add_region mach ~base ~size:(1 lsl 30) ~kind:Nvmm.Memdev.Nvmm
+    ~numa:0;
+  let h = Poseidon.Exthash.create mach ~base ~size:(1 lsl 30) in
+  let next_key = ref 1 in
+  List.iter
+    (fun target ->
+      let _ =
+        Machine.parallel mach ~threads:1 (fun _ ->
+            while !next_key <= target do
+              Poseidon.Exthash.with_op h (fun ctx ->
+                  Poseidon.Exthash.insert ctx h !next_key !next_key);
+              incr next_key
+            done)
+      in
+      let batch = 2000 in
+      let ins_secs =
+        Machine.parallel mach ~threads:1 (fun _ ->
+            for i = 0 to batch - 1 do
+              Poseidon.Exthash.with_op h (fun ctx ->
+                  Poseidon.Exthash.insert ctx h (target + i + 1) i)
+            done)
+      in
+      let look_secs =
+        Machine.parallel mach ~threads:1 (fun _ ->
+            for i = 1 to batch do
+              ignore (Poseidon.Exthash.lookup h i)
+            done)
+      in
+      next_key := target + batch + 1;
+      Tablefmt.add_row table (string_of_int target)
+        [ Printf.sprintf "%.0f" (ins_secs *. 1e9 /. float_of_int batch);
+          Printf.sprintf "%.0f" (look_secs *. 1e9 /. float_of_int batch);
+          string_of_int (Poseidon.Exthash.depth h) ])
+    [ 4_000; 16_000; 64_000; 256_000 ];
+  Tablefmt.print table
+
+(* Inter-thread frees (the case the paper's microbenchmark excludes):
+   every block is freed by a different thread than allocated it, so
+   Poseidon's remote-free sub-heap locking (5.7) gets exercised. *)
+let extension_remote_free () =
+  note "";
+  note "### Extension: producer/consumer microbenchmark (inter-thread frees)";
+  note "(every free is remote; 5.7 claims this contention stays rare/cheap)";
+  sweep ~title:"Remote-free microbenchmark - 256 B" ~unit:"Mops/s"
+    (fun ~factory ~threads ->
+      Workloads.Microbench.run_remote_free ~factory ~size:256 ~threads
+        ~total_ops:(scale 400 * threads) ())
+
+(* Where the simulated time goes: per-category cost breakdown of one
+   microbenchmark configuration per allocator — explains the curves
+   (e.g. Poseidon's time is dominated by undo-log flush+fence;
+   Makalu's by header persists; PMDK's by rebuild reads). *)
+let ablation_costs () =
+  note "";
+  note "### Ablation - cost breakdown (256 B microbenchmark, 16 threads)";
+  let table =
+    Tablefmt.create ~title:"Simulated-time share by category (%)"
+      ~columns:
+        [ "allocator"; "read hit"; "read miss"; "store"; "clwb"; "fence";
+          "bandwidth"; "compute"; "wrpkru" ]
+  in
+  List.iter
+    (fun (factory : Workloads.Factories.factory) ->
+      let mach, inst = factory.Workloads.Factories.make () in
+      Workloads.Factories.warmup mach inst ~threads:16;
+      Machine.reset_profile mach;
+      let _ =
+        Machine.parallel mach ~threads:16 (fun i ->
+            let rng = Repro_util.Prng.create i in
+            let live = Array.make 100 Alloc_intf.null in
+            for _ = 1 to 4 do
+              for j = 0 to 99 do
+                live.(j) <-
+                  Option.value ~default:Alloc_intf.null
+                    (Alloc_intf.i_alloc inst 256)
+              done;
+              for j = 0 to 99 do
+                if not (Alloc_intf.is_null live.(j)) then
+                  Alloc_intf.i_free inst live.(j)
+              done;
+              ignore (Repro_util.Prng.int rng 2)
+            done)
+      in
+      let p = Machine.profile mach in
+      let total =
+        float_of_int
+          (p.Machine.p_read_hit + p.Machine.p_read_miss + p.Machine.p_write
+         + p.Machine.p_flush + p.Machine.p_fence + p.Machine.p_bandwidth_wait
+         + p.Machine.p_compute + p.Machine.p_wrpkru)
+      in
+      let pct v = 100.0 *. float_of_int v /. Float.max 1.0 total in
+      Tablefmt.add_float_row table factory.Workloads.Factories.name
+        [ pct p.Machine.p_read_hit; pct p.Machine.p_read_miss;
+          pct p.Machine.p_write; pct p.Machine.p_flush; pct p.Machine.p_fence;
+          pct p.Machine.p_bandwidth_wait; pct p.Machine.p_compute;
+          pct p.Machine.p_wrpkru ])
+    (factories ());
+  Tablefmt.print table
+
+(* Capacity scaling (2.2, 4.7): allocation latency must stay flat as
+   the pool grows — the multi-level hash table and buddy lists are
+   O(1) in pool size.  The simulated pool is sparsely backed, so huge
+   sizes are cheap to instantiate. *)
+let ablation_capacity () =
+  note "";
+  note "### Ablation - capacity scaling (2.2, 4.7)";
+  note "(alloc+free latency vs pool size; expect a flat line)";
+  let table =
+    Tablefmt.create ~title:"Ablation - latency vs sub-heap capacity"
+      ~columns:[ "pool size"; "ns/op" ]
+  in
+  List.iter
+    (fun mib ->
+      let mach = Machine.create () in
+      let heap =
+        Poseidon.Heap.create mach ~base:Workloads.Factories.heap_base
+          ~size:(1 lsl 44) ~heap_id:1 ~sub_data_size:(mib * 1024 * 1024) ()
+      in
+      let inst = Poseidon.instance heap in
+      Workloads.Factories.warmup mach inst ~threads:1;
+      (* spread some live allocations across the pool first *)
+      let _ =
+        Machine.parallel mach ~threads:1 (fun _ ->
+            for _ = 1 to 2000 do
+              ignore (Alloc_intf.i_alloc inst 256)
+            done)
+      in
+      let batch = 2000 in
+      let secs =
+        Machine.parallel mach ~threads:1 (fun _ ->
+            for _ = 1 to batch do
+              match Alloc_intf.i_alloc inst 256 with
+              | Some p -> Alloc_intf.i_free inst p
+              | None -> failwith "capacity ablation: oom"
+            done)
+      in
+      Tablefmt.add_row table
+        (Printf.sprintf "%d MiB" mib)
+        [ Printf.sprintf "%.0f" (secs *. 1e9 /. float_of_int (2 * batch)) ])
+    [ 64; 256; 1024; 4096; 16384 ];
+  Tablefmt.print table
+
+(* ---------- Bechamel wall-clock hot-path suite ---------- *)
+
+let bechamel_suite () =
+  note "";
+  note "### Bechamel: real-time cost of simulator hot paths";
+  let open Bechamel in
+  let mach = Machine.create () in
+  let heap =
+    Poseidon.Heap.create mach ~base:Workloads.Factories.heap_base
+      ~size:(1 lsl 38) ~heap_id:1 ()
+  in
+  let pmdk_mach = Machine.create () in
+  let pmdk =
+    Pmdk_sim.Heap.create pmdk_mach ~base:Workloads.Factories.heap_base
+      ~size:(1 lsl 34) ~heap_id:2 ()
+  in
+  let mak_mach = Machine.create () in
+  let mak =
+    Makalu_sim.Heap.create mak_mach ~base:Workloads.Factories.heap_base
+      ~size:(1 lsl 34) ~heap_id:3
+  in
+  let test_poseidon =
+    Test.make ~name:"poseidon-alloc-free-256B"
+      (Staged.stage (fun () ->
+           match Poseidon.Heap.alloc heap 256 with
+           | Some p -> Poseidon.Heap.free heap p
+           | None -> failwith "oom"))
+  in
+  let test_pmdk =
+    Test.make ~name:"pmdk-alloc-free-256B"
+      (Staged.stage (fun () ->
+           match Pmdk_sim.Heap.alloc pmdk 256 with
+           | Some p -> Pmdk_sim.Heap.free pmdk p
+           | None -> failwith "oom"))
+  in
+  let test_makalu =
+    Test.make ~name:"makalu-alloc-free-256B"
+      (Staged.stage (fun () ->
+           match Makalu_sim.Heap.alloc mak 256 with
+           | Some p -> Makalu_sim.Heap.free mak p
+           | None -> failwith "oom"))
+  in
+  let dev = Machine.dev mach in
+  let test_memdev =
+    Test.make ~name:"memdev-write+persist-64B"
+      (Staged.stage (fun () ->
+           Nvmm.Memdev.write_u64 dev Workloads.Factories.heap_base 42;
+           Nvmm.Memdev.persist dev Workloads.Factories.heap_base 8))
+  in
+  let tests =
+    Test.make_grouped ~name:"hot-paths"
+      [ test_poseidon; test_pmdk; test_makalu; test_memdev ]
+  in
+  let results =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+    Benchmark.all cfg instances tests
+  in
+  let ols =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock results
+  in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "  %-36s %10.0f ns/op\n" name est
+      | _ -> Printf.printf "  %-36s (no estimate)\n" name)
+    ols;
+  print_newline ()
+
+(* ---------- driver ---------- *)
+
+let () =
+  let usage =
+    "bench/main.exe [--figure N]... [--ablation NAME]... [--full] \
+     [--threads LIST] [--bechamel]"
+  in
+  let spec =
+    [ ( "--figure",
+        Arg.Int (fun n -> figures := n :: !figures),
+        "N  run only figure N (3, 6, 7, 8 or 9); repeatable" );
+      ( "--ablation",
+        Arg.String (fun s -> ablations := s :: !ablations),
+        "NAME  run only ablation NAME (index, subheap); repeatable" );
+      ("--full", Arg.Set full, " paper-scale parameters (slow)");
+      ( "--threads",
+        Arg.String
+          (fun s ->
+            thread_counts := List.map int_of_string (String.split_on_char ',' s)),
+        "LIST  comma-separated thread counts" );
+      ("--bechamel", Arg.Set run_bechamel, " also run the wall-clock suite") ]
+  in
+  Arg.parse spec (fun _ -> ()) usage;
+  let default = !figures = [] && !ablations = [] in
+  let run_fig n = default || List.mem n !figures in
+  let run_abl s = default || List.mem s !ablations in
+  note "Poseidon reproduction benchmark suite";
+  note "(simulated 64-CPU, 2-NUMA-node machine with Optane-like NVMM;";
+  note " see DESIGN.md and EXPERIMENTS.md for the methodology)";
+  if run_fig 3 then figure3 ();
+  if run_fig 6 then figure6 ();
+  if run_fig 7 then figure7 ();
+  if run_fig 8 then figure8 ();
+  if run_fig 9 then figure9 ();
+  if run_abl "index" then ablation_index ();
+  if run_abl "capacity" then ablation_capacity ();
+  if run_abl "costs" then ablation_costs ();
+  if run_abl "subheap" then ablation_subheap_mpk ();
+  if run_abl "ycsb-abc" then extension_ycsb_abc ();
+  if run_abl "trace" then extension_trace_replay ();
+  if run_abl "remote-free" then extension_remote_free ();
+  if run_abl "exthash" then extension_exthash ();
+  if !run_bechamel then bechamel_suite ()

@@ -1,0 +1,304 @@
+(* poseidon-repro: command-line front end for the reproduction.
+
+   Subcommands:
+     bench     run one workload on one allocator with explicit knobs
+     safety    print the Fig. 3 safety matrix
+     stress    random alloc/free/crash torture with invariant checking
+     inspect   allocate a workload and dump device/MPK counters
+     fsck      run a workload and print a heap consistency report
+     trace     replay one recorded trace on every allocator
+
+   (Figure regeneration lives in bench/main.exe; this tool is for
+   interactive poking.) *)
+
+open Cmdliner
+
+let allocator_conv =
+  let parse = function
+    | "poseidon" -> Ok `Poseidon
+    | "pmdk" -> Ok `Pmdk
+    | "makalu" -> Ok `Makalu
+    | s -> Error (`Msg (Printf.sprintf "unknown allocator %S" s))
+  in
+  let print ppf a =
+    Format.pp_print_string ppf
+      (match a with `Poseidon -> "poseidon" | `Pmdk -> "pmdk" | `Makalu -> "makalu")
+  in
+  Arg.conv (parse, print)
+
+let factory_of = function
+  | `Poseidon -> Workloads.Factories.poseidon ()
+  | `Pmdk -> Workloads.Factories.pmdk ()
+  | `Makalu -> Workloads.Factories.makalu ()
+
+let allocator_arg =
+  Arg.(
+    value
+    & opt allocator_conv `Poseidon
+    & info [ "a"; "allocator" ] ~docv:"NAME"
+        ~doc:"Allocator under test: poseidon, pmdk or makalu.")
+
+let threads_arg =
+  Arg.(
+    value
+    & opt int 8
+    & info [ "t"; "threads" ] ~docv:"N" ~doc:"Simulated threads.")
+
+let workload_conv =
+  Arg.enum
+    [ ("micro", `Micro); ("larson", `Larson); ("ackermann", `Ackermann);
+      ("kruskal", `Kruskal); ("nqueens", `Nqueens); ("ycsb", `Ycsb) ]
+
+(* ---------- bench ---------- *)
+
+let bench_cmd =
+  let workload_arg =
+    Arg.(
+      value
+      & opt workload_conv `Micro
+      & info [ "w"; "workload" ] ~docv:"NAME"
+          ~doc:"Workload: micro, larson, ackermann, kruskal, nqueens, ycsb.")
+  in
+  let size_arg =
+    Arg.(
+      value
+      & opt int 256
+      & info [ "s"; "size" ] ~docv:"BYTES"
+          ~doc:"Object size (micro workload only).")
+  in
+  let ops_arg =
+    Arg.(
+      value
+      & opt int 20_000
+      & info [ "n"; "ops" ] ~docv:"N" ~doc:"Total operations / iterations.")
+  in
+  let run allocator threads workload size ops =
+    let factory = factory_of allocator in
+    let name = factory.Workloads.Factories.name in
+    (match workload with
+     | `Micro ->
+       let mops =
+         Workloads.Microbench.run ~factory ~size ~threads ~total_ops:ops ()
+       in
+       Printf.printf "%s micro %dB x%d: %.3f Mops/s\n" name size threads mops
+     | `Larson ->
+       let ops_s =
+         Workloads.Larson.run ~factory ~threads ~duration_s:0.005 ()
+       in
+       Printf.printf "%s larson x%d: %.0f ops/s\n" name threads ops_s
+     | `Ackermann ->
+       let mops =
+         Workloads.Ackermann.run ~factory ~threads ~iterations:(max 1 (ops / 100)) ()
+       in
+       Printf.printf "%s ackermann x%d: %.4f Miter/s\n" name threads mops
+     | `Kruskal ->
+       let mops = Workloads.Kruskal.run ~factory ~threads ~iterations:ops () in
+       Printf.printf "%s kruskal x%d: %.4f Miter/s\n" name threads mops
+     | `Nqueens ->
+       let mops = Workloads.Nqueens.run ~factory ~threads ~iterations:ops () in
+       Printf.printf "%s nqueens x%d: %.4f Miter/s\n" name threads mops
+     | `Ycsb ->
+       let r =
+         Workloads.Ycsb.run ~factory ~threads ~records:(max 100 (ops / 2))
+           ~operations:ops ()
+       in
+       Printf.printf "%s ycsb x%d: load %.3f Mops/s, workload A %.3f Mops/s\n"
+         name threads r.Workloads.Ycsb.load_mops r.Workloads.Ycsb.a_mops);
+    0
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Run one workload on one allocator.")
+    Term.(const run $ allocator_arg $ threads_arg $ workload_arg $ size_arg $ ops_arg)
+
+(* ---------- safety ---------- *)
+
+let safety_cmd =
+  let run () =
+    List.iter
+      (fun row ->
+        Printf.printf "%s\n" row.Workloads.Safety.attack;
+        List.iter
+          (fun (name, o) ->
+            Printf.printf "  %-12s %s\n" name
+              (Workloads.Safety.outcome_to_string o))
+          row.Workloads.Safety.results)
+      (Workloads.Safety.matrix ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "safety"
+       ~doc:"Replay the paper's Fig. 3 corruption attacks on every allocator.")
+    Term.(const run $ const ())
+
+(* ---------- stress ---------- *)
+
+let stress_cmd =
+  let rounds_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "r"; "rounds" ] ~docv:"N" ~doc:"Crash/recovery rounds.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.")
+  in
+  let run rounds seed =
+    let module Prng = Repro_util.Prng in
+    let base = 1 lsl 30 in
+    let mach = Machine.create () in
+    let heap =
+      ref
+        (Poseidon.Heap.create mach ~base ~size:(1 lsl 34) ~heap_id:1
+           ~sub_data_size:(1 lsl 20) ())
+    in
+    let rng = Prng.create seed in
+    let dev = Machine.dev mach in
+    for round = 1 to rounds do
+      for _ = 1 to 20 + Prng.int rng 50 do
+        if Prng.bool rng then
+          ignore (Poseidon.Heap.alloc !heap (32 lsl Prng.int rng 8))
+        else ignore (Poseidon.Heap.tx_alloc !heap 64 ~is_end:(Prng.bool rng))
+      done;
+      Nvmm.Memdev.crash dev
+        (if Prng.bool rng then `Strict else `Adversarial rng);
+      heap := Poseidon.Heap.attach mach ~base ();
+      Poseidon.Heap.check_invariants !heap;
+      if round mod 10 = 0 then
+        Printf.printf "round %d: invariants OK (live=%d bytes)\n%!" round
+          (Poseidon.Heap.stats !heap).Poseidon.Heap.live_bytes
+    done;
+    Printf.printf "stress: %d crash/recovery rounds, all invariants held\n"
+      rounds;
+    0
+  in
+  Cmd.v
+    (Cmd.info "stress"
+       ~doc:"Random allocation/crash/recovery torture with invariant checks.")
+    Term.(const run $ rounds_arg $ seed_arg)
+
+(* ---------- inspect ---------- *)
+
+let inspect_cmd =
+  let run allocator threads =
+    let factory = factory_of allocator in
+    let mach, inst = factory.Workloads.Factories.make () in
+    let _ =
+      Machine.parallel mach ~threads (fun i ->
+          let rng = Repro_util.Prng.create i in
+          let live = Array.make 50 Alloc_intf.null in
+          for j = 0 to 199 do
+            let s = j mod 50 in
+            if not (Alloc_intf.is_null live.(s)) then
+              Alloc_intf.i_free inst live.(s);
+            live.(s) <-
+              (match
+                 Alloc_intf.i_alloc inst (16 + Repro_util.Prng.int rng 2000)
+               with
+               | Some p -> p
+               | None -> Alloc_intf.null)
+          done)
+    in
+    Printf.printf "workload done on %s with %d threads\n"
+      factory.Workloads.Factories.name threads;
+    (match inst with
+     | Alloc_intf.Instance (_, _) -> ());
+    let c = Nvmm.Memdev.counters (Machine.dev mach) in
+    Printf.printf
+      "device: %d loads, %d stores, %d lines flushed, %d fences\n"
+      c.Nvmm.Memdev.loads c.Nvmm.Memdev.stores c.Nvmm.Memdev.lines_flushed
+      c.Nvmm.Memdev.fences;
+    Printf.printf "mpk faults observed: %d\n"
+      (Mpk.faults_observed (Machine.mpk mach));
+    0
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Run a small mixed workload and dump counters.")
+    Term.(const run $ allocator_arg $ threads_arg)
+
+(* ---------- fsck ---------- *)
+
+let fsck_cmd =
+  let crash_arg =
+    Arg.(
+      value & flag
+      & info [ "crash" ] ~doc:"Crash-inject before checking (strict mode).")
+  in
+  let run threads crash =
+    let base = Workloads.Factories.heap_base in
+    let mach = Machine.create () in
+    let heap =
+      Poseidon.Heap.create mach ~base ~size:(1 lsl 38) ~heap_id:1
+        ~sub_data_size:(1 lsl 22) ()
+    in
+    let inst = Poseidon.instance heap in
+    let _ =
+      Machine.parallel mach ~threads (fun i ->
+          let rng = Repro_util.Prng.create i in
+          let live = Array.make 64 Alloc_intf.null in
+          for j = 0 to 299 do
+            let s = j mod 64 in
+            if not (Alloc_intf.is_null live.(s)) then
+              Alloc_intf.i_free inst live.(s);
+            live.(s) <-
+              Option.value ~default:Alloc_intf.null
+                (Alloc_intf.i_alloc inst (32 lsl Repro_util.Prng.int rng 8))
+          done)
+    in
+    let heap =
+      if crash then begin
+        Nvmm.Memdev.crash (Machine.dev mach) `Strict;
+        Poseidon.Heap.attach mach ~base ()
+      end
+      else heap
+    in
+    let report = Poseidon.Fsck.run heap in
+    Format.printf "%a" Poseidon.Fsck.pp report;
+    if Poseidon.Fsck.is_clean report then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Run a mixed workload, optionally crash, and print a full heap \
+          consistency report.")
+    Term.(const run $ threads_arg $ crash_arg)
+
+(* ---------- trace ---------- *)
+
+let trace_cmd =
+  let events_arg =
+    Arg.(
+      value & opt int 5000
+      & info [ "n"; "events" ] ~docv:"N" ~doc:"Trace length in events.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.")
+  in
+  let run events seed =
+    let trace = Workloads.Trace.random ~seed ~events () in
+    Printf.printf "replaying a %d-event trace on each allocator:\n" events;
+    List.iter
+      (fun (f : Workloads.Factories.factory) ->
+        let mach, inst = f.Workloads.Factories.make () in
+        let r = Workloads.Trace.replay_timed ~mach inst trace in
+        Printf.printf
+          "  %-10s %8.3f simulated ms  (%d allocs, %d frees, %d failed)\n"
+          f.Workloads.Factories.name
+          (r.Workloads.Trace.simulated_seconds *. 1e3)
+          r.Workloads.Trace.allocs_ok r.Workloads.Trace.frees
+          r.Workloads.Trace.allocs_failed)
+      [ Workloads.Factories.poseidon (); Workloads.Factories.pmdk ();
+        Workloads.Factories.makalu () ];
+    0
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Generate a random trace and replay it on every allocator.")
+    Term.(const run $ events_arg $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "poseidon-repro"
+      ~doc:
+        "Reproduction of 'Poseidon: Safe, Fast and Scalable Persistent \
+         Memory Allocator' (Middleware '20) on a simulated NVMM machine."
+  in
+  exit (Cmd.eval' (Cmd.group info [ bench_cmd; safety_cmd; stress_cmd; inspect_cmd; fsck_cmd; trace_cmd ]))

@@ -1,0 +1,1 @@
+examples/corruption_demo.ml: Alloc_intf Array List Machine Mpk Pmdk_sim Poseidon Printf

@@ -1,0 +1,1 @@
+examples/corruption_demo.mli:

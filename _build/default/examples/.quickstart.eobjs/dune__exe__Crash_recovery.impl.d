@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Fun List Machine Nvmm Poseidon Printf Repro_util

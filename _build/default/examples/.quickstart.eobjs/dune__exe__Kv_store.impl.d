@@ -1,0 +1,1 @@
+examples/kv_store.ml: Alloc_intf Btree Bytes List Machine Nvmm Option Poseidon Printf String

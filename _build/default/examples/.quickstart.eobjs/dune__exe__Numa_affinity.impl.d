@@ -1,0 +1,1 @@
+examples/numa_affinity.ml: Alloc_intf Array Machine Makalu_sim Pmdk_sim Poseidon Printf Simcore

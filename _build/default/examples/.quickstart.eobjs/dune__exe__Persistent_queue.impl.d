@@ -1,0 +1,1 @@
+examples/persistent_queue.ml: Alloc_intf Bytes List Machine Nvmm Poseidon Printf String

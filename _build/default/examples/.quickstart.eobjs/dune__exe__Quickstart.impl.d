@@ -1,0 +1,1 @@
+examples/quickstart.ml: Alloc_intf Bytes Format Machine Mpk Nvmm Poseidon Printf

@@ -1,0 +1,434 @@
+(** FAST-FAIR-style persistent B+-tree over a persistent allocator
+    (the YCSB substrate of paper §7.5, after Hwang et al., FAST '18).
+
+    Nodes are 512-byte persistent objects allocated from the
+    allocator under test, so every insert exercises the allocation
+    path.  Keys are sorted within a node; inserts shift entries with a
+    per-store write-back (FAST's failure-atomic shift), and node
+    splits write the new sibling completely before publishing it
+    (FAIR-style failure atomicity).
+
+    Concurrency: searches traverse without locks (reads of a node are
+    atomic at simulated-thread granularity); writers lock the leaf,
+    and structure modifications (splits) additionally take a global
+    SMO lock — splits are ~1/[fanout] of inserts, so the common path
+    stays leaf-local.
+
+    Node layout (little-endian u64 words):
+    {v
+    0   meta: (count lsl 1) lor is_leaf
+    8   sibling (packed nvmptr; leaf level only)
+    16  entries: fanout x {key, value}   — value = child ptr in inner
+    v}
+    fanout 31 -> node size = 16 + 31*16 = 512 bytes. *)
+
+type t = {
+  inst : Alloc_intf.instance;
+  mach : Machine.t;
+  smo_lock : Machine.Lock.lock;
+  leaf_locks : (int, Machine.Lock.lock) Hashtbl.t; (* node addr -> lock *)
+  leaf_locks_guard : Machine.Lock.lock;
+  mutable root : Alloc_intf.nvmptr;
+}
+
+let fanout = 31
+let node_size = 16 + (fanout * 16)
+
+let meta_off = 0
+let sibling_off = 8
+let entry_off i = 16 + (i * 16)
+
+(* ---------- node primitives ---------- *)
+
+let read_meta mach addr = Machine.read_u64 mach (addr + meta_off)
+let count_of meta = meta lsr 1
+let is_leaf_of meta = meta land 1 = 1
+
+let write_meta t addr ~count ~leaf =
+  Machine.write_u64 t.mach (addr + meta_off)
+    ((count lsl 1) lor (if leaf then 1 else 0));
+  Machine.persist t.mach (addr + meta_off) 8
+
+let key_at mach addr i = Machine.read_u64 mach (addr + entry_off i)
+let value_at mach addr i = Machine.read_u64 mach (addr + entry_off i + 8)
+
+let set_entry t addr i ~key ~value =
+  Machine.write_u64 t.mach (addr + entry_off i) key;
+  Machine.write_u64 t.mach (addr + entry_off i + 8) value;
+  Machine.persist t.mach (addr + entry_off i) 16
+
+(* position of the first key >= k *)
+let lower_bound mach addr count k =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if key_at mach addr mid < k then go (mid + 1) hi else go lo mid
+  in
+  go 0 count
+
+(* ---------- allocation ---------- *)
+
+let raw_of t p = Alloc_intf.i_get_rawptr t.inst p
+
+let alloc_node t ~leaf =
+  match Alloc_intf.i_alloc t.inst node_size with
+  | None -> failwith "Btree: allocator out of memory"
+  | Some p ->
+    let addr = raw_of t p in
+    Machine.write_u64 t.mach (addr + sibling_off) Alloc_intf.packed_null;
+    write_meta t addr ~count:0 ~leaf;
+    p
+
+(* ---------- construction ---------- *)
+
+let create inst =
+  let mach = Alloc_intf.instance_machine inst in
+  let t =
+    { inst;
+      mach;
+      smo_lock = Machine.Lock.create mach ~name:"btree-smo" ();
+      leaf_locks = Hashtbl.create 1024;
+      leaf_locks_guard = Machine.Lock.create mach ~name:"btree-locktab" ();
+      root = Alloc_intf.null }
+  in
+  let root = alloc_node t ~leaf:true in
+  t.root <- root;
+  Alloc_intf.i_set_root t.inst root;
+  t
+
+(** Reopens the tree stored at the allocator's root pointer (restart
+    path; the allocator must already be attached/recovered). *)
+let attach inst =
+  let mach = Alloc_intf.instance_machine inst in
+  let root = Alloc_intf.i_get_root inst in
+  if Alloc_intf.is_null root then invalid_arg "Btree.attach: no tree at root";
+  { inst;
+    mach;
+    smo_lock = Machine.Lock.create mach ~name:"btree-smo" ();
+    leaf_locks = Hashtbl.create 1024;
+    leaf_locks_guard = Machine.Lock.create mach ~name:"btree-locktab" ();
+    root }
+
+let node_lock t addr =
+  match Hashtbl.find_opt t.leaf_locks addr with
+  | Some l -> l
+  | None ->
+    Machine.Lock.with_lock t.leaf_locks_guard (fun () ->
+        match Hashtbl.find_opt t.leaf_locks addr with
+        | Some l -> l
+        | None ->
+          let l = Machine.Lock.create t.mach ~name:"btree-node" () in
+          Hashtbl.replace t.leaf_locks addr l;
+          l)
+
+(* ---------- search ---------- *)
+
+let heap_id t = (Alloc_intf.i_get_root t.inst).Alloc_intf.heap_id
+
+let ptr_of_packed t packed = Alloc_intf.unpack ~heap_id:(heap_id t) packed
+
+(* If [k]'s range moved to a right sibling (a split whose separator
+   has not reached the parent — e.g. after a crash), follow the
+   sibling chain (FAST-FAIR). *)
+let rec chase_sibling t addr k =
+  let sib = Machine.read_u64 t.mach (addr + sibling_off) in
+  if sib = Alloc_intf.packed_null then addr
+  else begin
+    let right = raw_of t (ptr_of_packed t sib) in
+    let rmeta = read_meta t.mach right in
+    if count_of rmeta > 0 && k >= key_at t.mach right 0 then
+      chase_sibling t right k
+    else addr
+  end
+
+(* descend to the leaf that should hold [k]; returns its address *)
+let rec descend t addr k =
+  let addr = chase_sibling t addr k in
+  let meta = read_meta t.mach addr in
+  if is_leaf_of meta then addr
+  else begin
+    let count = count_of meta in
+    (* inner node: entry i covers keys in [key_i, key_{i+1});
+       key_0 is the smallest key of the subtree *)
+    let pos = lower_bound t.mach addr count k in
+    let child_idx =
+      if pos < count && key_at t.mach addr pos = k then pos
+      else max 0 (pos - 1)
+    in
+    let child = ptr_of_packed t (value_at t.mach addr child_idx) in
+    descend t (raw_of t child) k
+  end
+
+let find t k =
+  let leaf = descend t (raw_of t t.root) k in
+  let meta = read_meta t.mach leaf in
+  let count = count_of meta in
+  let pos = lower_bound t.mach leaf count k in
+  if pos < count && key_at t.mach leaf pos = k then
+    Some (value_at t.mach leaf pos)
+  else None
+
+(* ---------- insertion ---------- *)
+
+(* shift entries right by one starting at pos, FAST-style (highest
+   first, persisting each moved entry) *)
+let shift_right t addr ~count ~pos =
+  for i = count - 1 downto pos do
+    let k = key_at t.mach addr i and v = value_at t.mach addr i in
+    Machine.write_u64 t.mach (addr + entry_off (i + 1)) k;
+    Machine.write_u64 t.mach (addr + entry_off (i + 1) + 8) v;
+    Machine.persist t.mach (addr + entry_off (i + 1)) 16
+  done
+
+(* insert into a node known to have space; caller holds its lock (or
+   the SMO lock for inner nodes).  Runs preemption-free so concurrent
+   readers never observe a half-shifted node — the reader-safety FAST
+   provides by construction on real hardware. *)
+let insert_into t addr ~leaf ~key ~value =
+  Machine.critical t.mach (fun () ->
+      let meta = read_meta t.mach addr in
+      let count = count_of meta in
+      assert (count < fanout);
+      let pos = lower_bound t.mach addr count key in
+      if leaf && pos < count && key_at t.mach addr pos = key then
+        (* update in place: a single 8-byte atomic store + write-back *)
+        begin
+          Machine.write_u64 t.mach (addr + entry_off pos + 8) value;
+          Machine.persist t.mach (addr + entry_off pos + 8) 8
+        end
+      else if pos = count then begin
+        (* append: entry first (invisible), then the count — a crash
+           in between just makes the insert not-have-happened *)
+        set_entry t addr pos ~key ~value;
+        write_meta t addr ~count:(count + 1) ~leaf
+      end
+      else begin
+        (* crash-atomic insert (FAST-style): (1) duplicate the last
+           entry into the new slot; (2) grow the count — the array is
+           sorted-with-duplicate and every committed key visible;
+           (3) shift the rest, each step preserving
+           sorted-with-duplicates; (4) overwrite the duplicate at
+           [pos] with the new entry.  A crash at any persistence
+           boundary loses no committed key. *)
+        set_entry t addr count
+          ~key:(key_at t.mach addr (count - 1))
+          ~value:(value_at t.mach addr (count - 1));
+        write_meta t addr ~count:(count + 1) ~leaf;
+        shift_right t addr ~count:(count - 1) ~pos;
+        set_entry t addr pos ~key ~value
+      end)
+
+(* split [addr] into itself plus [right_ptr] (pre-allocated by the
+   caller: no allocation inside the critical section); returns the
+   separator key.  Caller holds the SMO lock and the node's lock. *)
+let split_node t addr ~leaf ~right_ptr =
+  Machine.critical t.mach (fun () ->
+      let count = count_of (read_meta t.mach addr) in
+      let half = count / 2 in
+      let right = raw_of t right_ptr in
+      (* write the complete right node before publishing it anywhere *)
+      for i = half to count - 1 do
+        set_entry t right (i - half)
+          ~key:(key_at t.mach addr i)
+          ~value:(value_at t.mach addr i)
+      done;
+      (* sibling links exist at every level (FAST-FAIR): a reader that
+         arrives at a node whose keys moved right follows the sibling,
+         so a crash between sibling publication and the parent update
+         loses nothing *)
+      let old_sib = Machine.read_u64 t.mach (addr + sibling_off) in
+      Machine.write_u64 t.mach (right + sibling_off) old_sib;
+      Machine.persist t.mach (right + sibling_off) 8;
+      write_meta t right ~count:(count - half) ~leaf;
+      (* publish: link the sibling, then shrink the left count — each
+         an atomic 8-byte persisted store (FAIR) *)
+      Machine.write_u64 t.mach (addr + sibling_off) (Alloc_intf.pack right_ptr);
+      Machine.persist t.mach (addr + sibling_off) 8;
+      write_meta t addr ~count:half ~leaf;
+      key_at t.mach right 0)
+
+(* root-to-leaf path for [k], root first *)
+let path_to t k =
+  let rec go addr acc =
+    let addr = chase_sibling t addr k in
+    let meta = read_meta t.mach addr in
+    let acc = addr :: acc in
+    if is_leaf_of meta then List.rev acc
+    else begin
+      let count = count_of meta in
+      let pos = lower_bound t.mach addr count k in
+      let child_idx =
+        if pos < count && key_at t.mach addr pos = k then pos
+        else max 0 (pos - 1)
+      in
+      go (raw_of t (ptr_of_packed t (value_at t.mach addr child_idx))) acc
+    end
+  in
+  go (raw_of t t.root) []
+
+(* Splits the topmost full node on the path to [key], under the SMO
+   lock.  Inner nodes are modified only under the SMO lock, so a
+   top-down sweep always inserts the separator into a parent it has
+   already guaranteed non-full.  One call performs one split; the
+   caller loops until the leaf has room. *)
+let split_one t key =
+  Machine.Lock.with_lock t.smo_lock (fun () ->
+      let path = path_to t key in
+      let rec find_full parent = function
+        | [] -> None
+        | addr :: rest ->
+          if count_of (read_meta t.mach addr) = fanout then Some (parent, addr)
+          else find_full (Some addr) rest
+      in
+      match find_full None path with
+      | None -> () (* raced: someone already made room *)
+      | Some (parent, addr) ->
+        let leaf = is_leaf_of (read_meta t.mach addr) in
+        let right_ptr = alloc_node t ~leaf in
+        let lock = node_lock t addr in
+        let sep =
+          Machine.Lock.with_lock lock (fun () ->
+              split_node t addr ~leaf ~right_ptr)
+        in
+        (match parent with
+         | Some parent ->
+           (* non-full by construction (topmost full node was [addr]) *)
+           insert_into t parent ~leaf:false ~key:sep
+             ~value:(Alloc_intf.pack right_ptr)
+         | None ->
+           (* the root split: grow the tree by one level.  Entry 0
+              carries the sentinel key 0: nodes on the leftmost spine
+              must sort below every real key (>= 1), so that a
+              separator produced by splitting the leftmost child can
+              never land at position 0 and orphan it. *)
+           let new_root_ptr = alloc_node t ~leaf:false in
+           let new_root = raw_of t new_root_ptr in
+           Machine.critical t.mach (fun () ->
+               set_entry t new_root 0 ~key:0
+                 ~value:(Alloc_intf.pack t.root);
+               set_entry t new_root 1 ~key:sep
+                 ~value:(Alloc_intf.pack right_ptr);
+               write_meta t new_root ~count:2 ~leaf:false);
+           t.root <- new_root_ptr;
+           Alloc_intf.i_set_root t.inst new_root_ptr))
+
+let rec insert t ~key ~value =
+  if key < 1 then invalid_arg "Btree.insert: keys must be >= 1";
+  let leaf = descend t (raw_of t t.root) key in
+  let lock = node_lock t leaf in
+  Machine.Lock.acquire lock;
+  let meta = read_meta t.mach leaf in
+  let count = count_of meta in
+  (* revalidate: the leaf may have split between descend and lock *)
+  let sibling = Machine.read_u64 t.mach (leaf + sibling_off) in
+  let stale =
+    sibling <> Alloc_intf.packed_null
+    && count > 0
+    && key >= key_at t.mach (raw_of t (ptr_of_packed t sibling)) 0
+  in
+  if stale then begin
+    Machine.Lock.release lock;
+    insert t ~key ~value
+  end
+  else if count = fanout then begin
+    Machine.Lock.release lock;
+    split_one t key;
+    insert t ~key ~value
+  end
+  else
+    Fun.protect
+      ~finally:(fun () -> Machine.Lock.release lock)
+      (fun () -> insert_into t leaf ~leaf:true ~key ~value)
+
+(* ---------- deletion (leaf-local; no rebalancing, as FAST-FAIR) ---------- *)
+
+let delete t k =
+  let leaf = descend t (raw_of t t.root) k in
+  let lock = node_lock t leaf in
+  Machine.Lock.with_lock lock (fun () ->
+      let meta = read_meta t.mach leaf in
+      let count = count_of meta in
+      let pos = lower_bound t.mach leaf count k in
+      if pos < count && key_at t.mach leaf pos = k then begin
+        Machine.critical t.mach (fun () ->
+            for i = pos to count - 2 do
+              let ky = key_at t.mach leaf (i + 1)
+              and v = value_at t.mach leaf (i + 1) in
+              Machine.write_u64 t.mach (leaf + entry_off i) ky;
+              Machine.write_u64 t.mach (leaf + entry_off i + 8) v;
+              Machine.persist t.mach (leaf + entry_off i) 16
+            done;
+            write_meta t leaf ~count:(count - 1) ~leaf:true);
+        true
+      end
+      else false)
+
+(* ---------- range scan ---------- *)
+
+let scan t ~from_key ~n f =
+  let leaf = ref (descend t (raw_of t t.root) from_key) in
+  let remaining = ref n in
+  let continue = ref true in
+  while !continue && !remaining > 0 do
+    let meta = read_meta t.mach !leaf in
+    let count = count_of meta in
+    let pos = lower_bound t.mach !leaf count from_key in
+    let start = if !remaining = n then pos else 0 in
+    let i = ref start in
+    while !i < count && !remaining > 0 do
+      f (key_at t.mach !leaf !i) (value_at t.mach !leaf !i);
+      decr remaining;
+      incr i
+    done;
+    let sib = Machine.read_u64 t.mach (!leaf + sibling_off) in
+    if sib = Alloc_intf.packed_null then continue := false
+    else leaf := raw_of t (ptr_of_packed t sib)
+  done
+
+(* ---------- introspection ---------- *)
+
+let rec depth t addr =
+  let meta = read_meta t.mach addr in
+  if is_leaf_of meta then 1
+  else 1 + depth t (raw_of t (ptr_of_packed t (value_at t.mach addr 0)))
+
+let tree_depth t = depth t (raw_of t t.root)
+
+let count_keys t =
+  let total = ref 0 in
+  (* leftmost leaf *)
+  let rec leftmost addr =
+    let meta = read_meta t.mach addr in
+    if is_leaf_of meta then addr
+    else leftmost (raw_of t (ptr_of_packed t (value_at t.mach addr 0)))
+  in
+  let leaf = ref (leftmost (raw_of t t.root)) in
+  let continue = ref true in
+  while !continue do
+    let meta = read_meta t.mach !leaf in
+    total := !total + count_of meta;
+    let sib = Machine.read_u64 t.mach (!leaf + sibling_off) in
+    if sib = Alloc_intf.packed_null then continue := false
+    else leaf := raw_of t (ptr_of_packed t sib)
+  done;
+  !total
+
+(** Structural check for tests: sortedness within nodes, leaf chain
+    in ascending order. *)
+let check t =
+  let rec walk addr lo =
+    let meta = read_meta t.mach addr in
+    let count = count_of meta in
+    let prev = ref lo in
+    for i = 0 to count - 1 do
+      let k = key_at t.mach addr i in
+      (match !prev with
+       | Some p when p > k -> failwith "Btree.check: unsorted keys"
+       | _ -> ());
+      prev := Some (key_at t.mach addr i);
+      if not (is_leaf_of meta) then
+        walk (raw_of t (ptr_of_packed t (value_at t.mach addr i))) None
+    done
+  in
+  walk (raw_of t t.root) None

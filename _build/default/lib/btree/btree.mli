@@ -1,0 +1,46 @@
+(** FAST-FAIR-style persistent B+-tree over a persistent allocator
+    (the YCSB substrate of paper §7.5, after Hwang et al., FAST '18).
+
+    Nodes are 512-byte persistent objects allocated from the allocator
+    under test, so every insert exercises the allocation path.  Keys
+    and values are 63-bit non-negative integers; keys must be ≥ 1
+    (key 0 is the internal leftmost-spine sentinel).  Values are
+    commonly packed persistent pointers ({!Alloc_intf.pack}).
+
+    Concurrency model (simulated threads): searches traverse without
+    locks; writers lock the target leaf; structure modifications
+    additionally take a global SMO lock.  Node updates use FAST-style
+    shifting writes and FAIR-style publication ordering, so a crash at
+    any persistence point leaves a tree that {!attach} can reopen. *)
+
+type t
+
+val create : Alloc_intf.instance -> t
+(** Allocates an empty tree and publishes its root as the allocator's
+    root object. *)
+
+val attach : Alloc_intf.instance -> t
+(** Reopens the tree stored at the allocator's root pointer (restart
+    path; the allocator must already be attached/recovered).  Raises
+    [Invalid_argument] if the root is null. *)
+
+val insert : t -> key:int -> value:int -> unit
+(** Inserts or updates (updates are in-place 8-byte atomic stores).
+    Raises [Invalid_argument] on [key < 1]. *)
+
+val find : t -> int -> int option
+
+val delete : t -> int -> bool
+(** Removes the key from its leaf (no rebalancing, as in FAST-FAIR);
+    returns whether it was present. *)
+
+val scan : t -> from_key:int -> n:int -> (int -> int -> unit) -> unit
+(** In-order traversal of up to [n] entries with key ≥ [from_key],
+    following the leaf sibling chain. *)
+
+val tree_depth : t -> int
+val count_keys : t -> int
+
+val check : t -> unit
+(** Structural validation (sortedness, leaf-chain order); raises
+    [Failure] on violation.  Test/diagnostic use. *)

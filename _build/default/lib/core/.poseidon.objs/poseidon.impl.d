@@ -1,0 +1,1 @@
+lib/core/poseidon.ml: Alloc_intf Buddy Exthash Fsck Hashtable Heap Layout Microlog Record Subheap Superblock Undolog

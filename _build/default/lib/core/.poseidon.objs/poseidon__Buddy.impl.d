@@ -1,0 +1,1 @@
+lib/core/buddy.ml: Layout Machine Record Undolog

@@ -1,0 +1,1 @@
+lib/core/buddy.mli: Machine Undolog

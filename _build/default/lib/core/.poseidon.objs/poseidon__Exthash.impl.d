@@ -1,0 +1,1 @@
+lib/core/exthash.ml: Hashtbl Machine Persist Undolog

@@ -1,0 +1,1 @@
+lib/core/exthash.mli: Machine Persist

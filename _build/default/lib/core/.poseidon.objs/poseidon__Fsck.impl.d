@@ -1,0 +1,1 @@
+lib/core/fsck.ml: Alloc_intf Array Format Fun Hashtable Heap Layout List Microlog Printexc Subheap Undolog

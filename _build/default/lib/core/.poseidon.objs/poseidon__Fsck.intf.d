@@ -1,0 +1,1 @@
+lib/core/fsck.mli: Format Heap

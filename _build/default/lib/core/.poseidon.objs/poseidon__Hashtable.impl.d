@@ -1,0 +1,1 @@
+lib/core/hashtable.ml: Layout Machine Record Undolog

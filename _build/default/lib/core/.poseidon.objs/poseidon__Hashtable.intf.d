@@ -1,0 +1,1 @@
+lib/core/hashtable.mli: Machine Undolog

@@ -1,0 +1,1 @@
+lib/core/heap.ml: Alloc_intf Array Fun Layout List Machine Microlog Mpk Nvmm Option Subheap Superblock

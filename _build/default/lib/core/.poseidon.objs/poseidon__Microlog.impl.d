@@ -1,0 +1,1 @@
+lib/core/microlog.ml: Layout Persist

@@ -1,0 +1,1 @@
+lib/core/subheap.ml: Alloc_intf Array Buddy Hashtable Hashtbl Layout List Machine Microlog Printf Record Undolog

@@ -1,0 +1,1 @@
+lib/core/subheap.mli: Hashtable Machine

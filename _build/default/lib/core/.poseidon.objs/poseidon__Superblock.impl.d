@@ -1,0 +1,1 @@
+lib/core/superblock.ml: Alloc_intf Layout Machine Printf

@@ -1,0 +1,1 @@
+lib/core/undolog.ml: Layout Persist

@@ -1,0 +1,61 @@
+(** Per-size-class free lists ("buddy list" of paper §4.1, §5.2).
+
+    Each sub-heap keeps [Layout.num_classes] doubly-linked lists of
+    free blocks, linked through the [next_free]/[prev_free] fields of
+    the blocks' hash-table records.  Heads and tails are stored in the
+    sub-heap header; value [0] is the list-end sentinel (no record ever
+    lives at address 0).  Frees push at the tail to delay reuse of
+    just-freed memory (paper §5.5); allocations pop at the head. *)
+
+let head_addr meta_base cls = meta_base + Layout.sh_off_buddy_heads + (cls * Layout.word)
+let tail_addr meta_base cls = meta_base + Layout.sh_off_buddy_tails + (cls * Layout.word)
+
+let head mach meta_base cls = Machine.read_u64 mach (head_addr meta_base cls)
+let tail mach meta_base cls = Machine.read_u64 mach (tail_addr meta_base cls)
+
+let push_head ctx meta_base cls rec_addr =
+  let mach = Undolog.machine ctx in
+  let old = head mach meta_base cls in
+  Record.set_next_free ctx rec_addr old;
+  Record.set_prev_free ctx rec_addr 0;
+  if old <> 0 then Record.set_prev_free ctx old rec_addr
+  else Undolog.write ctx (tail_addr meta_base cls) rec_addr;
+  Undolog.write ctx (head_addr meta_base cls) rec_addr
+
+let push_tail ctx meta_base cls rec_addr =
+  let mach = Undolog.machine ctx in
+  let old = tail mach meta_base cls in
+  Record.set_prev_free ctx rec_addr old;
+  Record.set_next_free ctx rec_addr 0;
+  if old <> 0 then Record.set_next_free ctx old rec_addr
+  else Undolog.write ctx (head_addr meta_base cls) rec_addr;
+  Undolog.write ctx (tail_addr meta_base cls) rec_addr
+
+let unlink ctx meta_base cls rec_addr =
+  let mach = Undolog.machine ctx in
+  let nf = Record.get_next_free mach rec_addr in
+  let pf = Record.get_prev_free mach rec_addr in
+  if pf = 0 then Undolog.write ctx (head_addr meta_base cls) nf
+  else Record.set_next_free ctx pf nf;
+  if nf = 0 then Undolog.write ctx (tail_addr meta_base cls) pf
+  else Record.set_prev_free ctx nf pf;
+  Record.set_next_free ctx rec_addr 0;
+  Record.set_prev_free ctx rec_addr 0
+
+(** Walks the class list from the head looking for a block of at least
+    [min_size] bytes, visiting at most [max_steps] nodes. *)
+let first_fit mach meta_base cls ~min_size ~max_steps =
+  let rec go rec_addr steps =
+    if rec_addr = 0 || steps >= max_steps then None
+    else if Record.get_size mach rec_addr >= min_size then Some rec_addr
+    else go (Record.get_next_free mach rec_addr) (steps + 1)
+  in
+  go (head mach meta_base cls) 0
+
+(** Folds over a class list (bounded); for diagnostics and tests. *)
+let fold mach meta_base cls f acc =
+  let rec go rec_addr acc guard =
+    if rec_addr = 0 || guard > 10_000_000 then acc
+    else go (Record.get_next_free mach rec_addr) (f acc rec_addr) (guard + 1)
+  in
+  go (head mach meta_base cls) acc 0

@@ -1,0 +1,29 @@
+(** Per-size-class free lists ("buddy list" of paper §4.1, §5.2).
+
+    Each sub-heap keeps [Layout.num_classes] doubly-linked lists of
+    free blocks, linked through the [next_free]/[prev_free] fields of
+    the blocks' hash-table records.  Heads and tails live in the
+    sub-heap header; 0 is the list-end sentinel.  Frees push at the
+    tail to delay reuse of just-freed memory (§5.5); allocations pop
+    at the head.  All arguments named [rec_addr] are record
+    addresses. *)
+
+val head : Machine.t -> int -> int -> int
+(** [head mach meta_base cls]. *)
+
+val tail : Machine.t -> int -> int -> int
+
+val push_head : Undolog.ctx -> int -> int -> int -> unit
+(** [push_head ctx meta_base cls rec_addr]. *)
+
+val push_tail : Undolog.ctx -> int -> int -> int -> unit
+
+val unlink : Undolog.ctx -> int -> int -> int -> unit
+(** Removes the record from its class list (any position). *)
+
+val first_fit : Machine.t -> int -> int -> min_size:int -> max_steps:int -> int option
+(** Walks the class list from the head for a block of at least
+    [min_size] bytes, visiting at most [max_steps] nodes. *)
+
+val fold : Machine.t -> int -> int -> ('a -> int -> 'a) -> 'a -> 'a
+(** Bounded fold over a class list (diagnostics and tests). *)

@@ -1,0 +1,45 @@
+(** Extendible hashing — the "more advanced index scheme" the paper's
+    §8 suggests for huge NVMM capacities, implemented as an
+    alternative to the multi-level table for comparison (experiment
+    X6).
+
+    A directory of 2^depth bucket pointers indexes fixed-size buckets
+    of key/value words; an overfull bucket splits, doubling the
+    directory when its local depth reaches the global depth.  Lookups
+    are O(1) — one directory load plus one bucket scan — regardless of
+    population; the price is unbounded directory-doubling work on the
+    insert path, which is why the production allocator keeps the
+    multi-level table (bounded per-operation log footprint).
+
+    The structure lives in simulated NVMM, is self-contained (it
+    embeds a private undo log) and is crash-consistent: {!with_op}
+    wraps mutations, {!recover} replays after a crash.  Keys must be
+    non-zero. *)
+
+type t
+
+val create : Machine.t -> base:int -> size:int -> t
+(** Formats a fresh structure in [base, base+size) (which must be a
+    mapped region). *)
+
+val with_op : t -> (Persist.Pundo.ctx -> 'a) -> 'a
+(** Runs one crash-consistent operation against the private log. *)
+
+val recover : t -> unit
+(** Replays the private undo log after a crash (idempotent). *)
+
+val insert : Persist.Pundo.ctx -> t -> int -> int -> unit
+(** [insert ctx t key value]; updates in place if the key exists.
+    Call inside {!with_op}. *)
+
+val lookup : t -> int -> int option
+
+val delete : Persist.Pundo.ctx -> t -> int -> bool
+
+val depth : t -> int
+(** Global directory depth. *)
+
+val count : t -> int
+
+val check : t -> unit
+(** Structural validation; raises [Failure]. *)

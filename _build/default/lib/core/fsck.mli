@@ -1,0 +1,43 @@
+(** Offline heap checker ("fsck" for Poseidon heaps).
+
+    Walks a heap read-only and produces a structured report: per
+    sub-heap block populations, fragmentation, size-class histograms,
+    hash-table occupancy, log states — plus every invariant violation
+    collected instead of thrown.  A corrupted heap never makes the
+    checker escape: walker failures (including invalid addresses)
+    surface as violations in the report. *)
+
+type subheap_report = {
+  index : int;
+  cpu : int;
+  data_size : int;
+  live_blocks : int;
+  live_bytes : int;
+  free_blocks : int;
+  free_bytes : int;
+  largest_free : int;
+  class_histogram : (int * int) array;
+      (** (class, free blocks) for non-empty classes *)
+  hash_levels : int;
+  hash_live : int;
+  hash_capacity : int;
+  undo_log_empty : bool;
+  micro_log_entries : int;
+  violations : string list;
+}
+
+type report = {
+  heap_id : int;
+  subheaps : subheap_report list;
+  root_set : bool;
+  total_live_bytes : int;
+  total_free_bytes : int;
+  total_violations : int;
+}
+
+val run : Heap.t -> report
+
+val is_clean : report -> bool
+(** No violations anywhere. *)
+
+val pp : Format.formatter -> report -> unit

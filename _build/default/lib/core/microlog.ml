@@ -1,0 +1,21 @@
+(** Per-sub-heap micro log: the history of addresses allocated by the
+    transaction in flight (paper §4.5, §5.3) — Poseidon's
+    instantiation of {!Persist.Plog}.
+
+    [append] persists an allocated pointer before the sub-allocation's
+    undo log is truncated; [commit] (truncating the log) is the
+    transaction's commit point.  If the log is non-empty on restart,
+    the transaction did not commit and recovery frees every logged
+    address (§5.8). *)
+
+exception Overflow = Persist.Plog.Overflow
+
+let area meta_base =
+  { Persist.Plog.count_addr = meta_base + Layout.sh_off_micro_count;
+    entries_addr = meta_base + Layout.sh_off_micro_entries;
+    cap = Layout.micro_cap }
+
+let append mach ~meta_base packed = Persist.Plog.append mach (area meta_base) packed
+let commit mach ~meta_base = Persist.Plog.truncate mach (area meta_base)
+let entries mach ~meta_base = Persist.Plog.entries mach (area meta_base)
+let is_empty mach ~meta_base = Persist.Plog.is_empty mach (area meta_base)

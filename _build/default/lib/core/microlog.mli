@@ -1,0 +1,18 @@
+(** Per-sub-heap micro log: the history of addresses allocated by the
+    transaction in flight (paper §4.5, §5.3) — Poseidon's
+    instantiation of {!Persist.Plog}.
+
+    [append] persists an allocated pointer before the sub-allocation's
+    undo log is truncated; [commit] (truncating the log) is the
+    transaction's commit point.  If the log is non-empty on restart,
+    the transaction did not commit and recovery frees every logged
+    address (§5.8). *)
+
+exception Overflow
+
+val append : Machine.t -> meta_base:int -> int -> unit
+(** Appends a packed nvmptr. *)
+
+val commit : Machine.t -> meta_base:int -> unit
+val entries : Machine.t -> meta_base:int -> int list
+val is_empty : Machine.t -> meta_base:int -> bool

@@ -1,0 +1,46 @@
+(** Memblock-information records (paper Fig. 4).
+
+    One 64-byte record per memory block, stored inline in the hash
+    table buckets of the sub-heap metadata region: offset, size,
+    status, address-adjacency links (for merging) and class-list links
+    (for the buddy lists).  Reads go straight to the machine; writes
+    go through the undo-logging context. *)
+
+val get_offset : Machine.t -> int -> int
+val get_size : Machine.t -> int -> int
+val get_status : Machine.t -> int -> int
+val get_prev : Machine.t -> int -> int
+(** Offset of the address-adjacent left block ([Layout.nil_off] at the
+    start of the data region). *)
+
+val get_next : Machine.t -> int -> int
+val get_next_free : Machine.t -> int -> int
+(** Record address of the next block in the class list (0 = end). *)
+
+val get_prev_free : Machine.t -> int -> int
+
+val set_offset : Undolog.ctx -> int -> int -> unit
+val set_size : Undolog.ctx -> int -> int -> unit
+val set_status : Undolog.ctx -> int -> int -> unit
+val set_prev : Undolog.ctx -> int -> int -> unit
+val set_next : Undolog.ctx -> int -> int -> unit
+val set_next_free : Undolog.ctx -> int -> int -> unit
+val set_prev_free : Undolog.ctx -> int -> int -> unit
+
+val is_live : Machine.t -> int -> bool
+(** Status is free or allocated (not empty/tombstone). *)
+
+val init :
+  Undolog.ctx ->
+  int ->
+  off:int ->
+  size:int ->
+  status:int ->
+  prev:int ->
+  next:int ->
+  unit
+(** Initialises a fresh record in an empty or tombstone slot.  For a
+    previously-empty slot only the status word is undo-logged (rolling
+    it back kills the record); a tombstone slot — possibly tombstoned
+    earlier in the same operation — gets every field logged so a
+    rollback cannot resurrect a hybrid. *)

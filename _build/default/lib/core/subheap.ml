@@ -1,0 +1,486 @@
+(** Per-CPU sub-heap: allocation, deallocation, splitting, merging and
+    defragmentation (paper §4.1, §5.2–§5.5).
+
+    All functions here assume the caller (the heap layer) holds the
+    sub-heap lock and has granted itself write permission on the
+    metadata region via MPK.  Every metadata mutation runs inside an
+    undo-logged operation, so a crash at any point rolls back to a
+    consistent state. *)
+
+type t = {
+  mach : Machine.t;
+  heap_id : int;
+  index : int; (* sub-heap id = directory slot = CPU *)
+  cpu : int;
+  meta_base : int;
+  data_base : int;
+  data_size : int;
+  ht : Hashtable.t;
+  lock : Machine.Lock.lock;
+  mutable stat_invalid_free : int;
+  mutable stat_double_free : int;
+  mutable stat_merges : int;
+  mutable stat_defrag_passes : int;
+  mutable stat_hash_extends : int;
+}
+
+let nil = Layout.nil_off
+
+(* ---------- header accessors ---------- *)
+
+let hdr_read mach meta_base off = Machine.read_u64 mach (meta_base + off)
+let hdr_write mach meta_base off v = Machine.write_u64 mach (meta_base + off) v
+
+(* ---------- construction ---------- *)
+
+let make mach ~heap_id ~index ~cpu ~meta_base ~data_base ~data_size ~base_buckets =
+  { mach;
+    heap_id;
+    index;
+    cpu;
+    meta_base;
+    data_base;
+    data_size;
+    ht = Hashtable.make mach ~meta_base ~base_buckets;
+    lock = Machine.Lock.create mach ~name:(Printf.sprintf "subheap-%d" index) ();
+    stat_invalid_free = 0;
+    stat_double_free = 0;
+    stat_merges = 0;
+    stat_defrag_passes = 0;
+    stat_hash_extends = 0 }
+
+let attach mach ~heap_id ~index ~meta_base =
+  if hdr_read mach meta_base Layout.sh_off_magic <> Layout.sh_magic then
+    failwith "Subheap.attach: bad magic";
+  make mach ~heap_id ~index
+    ~cpu:(hdr_read mach meta_base Layout.sh_off_cpu)
+    ~meta_base
+    ~data_base:(hdr_read mach meta_base Layout.sh_off_data_base)
+    ~data_size:(hdr_read mach meta_base Layout.sh_off_data_size)
+    ~base_buckets:(hdr_read mach meta_base Layout.sh_off_base_buckets)
+
+(* ---------- operations ---------- *)
+
+let op sh f =
+  let ctx = Undolog.begin_op sh.mach ~meta_base:sh.meta_base in
+  let result = f ctx in
+  Undolog.commit ctx;
+  result
+
+(* ---------- merging ---------- *)
+
+(* Merges the free block [right_rec] into its address-adjacent free
+   left neighbour [left_rec]; the right block's record is tombstoned,
+   releasing its hash slot. *)
+let merge ctx sh ~left_rec ~right_rec =
+  let mach = sh.mach in
+  let lsz = Record.get_size mach left_rec in
+  let rsz = Record.get_size mach right_rec in
+  assert (Record.get_status mach left_rec = Layout.st_free);
+  assert (Record.get_status mach right_rec = Layout.st_free);
+  assert (Record.get_next mach left_rec = Record.get_offset mach right_rec);
+  Buddy.unlink ctx sh.meta_base (Layout.class_of_size lsz) left_rec;
+  Buddy.unlink ctx sh.meta_base (Layout.class_of_size rsz) right_rec;
+  Record.set_size ctx left_rec (lsz + rsz);
+  let rnext = Record.get_next mach right_rec in
+  Record.set_next ctx left_rec rnext;
+  if rnext <> nil then begin
+    match Hashtable.lookup sh.ht rnext with
+    | Some nr -> Record.set_prev ctx nr (Record.get_offset mach left_rec)
+    | None -> assert false
+  end;
+  Record.set_status ctx right_rec Layout.st_tombstone;
+  Hashtable.live_decr ctx sh.ht (Hashtable.level_of_rec sh.ht right_rec);
+  Buddy.push_head ctx sh.meta_base (Layout.class_of_size (lsz + rsz)) left_rec;
+  sh.stat_merges <- sh.stat_merges + 1
+
+(* Hash-window defragmentation (paper §5.4 case 2): free a slot in the
+   probe windows of [off] by merging a free block found there into its
+   free left neighbour.  Returns whether a slot was released. *)
+let defrag_windows ctx sh off =
+  let mach = sh.mach in
+  let found = ref None in
+  (try
+     Hashtable.iter_windows sh.ht off (fun rec_addr ->
+         if !found = None && Record.get_status mach rec_addr = Layout.st_free
+         then begin
+           let prev_off = Record.get_prev mach rec_addr in
+           if prev_off <> nil then
+             match Hashtable.lookup sh.ht prev_off with
+             | Some left when Record.get_status mach left = Layout.st_free ->
+               found := Some (left, rec_addr);
+               raise Exit
+             | _ -> ()
+         end)
+   with Exit -> ());
+  match !found with
+  | Some (left_rec, right_rec) ->
+    merge ctx sh ~left_rec ~right_rec;
+    true
+  | None -> false
+
+(* ---------- record insertion ---------- *)
+
+(* Inserts a fresh record, defragmenting the probe windows and then
+   extending the hash table when every slot is taken (§5.2). *)
+let rec insert_record ?(attempt = 0) ctx sh ~off ~size ~status ~prev ~next =
+  match Hashtable.find_insert_slot sh.ht off with
+  | Some (level, slot) ->
+    Record.init ctx slot ~off ~size ~status ~prev ~next;
+    Hashtable.live_incr ctx sh.ht level;
+    Some slot
+  | None ->
+    if attempt = 0 && defrag_windows ctx sh off then
+      insert_record ~attempt:1 ctx sh ~off ~size ~status ~prev ~next
+    else if attempt <= 1 && Hashtable.extend ctx sh.ht then begin
+      sh.stat_hash_extends <- sh.stat_hash_extends + 1;
+      insert_record ~attempt:2 ctx sh ~off ~size ~status ~prev ~next
+    end
+    else None
+
+(* ---------- allocation ---------- *)
+
+(* One allocation attempt inside an operation. [rsize] is already
+   rounded to the granule. *)
+let alloc_once ctx sh rsize =
+  let mach = sh.mach in
+  let cls = Layout.class_of_size rsize in
+  let found =
+    match
+      Buddy.first_fit mach sh.meta_base cls ~min_size:rsize ~max_steps:16
+    with
+    | Some r -> Some r
+    | None ->
+      let rec scan c =
+        if c >= Layout.num_classes then None
+        else
+          let h = Buddy.head mach sh.meta_base c in
+          if h <> 0 then Some h else scan (c + 1)
+      in
+      scan (cls + 1)
+  in
+  match found with
+  | None -> None
+  | Some rec_addr ->
+    let bsz = Record.get_size mach rec_addr in
+    let off = Record.get_offset mach rec_addr in
+    Buddy.unlink ctx sh.meta_base (Layout.class_of_size bsz) rec_addr;
+    (* Mark allocated before any further hash work so that window
+       defragmentation triggered by the split cannot merge this
+       block away. *)
+    Record.set_status ctx rec_addr Layout.st_alloc;
+    if bsz - rsize >= Layout.min_block then begin
+      (* split: carve the request from the front, keep the remainder
+         free (§5.2) *)
+      let rem_off = off + rsize and rem_size = bsz - rsize in
+      let next_off = Record.get_next mach rec_addr in
+      match
+        insert_record ctx sh ~off:rem_off ~size:rem_size
+          ~status:Layout.st_free ~prev:off ~next:next_off
+      with
+      | Some rem_rec ->
+        if next_off <> nil then begin
+          match Hashtable.lookup sh.ht next_off with
+          | Some nr -> Record.set_prev ctx nr rem_off
+          | None -> assert false
+        end;
+        Record.set_next ctx rec_addr rem_off;
+        Record.set_size ctx rec_addr rsize;
+        Buddy.push_head ctx sh.meta_base
+          (Layout.class_of_size rem_size) rem_rec
+      | None ->
+        (* no hash slot for the remainder: hand out the whole block *)
+        ()
+    end;
+    Some off
+
+(* ---------- defragmentation, case 1 (§5.4) ---------- *)
+
+(* Merges runs of address-adjacent free blocks in the size classes at
+   or below the request's class, trying to manufacture a block of
+   [target] bytes.  Each merge runs as its own undo operation, keeping
+   every operation's log bounded.  Returns whether anything merged. *)
+let defrag_pass sh ~target =
+  let mach = sh.mach in
+  sh.stat_defrag_passes <- sh.stat_defrag_passes + 1;
+  let budget = ref 256 in
+  let merged_any = ref false in
+  let max_cls = min (Layout.class_of_size target) (Layout.num_classes - 1) in
+  let rec walk_class cls =
+    (* returns true when a merge happened (links changed: restart) *)
+    let rec walk rec_addr =
+      if rec_addr = 0 || !budget = 0 then false
+      else begin
+        let next_off = Record.get_next mach rec_addr in
+        let right =
+          if next_off = nil then None
+          else
+            match Hashtable.lookup sh.ht next_off with
+            | Some nr when Record.get_status mach nr = Layout.st_free -> Some nr
+            | _ -> None
+        in
+        match right with
+        | Some right_rec ->
+          op sh (fun ctx -> merge ctx sh ~left_rec:rec_addr ~right_rec);
+          decr budget;
+          merged_any := true;
+          true
+        | None -> walk (Record.get_next_free mach rec_addr)
+      end
+    in
+    if walk (Buddy.head mach sh.meta_base cls) then walk_class cls
+  in
+  for cls = 0 to max_cls do
+    if !budget > 0 then walk_class cls
+  done;
+  !merged_any
+
+(* ---------- hole punching (§5.6) ---------- *)
+
+let try_shrink sh =
+  let shrunk =
+    op sh (fun ctx -> Hashtable.shrink ctx sh.ht)
+  in
+  match shrunk with
+  | Some (from_level, to_level) ->
+    Hashtable.punch_levels sh.ht ~from_level ~to_level
+  | None -> ()
+
+(* ---------- public operations (lock and MPK held by caller) ---------- *)
+
+(* Retries [attempt] as long as defragmentation keeps making progress:
+   one pass is merge-budget-bounded (to bound each undo operation), so
+   rebuilding a fully fragmented pool can take several passes. *)
+let with_defrag_retries sh ~rsize attempt =
+  let rec go () =
+    match attempt () with
+    | Some _ as r -> r
+    | None -> if defrag_pass sh ~target:rsize then go () else None
+  in
+  go ()
+
+let allocate sh size =
+  if size <= 0 then None
+  else
+    let rsize = Layout.round_up size in
+    if rsize > sh.data_size then None
+    else
+      with_defrag_retries sh ~rsize (fun () ->
+          op sh (fun ctx -> alloc_once ctx sh rsize))
+
+(** Transactional allocation: like {!allocate} but the allocated
+    pointer is persisted in the micro log before the undo log of the
+    operation is truncated (§5.3). *)
+let allocate_tx sh size =
+  if size <= 0 then None
+  else
+    let rsize = Layout.round_up size in
+    if rsize > sh.data_size then None
+    else begin
+      let attempt () =
+        let ctx = Undolog.begin_op sh.mach ~meta_base:sh.meta_base in
+        match alloc_once ctx sh rsize with
+        | None ->
+          Undolog.commit ctx;
+          None
+        | Some off ->
+          let ptr =
+            Alloc_intf.{ heap_id = sh.heap_id; subheap = sh.index; off }
+          in
+          Undolog.commit ctx ~before_truncate:(fun () ->
+              Microlog.append sh.mach ~meta_base:sh.meta_base
+                (Alloc_intf.pack ptr));
+          Some off
+      in
+      with_defrag_retries sh ~rsize attempt
+    end
+
+let commit_tx sh = Microlog.commit sh.mach ~meta_base:sh.meta_base
+
+type free_result = Freed | Invalid_free | Double_free
+
+let deallocate sh off =
+  match Hashtable.lookup sh.ht off with
+  | None ->
+    sh.stat_invalid_free <- sh.stat_invalid_free + 1;
+    Invalid_free
+  | Some rec_addr ->
+    if Record.get_status sh.mach rec_addr <> Layout.st_alloc then begin
+      sh.stat_double_free <- sh.stat_double_free + 1;
+      Double_free
+    end
+    else begin
+      op sh (fun ctx ->
+          Record.set_status ctx rec_addr Layout.st_free;
+          let size = Record.get_size sh.mach rec_addr in
+          Buddy.push_tail ctx sh.meta_base (Layout.class_of_size size) rec_addr);
+      Freed
+    end
+
+(* ---------- formatting a fresh sub-heap ---------- *)
+
+(** Writes a virgin sub-heap: header fields, one level of hash table,
+    and a single free block covering the whole data region.  The
+    caller makes creation crash-atomic by persisting the directory
+    entry's "active" state only after this returns (§5.1). *)
+let format mach ~heap_id ~index ~cpu ~meta_base ~data_base ~data_size ~base_buckets =
+  if data_size mod Layout.min_block <> 0 then
+    invalid_arg "Subheap.format: data size must be granule-aligned";
+  hdr_write mach meta_base Layout.sh_off_magic Layout.sh_magic;
+  hdr_write mach meta_base Layout.sh_off_cpu cpu;
+  hdr_write mach meta_base Layout.sh_off_data_base data_base;
+  hdr_write mach meta_base Layout.sh_off_data_size data_size;
+  hdr_write mach meta_base Layout.sh_off_undo_count 0;
+  hdr_write mach meta_base Layout.sh_off_micro_count 0;
+  hdr_write mach meta_base Layout.sh_off_hash_levels 1;
+  hdr_write mach meta_base Layout.sh_off_base_buckets base_buckets;
+  Machine.persist mach meta_base Layout.sh_header_size;
+  let sh =
+    make mach ~heap_id ~index ~cpu ~meta_base ~data_base ~data_size ~base_buckets
+  in
+  op sh (fun ctx ->
+      match
+        insert_record ctx sh ~off:0 ~size:data_size ~status:Layout.st_free
+          ~prev:nil ~next:nil
+      with
+      | Some rec_addr ->
+        Buddy.push_head ctx sh.meta_base
+          (Layout.class_of_size data_size) rec_addr
+      | None -> assert false);
+  sh
+
+(* ---------- recovery (§5.8) ---------- *)
+
+(* Replays the undo log, then rolls back the uncommitted transaction
+   recorded in the micro log.  Idempotent. *)
+let recover sh =
+  ignore (Undolog.recover sh.mach ~meta_base:sh.meta_base);
+  let entries = Microlog.entries sh.mach ~meta_base:sh.meta_base in
+  List.iter
+    (fun packed ->
+      let ptr = Alloc_intf.unpack ~heap_id:sh.heap_id packed in
+      (* a rolled-back sub-allocation is already free: the double-free
+         check makes replaying this idempotent *)
+      ignore (deallocate sh ptr.Alloc_intf.off))
+    entries;
+  Microlog.commit sh.mach ~meta_base:sh.meta_base
+
+(* ---------- introspection & invariants (tests, reporting) ---------- *)
+
+let iter_blocks sh f =
+  let mach = sh.mach in
+  let rec go off =
+    if off < sh.data_size then begin
+      match Hashtable.lookup sh.ht off with
+      | None ->
+        failwith
+          (Printf.sprintf "subheap %d: no record for block at %#x" sh.index off)
+      | Some rec_addr ->
+        let size = Record.get_size mach rec_addr in
+        f ~off ~size ~rec_addr ~status:(Record.get_status mach rec_addr);
+        if size <= 0 then failwith "subheap: zero-size block";
+        go (off + size)
+    end
+  in
+  go 0
+
+let live_bytes sh =
+  let total = ref 0 in
+  iter_blocks sh (fun ~off:_ ~size ~rec_addr:_ ~status ->
+      if status = Layout.st_alloc then total := !total + size);
+  !total
+
+let free_bytes sh =
+  let total = ref 0 in
+  iter_blocks sh (fun ~off:_ ~size ~rec_addr:_ ~status ->
+      if status = Layout.st_free then total := !total + size);
+  !total
+
+exception Invariant_violation of string
+
+let fail_inv fmt = Printf.ksprintf (fun s -> raise (Invariant_violation s)) fmt
+
+(** Full structural check; used heavily by the test suite.
+
+    Verifies: undo log empty; the data region is exactly tiled by
+    blocks with consistent prev/next adjacency links; every free block
+    is in exactly the right class list; class lists are well-formed
+    doubly-linked lists of free blocks; level live counters match the
+    real record population. *)
+let check_invariants sh =
+  let mach = sh.mach in
+  if not (Undolog.is_empty mach ~meta_base:sh.meta_base) then
+    fail_inv "subheap %d: undo log not empty at rest" sh.index;
+  let free_set = Hashtbl.create 64 in
+  let level_count = Array.make Layout.max_levels 0 in
+  let expected_prev = ref nil in
+  let covered = ref 0 in
+  iter_blocks sh (fun ~off ~size ~rec_addr ~status ->
+      if status <> Layout.st_free && status <> Layout.st_alloc then
+        fail_inv "subheap %d: block %#x has status %d" sh.index off status;
+      if size mod Layout.min_block <> 0 then
+        fail_inv "subheap %d: block %#x has unaligned size %d" sh.index off size;
+      let prev = Record.get_prev mach rec_addr in
+      if prev <> !expected_prev then
+        fail_inv "subheap %d: block %#x prev=%#x expected %#x" sh.index off prev
+          !expected_prev;
+      let next = Record.get_next mach rec_addr in
+      let expected_next = if off + size = sh.data_size then nil else off + size in
+      if next <> expected_next then
+        fail_inv "subheap %d: block %#x next=%#x expected %#x" sh.index off next
+          expected_next;
+      if status = Layout.st_free then Hashtbl.replace free_set off rec_addr;
+      let level = Hashtable.level_of_rec sh.ht rec_addr in
+      level_count.(level) <- level_count.(level) + 1;
+      expected_prev := off;
+      covered := !covered + size);
+  if !covered <> sh.data_size then
+    fail_inv "subheap %d: blocks cover %d of %d bytes" sh.index !covered
+      sh.data_size;
+  (* class lists *)
+  let listed = Hashtbl.create 64 in
+  for cls = 0 to Layout.num_classes - 1 do
+    let rec walk rec_addr prev_rec =
+      if rec_addr <> 0 then begin
+        let off = Record.get_offset mach rec_addr in
+        if Record.get_status mach rec_addr <> Layout.st_free then
+          fail_inv "subheap %d: class %d lists non-free block %#x" sh.index cls
+            off;
+        let size = Record.get_size mach rec_addr in
+        if Layout.class_of_size size <> cls then
+          fail_inv "subheap %d: block %#x (size %d) in wrong class %d" sh.index
+            off size cls;
+        if Record.get_prev_free mach rec_addr <> prev_rec then
+          fail_inv "subheap %d: class %d broken prev_free at %#x" sh.index cls
+            off;
+        if not (Hashtbl.mem free_set off) then
+          fail_inv "subheap %d: class %d lists unknown free block %#x" sh.index
+            cls off;
+        if Hashtbl.mem listed off then
+          fail_inv "subheap %d: block %#x in two class lists" sh.index off;
+        Hashtbl.replace listed off ();
+        let next = Record.get_next_free mach rec_addr in
+        if next = 0 && Buddy.tail mach sh.meta_base cls <> rec_addr then
+          fail_inv "subheap %d: class %d tail mismatch" sh.index cls;
+        walk next rec_addr
+      end
+      else if prev_rec = 0 && Buddy.tail mach sh.meta_base cls <> 0 then
+        fail_inv "subheap %d: class %d empty head but non-zero tail" sh.index cls
+    in
+    walk (Buddy.head mach sh.meta_base cls) 0
+  done;
+  if Hashtbl.length listed <> Hashtbl.length free_set then
+    fail_inv "subheap %d: %d free blocks but %d listed" sh.index
+      (Hashtbl.length free_set) (Hashtbl.length listed);
+  (* level live counters *)
+  let nlevels = Hashtable.levels sh.ht in
+  for level = 0 to nlevels - 1 do
+    let stored = Hashtable.level_live sh.ht level in
+    if stored <> level_count.(level) then
+      fail_inv "subheap %d: level %d live=%d but %d records found" sh.index
+        level stored level_count.(level)
+  done;
+  for level = nlevels to Layout.max_levels - 1 do
+    if level_count.(level) <> 0 then
+      fail_inv "subheap %d: records beyond level count" sh.index
+  done

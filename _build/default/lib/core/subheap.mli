@@ -1,0 +1,89 @@
+(** Per-CPU sub-heap: allocation, deallocation, splitting, merging and
+    defragmentation (paper §4.1, §5.2–§5.5).
+
+    All operations here assume the caller (the heap layer) holds the
+    sub-heap lock and has granted itself write permission on the
+    metadata region via MPK.  Every metadata mutation runs inside an
+    undo-logged operation, so a crash at any point rolls back to a
+    consistent state. *)
+
+type t = {
+  mach : Machine.t;
+  heap_id : int;
+  index : int; (** sub-heap id = directory slot = CPU *)
+  cpu : int;
+  meta_base : int;
+  data_base : int;
+  data_size : int;
+  ht : Hashtable.t;
+  lock : Machine.Lock.lock;
+  mutable stat_invalid_free : int;
+  mutable stat_double_free : int;
+  mutable stat_merges : int;
+  mutable stat_defrag_passes : int;
+  mutable stat_hash_extends : int;
+}
+
+val format :
+  Machine.t ->
+  heap_id:int ->
+  index:int ->
+  cpu:int ->
+  meta_base:int ->
+  data_base:int ->
+  data_size:int ->
+  base_buckets:int ->
+  t
+(** Writes a virgin sub-heap: header, one hash level, and a single
+    free block covering the whole data region.  The caller makes
+    creation crash-atomic by publishing the directory entry only after
+    this returns (§5.1). *)
+
+val attach : Machine.t -> heap_id:int -> index:int -> meta_base:int -> t
+(** Rebuilds the volatile handle of an existing sub-heap (restart);
+    raises [Failure] on a bad magic. *)
+
+(** {2 Operations (lock and MPK held by the caller)} *)
+
+val allocate : t -> int -> int option
+(** [allocate sh size] returns the block offset, or [None] when no
+    block can be found even after defragmentation.  Sizes round up to
+    the size-class boundary (§5.2). *)
+
+val allocate_tx : t -> int -> int option
+(** Like {!allocate}, additionally persisting the pointer in the micro
+    log before the undo log truncates (§5.3). *)
+
+val commit_tx : t -> unit
+(** Truncates the micro log — the transaction commit point. *)
+
+type free_result = Freed | Invalid_free | Double_free
+
+val deallocate : t -> int -> free_result
+(** Validates the offset against the memblock hash table: unknown
+    offsets and non-allocated statuses are rejected (§4.4, §5.5). *)
+
+val recover : t -> unit
+(** §5.8: replays the undo log, then frees every address in the micro
+    log (the uncommitted transaction) and truncates it.  Idempotent. *)
+
+val try_shrink : t -> unit
+(** Hole-punches empty top hash levels (§5.6). *)
+
+(** {2 Introspection (read-only)} *)
+
+val iter_blocks :
+  t -> (off:int -> size:int -> rec_addr:int -> status:int -> unit) -> unit
+(** Walks the data region in address order through the adjacency
+    links; raises [Failure] if the chain is broken. *)
+
+val live_bytes : t -> int
+val free_bytes : t -> int
+
+exception Invariant_violation of string
+
+val check_invariants : t -> unit
+(** Full structural check: undo log empty at rest; the data region
+    exactly tiled by blocks with consistent adjacency links; class
+    lists well-formed, correctly classed, and in bijection with the
+    free blocks; hash level live counters exact. *)

@@ -1,0 +1,26 @@
+(** Per-sub-heap undo logging (paper §4.5, §5.2, §5.8): Poseidon's
+    instantiation of the generic {!Persist.Pundo} log over the log
+    area in the sub-heap header. *)
+
+type ctx = Persist.Pundo.ctx
+
+exception Overflow = Persist.Pundo.Overflow
+
+let count_addr meta_base = meta_base + Layout.sh_off_undo_count
+let entries_addr meta_base = meta_base + Layout.sh_off_undo_entries
+
+let begin_op mach ~meta_base =
+  Persist.Pundo.begin_op mach ~count_addr:(count_addr meta_base)
+    ~entries_addr:(entries_addr meta_base) ~cap:Layout.undo_cap
+
+let write = Persist.Pundo.write
+let mark_dirty = Persist.Pundo.mark_dirty
+let machine = Persist.Pundo.machine
+let commit = Persist.Pundo.commit
+
+let recover mach ~meta_base =
+  Persist.Pundo.recover mach ~count_addr:(count_addr meta_base)
+    ~entries_addr:(entries_addr meta_base)
+
+let is_empty mach ~meta_base =
+  Persist.Pundo.is_empty mach ~count_addr:(count_addr meta_base)

@@ -1,0 +1,20 @@
+(** Per-sub-heap undo logging (paper §4.5, §5.2, §5.8): Poseidon's
+    instantiation of the generic {!Persist.Pundo} log over the log
+    area in the sub-heap header.  See {!Persist.Pundo} for the
+    protocol (eager checksummed entries, one barrier per first-touched
+    word, commit-by-truncation, idempotent reverse replay). *)
+
+type ctx = Persist.Pundo.ctx
+
+exception Overflow
+
+val begin_op : Machine.t -> meta_base:int -> ctx
+
+val write : ctx -> int -> int -> unit
+val mark_dirty : ctx -> int -> unit
+val machine : ctx -> Machine.t
+
+val commit : ?before_truncate:(unit -> unit) -> ctx -> unit
+
+val recover : Machine.t -> meta_base:int -> bool
+val is_empty : Machine.t -> meta_base:int -> bool

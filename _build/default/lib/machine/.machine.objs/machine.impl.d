@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Bytes Config Fun Hashtbl Mpk Nvmm Simcore

@@ -1,0 +1,54 @@
+type t = {
+  num_cpus : int;
+  numa_domains : int;
+  cache_lines_per_cpu : int;
+  cache_hit_ns : int;
+  dram_read_ns : int;
+  dram_write_ns : int;
+  nvmm_read_ns : int;
+  nvmm_write_ns : int;
+  remote_numa_mult : float;
+  clwb_ns : int;
+  sfence_ns : int;
+  wrpkru_ns : int;
+  lock_acquire_ns : int;
+  lock_transfer_ns : int;
+  nvmm_read_service_ns : int;
+  nvmm_write_service_ns : int;
+  nvmm_dimms_per_node : int;
+  yield_ops : int;
+}
+
+let default =
+  { num_cpus = 64;
+    numa_domains = 2;
+    cache_lines_per_cpu = 8192; (* 512 KiB of 64 B lines *)
+    cache_hit_ns = 2;
+    dram_read_ns = 80;
+    dram_write_ns = 12;
+    nvmm_read_ns = 170;
+    nvmm_write_ns = 15;
+    remote_numa_mult = 2.0;
+    clwb_ns = 30;
+    sfence_ns = 100;
+    wrpkru_ns = 9; (* ~23 cycles at 2.7 GHz *)
+    lock_acquire_ns = 20;
+    lock_transfer_ns = 70;
+    nvmm_read_service_ns = 2;
+    nvmm_write_service_ns = 12;
+    nvmm_dimms_per_node = 6;
+    yield_ops = 64;
+  }
+
+let cpu_numa t cpu =
+  if cpu < 0 || cpu >= t.num_cpus then invalid_arg "Config.cpu_numa";
+  cpu * t.numa_domains / t.num_cpus
+
+let validate t =
+  if t.num_cpus <= 0 then invalid_arg "Config: num_cpus must be positive";
+  if t.numa_domains <= 0 || t.numa_domains > t.num_cpus then
+    invalid_arg "Config: numa_domains out of range";
+  if t.cache_lines_per_cpu land (t.cache_lines_per_cpu - 1) <> 0 then
+    invalid_arg "Config: cache_lines_per_cpu must be a power of two";
+  if t.remote_numa_mult < 1.0 then
+    invalid_arg "Config: remote_numa_mult must be >= 1"

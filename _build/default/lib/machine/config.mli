@@ -1,0 +1,49 @@
+(** Cost model of the simulated evaluation machine.
+
+    Latencies follow the published measurements of Intel Optane DC PMM
+    (Izraelevitz et al., arXiv:1903.05714) and Yang et al. (FAST '20),
+    which the paper itself cites for its performance arguments; the MPK
+    toggle cost is the paper's own figure (§4.3: ~23 cycles).  All
+    values are nanoseconds of simulated time unless noted. *)
+
+type t = {
+  num_cpus : int;        (** simulated logical CPUs; paper machine: 112, figures sweep to 64 *)
+  numa_domains : int;    (** sockets; CPUs are split in contiguous blocks *)
+  cache_lines_per_cpu : int; (** per-CPU cache model capacity (direct-mapped) *)
+  cache_hit_ns : int;    (** load serviced by the local cache *)
+  dram_read_ns : int;    (** DRAM load miss *)
+  dram_write_ns : int;   (** DRAM store (store buffer) *)
+  nvmm_read_ns : int;    (** Optane load miss (~2-3x DRAM) *)
+  nvmm_write_ns : int;   (** Optane store (cached; media cost charged at write-back) *)
+  remote_numa_mult : float; (** multiplier for cross-socket misses *)
+  clwb_ns : int;         (** per-line write-back cost *)
+  sfence_ns : int;       (** fence/drain cost *)
+  wrpkru_ns : int;       (** MPK permission toggle (~23 cycles) *)
+  lock_acquire_ns : int; (** uncontended atomic RMW *)
+  lock_transfer_ns : int;(** lock cache line bouncing from another CPU *)
+  nvmm_read_service_ns : int;
+  (** per-line occupancy of the NUMA node's NVMM controller on a read
+      miss — models the shared-bandwidth ceiling (Yang et al.,
+      FAST '20) that flattens every allocator past ~32 threads in the
+      paper's Fig. 9 *)
+  nvmm_write_service_ns : int;
+  (** per-line controller occupancy of a write-back; higher than the
+      read figure because of Optane's 256 B internal write
+      amplification *)
+  nvmm_dimms_per_node : int;
+  (** parallel DIMM servers per node (4 KiB-interleaved); consecutive
+      flushes to the same 256 B XPLine write-combine for free *)
+  yield_ops : int;
+  (** a simulated thread yields to the scheduler every this many
+      charged memory operations, bounding how far threads drift apart
+      in simulated time (keeps the bandwidth queue causally sane) *)
+}
+
+val default : t
+(** 64 CPUs over 2 NUMA domains — the machine of the paper's figures. *)
+
+val cpu_numa : t -> int -> int
+(** NUMA domain of a CPU (contiguous blocks). *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on nonsensical configurations. *)

@@ -1,0 +1,1 @@
+lib/makalu_sim/makalu_sim.ml: Alloc_intf Heap Layout Option

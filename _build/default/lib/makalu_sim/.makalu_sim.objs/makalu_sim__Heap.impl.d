@@ -1,0 +1,1 @@
+lib/makalu_sim/heap.ml: Alloc_intf Array Hashtbl Layout List Machine Nvmm

@@ -1,0 +1,1 @@
+lib/makalu_sim/layout.ml: Int64

@@ -1,0 +1,491 @@
+(** The Makalu-like baseline allocator (paper §7.2, §9).
+
+    Reproduces the design properties the paper analyses:
+
+    - allocations ≤ 400 B: per-thread (here per-CPU) free lists,
+      refilled from — and overflowing into — a {e global reclaim list}
+      under a global lock;
+    - allocations > 400 B: a {e global chunk list} with a global lock
+      and linear first-fit scan, the paper's ">1000× performance loss"
+      culprit;
+    - no logging: recovery is a conservative {e mark-and-sweep GC}
+      from the root pointer, which discovers and frees unreachable
+      objects (fixing leaks) but is defenceless against corrupted
+      pointers and corrupted in-place headers;
+    - "delayed" memory mapping: carve chunks are created by the
+      allocating thread, so they land on the thread's NUMA node —
+      the reason Makalu beats PMDK on N-Queens in §7.4. *)
+
+module L = Layout
+
+type cpu_state = {
+  mutable chunk : int; (* current bump chunk base, 0 = none *)
+  mutable bump : int; (* next free byte in the chunk *)
+  mutable chunk_end : int;
+  locals : int list array; (* per-bucket free lists (object data addrs) *)
+  local_len : int array;
+  mutable ops_since_sync : int;
+}
+
+type t = {
+  mach : Machine.t;
+  base : int;
+  heap_id : int;
+  window_size : int;
+  cpus : cpu_state array;
+  reclaim : int list array; (* global per-bucket reclaim lists *)
+  reclaim_lock : Machine.Lock.lock;
+  (* global chunk list of free large objects: (data addr, rounded size) *)
+  mutable large_free : (int * int) list;
+  large_lock : Machine.Lock.lock;
+  carve_lock : Machine.Lock.lock;
+  mutable stat_gc_runs : int;
+  mutable stat_gc_live : int;
+  mutable stat_gc_swept : int;
+  mutable stat_reclaim_moves : int;
+  mutable stat_large_scans : int;
+}
+
+let machine t = t.mach
+let heap_id t = t.heap_id
+
+let local_overflow = 4
+let reclaim_batch = 2
+
+(* The free lists are intrusive persistent lists: each free object's
+   first data word links to the next, and head pointers live in the
+   heap header.  The OCaml lists below mirror them (and drive the
+   logic); the NVMM stores are issued so the timing is faithful.  The
+   restart GC rebuilds everything, so no recovery logic reads them. *)
+let push_persistent t ~head_slot ~obj ~next =
+  Machine.write_u64 t.mach obj next;
+  Machine.persist t.mach obj 8;
+  Machine.write_u64 t.mach head_slot obj;
+  Machine.persist t.mach head_slot 8
+
+let pop_persistent t ~head_slot ~obj =
+  let next = Machine.read_u64 t.mach obj in
+  Machine.write_u64 t.mach head_slot next;
+  Machine.persist t.mach head_slot 8
+
+let local_head_slot t cpu b = t.base + L.local_head_off cpu b
+let reclaim_head_slot t b = t.base + L.hd_off_reclaim_heads + (b * L.word)
+
+(* Makalu's BDWGC heritage: per-thread allocation state is
+   periodically synchronised with the collector's global bookkeeping
+   at safe points, under the global lock.  The period and cost are
+   calibrated so that the small-object path degrades past ~16 threads
+   as the paper reports (6x microbenchmark loss, YCSB degradation,
+   7.2/7.5) — the mechanism the paper attributes to Makalu's
+   "non-scalable metadata design". *)
+let sync_period = 16
+let sync_cost_ns = 2000
+
+let safe_point t st =
+  st.ops_since_sync <- st.ops_since_sync + 1;
+  if st.ops_since_sync >= sync_period then begin
+    st.ops_since_sync <- 0;
+    Machine.Lock.with_lock t.reclaim_lock (fun () ->
+        Machine.compute t.mach sync_cost_ns)
+  end
+
+let dram_step t = Machine.compute t.mach (Machine.cfg t.mach).Machine.Config.dram_read_ns
+
+(* ---------- object headers ---------- *)
+
+let write_header t addr ~size =
+  Machine.write_u64 t.mach addr size;
+  Machine.write_u64 t.mach (addr + 8) L.obj_magic;
+  Machine.persist t.mach addr L.obj_header_size
+
+let obj_size t p = Machine.read_u64 t.mach (p - L.obj_header_size)
+let obj_magic_ok t p = Machine.read_u64 t.mach (p - 8) = L.obj_magic
+
+(* ---------- chunk carving ---------- *)
+
+(* caller holds carve_lock.  The chunk's region is registered on the
+   calling CPU's NUMA node: Makalu's delayed mapping places memory
+   near the allocating thread (§7.4). *)
+let carve t bytes =
+  let va = Machine.read_u64 t.mach (t.base + L.hd_off_next_va) in
+  if va + bytes > t.base + t.window_size then None
+  else begin
+    let n = Machine.read_u64 t.mach (t.base + L.hd_off_dir_count) in
+    if n >= L.dir_cap then None
+    else begin
+      let cfg = Machine.cfg t.mach in
+      let numa =
+        Machine.Config.cpu_numa cfg
+          (Machine.current_cpu () mod cfg.Machine.Config.num_cpus)
+      in
+      if not (Machine.has_region t.mach va) then
+        Machine.add_region t.mach ~base:va ~size:bytes ~kind:Nvmm.Memdev.Nvmm
+          ~numa;
+      (* publish the chunk in the directory before moving the bump
+         pointer: the GC must be able to find every chunk *)
+      let e = t.base + L.hd_off_dir + (n * L.dir_entry_size) in
+      Machine.write_u64 t.mach e va;
+      Machine.write_u64 t.mach (e + 8) bytes;
+      Machine.persist t.mach e L.dir_entry_size;
+      Machine.write_u64 t.mach (t.base + L.hd_off_dir_count) (n + 1);
+      Machine.persist t.mach (t.base + L.hd_off_dir_count) L.word;
+      Machine.write_u64 t.mach (t.base + L.hd_off_next_va) (va + bytes);
+      Machine.persist t.mach (t.base + L.hd_off_next_va) L.word;
+      Some va
+    end
+  end
+
+(* ---------- small path ---------- *)
+
+let alloc_small t size =
+  let rsize = L.round16 size in
+  let b = L.bucket_of rsize in
+  let cpu = Machine.current_cpu () mod Array.length t.cpus in
+  let st = t.cpus.(cpu) in
+  safe_point t st;
+  dram_step t;
+  match st.locals.(b) with
+  | p :: rest ->
+    pop_persistent t ~head_slot:(local_head_slot t cpu b) ~obj:p;
+    st.locals.(b) <- rest;
+    st.local_len.(b) <- st.local_len.(b) - 1;
+    write_header t (p - L.obj_header_size) ~size:rsize;
+    Some p
+  | [] ->
+    (* refill from the global reclaim list (global lock, §7.2): walk
+       [reclaim_batch] links to find the split point, then splice the
+       prefix out by rewriting the persistent head *)
+    let refilled =
+      Machine.Lock.with_lock t.reclaim_lock (fun () ->
+          let rec take acc n l =
+            if n = 0 then (acc, l)
+            else
+              match l with
+              | [] -> (acc, [])
+              | x :: rest ->
+                (* relink the object into the local list: follow and
+                   rewrite its persistent link *)
+                ignore (Machine.read_u64 t.mach x);
+                Machine.write_u64 t.mach x (match acc with y :: _ -> y | [] -> 0);
+                Machine.persist t.mach x 8;
+                take (x :: acc) (n - 1) rest
+          in
+          let batch, rest = take [] reclaim_batch t.reclaim.(b) in
+          t.reclaim.(b) <- rest;
+          if batch <> [] then begin
+            t.stat_reclaim_moves <- t.stat_reclaim_moves + 1;
+            let new_head = match rest with x :: _ -> x | [] -> 0 in
+            Machine.write_u64 t.mach (reclaim_head_slot t b) new_head;
+            Machine.persist t.mach (reclaim_head_slot t b) 8
+          end;
+          batch)
+    in
+    (match refilled with
+     | p :: rest ->
+       let slot = local_head_slot t cpu b in
+       Machine.write_u64 t.mach slot (match rest with x :: _ -> x | [] -> 0);
+       Machine.persist t.mach slot 8;
+       st.locals.(b) <- rest;
+       st.local_len.(b) <- List.length rest;
+       write_header t (p - L.obj_header_size) ~size:rsize;
+       Some p
+     | [] ->
+       (* bump-allocate from the CPU's carve chunk *)
+       let need = L.obj_header_size + rsize in
+       if st.chunk = 0 || st.bump + need > st.chunk_end then begin
+         match
+           Machine.Lock.with_lock t.carve_lock (fun () ->
+               carve t L.carve_chunk_size)
+         with
+         | None -> None
+         | Some chunk ->
+           st.chunk <- chunk;
+           st.bump <- chunk;
+           st.chunk_end <- chunk + L.carve_chunk_size;
+           let addr = st.bump in
+           st.bump <- st.bump + need;
+           write_header t addr ~size:rsize;
+           Some (addr + L.obj_header_size)
+       end
+       else begin
+         let addr = st.bump in
+         st.bump <- st.bump + need;
+         write_header t addr ~size:rsize;
+         Some (addr + L.obj_header_size)
+       end)
+
+let free_small t p rsize =
+  let b = L.bucket_of rsize in
+  let cpu = Machine.current_cpu () mod Array.length t.cpus in
+  let st = t.cpus.(cpu) in
+  safe_point t st;
+  dram_step t;
+  (* persist the header's free mark (size preserved for the GC walk),
+     then push onto the persistent local list *)
+  Machine.write_u64 t.mach (p - 8) L.obj_magic;
+  Machine.persist t.mach (p - 8) 8;
+  push_persistent t ~head_slot:(local_head_slot t cpu b) ~obj:p
+    ~next:(match st.locals.(b) with x :: _ -> x | [] -> 0);
+  st.locals.(b) <- p :: st.locals.(b);
+  st.local_len.(b) <- st.local_len.(b) + 1;
+  if st.local_len.(b) > local_overflow then
+    (* spill to the global reclaim list — the global locking the paper
+       blames even for < 400 B workloads *)
+    Machine.Lock.with_lock t.reclaim_lock (fun () ->
+        let rec take acc n l =
+          if n = 0 then (acc, l)
+          else
+            match l with
+            | [] -> (acc, [])
+            | x :: rest ->
+              (* relink into the reclaim list *)
+              ignore (Machine.read_u64 t.mach x);
+              Machine.write_u64 t.mach x (match acc with y :: _ -> y | [] -> 0);
+              Machine.persist t.mach x 8;
+              take (x :: acc) (n - 1) rest
+        in
+        let batch, rest = take [] reclaim_batch st.locals.(b) in
+        st.locals.(b) <- rest;
+        st.local_len.(b) <- st.local_len.(b) - List.length batch;
+        (* splice the batch onto the persistent reclaim list: relink
+           its tail, then swing the head *)
+        (match batch with
+         | [] -> ()
+         | tail_obj :: _ ->
+           Machine.write_u64 t.mach tail_obj
+             (match t.reclaim.(b) with x :: _ -> x | [] -> 0);
+           Machine.persist t.mach tail_obj 8;
+           let new_head = match List.rev batch with x :: _ -> x | [] -> 0 in
+           Machine.write_u64 t.mach (reclaim_head_slot t b) new_head;
+           Machine.persist t.mach (reclaim_head_slot t b) 8;
+           let slot = local_head_slot t cpu b in
+           Machine.write_u64 t.mach slot (match rest with x :: _ -> x | [] -> 0);
+           Machine.persist t.mach slot 8);
+        t.reclaim.(b) <- batch @ t.reclaim.(b);
+        t.stat_reclaim_moves <- t.stat_reclaim_moves + 1)
+
+(* ---------- large path: global chunk list ---------- *)
+
+let alloc_large t size =
+  let rsize = L.round16 size in
+  Machine.Lock.with_lock t.large_lock (fun () ->
+      (* linear first-fit scan, each visited node charged: the paper's
+         global-chunk-list bottleneck *)
+      let rec scan acc = function
+        | [] -> None
+        | (addr, fsize) :: rest when fsize >= rsize ->
+          t.large_free <- List.rev_append acc rest;
+          Some (addr, fsize)
+        | entry :: rest ->
+          dram_step t;
+          t.stat_large_scans <- t.stat_large_scans + 1;
+          scan (entry :: acc) rest
+      in
+      match scan [] t.large_free with
+      | Some (addr, fsize) ->
+        let excess = fsize - rsize in
+        if excess >= L.obj_header_size + L.granule then begin
+          (* split: publish the tail as a new free object; its header
+             goes first so a crash leaves a walkable chunk *)
+          let tail = addr + rsize in
+          let tail_size = excess - L.obj_header_size in
+          write_header t tail ~size:tail_size;
+          t.large_free <- (tail + L.obj_header_size, tail_size) :: t.large_free;
+          write_header t (addr - L.obj_header_size) ~size:rsize
+        end
+        else write_header t (addr - L.obj_header_size) ~size:fsize;
+        Some addr
+      | None ->
+        (* carve a dedicated chunk *)
+        let bytes = L.chunk_bytes_for rsize in
+        (match
+           Machine.Lock.with_lock t.carve_lock (fun () -> carve t bytes)
+         with
+         | None -> None
+         | Some chunk ->
+           let excess = bytes - L.obj_header_size - rsize in
+           if excess >= L.obj_header_size + L.granule then begin
+             let tail = chunk + L.obj_header_size + rsize in
+             let tail_size = excess - L.obj_header_size in
+             write_header t tail ~size:tail_size;
+             t.large_free <- (tail + L.obj_header_size, tail_size) :: t.large_free
+           end;
+           let size_used = if excess >= L.obj_header_size + L.granule then rsize
+             else bytes - L.obj_header_size in
+           write_header t chunk ~size:size_used;
+           Some (chunk + L.obj_header_size)))
+
+let free_large t p rsize =
+  (* persist the header's free mark, then publish to the global list *)
+  Machine.write_u64 t.mach (p - 8) L.obj_magic;
+  Machine.persist t.mach (p - 8) 8;
+  Machine.Lock.with_lock t.large_lock (fun () ->
+      t.large_free <- (p, rsize) :: t.large_free)
+
+(* ---------- public allocation ---------- *)
+
+let alloc t size =
+  if size <= 0 then None
+  else if size <= L.small_threshold then alloc_small t size
+  else alloc_large t size
+
+(* Makalu needs no transactional allocation log: an allocation the
+   application never linked into reachable data is unreachable, and
+   the restart GC reclaims it.  [is_end] is therefore irrelevant. *)
+let tx_alloc t size ~is_end:_ = alloc t size
+
+let free t p =
+  (* trusts the in-place header — corruptible, as in the paper *)
+  let rsize = L.round16 (obj_size t p) in
+  if rsize <= L.small_threshold then free_small t p rsize
+  else free_large t p rsize
+
+(* ---------- lifecycle ---------- *)
+
+let mk_t mach ~base ~size ~heap_id =
+  let mk_cpu _ =
+    { chunk = 0;
+      bump = 0;
+      chunk_end = 0;
+      locals = Array.make L.num_buckets [];
+      local_len = Array.make L.num_buckets 0;
+      ops_since_sync = 0 }
+  in
+  { mach;
+    base;
+    heap_id;
+    window_size = size;
+    cpus = Array.init (Machine.cfg mach).Machine.Config.num_cpus mk_cpu;
+    reclaim = Array.make L.num_buckets [];
+    reclaim_lock = Machine.Lock.create mach ~name:"makalu-reclaim" ();
+    large_free = [];
+    large_lock = Machine.Lock.create mach ~name:"makalu-large" ();
+    carve_lock = Machine.Lock.create mach ~name:"makalu-carve" ();
+    stat_gc_runs = 0;
+    stat_gc_live = 0;
+    stat_gc_swept = 0;
+    stat_reclaim_moves = 0;
+    stat_large_scans = 0 }
+
+let create mach ~base ~size ~heap_id =
+  if size < L.header_size + L.carve_chunk_size then
+    invalid_arg "Makalu_sim.create: window too small";
+  (* Only the header region is mapped up front (on node 0); carve
+     chunks are mapped lazily on the allocating CPU's NUMA node. *)
+  if not (Machine.has_region mach base) then
+    Machine.add_region mach ~base ~size:L.header_size ~kind:Nvmm.Memdev.Nvmm
+      ~numa:0;
+  let t = mk_t mach ~base ~size ~heap_id in
+  Machine.write_u64 mach (base + L.hd_off_heap_id) heap_id;
+  Machine.write_u64 mach (base + L.hd_off_window_size) size;
+  Machine.write_u64 mach (base + L.hd_off_root) Alloc_intf.packed_null;
+  Machine.write_u64 mach (base + L.hd_off_next_va) (base + L.header_size);
+  Machine.write_u64 mach (base + L.hd_off_dir_count) 0;
+  Machine.persist mach base L.header_size;
+  Machine.write_u64 mach (base + L.hd_off_magic) L.magic;
+  Machine.persist mach (base + L.hd_off_magic) L.word;
+  t
+
+(* ---------- restart GC (mark and sweep) ---------- *)
+
+(* Walks one chunk, calling [f data_addr rounded_size] for every
+   object whose header is intact.  Stops at the first damaged header:
+   everything beyond it in the chunk becomes invisible — the walk
+   vulnerability the paper describes. *)
+let walk_chunk t ~chunk ~bytes f =
+  let rec go addr =
+    if addr + L.obj_header_size <= chunk + bytes then begin
+      let size = Machine.read_u64 t.mach addr in
+      let magic = Machine.read_u64 t.mach (addr + 8) in
+      if magic = L.obj_magic && size > 0
+         && addr + L.obj_header_size + L.round16 size <= chunk + bytes
+      then begin
+        f (addr + L.obj_header_size) (L.round16 size);
+        go (addr + L.obj_header_size + L.round16 size)
+      end
+    end
+  in
+  go chunk
+
+let iter_chunks t f =
+  let n = Machine.read_u64 t.mach (t.base + L.hd_off_dir_count) in
+  for i = 0 to n - 1 do
+    let e = t.base + L.hd_off_dir + (i * L.dir_entry_size) in
+    let chunk = Machine.read_u64 t.mach e in
+    let bytes = Machine.read_u64 t.mach (e + 8) in
+    f ~chunk ~bytes
+  done
+
+(* Conservative mark-and-sweep from the root pointer.  A payload word
+   that equals some object's data address keeps that object alive.
+   Unreachable objects go to the free lists.  Corrupting a pointer in
+   a reachable object severs everything only reachable through it. *)
+let gc t =
+  t.stat_gc_runs <- t.stat_gc_runs + 1;
+  let objects = Hashtbl.create 1024 in (* data addr -> size *)
+  iter_chunks t (fun ~chunk ~bytes ->
+      walk_chunk t ~chunk ~bytes (fun addr size ->
+          Hashtbl.replace objects addr size));
+  let marked = Hashtbl.create 1024 in
+  let rec mark addr =
+    if (not (Hashtbl.mem marked addr)) && Hashtbl.mem objects addr then begin
+      Hashtbl.replace marked addr ();
+      let size = Hashtbl.find objects addr in
+      for i = 0 to (size / 8) - 1 do
+        let w = Machine.read_u64 t.mach (addr + (i * 8)) in
+        if Hashtbl.mem objects w then mark w
+      done
+    end
+  in
+  let root = Machine.read_u64 t.mach (t.base + L.hd_off_root) in
+  if root <> Alloc_intf.packed_null then begin
+    let p = Alloc_intf.unpack ~heap_id:t.heap_id root in
+    mark (t.base + p.Alloc_intf.off)
+  end;
+  (* sweep: unreachable objects into the free structures *)
+  Hashtbl.iter
+    (fun addr size ->
+      if not (Hashtbl.mem marked addr) then begin
+        t.stat_gc_swept <- t.stat_gc_swept + 1;
+        if size <= L.small_threshold then
+          t.reclaim.(L.bucket_of size) <- addr :: t.reclaim.(L.bucket_of size)
+        else t.large_free <- (addr, size) :: t.large_free
+      end
+      else t.stat_gc_live <- t.stat_gc_live + 1)
+    objects
+
+let attach mach ~base =
+  if Machine.read_u64 mach (base + L.hd_off_magic) <> L.magic then
+    failwith "Makalu_sim.attach: bad magic";
+  let size = Machine.read_u64 mach (base + L.hd_off_window_size) in
+  let heap_id = Machine.read_u64 mach (base + L.hd_off_heap_id) in
+  let t = mk_t mach ~base ~size ~heap_id in
+  gc t;
+  t
+
+let finish _t = ()
+
+(* ---------- root ---------- *)
+
+let get_root_packed t = Machine.read_u64 t.mach (t.base + L.hd_off_root)
+
+let set_root_packed t packed =
+  Machine.write_u64 t.mach (t.base + L.hd_off_root) packed;
+  Machine.persist t.mach (t.base + L.hd_off_root) L.word
+
+type stats = {
+  gc_runs : int;
+  gc_live : int;
+  gc_swept : int;
+  reclaim_moves : int;
+  large_scans : int;
+  large_free_len : int;
+}
+
+let stats t =
+  { gc_runs = t.stat_gc_runs;
+    gc_live = t.stat_gc_live;
+    gc_swept = t.stat_gc_swept;
+    reclaim_moves = t.stat_reclaim_moves;
+    large_scans = t.stat_large_scans;
+    large_free_len = List.length t.large_free }

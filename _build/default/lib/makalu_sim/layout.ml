@@ -1,0 +1,59 @@
+(** On-NVMM layout of the Makalu-like baseline (paper §7.2, §9).
+
+    Makalu does not log: crash consistency comes from a conservative
+    mark-and-sweep garbage collection over the persistent heap at
+    restart.  The only persistent structures are the heap header, an
+    append-only directory of carved chunks (so the collector can find
+    every object), and the in-place 16-byte object headers. *)
+
+let word = 8
+let page = 4096
+
+let magic = 0x4D414B414C55L |> Int64.to_int (* "MAKALU" *)
+let obj_magic = 0x4D4B4F424AL |> Int64.to_int (* "MKOBJ" *)
+
+let obj_header_size = 16
+(* [size][magic] immediately before the user data — in place, and as
+   corruptible as PMDK's *)
+
+let small_threshold = 400
+(** Allocations at or below this size go through thread-local free
+    lists; larger ones take the global chunk list and its lock — the
+    paper's explanation for Makalu's collapse on > 400 B sizes. *)
+
+let granule = 16
+let round16 n = (n + granule - 1) / granule * granule
+let bucket_of size = round16 size / granule (* 1 .. 25 for small sizes *)
+let num_buckets = (small_threshold / granule) + 1
+
+let carve_chunk_size = 64 * 1024
+(** Per-CPU bump-allocation chunks for small objects. *)
+
+(* header *)
+let hd_off_magic = 0
+let hd_off_heap_id = 8
+let hd_off_window_size = 16
+let hd_off_root = 24
+let hd_off_next_va = 32
+let hd_off_dir_count = 40
+let hd_off_dir = 48
+
+let dir_cap = 32768
+let dir_entry_size = 16 (* {addr, size} *)
+
+(* Persistent free-list heads: Makalu's thread-local and reclaim free
+   lists are intrusive persistent lists (link word inside each free
+   object); their head pointers live in the heap header.  The restart
+   GC rebuilds them anyway, but the runtime pays the NVMM stores. *)
+let max_cpus = 256
+let hd_off_local_heads = hd_off_dir + (dir_cap * dir_entry_size)
+let local_head_off cpu bucket =
+  hd_off_local_heads + (((cpu * num_buckets) + bucket) * word)
+let hd_off_reclaim_heads = hd_off_local_heads + (max_cpus * num_buckets * word)
+
+let header_size =
+  ((hd_off_reclaim_heads + (num_buckets * word) + page - 1) / page) * page
+
+let chunk_bytes_for size =
+  let need = obj_header_size + round16 size in
+  (need + carve_chunk_size - 1) / carve_chunk_size * carve_chunk_size

@@ -1,0 +1,1 @@
+lib/nvmm/memdev.ml: Array Bytes Hashtbl Int64 List Repro_util

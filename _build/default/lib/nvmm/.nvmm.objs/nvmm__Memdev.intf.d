@@ -1,0 +1,1 @@
+lib/nvmm/memdev.mli: Bytes Repro_util

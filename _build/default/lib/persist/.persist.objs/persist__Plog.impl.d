@@ -1,0 +1,1 @@
+lib/persist/plog.ml: List Machine

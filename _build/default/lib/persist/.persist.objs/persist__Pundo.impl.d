@@ -1,0 +1,1 @@
+lib/persist/pundo.ml: Hashtbl Machine

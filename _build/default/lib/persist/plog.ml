@@ -1,0 +1,36 @@
+(** Generic persistent append-only word log with truncate-on-commit —
+    the shape of Poseidon's micro log (uncommitted transactional
+    allocations) and of the PMDK-like baseline's transaction and
+    action logs. *)
+
+let word = 8
+
+type area = {
+  count_addr : int;
+  entries_addr : int;
+  cap : int;
+}
+
+exception Overflow
+
+let count mach area = Machine.read_u64 mach area.count_addr
+
+let append mach area v =
+  let n = count mach area in
+  if n >= area.cap then raise Overflow;
+  let e = area.entries_addr + (n * word) in
+  Machine.write_u64 mach e v;
+  Machine.persist mach e word;
+  Machine.write_u64 mach area.count_addr (n + 1);
+  Machine.persist mach area.count_addr word
+
+let truncate mach area =
+  Machine.write_u64 mach area.count_addr 0;
+  Machine.persist mach area.count_addr word
+
+let entries mach area =
+  let n = count mach area in
+  List.init n (fun i -> Machine.read_u64 mach (area.entries_addr + (i * word)))
+
+let is_empty mach area = count mach area = 0
+let is_full mach area = count mach area >= area.cap

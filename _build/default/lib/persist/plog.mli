@@ -1,0 +1,23 @@
+(** Generic persistent append-only word log with truncate-on-commit —
+    the shape of Poseidon's micro log (uncommitted transactional
+    allocations, paper §4.5), and of the PMDK-like baseline's
+    transaction and action logs.
+
+    Appends persist the entry before the bumped count, so entries
+    below the count are always valid; {!truncate} (persisting the
+    zeroed count) is the commit point. *)
+
+type area = {
+  count_addr : int;
+  entries_addr : int;
+  cap : int;
+}
+
+exception Overflow
+
+val append : Machine.t -> area -> int -> unit
+val truncate : Machine.t -> area -> unit
+val entries : Machine.t -> area -> int list
+val count : Machine.t -> area -> int
+val is_empty : Machine.t -> area -> bool
+val is_full : Machine.t -> area -> bool

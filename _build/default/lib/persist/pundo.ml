@@ -1,0 +1,115 @@
+(** Generic persistent undo log over a fixed NVMM area.
+
+    Shared by Poseidon's per-sub-heap logs and the PMDK-like baseline's
+    per-lane logs.  The area consists of a count word at [count_addr]
+    and [cap] 24-byte entries {addr, old value, checksum} at
+    [entries_addr].
+
+    Protocol per operation: the first logged write to a word appends
+    {addr, old, checksum} and the bumped count, then issues {e one}
+    persistent barrier for both before performing the in-place write —
+    so any in-place change that can possibly reach the media has a
+    persistent, valid log entry (the paper's "updates the original
+    metadata after the persistent barrier of the undo logging", §5.2).
+    Because entry and count share one barrier, a crash can persist the
+    count ahead of the entry; the checksum detects such torn entries,
+    and skipping them is safe precisely because their in-place write
+    was never issued.
+
+    {!commit} persists every touched line and truncates the log
+    (persisting the zeroed count is the commit point).  {!recover}
+    replays entries in reverse; replay is idempotent. *)
+
+let word = 8
+let entry_size = 24
+let cache_line = 64
+
+let checksum_salt = 0x00C0FFEE
+let checksum addr value = addr lxor value lxor checksum_salt
+
+type ctx = {
+  mach : Machine.t;
+  count_addr : int;
+  entries_addr : int;
+  cap : int;
+  logged : (int, unit) Hashtbl.t;
+  dirty : (int, unit) Hashtbl.t;
+  mutable count : int;
+}
+
+exception Overflow
+
+let machine ctx = ctx.mach
+
+let begin_op mach ~count_addr ~entries_addr ~cap =
+  { mach;
+    count_addr;
+    entries_addr;
+    cap;
+    logged = Hashtbl.create 32;
+    dirty = Hashtbl.create 32;
+    count = 0 }
+
+let line_of a = a land lnot (cache_line - 1)
+
+(** Marks a line dirty without logging — for freshly initialised words
+    whose old value is semantically dead (the caller guarantees a
+    rollback of some *other* logged word kills them). *)
+let mark_dirty ctx addr = Hashtbl.replace ctx.dirty (line_of addr) ()
+
+let write ctx addr value =
+  if not (Hashtbl.mem ctx.logged addr) then begin
+    if ctx.count >= ctx.cap then raise Overflow;
+    let old = Machine.read_u64 ctx.mach addr in
+    let e = ctx.entries_addr + (ctx.count * entry_size) in
+    Machine.write_u64 ctx.mach e addr;
+    Machine.write_u64 ctx.mach (e + 8) old;
+    Machine.write_u64 ctx.mach (e + 16) (checksum addr old);
+    ctx.count <- ctx.count + 1;
+    Machine.write_u64 ctx.mach ctx.count_addr ctx.count;
+    (* one barrier covers the entry and the count *)
+    Machine.clwb ctx.mach e;
+    if line_of (e + entry_size - 1) <> line_of e then
+      Machine.clwb ctx.mach (e + entry_size - 1);
+    Machine.clwb ctx.mach ctx.count_addr;
+    Machine.sfence ctx.mach;
+    Hashtbl.add ctx.logged addr ()
+  end;
+  Machine.write_u64 ctx.mach addr value;
+  Hashtbl.replace ctx.dirty (line_of addr) ()
+
+let persist_dirty ctx =
+  Hashtbl.iter (fun line () -> Machine.clwb ctx.mach line) ctx.dirty;
+  Machine.sfence ctx.mach;
+  Hashtbl.reset ctx.dirty
+
+let commit ?before_truncate ctx =
+  persist_dirty ctx;
+  (match before_truncate with Some f -> f () | None -> ());
+  Machine.write_u64 ctx.mach ctx.count_addr 0;
+  Machine.persist ctx.mach ctx.count_addr word;
+  ctx.count <- 0;
+  Hashtbl.reset ctx.logged
+
+let recover mach ~count_addr ~entries_addr =
+  let count = Machine.read_u64 mach count_addr in
+  if count = 0 then false
+  else begin
+    for i = count - 1 downto 0 do
+      let e = entries_addr + (i * entry_size) in
+      let addr = Machine.read_u64 mach e in
+      let old = Machine.read_u64 mach (e + 8) in
+      let chk = Machine.read_u64 mach (e + 16) in
+      (* a torn entry means its in-place write was never issued *)
+      if chk = checksum addr old then begin
+        Machine.write_u64 mach addr old;
+        Machine.clwb mach addr
+      end
+    done;
+    Machine.sfence mach;
+    Machine.write_u64 mach count_addr 0;
+    Machine.persist mach count_addr word;
+    true
+  end
+
+let is_empty mach ~count_addr = Machine.read_u64 mach count_addr = 0

@@ -1,0 +1,56 @@
+(** Generic persistent undo log over a fixed NVMM area.
+
+    Shared by Poseidon's per-sub-heap logs, the PMDK-like baseline's
+    per-lane logs and the extendible-hash index.  The area consists of
+    a count word at [count_addr] and [cap] 24-byte entries
+    {addr, old value, checksum} at [entries_addr].
+
+    Protocol per operation: the first logged write to a word appends
+    {addr, old, checksum} and the bumped count, then issues {e one}
+    persistent barrier for both before performing the in-place write —
+    so any in-place change that can possibly reach the media has a
+    persistent, valid log entry.  Because entry and count share one
+    barrier, a crash can persist the count ahead of the entry; the
+    checksum detects such torn entries, and skipping them is safe
+    precisely because their in-place write was never issued.
+
+    {!commit} persists every touched line and truncates the log
+    (persisting the zeroed count is the commit point).  {!recover}
+    replays entries in reverse and is idempotent, so a crash during
+    recovery is safe. *)
+
+type ctx
+(** One in-flight operation. *)
+
+exception Overflow
+(** The operation touched more than [cap] distinct words. *)
+
+val entry_size : int
+(** 24 bytes; the log area needs [cap * entry_size] bytes at
+    [entries_addr]. *)
+
+val begin_op : Machine.t -> count_addr:int -> entries_addr:int -> cap:int -> ctx
+
+val write : ctx -> int -> int -> unit
+(** [write ctx addr value]: logs the word's old value on first touch
+    (persisted before the in-place write), then writes in place
+    (volatile until {!commit}). *)
+
+val mark_dirty : ctx -> int -> unit
+(** Registers a line for persistence at {!commit} without logging —
+    for freshly initialised words whose old value is semantically dead
+    (the caller guarantees a rollback of some *other* logged word
+    kills them). *)
+
+val machine : ctx -> Machine.t
+
+val commit : ?before_truncate:(unit -> unit) -> ctx -> unit
+(** Persists every dirty line, runs [before_truncate] (e.g. a micro-log
+    append that must be durable before the undo log disappears, paper
+    §5.3), then truncates. *)
+
+val recover : Machine.t -> count_addr:int -> entries_addr:int -> bool
+(** Replays a non-empty log in reverse (skipping torn entries);
+    returns whether anything was replayed.  Idempotent. *)
+
+val is_empty : Machine.t -> count_addr:int -> bool

@@ -1,0 +1,1 @@
+lib/pmdk_sim/pmdk_sim.ml: Alloc_intf Avl Chunk_index Heap Layout Option

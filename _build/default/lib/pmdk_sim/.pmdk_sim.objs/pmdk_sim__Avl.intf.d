@@ -1,0 +1,1 @@
+lib/pmdk_sim/avl.mli:

@@ -1,0 +1,1 @@
+lib/pmdk_sim/chunk_index.ml: Array

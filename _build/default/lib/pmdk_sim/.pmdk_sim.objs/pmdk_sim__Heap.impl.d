@@ -1,0 +1,1 @@
+lib/pmdk_sim/heap.ml: Alloc_intf Array Avl Chunk_index Layout List Machine Nvmm Persist Printf

@@ -1,0 +1,1 @@
+lib/pmdk_sim/layout.ml: Int64

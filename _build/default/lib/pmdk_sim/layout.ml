@@ -1,0 +1,88 @@
+(** On-NVMM layout of the PMDK-like baseline heap (paper §3, Fig. 2).
+
+    {v
+    base ........ header: magic, root, bump pointer, global action log,
+                  per-lane undo and transaction logs
+    chunks ...... contiguous chain of chunks, each 4 KiB header + data:
+                  - small chunks: fixed 256 KiB, allocation bitmap in the
+                    header, 64 B units, in-place 16 B object headers
+                  - large chunks: one object, in-place header at the
+                    start of the data area
+                  - free chunks: kind/size only (indexed by a DRAM AVL)
+    v}
+
+    The defining property reproduced from the paper: object metadata
+    (the 16-byte header holding the allocation size) lives immediately
+    before the user data, in user-writable memory. *)
+
+let word = 8
+let page = 4096
+
+let magic = 0x504D444B53494DL |> Int64.to_int (* "PMDKSIM" *)
+let chunk_magic = 0x43484E4BL |> Int64.to_int (* "CHNK" *)
+let obj_magic = 0x4F424A48L |> Int64.to_int (* "OBJH" *)
+
+(* object header, in place, immediately before the user data *)
+let obj_header_size = 16
+let obj_off_size = -16 (* relative to the user pointer *)
+let obj_off_magic = -8
+
+(* chunk geometry *)
+let chunk_header_size = page
+let small_chunk_size = 256 * 1024
+let unit_size = 64
+let small_units = (small_chunk_size - chunk_header_size) / unit_size (* 4032 *)
+let small_max_units = 32
+(* largest object served by the small path (user bytes) *)
+let small_max_size = (small_max_units * unit_size) - obj_header_size
+
+let ck_off_magic = 0
+let ck_off_kind = 8 (* 1 = small, 2 = large, 3 = free *)
+let ck_off_size = 16 (* total chunk bytes, header included *)
+let ck_off_arena = 24
+let ck_off_bitmap = 32 (* small chunks: 4032 units at 32 per word = 1008 bytes *)
+
+let kind_small = 1
+let kind_large = 2
+let kind_free = 3
+
+(* heap header *)
+let hd_off_magic = 0
+let hd_off_heap_id = 8
+let hd_off_window_size = 16
+let hd_off_root = 24
+let hd_off_next_va = 32
+
+(* global action log: batched small frees (paper §3.3) *)
+let action_cap = 64
+let hd_off_action_count = 40
+let hd_off_action_entries = 48
+let hd_off_lanes = hd_off_action_entries + (action_cap * word)
+
+(* per-lane (per-CPU) logs: undo for metadata, tx for transactional
+   allocation *)
+let lane_undo_cap = 256
+let lane_tx_cap = 256
+
+let lane_size = word + (lane_undo_cap * 24) + word + (lane_tx_cap * word)
+
+let lane_off lane = hd_off_lanes + (lane * lane_size)
+let lane_undo_count lane = lane_off lane
+let lane_undo_entries lane = lane_off lane + word
+let lane_tx_count lane = lane_undo_entries lane + (lane_undo_cap * 24)
+let lane_tx_entries lane = lane_tx_count lane + word
+
+let header_size ~lanes =
+  ((lane_off lanes + page - 1) / page) * page
+
+let num_arenas = 12
+(** The paper: "a given heap contains 12 arenas". *)
+
+let round_to n align = (n + align - 1) / align * align
+
+(** Units needed for a small object, in-place header included. *)
+let units_for size = (size + obj_header_size + unit_size - 1) / unit_size
+
+(** Total chunk bytes for a large object. *)
+let large_chunk_bytes size =
+  chunk_header_size + round_to (size + obj_header_size) page

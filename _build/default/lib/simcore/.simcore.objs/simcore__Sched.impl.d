@@ -1,0 +1,1 @@
+lib/simcore/sched.ml: Effect Fun Hashtbl List Pqueue Printf Queue

@@ -1,0 +1,269 @@
+open Effect
+open Effect.Deep
+
+exception Not_in_simulation
+exception Deadlock of string
+
+type thread_id = int
+
+type thread = {
+  id : thread_id;
+  tcpu : int;
+  mutable clock : int;
+  mutable finished : bool;
+  mutable joiners : waiter list;
+}
+
+and waiter = { wthread : thread; wk : (unit, unit) continuation }
+
+type t = {
+  runq : (unit -> unit) Pqueue.t;
+  threads : (thread_id, thread) Hashtbl.t;
+  mutable live : int;
+  mutable horizon_ : int;
+  mutable next_id : int;
+}
+
+(* A single effect carries the registration closure that parks the
+   suspended thread wherever it must wait (run queue, lock queue,
+   joiner list).  The closure runs inside the effect handler, where the
+   continuation is available. *)
+type _ Effect.t +=
+  | Suspend : (thread -> (unit, unit) continuation -> unit) -> unit Effect.t
+
+let current : (t * thread) option ref = ref None
+
+let ctx () =
+  match !current with Some c -> c | None -> raise Not_in_simulation
+
+let create () =
+  { runq = Pqueue.create ();
+    threads = Hashtbl.create 64;
+    live = 0;
+    horizon_ = 0;
+    next_id = 0 }
+
+let on_exit engine th =
+  th.finished <- true;
+  engine.live <- engine.live - 1;
+  if th.clock > engine.horizon_ then engine.horizon_ <- th.clock
+
+let rec resume engine th k v =
+  let saved = !current in
+  current := Some (engine, th);
+  Fun.protect
+    ~finally:(fun () -> current := saved)
+    (fun () -> continue k v)
+
+and enqueue_resume engine w =
+  Pqueue.push engine.runq ~time:w.wthread.clock (fun () ->
+      resume engine w.wthread w.wk ())
+
+let handler engine th =
+  { retc =
+      (fun () ->
+        on_exit engine th;
+        let joiners = List.rev th.joiners in
+        th.joiners <- [];
+        List.iter
+          (fun w ->
+            if th.clock > w.wthread.clock then w.wthread.clock <- th.clock;
+            enqueue_resume engine w)
+          joiners);
+    exnc =
+      (fun e ->
+        on_exit engine th;
+        raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Suspend register ->
+          Some (fun (k : (a, unit) continuation) -> register th k)
+        | _ -> None) }
+
+let spawn engine ?(cpu = 0) ?at body =
+  let start_clock =
+    match at with
+    | Some c -> c
+    | None -> ( match !current with Some (_, parent) -> parent.clock | None -> 0)
+  in
+  let id = engine.next_id in
+  engine.next_id <- id + 1;
+  let th =
+    { id; tcpu = cpu; clock = start_clock; finished = false; joiners = [] }
+  in
+  Hashtbl.replace engine.threads id th;
+  engine.live <- engine.live + 1;
+  Pqueue.push engine.runq ~time:start_clock (fun () ->
+      let saved = !current in
+      current := Some (engine, th);
+      Fun.protect
+        ~finally:(fun () -> current := saved)
+        (fun () -> match_with body () (handler engine th)));
+  id
+
+let run engine =
+  let rec loop () =
+    match Pqueue.pop engine.runq with
+    | Some (time, task) ->
+      if time > engine.horizon_ then engine.horizon_ <- time;
+      task ();
+      loop ()
+    | None ->
+      if engine.live > 0 then
+        raise
+          (Deadlock
+             (Printf.sprintf "simulation stalled with %d thread(s) blocked"
+                engine.live))
+  in
+  loop ()
+
+let horizon engine = engine.horizon_
+
+let thread_clock engine tid =
+  match Hashtbl.find_opt engine.threads tid with
+  | Some th -> th.clock
+  | None -> invalid_arg "Sched.thread_clock: unknown thread"
+
+let live_threads engine = engine.live
+
+let charge ns =
+  if ns < 0 then invalid_arg "Sched.charge: negative cost";
+  let _, th = ctx () in
+  th.clock <- th.clock + ns
+
+let now () =
+  let _, th = ctx () in
+  th.clock
+
+let self () =
+  let _, th = ctx () in
+  th.id
+
+let cpu () =
+  let _, th = ctx () in
+  th.tcpu
+
+let in_simulation () = !current <> None
+
+let yield () =
+  let engine, _ = ctx () in
+  perform (Suspend (fun th k -> enqueue_resume engine { wthread = th; wk = k }))
+
+let join tid =
+  let engine, me = ctx () in
+  let target =
+    match Hashtbl.find_opt engine.threads tid with
+    | Some th -> th
+    | None -> invalid_arg "Sched.join: unknown thread"
+  in
+  if target.id = me.id then invalid_arg "Sched.join: cannot join self";
+  if target.finished then begin
+    if target.clock > me.clock then me.clock <- target.clock
+  end
+  else
+    perform
+      (Suspend (fun th k -> target.joiners <- { wthread = th; wk = k } :: target.joiners))
+
+let sleep ns =
+  charge ns;
+  yield ()
+
+module Mutex = struct
+  type lock_waiter = { lthread : thread; lk : (unit, unit) continuation; since : int }
+
+  type mutex = {
+    mname : string;
+    mutable holder_ : thread option;
+    mutable free_at : int;
+        (* Simulated instant at which the last holder released.  A
+           coroutine may execute far past its release before
+           earlier-clock events run, so "holder = None" alone does not
+           mean the lock was free at the *simulated* time of a
+           try-acquire; [free_at] closes that gap. *)
+    waiters : lock_waiter Queue.t;
+    mutable last_cpu : int;
+    mutable acqs : int;
+    mutable contended_ : int;
+    mutable total_wait : int;
+  }
+
+  let create ?(name = "lock") () =
+    { mname = name;
+      holder_ = None;
+      free_at = 0;
+      waiters = Queue.create ();
+      last_cpu = -1;
+      acqs = 0;
+      contended_ = 0;
+      total_wait = 0 }
+
+  (* Acquisition goes through the run queue so that the order in which
+     threads obtain the lock equals the simulated-time order of their
+     acquire calls, regardless of the order the coroutines happen to
+     execute in. *)
+  let acquire m =
+    let engine, _ = ctx () in
+    perform
+      (Suspend
+         (fun th k ->
+           let rec try_acquire ~since () =
+             match m.holder_ with
+             | Some _ ->
+               m.contended_ <- m.contended_ + 1;
+               Queue.add { lthread = th; lk = k; since } m.waiters
+             | None when th.clock < m.free_at ->
+               (* Released in real execution order, but still held at
+                  this simulated instant: wait until the release time
+                  and retry (another thread may beat us to it there). *)
+               m.contended_ <- m.contended_ + 1;
+               m.total_wait <- m.total_wait + (m.free_at - th.clock);
+               th.clock <- m.free_at;
+               Pqueue.push engine.runq ~time:th.clock (retry ~since)
+             | None ->
+               m.holder_ <- Some th;
+               m.acqs <- m.acqs + 1;
+               resume engine th k ()
+           and retry ~since () =
+             (* Same as try_acquire but without re-counting contention. *)
+             match m.holder_ with
+             | Some _ -> Queue.add { lthread = th; lk = k; since } m.waiters
+             | None when th.clock < m.free_at ->
+               m.total_wait <- m.total_wait + (m.free_at - th.clock);
+               th.clock <- m.free_at;
+               Pqueue.push engine.runq ~time:th.clock (retry ~since)
+             | None ->
+               m.holder_ <- Some th;
+               m.acqs <- m.acqs + 1;
+               resume engine th k ()
+           in
+           Pqueue.push engine.runq ~time:th.clock (try_acquire ~since:th.clock)))
+
+  let release m =
+    let engine, me = ctx () in
+    (match m.holder_ with
+     | Some h when h.id = me.id -> ()
+     | Some _ -> invalid_arg "Mutex.release: caller does not hold the lock"
+     | None -> invalid_arg "Mutex.release: lock is not held");
+    m.last_cpu <- me.tcpu;
+    if me.clock > m.free_at then m.free_at <- me.clock;
+    match Queue.take_opt m.waiters with
+    | None -> m.holder_ <- None
+    | Some w ->
+      if me.clock > w.lthread.clock then w.lthread.clock <- me.clock;
+      m.total_wait <- m.total_wait + (w.lthread.clock - w.since);
+      m.holder_ <- Some w.lthread;
+      m.acqs <- m.acqs + 1;
+      enqueue_resume engine { wthread = w.lthread; wk = w.lk }
+
+  let with_lock m f =
+    acquire m;
+    Fun.protect ~finally:(fun () -> release m) f
+
+  let holder m = match m.holder_ with Some th -> Some th.id | None -> None
+  let last_holder_cpu m = m.last_cpu
+  let acquisitions m = m.acqs
+  let contended m = m.contended_
+  let total_wait_ns m = m.total_wait
+  let name m = m.mname
+end

@@ -1,0 +1,101 @@
+(** Discrete-event scheduler for simulated threads.
+
+    The whole repository runs on one real core; scalability experiments
+    execute on *simulated* threads managed by this module.  Each simulated
+    thread is an OCaml 5 effect-based coroutine with its own clock
+    (nanoseconds of simulated time).  Computation cost is accounted with
+    {!charge}; threads interact only through the synchronisation
+    primitives here (and the locks in {!Mutex}), and the scheduler always
+    resumes the runnable thread with the smallest clock, which makes the
+    interleaving a legal linearisation of a parallel execution.
+
+    Invariants:
+    - [charge]/[now]/[self]/[cpu] may only be called from inside a
+      simulated thread (they raise [Not_in_simulation] otherwise);
+    - lock acquisition order equals simulated-time order of the
+      [Mutex.acquire] calls;
+    - a run with the same spawn structure and charges is deterministic. *)
+
+type t
+(** A simulation engine. *)
+
+type thread_id = int
+
+exception Not_in_simulation
+exception Deadlock of string
+
+val create : unit -> t
+
+val spawn : t -> ?cpu:int -> ?at:int -> (unit -> unit) -> thread_id
+(** [spawn engine ?cpu ?at body] registers a simulated thread pinned to
+    simulated CPU [cpu] (default 0) whose clock starts at [at]
+    (default: the spawning thread's clock, or 0 from outside the
+    simulation).  The body runs when {!run} drains the event queue. *)
+
+val run : t -> unit
+(** Drives the simulation until every spawned thread has finished.
+    Raises {!Deadlock} if threads remain blocked with an empty run
+    queue.  May be called again after spawning more threads. *)
+
+val horizon : t -> int
+(** Largest clock observed so far (the simulated makespan). *)
+
+val thread_clock : t -> thread_id -> int
+(** Final (or current) clock of a thread. *)
+
+val live_threads : t -> int
+
+(** {2 Intra-thread operations} *)
+
+val charge : int -> unit
+(** [charge ns] advances the calling thread's clock. [ns >= 0]. *)
+
+val now : unit -> int
+(** Calling thread's clock. *)
+
+val self : unit -> thread_id
+val cpu : unit -> int
+
+val in_simulation : unit -> bool
+(** True when called from inside a simulated thread. *)
+
+val yield : unit -> unit
+(** Reschedules the calling thread at its current clock, letting any
+    thread with a smaller clock run first. *)
+
+val join : thread_id -> unit
+(** Blocks until the target thread finishes; the caller's clock becomes
+    [max caller target]. Joining a finished thread succeeds
+    immediately. *)
+
+val sleep : int -> unit
+(** [sleep ns] is [charge ns] followed by a {!yield}. *)
+
+(** Simulated mutexes with FIFO handoff and contention statistics. *)
+module Mutex : sig
+  type mutex
+
+  val create : ?name:string -> unit -> mutex
+
+  val acquire : mutex -> unit
+  (** Blocks (in simulated time) until the lock is free.  Acquisition
+      order across threads equals the simulated-time order of the
+      acquire calls. *)
+
+  val release : mutex -> unit
+  (** Must be called by the holder; hands off to the first waiter. *)
+
+  val with_lock : mutex -> (unit -> 'a) -> 'a
+
+  val holder : mutex -> thread_id option
+  val last_holder_cpu : mutex -> int
+  (** CPU of the most recent holder, [-1] if never held.  The machine
+      layer uses this to charge cache-line transfer costs. *)
+
+  val acquisitions : mutex -> int
+  val contended : mutex -> int
+  (** Number of acquisitions that had to wait. *)
+
+  val total_wait_ns : mutex -> int
+  val name : mutex -> string
+end

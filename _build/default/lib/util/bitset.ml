@@ -1,0 +1,73 @@
+type t = { bits : Bytes.t; length : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { bits = Bytes.make ((n + 7) / 8) '\000'; length = n }
+
+let length t = t.length
+
+let check t i =
+  if i < 0 || i >= t.length then invalid_arg "Bitset: index out of range"
+
+let set t i =
+  check t i;
+  let b = Char.code (Bytes.get t.bits (i lsr 3)) in
+  Bytes.set t.bits (i lsr 3) (Char.chr (b lor (1 lsl (i land 7))))
+
+let clear t i =
+  check t i;
+  let b = Char.code (Bytes.get t.bits (i lsr 3)) in
+  Bytes.set t.bits (i lsr 3) (Char.chr (b land lnot (1 lsl (i land 7)) land 0xff))
+
+let mem t i =
+  check t i;
+  let b = Char.code (Bytes.get t.bits (i lsr 3)) in
+  b land (1 lsl (i land 7)) <> 0
+
+let set_range t pos len =
+  for i = pos to pos + len - 1 do set t i done
+
+let clear_range t pos len =
+  for i = pos to pos + len - 1 do clear t i done
+
+let popcount_byte =
+  let table = Array.make 256 0 in
+  for i = 0 to 255 do
+    let rec count n = if n = 0 then 0 else (n land 1) + count (n lsr 1) in
+    table.(i) <- count i
+  done;
+  fun b -> table.(b)
+
+let count t =
+  let total = ref 0 in
+  for i = 0 to Bytes.length t.bits - 1 do
+    total := !total + popcount_byte (Char.code (Bytes.get t.bits i))
+  done;
+  (* Bits beyond [length] are never set, so no mask is needed. *)
+  !total
+
+let first_clear_run t len =
+  if len <= 0 then invalid_arg "Bitset.first_clear_run";
+  let rec scan start run i =
+    if run = len then Some start
+    else if i >= t.length then None
+    else if mem t i then scan (i + 1) 0 (i + 1)
+    else scan start (run + 1) (i + 1)
+  in
+  scan 0 0 0
+
+let iter_set t f =
+  for i = 0 to t.length - 1 do
+    if mem t i then f i
+  done
+
+let clear_all t = Bytes.fill t.bits 0 (Bytes.length t.bits) '\000'
+
+let is_empty t =
+  let rec loop i =
+    i >= Bytes.length t.bits
+    || (Bytes.get t.bits i = '\000' && loop (i + 1))
+  in
+  loop 0
+
+let copy t = { bits = Bytes.copy t.bits; length = t.length }

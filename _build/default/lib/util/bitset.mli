@@ -1,0 +1,34 @@
+(** Fixed-capacity mutable bitsets.
+
+    Used for allocation bitmaps and cache-line dirty tracking in the
+    simulated memory device. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a bitset of [n] bits, all clear. *)
+
+val length : t -> int
+
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val mem : t -> int -> bool
+
+val set_range : t -> int -> int -> unit
+(** [set_range t pos len] sets bits [pos .. pos+len-1]. *)
+
+val clear_range : t -> int -> int -> unit
+
+val count : t -> int
+(** Number of set bits. *)
+
+val first_clear_run : t -> int -> int option
+(** [first_clear_run t len] finds the lowest index starting a run of
+    [len] clear bits, scanning from bit 0. *)
+
+val iter_set : t -> (int -> unit) -> unit
+(** Applies the function to each set bit in increasing order. *)
+
+val clear_all : t -> unit
+val is_empty : t -> bool
+val copy : t -> t

@@ -1,0 +1,72 @@
+type t = {
+  mutable samples : float list;
+  mutable sorted : float array option; (* cache, invalidated by add *)
+  mutable count : int;
+  mutable total : float;
+  mutable sum_sq : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create () =
+  { samples = []; sorted = None; count = 0; total = 0.;
+    sum_sq = 0.; min_v = infinity; max_v = neg_infinity }
+
+let add t x =
+  t.samples <- x :: t.samples;
+  t.sorted <- None;
+  t.count <- t.count + 1;
+  t.total <- t.total +. x;
+  t.sum_sq <- t.sum_sq +. (x *. x);
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x
+
+let count t = t.count
+let total t = t.total
+let mean t = if t.count = 0 then 0. else t.total /. float_of_int t.count
+let min_value t = t.min_v
+let max_value t = t.max_v
+
+let stddev t =
+  if t.count < 2 then 0.
+  else
+    let n = float_of_int t.count in
+    let m = t.total /. n in
+    let var = (t.sum_sq /. n) -. (m *. m) in
+    sqrt (Float.max 0. var)
+
+let sorted t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+    let a = Array.of_list t.samples in
+    Array.sort compare a;
+    t.sorted <- Some a;
+    a
+
+let percentile t p =
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile";
+  let a = sorted t in
+  if Array.length a = 0 then 0.
+  else
+    let rank = p /. 100. *. float_of_int (Array.length a - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    let frac = rank -. float_of_int lo in
+    (a.(lo) *. (1. -. frac)) +. (a.(hi) *. frac)
+
+let clear t =
+  t.samples <- [];
+  t.sorted <- None;
+  t.count <- 0;
+  t.total <- 0.;
+  t.sum_sq <- 0.;
+  t.min_v <- infinity;
+  t.max_v <- neg_infinity
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.3f min=%.3f p50=%.3f p99=%.3f max=%.3f"
+    t.count (mean t)
+    (if t.count = 0 then 0. else t.min_v)
+    (percentile t 50.) (percentile t 99.)
+    (if t.count = 0 then 0. else t.max_v)

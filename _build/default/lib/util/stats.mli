@@ -1,0 +1,23 @@
+(** Streaming summary statistics and simple histograms used by the
+    benchmark harness and the simulator's instrumentation. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+val min_value : t -> float
+val max_value : t -> float
+val stddev : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [0, 100]. Keeps all samples; intended
+    for bench-scale sample counts. *)
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,57 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : (string * string list) list; (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t label cells =
+  if List.length cells > List.length t.columns - 1 then
+    invalid_arg "Tablefmt.add_row: more cells than columns";
+  t.rows <- (label, cells) :: t.rows
+
+let add_float_row t label values =
+  add_row t label (List.map (Printf.sprintf "%.3f") values)
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.columns in
+  let cell_matrix =
+    List.map
+      (fun (label, cells) ->
+        let padded =
+          cells @ List.init (ncols - 1 - List.length cells) (fun _ -> "")
+        in
+        label :: padded)
+      rows
+  in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) row
+  in
+  measure t.columns;
+  List.iter measure cell_matrix;
+  let buf = Buffer.create 256 in
+  let pad i s =
+    let w = widths.(i) in
+    if i = 0 then Printf.sprintf "%-*s" w s else Printf.sprintf "%*s" w s
+  in
+  let emit_row row =
+    Buffer.add_string buf
+      (String.concat "  " (List.mapi pad row));
+    Buffer.add_char buf '\n'
+  in
+  let rule =
+    String.concat "--"
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  emit_row t.columns;
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter emit_row cell_matrix;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()

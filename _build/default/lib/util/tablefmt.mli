@@ -1,0 +1,22 @@
+(** Fixed-width plain-text table rendering for benchmark reports.
+
+    The bench harness prints one table per reproduced figure; this module
+    keeps the rendering in one place so every figure reads the same way. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** [create ~title ~columns] starts an empty table. The first column is
+    the row label; the rest are series values. *)
+
+val add_row : t -> string -> string list -> unit
+(** [add_row t label cells] appends a row. Missing cells render blank;
+    extra cells are an error. *)
+
+val add_float_row : t -> string -> float list -> unit
+(** Convenience: formats each value with 3 significant decimals. *)
+
+val render : t -> string
+
+val print : t -> unit
+(** [render] followed by [print_string], with a trailing newline. *)

@@ -1,0 +1,56 @@
+type t = {
+  n : int;
+  theta : float;
+  alpha : float;
+  zetan : float;
+  eta : float;
+  zeta2 : float;
+}
+
+let zeta n theta =
+  let sum = ref 0. in
+  for i = 1 to n do
+    sum := !sum +. (1. /. Float.pow (float_of_int i) theta)
+  done;
+  !sum
+
+let create ?(theta = 0.99) n =
+  if n <= 0 then invalid_arg "Zipf.create";
+  let zetan = zeta n theta in
+  let zeta2 = zeta 2 theta in
+  let alpha = 1. /. (1. -. theta) in
+  let eta =
+    (1. -. Float.pow (2. /. float_of_int n) (1. -. theta))
+    /. (1. -. (zeta2 /. zetan))
+  in
+  { n; theta; alpha; zetan; eta; zeta2 }
+
+let draw t rng =
+  let u = Prng.float rng 1.0 in
+  let uz = u *. t.zetan in
+  if uz < 1.0 then 0
+  else if uz < 1.0 +. Float.pow 0.5 t.theta then 1
+  else
+    let rank =
+      float_of_int t.n
+      *. Float.pow ((t.eta *. u) -. t.eta +. 1.0) t.alpha
+    in
+    let r = int_of_float rank in
+    if r >= t.n then t.n - 1 else if r < 0 then 0 else r
+
+(* 64-bit FNV-1a over the 8 little-endian bytes of the rank. *)
+let fnv_hash x =
+  let open Int64 in
+  let prime = 0x100000001B3L in
+  let h = ref 0xCBF29CE484222325L in
+  let v = ref (of_int x) in
+  for _ = 0 to 7 do
+    let byte = to_int (logand !v 0xffL) in
+    h := mul (logxor !h (of_int byte)) prime;
+    v := shift_right_logical !v 8
+  done;
+  to_int (logand !h 0x3FFFFFFFFFFFFFFFL)
+
+let scrambled t rng =
+  let rank = draw t rng in
+  fnv_hash rank mod t.n

@@ -1,0 +1,18 @@
+(** Zipfian key distribution as used by YCSB.
+
+    Implements the Gray et al. rejection-free method used by the YCSB
+    reference generator (ScrambledZipfian minus the scrambling; callers
+    that need scattered keys apply their own hash on top). *)
+
+type t
+
+val create : ?theta:float -> int -> t
+(** [create ~theta n] prepares a generator over [\[0, n)].
+    [theta] defaults to 0.99, the YCSB default. *)
+
+val draw : t -> Prng.t -> int
+(** Draws a rank; rank 0 is the most popular item. *)
+
+val scrambled : t -> Prng.t -> int
+(** Draws a rank and scatters it over [\[0, n)] with an FNV-style hash,
+    mimicking YCSB's ScrambledZipfianGenerator. *)

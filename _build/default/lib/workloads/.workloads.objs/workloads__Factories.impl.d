@@ -1,0 +1,1 @@
+lib/workloads/factories.ml: Alloc_intf Machine Makalu_sim Pmdk_sim Poseidon

@@ -1,0 +1,1 @@
+lib/workloads/kruskal.ml: Alloc_intf Factories Machine Repro_util

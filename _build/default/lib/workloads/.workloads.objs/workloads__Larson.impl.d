@@ -1,0 +1,1 @@
+lib/workloads/larson.ml: Alloc_intf Array Factories Machine Repro_util Simcore

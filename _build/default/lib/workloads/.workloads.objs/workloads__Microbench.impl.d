@@ -1,0 +1,1 @@
+lib/workloads/microbench.ml: Alloc_intf Array Factories Machine Option Printf Repro_util

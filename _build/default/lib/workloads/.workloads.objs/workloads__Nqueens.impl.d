@@ -1,0 +1,1 @@
+lib/workloads/nqueens.ml: Alloc_intf Factories Machine

@@ -1,0 +1,1 @@
+lib/workloads/safety.ml: Alloc_intf Factories List Machine Makalu_sim Mpk Nvmm Option Pmdk_sim Poseidon Printf

@@ -1,0 +1,1 @@
+lib/workloads/trace.ml: Alloc_intf Array Buffer Hashtbl List Machine Printf Repro_util String

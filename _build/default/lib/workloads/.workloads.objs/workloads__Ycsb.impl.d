@@ -1,0 +1,1 @@
+lib/workloads/ycsb.ml: Alloc_intf Array Btree Factories Machine Printf Repro_util

@@ -1,0 +1,54 @@
+(** Ackermann benchmark (paper §7.4, Fig. 8 left).
+
+    Each iteration allocates one large buffer, uses it as the
+    memoisation cache while computing Ackermann values, then frees it.
+    The paper uses a 1 GiB cache for A(4,5) repeated 100k times; we
+    scale the cache and the function arguments down but keep the
+    pattern: one large allocation + compute + free per iteration, so
+    the large-allocation path dominates exactly as in the paper. *)
+
+(* Memo table inside the simulated buffer: entry (m, n) at
+   [(m * width + n) * 8]; value 0 = unset (stored value is ack+1). *)
+let rec ack mach ~buf ~width ~height m n =
+  if m = 0 then n + 1
+  else if m * width + n < width * height then begin
+    let slot = buf + (((m * width) + n) * 8) in
+    let cached = Machine.read_u64 mach slot in
+    if cached <> 0 then cached - 1
+    else begin
+      let v =
+        if n = 0 then ack mach ~buf ~width ~height (m - 1) 1
+        else
+          ack mach ~buf ~width ~height (m - 1)
+            (ack mach ~buf ~width ~height m (n - 1))
+      in
+      Machine.write_u64 mach slot (v + 1);
+      v
+    end
+  end
+  else if n = 0 then ack mach ~buf ~width ~height (m - 1) 1
+  else
+    ack mach ~buf ~width ~height (m - 1) (ack mach ~buf ~width ~height m (n - 1))
+
+(** Returns Mops/s where an operation is one alloc+compute+free
+    iteration (the paper reports iteration throughput). *)
+let run ~(factory : Factories.factory) ?cfg ~threads ~iterations
+    ?(cache_size = 64 * 1024) ?(m = 2) ?(n = 3) () =
+  let mach, inst = factory.Factories.make ?cfg () in
+  Factories.warmup mach inst ~threads;
+  let width = 64 and height = cache_size / 8 / 64 in
+  let per_thread = max 1 (iterations / threads) in
+  let secs =
+    Machine.parallel mach ~threads (fun _i ->
+        for _ = 1 to per_thread do
+          match Alloc_intf.i_alloc inst cache_size with
+          | None -> failwith "Ackermann: allocator out of memory"
+          | Some p ->
+            let buf = Alloc_intf.i_get_rawptr inst p in
+            (* a fresh cache, as the application would memset it *)
+            Machine.fill mach buf cache_size '\000';
+            ignore (ack mach ~buf ~width ~height m n);
+            Alloc_intf.i_free inst p
+        done)
+  in
+  float_of_int (threads * per_thread) /. secs /. 1e6

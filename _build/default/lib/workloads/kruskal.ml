@@ -1,0 +1,104 @@
+(** Kruskal MST benchmark (paper §7.4, Fig. 8 middle).
+
+    Each iteration performs three 512-byte allocations (edge list,
+    union-find parents, MST output — all living in simulated NVMM),
+    solves the minimum spanning tree of a small random complete graph
+    with Kruskal's algorithm, then frees the buffers.  Matches the
+    paper's "three allocations of 512 bytes before solving the MST,
+    deallocating, repeating". *)
+
+module Prng = Repro_util.Prng
+
+let order = 5 (* vertices, as in the paper: "order 5" *)
+let buf_size = 512
+
+(* union-find over the simulated buffer: parent of v at [dsu + 8v] *)
+let rec find_root mach dsu v =
+  let parent = Machine.read_u64 mach (dsu + (8 * v)) in
+  if parent = v then v
+  else begin
+    let root = find_root mach dsu parent in
+    (* path compression *)
+    Machine.write_u64 mach (dsu + (8 * v)) root;
+    root
+  end
+
+let solve mach ~edges ~dsu ~out rng =
+  let nedges = order * (order - 1) / 2 in
+  (* write the random edge list: (weight lsl 16 | u lsl 8 | v) *)
+  let idx = ref 0 in
+  for u = 0 to order - 1 do
+    for v = u + 1 to order - 1 do
+      let w = Prng.int rng 1000 in
+      Machine.write_u64 mach (edges + (8 * !idx))
+        ((w lsl 16) lor (u lsl 8) lor v);
+      incr idx
+    done
+  done;
+  Machine.persist mach edges (8 * nedges);
+  (* sort edges by weight: selection sort in place (n is tiny and the
+     memory traffic is charged) *)
+  for i = 0 to nedges - 2 do
+    let best = ref i in
+    for j = i + 1 to nedges - 1 do
+      if Machine.read_u64 mach (edges + (8 * j))
+         < Machine.read_u64 mach (edges + (8 * !best))
+      then best := j
+    done;
+    if !best <> i then begin
+      let a = Machine.read_u64 mach (edges + (8 * i)) in
+      let b = Machine.read_u64 mach (edges + (8 * !best)) in
+      Machine.write_u64 mach (edges + (8 * i)) b;
+      Machine.write_u64 mach (edges + (8 * !best)) a
+    end
+  done;
+  (* init union-find *)
+  for v = 0 to order - 1 do
+    Machine.write_u64 mach (dsu + (8 * v)) v
+  done;
+  (* Kruskal scan *)
+  let taken = ref 0 in
+  let i = ref 0 in
+  while !taken < order - 1 && !i < nedges do
+    let e = Machine.read_u64 mach (edges + (8 * !i)) in
+    let u = (e lsr 8) land 0xff and v = e land 0xff in
+    let ru = find_root mach dsu u and rv = find_root mach dsu v in
+    if ru <> rv then begin
+      Machine.write_u64 mach (dsu + (8 * ru)) rv;
+      Machine.write_u64 mach (out + (8 * !taken)) e;
+      incr taken
+    end;
+    incr i
+  done;
+  Machine.persist mach out (8 * (order - 1));
+  !taken
+
+(** Returns Mops/s where an operation is one full iteration. *)
+let run ~(factory : Factories.factory) ?cfg ~threads ~iterations () =
+  let mach, inst = factory.Factories.make ?cfg () in
+  Factories.warmup mach inst ~threads;
+  let per_thread = max 1 (iterations / threads) in
+  let secs =
+    Machine.parallel mach ~threads (fun i ->
+        let rng = Prng.create (0x4B5 + i) in
+        for _ = 1 to per_thread do
+          let take () =
+            match Alloc_intf.i_alloc inst buf_size with
+            | Some p -> p
+            | None -> failwith "Kruskal: allocator out of memory"
+          in
+          let e = take () and d = take () and o = take () in
+          let taken =
+            solve mach
+              ~edges:(Alloc_intf.i_get_rawptr inst e)
+              ~dsu:(Alloc_intf.i_get_rawptr inst d)
+              ~out:(Alloc_intf.i_get_rawptr inst o)
+              rng
+          in
+          assert (taken = order - 1);
+          Alloc_intf.i_free inst e;
+          Alloc_intf.i_free inst d;
+          Alloc_intf.i_free inst o
+        done)
+  in
+  float_of_int (threads * per_thread) /. secs /. 1e6

@@ -1,0 +1,54 @@
+(** Larson benchmark (paper §7.3, Fig. 7): simulates a server with
+    multiple concurrent threads performing cross-thread allocations
+    and deallocations over a shared slot array, with random object
+    sizes, for a fixed simulated duration. *)
+
+module Prng = Repro_util.Prng
+
+let slots_per_thread = 256
+
+(* the classic Larson size range; a good half of it is above Makalu's
+   400 B small/large threshold, which is what exposes its global
+   chunk list (paper 7.2) *)
+let min_size = 10
+let max_size = 1000
+
+(** Returns throughput in ops/s of simulated time (an operation = one
+    replace = one free + one allocation). *)
+let run ~(factory : Factories.factory) ?cfg ~threads ~duration_s () =
+  let mach, inst = factory.Factories.make ?cfg () in
+  Factories.warmup mach inst ~threads;
+  let nslots = threads * slots_per_thread in
+  let slots = Array.make nslots Alloc_intf.null in
+  let claimed = Array.make nslots false in
+  let duration_ns = int_of_float (duration_s *. 1e9) in
+  let total_ops = ref 0 in
+  let secs =
+    Machine.parallel mach ~threads (fun i ->
+        let rng = Prng.create (0xA12 + i) in
+        let start = Simcore.Sched.now () in
+        let ops = ref 0 in
+        while Simcore.Sched.now () - start < duration_ns do
+          let s = Prng.int rng nslots in
+          (* claim the slot; pure OCaml state flips are atomic at
+             simulated-thread granularity *)
+          if not claimed.(s) then begin
+            claimed.(s) <- true;
+            let old = slots.(s) in
+            if not (Alloc_intf.is_null old) then Alloc_intf.i_free inst old;
+            let size = Prng.int_in rng min_size max_size in
+            (match Alloc_intf.i_alloc inst size with
+             | Some p ->
+               slots.(s) <- p;
+               (* touch the object like a server filling a buffer *)
+               let raw = Alloc_intf.i_get_rawptr inst p in
+               Machine.write_u64 mach raw (Prng.int rng max_int);
+               Machine.persist mach raw 8
+             | None -> slots.(s) <- Alloc_intf.null);
+            claimed.(s) <- false;
+            incr ops
+          end
+        done;
+        total_ops := !total_ops + !ops)
+  in
+  float_of_int !total_ops /. secs

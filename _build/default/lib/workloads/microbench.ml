@@ -1,0 +1,84 @@
+(** Microbenchmark of paper §7.2 (Fig. 6): each thread performs 100
+    allocations and 100 frees in random order, repeating until its
+    share of the total operation count is done, for a given object
+    size.  No inter-thread frees ("to show the ideal maximum
+    performance"). *)
+
+module Prng = Repro_util.Prng
+
+let batch = 100
+
+(** Runs one configuration; returns throughput in Mops/s of simulated
+    time (an operation = one allocation or one free). *)
+let run ~(factory : Factories.factory) ?cfg ~size ~threads ~total_ops () =
+  let mach, inst = factory.Factories.make ?cfg () in
+  Factories.warmup mach inst ~threads;
+  let ops_per_thread = max (2 * batch) (total_ops / threads) in
+  let rounds = ops_per_thread / (2 * batch) in
+  let secs =
+    Machine.parallel mach ~threads (fun i ->
+        let rng = Prng.create (0x5EED + i) in
+        let live = Array.make batch Alloc_intf.null in
+        for _round = 1 to rounds do
+          (* 100 allocations and 100 frees, randomly interleaved *)
+          let allocated = ref 0 and freed = ref 0 in
+          while !freed < batch do
+            let do_alloc =
+              !allocated < batch
+              && (!allocated = !freed || Prng.bool rng)
+            in
+            if do_alloc then begin
+              match Alloc_intf.i_alloc inst size with
+              | Some p ->
+                live.(!allocated) <- p;
+                incr allocated
+              | None ->
+                failwith
+                  (Printf.sprintf "%s: out of memory at size %d"
+                     factory.Factories.name size)
+            end
+            else begin
+              Alloc_intf.i_free inst live.(!freed);
+              incr freed
+            end
+          done
+        done)
+  in
+  let total = float_of_int (threads * rounds * 2 * batch) in
+  total /. secs /. 1e6
+
+(** Producer/consumer variant: every object is freed by the *next*
+    thread (mod [threads]), forcing the inter-thread free path the
+    paper's microbenchmark deliberately avoids — on Poseidon this is
+    the only source of sub-heap lock contention (§5.7). *)
+let run_remote_free ~(factory : Factories.factory) ?cfg ~size ~threads
+    ~total_ops () =
+  let mach, inst = factory.Factories.make ?cfg () in
+  Factories.warmup mach inst ~threads;
+  let rounds = max 1 (total_ops / threads / (2 * batch)) in
+  (* mailboxes.(i) = objects produced by thread i, consumed by i+1 *)
+  let mailboxes = Array.make threads [||] in
+  let secs_total = ref 0.0 in
+  for _round = 1 to rounds do
+    let s =
+      Machine.parallel mach ~threads (fun i ->
+          (* consume the previous round's objects of our neighbour *)
+          Array.iter
+            (fun p -> if not (Alloc_intf.is_null p) then Alloc_intf.i_free inst p)
+            mailboxes.((i + threads - 1) mod threads);
+          (* produce a fresh batch *)
+          let fresh =
+            Array.init batch (fun _ ->
+                Option.value ~default:Alloc_intf.null
+                  (Alloc_intf.i_alloc inst size))
+          in
+          mailboxes.(i) <- fresh)
+    in
+    secs_total := !secs_total +. s
+  done;
+  (* drain *)
+  Array.iter
+    (Array.iter (fun p ->
+         if not (Alloc_intf.is_null p) then Alloc_intf.i_free inst p))
+    mailboxes;
+  float_of_int (threads * rounds * 2 * batch) /. !secs_total /. 1e6

@@ -1,0 +1,53 @@
+(** N-Queens benchmark (paper §7.4, Fig. 8 right).
+
+    Each iteration performs one 32-byte allocation (the board: one
+    byte per queen column, stored in simulated NVMM), solves the
+    8-queens puzzle by backtracking, then frees the board.  The tiny
+    allocation makes this the small-object stress test of Fig. 8,
+    where Makalu's thread-local free lists shine against PMDK. *)
+
+let board_size = 8
+let alloc_size = 32
+
+(* queens columns at board[0..row-1]; returns number of solutions
+   found (stops at the first, like a satisfiability check) *)
+let rec place mach board row =
+  if row = board_size then 1
+  else begin
+    let found = ref 0 in
+    let col = ref 0 in
+    while !found = 0 && !col < board_size do
+      let ok = ref true in
+      for r = 0 to row - 1 do
+        let c = Machine.read_u8 mach (board + r) in
+        if c = !col || abs (c - !col) = row - r then ok := false
+      done;
+      if !ok then begin
+        Machine.write_u8 mach (board + row) !col;
+        found := place mach board (row + 1)
+      end;
+      incr col
+    done;
+    !found
+  end
+
+(** Returns Mops/s where an operation is one alloc+solve+free
+    iteration. *)
+let run ~(factory : Factories.factory) ?cfg ~threads ~iterations () =
+  let mach, inst = factory.Factories.make ?cfg () in
+  Factories.warmup mach inst ~threads;
+  let per_thread = max 1 (iterations / threads) in
+  let secs =
+    Machine.parallel mach ~threads (fun _i ->
+        for _ = 1 to per_thread do
+          match Alloc_intf.i_alloc inst alloc_size with
+          | None -> failwith "Nqueens: allocator out of memory"
+          | Some p ->
+            let board = Alloc_intf.i_get_rawptr inst p in
+            let solutions = place mach board 0 in
+            assert (solutions = 1);
+            Machine.persist mach board board_size;
+            Alloc_intf.i_free inst p
+        done)
+  in
+  float_of_int (threads * per_thread) /. secs /. 1e6

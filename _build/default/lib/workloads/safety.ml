@@ -1,0 +1,333 @@
+(** Heap-metadata safety experiments (paper §3.2 Fig. 3, §4.7, §8).
+
+    Replays the paper's corruption attacks against each allocator and
+    reports what happened.  The attacks:
+
+    - {e overflow}: corrupt the in-place size header of an allocated
+      object upward, free it, then check whether the allocator hands
+      out overlapping memory (Fig. 3 left);
+    - {e shrink}: corrupt size headers downward, free everything, and
+      check how much of the heap is permanently lost (Fig. 3 right);
+    - {e direct}: store straight into the allocator's metadata region;
+    - {e double free} / {e invalid free} (§4.4);
+    - {e GC pointer corruption} (Makalu-specific, §2.2/§9). *)
+
+type outcome =
+  | Vulnerable of string (** the attack corrupted the heap *)
+  | Defended of string   (** the attack was stopped or had no effect *)
+
+let outcome_to_string = function
+  | Vulnerable s -> "VULNERABLE: " ^ s
+  | Defended s -> "defended: " ^ s
+
+let base = Factories.heap_base
+
+(* ---------- attack 1: header overflow -> overlapping allocation ----------
+   Fill the heap with 64 B objects, corrupt the word 16 bytes before a
+   victim object (where in-place allocators keep the size), free the
+   victim, allocate again and look for overlap with live objects. *)
+
+let fill_with inst size =
+  let rec go acc =
+    match Alloc_intf.i_alloc inst size with
+    | Some p -> go (p :: acc)
+    | None -> acc
+  in
+  go []
+
+let overlapping allocs victim fresh inst =
+  let mach = Alloc_intf.instance_machine inst in
+  ignore mach;
+  List.exists
+    (fun p ->
+      let praw = Alloc_intf.i_get_rawptr inst p in
+      List.exists
+        (fun q ->
+          not (Alloc_intf.equal_nvmptr q victim)
+          && (let qraw = Alloc_intf.i_get_rawptr inst q in
+              praw < qraw + 64 && qraw < praw + 64))
+        allocs)
+    fresh
+
+let run_overflow (make : unit -> Machine.t * Alloc_intf.instance) =
+  let mach, inst = make () in
+  let allocs = fill_with inst 64 in
+  match allocs with
+  | [] -> Defended "could not fill heap"
+  | _ ->
+    let victim = List.nth allocs (List.length allocs / 2) in
+    let vraw = Alloc_intf.i_get_rawptr inst victim in
+    (* the heap-overflow bug: a contiguous overrun clobbers the 16
+       bytes below the object (both header words, as a real buffer
+       overflow from the previous object would) *)
+    (try
+       Machine.write_u64 mach (vraw - 16) 1088;
+       Machine.write_u64 mach (vraw - 8) 0x4141414141414141
+     with Mpk.Fault _ -> ());
+    Alloc_intf.i_free inst victim;
+    let fresh = fill_with inst 64 in
+    if overlapping allocs victim fresh inst then
+      Vulnerable
+        (Printf.sprintf "%d allocations handed out, overlapping live objects"
+           (List.length fresh))
+    else if fresh = [] then
+      Vulnerable "the freed block was lost (permanent leak)"
+    else
+      Defended
+        (Printf.sprintf "%d allocation(s) after one free, no overlap"
+           (List.length fresh))
+
+(* ---------- attack 2: header shrink -> permanent leak ---------- *)
+
+let run_shrink (make : unit -> Machine.t * Alloc_intf.instance) ~size =
+  let mach, inst = make () in
+  let allocs = fill_with inst size in
+  let nalloc = List.length allocs in
+  if nalloc = 0 then Defended "could not fill heap"
+  else begin
+    List.iter
+      (fun p ->
+        let raw = Alloc_intf.i_get_rawptr inst p in
+        (try Machine.write_u64 mach (raw - 16) 64 with Mpk.Fault _ -> ());
+        Alloc_intf.i_free inst p)
+      allocs;
+    let refill = List.length (fill_with inst size) in
+    if refill < nalloc then
+      Vulnerable
+        (Printf.sprintf "filled %d, refilled only %d: %d objects leaked"
+           nalloc refill (nalloc - refill))
+    else Defended (Printf.sprintf "refilled all %d objects" refill)
+  end
+
+(* Makalu claims leaks are fixed by the restart GC; after the shrink
+   attack, restart and see whether the collector got the space back.
+   (It cannot: the corrupted headers break the object walk, §2.2.) *)
+let run_shrink_makalu_gc () =
+  let mach = Machine.create () in
+  let heap = Makalu_sim.Heap.create mach ~base ~size:(8 * 1024 * 1024) ~heap_id:1 in
+  let inst = Makalu_sim.instance heap in
+  let allocs = fill_with inst 4096 in
+  let nalloc = List.length allocs in
+  List.iter
+    (fun p ->
+      let raw = Alloc_intf.i_get_rawptr inst p in
+      Machine.write_u64 mach (raw - 16) 64;
+      Machine.persist mach (raw - 16) 8;
+      Alloc_intf.i_free inst p)
+    allocs;
+  Nvmm.Memdev.crash (Machine.dev mach) `Strict;
+  let heap2 = Makalu_sim.Heap.attach mach ~base in
+  let inst2 = Makalu_sim.instance heap2 in
+  let refill = List.length (fill_with inst2 4096) in
+  if refill < nalloc then
+    Vulnerable
+      (Printf.sprintf
+         "GC restart recovered %d of %d objects: corrupted headers broke the walk"
+         refill nalloc)
+  else Defended (Printf.sprintf "GC recovered all %d objects" refill)
+
+(* ---------- attack 3: direct store into the metadata region ---------- *)
+
+let run_direct_poseidon () =
+  let mach = Machine.create () in
+  let heap =
+    Poseidon.Heap.create mach ~base ~size:(1 lsl 30) ~heap_id:1
+      ~sub_data_size:(1 lsl 20) ()
+  in
+  let inst = Poseidon.instance heap in
+  ignore (Alloc_intf.i_alloc inst 64);
+  (* aim straight at the first sub-heap's buddy heads *)
+  let target = ref None in
+  Poseidon.Heap.iter_subheaps heap (fun sh ->
+      if !target = None then
+        target := Some (sh.Poseidon.Subheap.meta_base + Poseidon.Layout.sh_off_buddy_heads));
+  match !target with
+  | None -> Defended "no sub-heap"
+  | Some addr ->
+    (try
+       Machine.write_u64 mach addr 0xDEAD;
+       Vulnerable "metadata store went through"
+     with Mpk.Fault _ ->
+       Poseidon.Heap.check_invariants heap;
+       Defended "MPK fault; metadata intact")
+
+let run_direct_pmdk () =
+  let mach = Machine.create () in
+  let heap = Pmdk_sim.Heap.create mach ~base ~size:(1 lsl 24) ~heap_id:1 () in
+  let inst = Pmdk_sim.instance heap in
+  let p =
+    match Alloc_intf.i_alloc inst 64 with
+    | Some p -> p
+    | None -> failwith "alloc"
+  in
+  (* the chunk bitmap sits at a deterministic offset from the object *)
+  let raw = Alloc_intf.i_get_rawptr inst p in
+  let chunk = (raw - base) / Pmdk_sim.Layout.small_chunk_size * Pmdk_sim.Layout.small_chunk_size + base in
+  (try
+     Machine.write_u64 mach (chunk + Pmdk_sim.Layout.ck_off_bitmap) 0;
+     (* with its bitmap zeroed, the allocator will re-hand-out the
+        same memory after a rebuild *)
+     Alloc_intf.i_free inst p;
+     Vulnerable "allocation bitmap overwritten silently"
+   with Mpk.Fault _ -> Defended "fault")
+
+let run_direct_makalu () =
+  let mach = Machine.create () in
+  let heap = Makalu_sim.Heap.create mach ~base ~size:(1 lsl 24) ~heap_id:1 in
+  let inst = Makalu_sim.instance heap in
+  ignore (Alloc_intf.i_alloc inst 64);
+  (try
+     Machine.write_u64 mach (base + Makalu_sim.Layout.hd_off_dir_count) 0;
+     Vulnerable "chunk directory truncated silently (GC loses all objects)"
+   with Mpk.Fault _ -> Defended "fault")
+
+(* ---------- attack 4/5: double and invalid free ---------- *)
+
+let run_double_free (make : unit -> Machine.t * Alloc_intf.instance) =
+  let _mach, inst = make () in
+  let a = Option.get (Alloc_intf.i_alloc inst 64) in
+  let b = Option.get (Alloc_intf.i_alloc inst 64) in
+  ignore b;
+  Alloc_intf.i_free inst a;
+  Alloc_intf.i_free inst a;
+  (* after the double free, two fresh allocations must not overlap *)
+  let c = Option.get (Alloc_intf.i_alloc inst 64) in
+  let d = Option.get (Alloc_intf.i_alloc inst 64) in
+  let craw = Alloc_intf.i_get_rawptr inst c in
+  let draw = Alloc_intf.i_get_rawptr inst d in
+  if abs (craw - draw) < 64 then
+    Vulnerable "double free made the allocator hand out one block twice"
+  else Defended "second free ignored"
+
+let run_invalid_free (make : unit -> Machine.t * Alloc_intf.instance) =
+  let _mach, inst = make () in
+  let a = Option.get (Alloc_intf.i_alloc inst 256) in
+  (* fill the heap so a reclaimed interior range would be handed out *)
+  ignore (fill_with inst 64);
+  (* free a pointer into the middle of the live object *)
+  let bogus = { a with Alloc_intf.off = a.Alloc_intf.off + 64 } in
+  (try Alloc_intf.i_free inst bogus with _ -> ());
+  let live_raw = Alloc_intf.i_get_rawptr inst a in
+  (* if the invalid free was accepted, a fresh allocation may overlap *)
+  let fresh = fill_with inst 64 in
+  let overlap =
+    List.exists
+      (fun p ->
+        let raw = Alloc_intf.i_get_rawptr inst p in
+        raw >= live_raw && raw < live_raw + 256)
+      fresh
+  in
+  if overlap then Vulnerable "invalid free released live memory"
+  else Defended "invalid free had no effect"
+
+(* ---------- attack 6: GC pointer corruption (Makalu) ---------- *)
+
+let run_gc_corruption () =
+  let mach = Machine.create () in
+  let heap = Makalu_sim.Heap.create mach ~base ~size:(1 lsl 24) ~heap_id:1 in
+  let inst = Makalu_sim.instance heap in
+  let a = Option.get (Alloc_intf.i_alloc inst 64) in
+  let b = Option.get (Alloc_intf.i_alloc inst 64) in
+  let araw = Alloc_intf.i_get_rawptr inst a in
+  (* root -> a -> b *)
+  Machine.write_u64 mach araw (Alloc_intf.i_get_rawptr inst b);
+  Machine.persist mach araw 8;
+  Alloc_intf.i_set_root inst a;
+  (* program bug: a's pointer to b is clobbered *)
+  Machine.write_u64 mach araw 0xBAD;
+  Machine.persist mach araw 8;
+  Nvmm.Memdev.crash (Machine.dev mach) `Strict;
+  let heap2 = Makalu_sim.Heap.attach mach ~base in
+  let st = Makalu_sim.Heap.stats heap2 in
+  if st.Makalu_sim.Heap.gc_live < 2 then
+    Vulnerable
+      (Printf.sprintf
+         "GC swept the still-referenced object (live=%d after restart)"
+         st.Makalu_sim.Heap.gc_live)
+  else Defended "object survived"
+
+(* ---------- attack 7: hijacked wrpkru (8) ---------- *)
+
+(* The paper's own limitation: an attacker executing wrpkru defeats
+   MPK.  With the Hodor/ERIM-style lockdown enabled (Heap.lockdown),
+   only the heap's vetted call sites can loosen the key. *)
+let run_wrpkru_hijack ~lockdown () =
+  let mach = Machine.create () in
+  let heap =
+    Poseidon.Heap.create mach ~base ~size:(1 lsl 30) ~heap_id:1
+      ~sub_data_size:(1 lsl 20) ()
+  in
+  ignore (Alloc_intf.i_alloc (Poseidon.instance heap) 64);
+  if lockdown then Poseidon.Heap.lockdown heap;
+  let key = Poseidon.Heap.pkey heap in
+  let target = ref 0 in
+  Poseidon.Heap.iter_subheaps heap (fun sh ->
+      target := sh.Poseidon.Subheap.meta_base + Poseidon.Layout.sh_off_buddy_heads);
+  (* the attacker's gadget: wrpkru to RW, then scribble *)
+  match
+    Machine.wrpkru mach key Mpk.Read_write;
+    Machine.write_u64 mach !target 0xDEAD
+  with
+  | () -> Vulnerable "attacker flipped the PKRU and overwrote metadata"
+  | exception Mpk.Wrpkru_denied _ ->
+    (* the heap itself must still work *)
+    (match Alloc_intf.i_alloc (Poseidon.instance heap) 64 with
+     | Some _ ->
+       Poseidon.Heap.check_invariants heap;
+       Defended "wrpkru refused (sealed); allocator still operational"
+     | None -> Vulnerable "lockdown broke the allocator")
+  | exception Mpk.Fault _ -> Defended "fault"
+
+(* ---------- the matrix ---------- *)
+
+type row = { attack : string; results : (string * outcome) list }
+
+let matrix () =
+  let mk_poseidon () =
+    let f = Factories.poseidon ~sub_data_size:(1 lsl 20) ~window:(1 lsl 30) () in
+    f.Factories.make ()
+  in
+  let mk_pmdk ?canary () =
+    let f = Factories.pmdk ~window:(8 * 1024 * 1024) ?canary () in
+    f.Factories.make ()
+  in
+  let mk_makalu () =
+    let f = Factories.makalu ~window:(8 * 1024 * 1024) () in
+    f.Factories.make ()
+  in
+  [ { attack = "overflowed header, then free";
+      results =
+        [ ("Poseidon", run_overflow mk_poseidon);
+          ("PMDK", run_overflow (mk_pmdk ?canary:None));
+          ("PMDK+canary", run_overflow (mk_pmdk ~canary:true));
+          ("Makalu", run_overflow mk_makalu) ] };
+    { attack = "shrunk header, free all (leak)";
+      results =
+        [ ("Poseidon", run_shrink mk_poseidon ~size:4096);
+          ("PMDK", run_shrink (mk_pmdk ?canary:None) ~size:(2 * 1024 * 1024));
+          ("PMDK+canary",
+           run_shrink (mk_pmdk ~canary:true) ~size:(2 * 1024 * 1024));
+          ("Makalu", run_shrink mk_makalu ~size:4096) ] };
+    { attack = "shrunk headers, then restart GC";
+      results = [ ("Makalu", run_shrink_makalu_gc ()) ] };
+    { attack = "direct store into metadata";
+      results =
+        [ ("Poseidon", run_direct_poseidon ());
+          ("PMDK", run_direct_pmdk ());
+          ("Makalu", run_direct_makalu ()) ] };
+    { attack = "double free";
+      results =
+        [ ("Poseidon", run_double_free mk_poseidon);
+          ("PMDK", run_double_free (mk_pmdk ?canary:None));
+          ("Makalu", run_double_free mk_makalu) ] };
+    { attack = "invalid free (interior pointer)";
+      results =
+        [ ("Poseidon", run_invalid_free mk_poseidon);
+          ("PMDK", run_invalid_free (mk_pmdk ?canary:None));
+          ("Makalu", run_invalid_free mk_makalu) ] };
+    { attack = "pointer corruption vs GC recovery";
+      results = [ ("Makalu", run_gc_corruption ()) ] };
+    { attack = "hijacked wrpkru (8 lockdown extension)";
+      results =
+        [ ("Poseidon", run_wrpkru_hijack ~lockdown:false ());
+          ("Poseidon+lockdown", run_wrpkru_hijack ~lockdown:true ()) ] } ]

@@ -1,0 +1,178 @@
+(** Allocation-trace recording and replay.
+
+    A trace is a deterministic sequence of allocator events that can
+    be replayed against any {!Alloc_intf.instance}, making allocator
+    behaviour directly comparable (same requests, same order, same
+    thread placement) and making bug reports reproducible.  Traces
+    serialize to a compact line-oriented text format:
+
+    {v
+    a <id> <size>     allocation, named <id>
+    f <id>            free of the allocation named <id>
+    t <id> <size> <0|1>  transactional allocation (1 = commit point)
+    v}
+
+    Replay tolerates failed allocations (ids that never materialised
+    are skipped on free), so a trace captured on a large heap can be
+    replayed on a small one. *)
+
+module Prng = Repro_util.Prng
+
+type event =
+  | Alloc of int * int (* id, size *)
+  | Free of int
+  | Tx_alloc of int * int * bool (* id, size, is_end *)
+
+type t = event array
+
+(* ---------- generation ---------- *)
+
+(** Random trace in the style of the paper's microbenchmark: mixed
+    sizes, every allocation eventually freed with probability
+    [free_ratio]. *)
+let random ?(seed = 42) ?(min_size = 16) ?(max_size = 4096)
+    ?(free_ratio = 0.8) ?(tx_ratio = 0.1) ~events () =
+  let rng = Prng.create seed in
+  let out = ref [] in
+  let live = ref [] in
+  let next_id = ref 0 in
+  let n_live = ref 0 in
+  for _ = 1 to events do
+    let do_free =
+      !n_live > 0 && Prng.float rng 1.0 < free_ratio /. (free_ratio +. 1.0)
+    in
+    if do_free then begin
+      let idx = Prng.int rng !n_live in
+      let id = List.nth !live idx in
+      live := List.filteri (fun i _ -> i <> idx) !live;
+      decr n_live;
+      out := Free id :: !out
+    end
+    else begin
+      let id = !next_id in
+      incr next_id;
+      let size = Prng.int_in rng min_size max_size in
+      if Prng.float rng 1.0 < tx_ratio then
+        out := Tx_alloc (id, size, Prng.bool rng) :: !out
+      else out := Alloc (id, size) :: !out;
+      live := id :: !live;
+      incr n_live
+    end
+  done;
+  Array.of_list (List.rev !out)
+
+(* ---------- serialization ---------- *)
+
+let to_string (t : t) =
+  let buf = Buffer.create (Array.length t * 12) in
+  Array.iter
+    (fun e ->
+      (match e with
+       | Alloc (id, size) -> Buffer.add_string buf (Printf.sprintf "a %d %d" id size)
+       | Free id -> Buffer.add_string buf (Printf.sprintf "f %d" id)
+       | Tx_alloc (id, size, is_end) ->
+         Buffer.add_string buf
+           (Printf.sprintf "t %d %d %d" id size (if is_end then 1 else 0)));
+      Buffer.add_char buf '\n')
+    t;
+  Buffer.contents buf
+
+exception Parse_error of int * string
+
+let of_string s =
+  let events = ref [] in
+  let lines = String.split_on_char '\n' s in
+  List.iteri
+    (fun lineno line ->
+      let line = String.trim line in
+      if line <> "" then
+        match String.split_on_char ' ' line with
+        | [ "a"; id; size ] ->
+          events := Alloc (int_of_string id, int_of_string size) :: !events
+        | [ "f"; id ] -> events := Free (int_of_string id) :: !events
+        | [ "t"; id; size; e ] ->
+          events :=
+            Tx_alloc (int_of_string id, int_of_string size, e = "1") :: !events
+        | _ -> raise (Parse_error (lineno + 1, line)))
+    lines;
+  Array.of_list (List.rev !events)
+
+(* ---------- replay ---------- *)
+
+type replay_result = {
+  allocs_ok : int;
+  allocs_failed : int;
+  frees : int;
+  skipped_frees : int; (** frees of ids whose allocation failed *)
+  simulated_seconds : float; (** 0 when replayed outside the simulation *)
+}
+
+(* replay body shared by the inline and simulated variants *)
+let replay_events inst (t : t) =
+  let ids = Hashtbl.create 256 in
+  let ok = ref 0 and failed = ref 0 and frees = ref 0 and skipped = ref 0 in
+  Array.iter
+    (fun e ->
+      match e with
+      | Alloc (id, size) ->
+        (match Alloc_intf.i_alloc inst size with
+         | Some p ->
+           Hashtbl.replace ids id p;
+           incr ok
+         | None -> incr failed)
+      | Tx_alloc (id, size, is_end) ->
+        (match Alloc_intf.i_tx_alloc inst size ~is_end with
+         | Some p ->
+           Hashtbl.replace ids id p;
+           incr ok
+         | None -> incr failed)
+      | Free id ->
+        (match Hashtbl.find_opt ids id with
+         | Some p ->
+           Hashtbl.remove ids id;
+           Alloc_intf.i_free inst p;
+           incr frees
+         | None -> incr skipped))
+    t;
+  (!ok, !failed, !frees, !skipped)
+
+(** Replays the trace directly (outside the simulation: no costs). *)
+let replay inst t =
+  let ok, failed, frees, skipped = replay_events inst t in
+  { allocs_ok = ok;
+    allocs_failed = failed;
+    frees;
+    skipped_frees = skipped;
+    simulated_seconds = 0.0 }
+
+(** Replays the trace on one simulated thread and reports the
+    simulated time it took — the apples-to-apples comparison across
+    allocators. *)
+let replay_timed ~mach inst t =
+  let result = ref (0, 0, 0, 0) in
+  let secs =
+    Machine.parallel mach ~threads:1 (fun _ -> result := replay_events inst t)
+  in
+  let ok, failed, frees, skipped = !result in
+  { allocs_ok = ok;
+    allocs_failed = failed;
+    frees;
+    skipped_frees = skipped;
+    simulated_seconds = secs }
+
+(** Splits a trace across [threads] simulated threads (round-robin by
+    allocation id, frees following their allocation's thread) and
+    replays concurrently. *)
+let replay_parallel ~mach inst ~threads (t : t) =
+  let owner id = id mod threads in
+  let per_thread =
+    Array.init threads (fun i ->
+        Array.of_list
+          (List.filter
+             (fun e ->
+               match e with
+               | Alloc (id, _) | Free id | Tx_alloc (id, _, _) -> owner id = i)
+             (Array.to_list t)))
+  in
+  Machine.parallel mach ~threads (fun i ->
+      ignore (replay_events inst per_thread.(i)))

@@ -1,0 +1,120 @@
+(** YCSB benchmark over the persistent B+-tree (paper §7.5, Fig. 9).
+
+    Load: insert [records] key-value pairs.  Workload A: 50 % reads /
+    50 % updates with the standard zipfian(0.99) key popularity.  Tree
+    values are pointers to 100-byte value objects allocated from the
+    allocator under test; an update allocates a fresh object, points
+    the tree at it and frees the old one — the allocation-heavy
+    pattern the paper picked these workloads for. *)
+
+module Prng = Repro_util.Prng
+module Zipf = Repro_util.Zipf
+
+let value_size = 100
+
+let write_value mach inst p rng =
+  let raw = Alloc_intf.i_get_rawptr inst p in
+  for i = 0 to (value_size / 8) - 1 do
+    Machine.write_u64 mach (raw + (i * 8)) (Prng.int rng max_int)
+  done;
+  Machine.persist mach raw value_size
+
+let insert_record mach inst tree rng key =
+  match Alloc_intf.i_alloc inst value_size with
+  | None -> failwith "Ycsb: allocator out of memory"
+  | Some p ->
+    write_value mach inst p rng;
+    Btree.insert tree ~key ~value:(Alloc_intf.pack p)
+
+(** Load phase: returns (tree, Mops/s). *)
+let load ~mach ~inst ~threads ~records =
+  Factories.warmup mach inst ~threads;
+  let tree = Btree.create inst in
+  let per_thread = records / threads in
+  let secs =
+    Machine.parallel mach ~threads (fun i ->
+        let rng = Prng.create (0x10AD + i) in
+        for j = 0 to per_thread - 1 do
+          (* keys partitioned across threads, scattered by stride *)
+          let key = 1 + (j * threads) + i in
+          insert_record mach inst tree rng key
+        done)
+  in
+  (tree, float_of_int (threads * per_thread) /. secs /. 1e6)
+
+(** A mixed read/update phase on a loaded tree; [read_pct] is the
+    read percentage: 50 = Workload A, 95 = Workload B, 100 = Workload
+    C.  Returns Mops/s. *)
+let workload_mixed ~read_pct ~mach ~inst ~tree ~threads ~records ~operations =
+  let per_thread = operations / threads in
+  (* Striped per-key locks make read-swap-free updates of the same hot
+     key atomic: without them, two racing updates both free the old
+     value object (a double free the application, not the allocator,
+     is responsible for).  Zipfian popularity makes such races common. *)
+  let stripes = 512 in
+  let key_locks =
+    Array.init stripes (fun i ->
+        Machine.Lock.create mach ~name:(Printf.sprintf "ycsb-key-%d" i) ())
+  in
+  let secs =
+    Machine.parallel mach ~threads (fun i ->
+        let rng = Prng.create (0xA0A0 + i) in
+        let zipf = Zipf.create records in
+        for _ = 1 to per_thread do
+          let key = 1 + Zipf.scrambled zipf rng in
+          if Prng.int rng 100 < read_pct then begin
+            (* read: traverse + fetch the value object *)
+            Machine.Lock.with_lock key_locks.(key mod stripes) (fun () ->
+                match Btree.find tree key with
+                | Some packed ->
+                  let p = Alloc_intf.unpack ~heap_id:1 packed in
+                  let raw = Alloc_intf.i_get_rawptr inst p in
+                  let sum = ref 0 in
+                  for w = 0 to (value_size / 8) - 1 do
+                    sum := !sum lxor Machine.read_u64 mach (raw + (w * 8))
+                  done;
+                  ignore !sum
+                | None -> ())
+          end
+          else begin
+            (* update: allocate new value, swap, free old *)
+            match Alloc_intf.i_alloc inst value_size with
+            | None -> failwith "Ycsb: allocator out of memory"
+            | Some p ->
+              write_value mach inst p rng;
+              Machine.Lock.with_lock key_locks.(key mod stripes) (fun () ->
+                  let old = Btree.find tree key in
+                  Btree.insert tree ~key ~value:(Alloc_intf.pack p);
+                  match old with
+                  | Some packed ->
+                    Alloc_intf.i_free inst (Alloc_intf.unpack ~heap_id:1 packed)
+                  | None -> ())
+          end
+        done)
+  in
+  float_of_int (threads * per_thread) /. secs /. 1e6
+
+let workload_a = workload_mixed ~read_pct:50
+let workload_b = workload_mixed ~read_pct:95
+let workload_c = workload_mixed ~read_pct:100
+
+type result = { load_mops : float; a_mops : float }
+
+let run ~(factory : Factories.factory) ?cfg ~threads ~records ~operations () =
+  let mach, inst = factory.Factories.make ?cfg () in
+  let tree, load_mops = load ~mach ~inst ~threads ~records in
+  let a_mops = workload_a ~mach ~inst ~tree ~threads ~records ~operations in
+  { load_mops; a_mops }
+
+type abc_result = { l : float; a : float; b : float; c : float }
+
+(** Load + Workloads A, B and C in sequence on the same tree (the
+    extension beyond the paper's Load/A pair). *)
+let run_abc ~(factory : Factories.factory) ?cfg ~threads ~records ~operations
+    () =
+  let mach, inst = factory.Factories.make ?cfg () in
+  let tree, l = load ~mach ~inst ~threads ~records in
+  let a = workload_a ~mach ~inst ~tree ~threads ~records ~operations in
+  let b = workload_b ~mach ~inst ~tree ~threads ~records ~operations in
+  let c = workload_c ~mach ~inst ~tree ~threads ~records ~operations in
+  { l; a; b; c }

@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Btree Hashtbl List Machine Makalu_sim Nvmm Pmdk_sim Poseidon QCheck QCheck_alcotest Repro_util

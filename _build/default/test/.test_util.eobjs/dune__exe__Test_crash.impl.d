@@ -1,0 +1,1 @@
+test/test_crash.ml: Alcotest Alloc_intf List Machine Makalu_sim Nvmm Option Pmdk_sim Poseidon Repro_util

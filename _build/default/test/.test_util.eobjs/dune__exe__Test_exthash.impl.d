@@ -1,0 +1,1 @@
+test/test_exthash.ml: Alcotest Hashtbl List Machine Nvmm Poseidon QCheck QCheck_alcotest Repro_util

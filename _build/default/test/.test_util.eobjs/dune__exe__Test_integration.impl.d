@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Alloc_intf Btree Bytes Hashtbl Machine Makalu_sim Nvmm Option Pmdk_sim Poseidon Printf Repro_util String

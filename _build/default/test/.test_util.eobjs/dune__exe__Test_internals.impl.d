@@ -1,0 +1,1 @@
+test/test_internals.ml: Alcotest Format List Machine Nvmm Option Poseidon Repro_util

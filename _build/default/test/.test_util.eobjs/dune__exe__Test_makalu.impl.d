@@ -1,0 +1,1 @@
+test/test_makalu.ml: Alcotest Alloc_intf List Machine Makalu_sim Nvmm Option QCheck QCheck_alcotest Repro_util

@@ -1,0 +1,1 @@
+test/test_nvmm.ml: Alcotest Bytes Char Hashtbl List Nvmm QCheck QCheck_alcotest Repro_util

@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Array Fun List Machine Nvmm Persist QCheck QCheck_alcotest Repro_util

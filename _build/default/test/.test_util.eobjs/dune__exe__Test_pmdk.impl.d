@@ -1,0 +1,1 @@
+test/test_pmdk.ml: Alcotest Array Hashtbl List Machine Nvmm Option Pmdk_sim QCheck QCheck_alcotest Repro_util Set

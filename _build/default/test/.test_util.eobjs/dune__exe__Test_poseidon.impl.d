@@ -1,0 +1,1 @@
+test/test_poseidon.ml: Alcotest Alloc_intf Array Hashtbl List Machine Mpk Nvmm Option Poseidon QCheck QCheck_alcotest Repro_util

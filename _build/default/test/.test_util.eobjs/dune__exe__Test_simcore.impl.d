@@ -1,0 +1,1 @@
+test/test_simcore.ml: Alcotest Buffer List Option QCheck QCheck_alcotest Repro_util Simcore

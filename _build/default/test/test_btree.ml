@@ -1,0 +1,306 @@
+(* Tests for the persistent B+-tree: inserts/finds/deletes against a
+   reference model, splits at every level, scans, concurrency, and
+   allocator-genericity (the tree must behave identically on all
+   three allocators). *)
+
+module Prng = Repro_util.Prng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let base = 1 lsl 30
+
+let poseidon_inst () =
+  let mach = Machine.create () in
+  let h =
+    Poseidon.Heap.create mach ~base ~size:(1 lsl 36) ~heap_id:1
+      ~sub_data_size:(1 lsl 24) ()
+  in
+  (mach, Poseidon.instance h)
+
+let all_insts () =
+  [ (fun () -> poseidon_inst ());
+    (fun () ->
+      let mach = Machine.create () in
+      (mach, Pmdk_sim.instance (Pmdk_sim.Heap.create mach ~base ~size:(1 lsl 26) ~heap_id:1 ())));
+    (fun () ->
+      let mach = Machine.create () in
+      (mach, Makalu_sim.instance (Makalu_sim.Heap.create mach ~base ~size:(1 lsl 26) ~heap_id:1))) ]
+
+let test_empty_tree () =
+  let _, inst = poseidon_inst () in
+  let t = Btree.create inst in
+  check "missing" true (Btree.find t 42 = None);
+  check_int "empty count" 0 (Btree.count_keys t);
+  check_int "depth 1" 1 (Btree.tree_depth t)
+
+let test_single_insert () =
+  let _, inst = poseidon_inst () in
+  let t = Btree.create inst in
+  Btree.insert t ~key:5 ~value:50;
+  check "found" true (Btree.find t 5 = Some 50);
+  check "other missing" true (Btree.find t 6 = None)
+
+let test_update_in_place () =
+  let _, inst = poseidon_inst () in
+  let t = Btree.create inst in
+  Btree.insert t ~key:5 ~value:50;
+  Btree.insert t ~key:5 ~value:99;
+  check "updated" true (Btree.find t 5 = Some 99);
+  check_int "no duplicate" 1 (Btree.count_keys t)
+
+let test_key_zero_rejected () =
+  let _, inst = poseidon_inst () in
+  let t = Btree.create inst in
+  check "zero key rejected" true
+    (try Btree.insert t ~key:0 ~value:1; false with Invalid_argument _ -> true)
+
+let test_sequential_inserts_split () =
+  let _, inst = poseidon_inst () in
+  let t = Btree.create inst in
+  for k = 1 to 1000 do
+    Btree.insert t ~key:k ~value:(k * 10)
+  done;
+  Btree.check t;
+  check "depth grew" true (Btree.tree_depth t >= 3);
+  check_int "count" 1000 (Btree.count_keys t);
+  let ok = ref true in
+  for k = 1 to 1000 do
+    if Btree.find t k <> Some (k * 10) then ok := false
+  done;
+  check "all found" true !ok
+
+let test_reverse_inserts () =
+  let _, inst = poseidon_inst () in
+  let t = Btree.create inst in
+  for k = 1000 downto 1 do
+    Btree.insert t ~key:k ~value:k
+  done;
+  Btree.check t;
+  check_int "count" 1000 (Btree.count_keys t);
+  check "first" true (Btree.find t 1 = Some 1);
+  check "last" true (Btree.find t 1000 = Some 1000)
+
+let test_random_vs_model () =
+  List.iter
+    (fun mk ->
+      let _, inst = mk () in
+      let t = Btree.create inst in
+      let model = Hashtbl.create 64 in
+      let rng = Prng.create 31 in
+      for _ = 1 to 3000 do
+        let k = 1 + Prng.int rng 999 in
+        match Prng.int rng 3 with
+        | 0 | 1 ->
+          let v = Prng.int rng 100000 in
+          Btree.insert t ~key:k ~value:v;
+          Hashtbl.replace model k v
+        | _ ->
+          let deleted = Btree.delete t k in
+          check "delete agrees with model" (Hashtbl.mem model k) deleted;
+          Hashtbl.remove model k
+      done;
+      Btree.check t;
+      check_int "count matches model" (Hashtbl.length model) (Btree.count_keys t);
+      Hashtbl.iter
+        (fun k v -> check "value matches" true (Btree.find t k = Some v))
+        model)
+    (all_insts ())
+
+let test_scan () =
+  let _, inst = poseidon_inst () in
+  let t = Btree.create inst in
+  for k = 1 to 200 do
+    Btree.insert t ~key:(k * 2) ~value:k
+  done;
+  let seen = ref [] in
+  Btree.scan t ~from_key:100 ~n:10 (fun k _ -> seen := k :: !seen);
+  Alcotest.(check (list int)) "scan range"
+    [ 100; 102; 104; 106; 108; 110; 112; 114; 116; 118 ]
+    (List.rev !seen)
+
+let test_scan_crosses_leaves () =
+  let _, inst = poseidon_inst () in
+  let t = Btree.create inst in
+  for k = 1 to 500 do
+    Btree.insert t ~key:k ~value:k
+  done;
+  let n = ref 0 in
+  let last = ref 0 in
+  let sorted = ref true in
+  Btree.scan t ~from_key:1 ~n:500 (fun k _ ->
+      incr n;
+      if k <= !last then sorted := false;
+      last := k);
+  check_int "full scan" 500 !n;
+  check "ascending across leaves" true !sorted
+
+let test_delete_then_reinsert () =
+  let _, inst = poseidon_inst () in
+  let t = Btree.create inst in
+  for k = 1 to 100 do
+    Btree.insert t ~key:k ~value:k
+  done;
+  for k = 1 to 100 do
+    check "delete ok" true (Btree.delete t k)
+  done;
+  check_int "empty" 0 (Btree.count_keys t);
+  for k = 1 to 100 do
+    Btree.insert t ~key:k ~value:(k + 1)
+  done;
+  check_int "reinserted" 100 (Btree.count_keys t);
+  check "new values" true (Btree.find t 50 = Some 51)
+
+let test_delete_missing () =
+  let _, inst = poseidon_inst () in
+  let t = Btree.create inst in
+  Btree.insert t ~key:5 ~value:5;
+  check "missing delete false" false (Btree.delete t 6)
+
+let test_concurrent_inserts () =
+  let mach, inst = poseidon_inst () in
+  let t = Btree.create inst in
+  let threads = 8 and per = 1000 in
+  let _ =
+    Machine.parallel mach ~threads (fun i ->
+        for j = 0 to per - 1 do
+          Btree.insert t ~key:(1 + (j * threads) + i) ~value:(i * 100000 + j)
+        done)
+  in
+  Btree.check t;
+  check_int "all inserted" (threads * per) (Btree.count_keys t);
+  let ok = ref true in
+  for i = 0 to threads - 1 do
+    for j = 0 to per - 1 do
+      if Btree.find t (1 + (j * threads) + i) <> Some ((i * 100000) + j) then
+        ok := false
+    done
+  done;
+  check "all values correct" true !ok
+
+let test_concurrent_mixed_readers_writers () =
+  let mach, inst = poseidon_inst () in
+  let t = Btree.create inst in
+  for k = 1 to 2000 do
+    Btree.insert t ~key:k ~value:k
+  done;
+  let anomalies = ref 0 in
+  let _ =
+    Machine.parallel mach ~threads:8 (fun i ->
+        let rng = Prng.create i in
+        for _ = 1 to 500 do
+          let k = 1 + Prng.int rng 2000 in
+          if i mod 2 = 0 then begin
+            (* readers: loaded keys must always be visible *)
+            match Btree.find t k with
+            | Some _ -> ()
+            | None -> incr anomalies
+          end
+          else Btree.insert t ~key:(2000 + Prng.int rng 2000 + 1) ~value:k
+        done)
+  in
+  Btree.check t;
+  check_int "no lost reads" 0 !anomalies
+
+let test_crash_at_every_split_boundary () =
+  (* crash at many persistence points while inserting; after attach,
+     every key whose insert call returned must be findable (the
+     sibling chain covers splits whose separator never reached the
+     parent) *)
+  let exception Crash_now in
+  for k_fence = 1 to 40 do
+    let mach, inst = poseidon_inst () in
+    let t = Btree.create inst in
+    (* preload enough to make splits imminent *)
+    for k = 1 to 93 do
+      Btree.insert t ~key:(k * 10) ~value:k
+    done;
+    let dev = Machine.dev mach in
+    Nvmm.Memdev.reset_counters dev;
+    let completed = ref [] in
+    Nvmm.Memdev.set_fence_hook dev
+      (Some (fun n -> if n >= k_fence then raise Crash_now));
+    (try
+       for k = 1 to 40 do
+         let key = (k * 10) + 1 in
+         Btree.insert t ~key ~value:k;
+         completed := key :: !completed
+       done
+     with Crash_now -> ());
+    Nvmm.Memdev.set_fence_hook dev None;
+    Nvmm.Memdev.crash dev `Strict;
+    let h2 = Poseidon.Heap.attach mach ~base () in
+    let t2 = Btree.attach (Poseidon.instance h2) in
+    (* preloaded keys all survive *)
+    for k = 1 to 93 do
+      check "preloaded key survives" true (Btree.find t2 (k * 10) = Some k)
+    done;
+    (* completed inserts all survive *)
+    List.iter
+      (fun key -> check "completed insert survives" true
+          (Btree.find t2 key <> None))
+      !completed
+  done
+
+let test_persistence_across_crash () =
+  (* tree nodes live in NVMM; after a crash + attach of the allocator,
+     the tree is reachable from the heap root *)
+  let mach, inst = poseidon_inst () in
+  let t = Btree.create inst in
+  for k = 1 to 300 do
+    Btree.insert t ~key:k ~value:(k * 7)
+  done;
+  Nvmm.Memdev.crash (Machine.dev mach) `Strict;
+  let h2 = Poseidon.Heap.attach mach ~base () in
+  let inst2 = Poseidon.instance h2 in
+  let t2 = Btree.attach inst2 in
+  Btree.check t2;
+  check_int "count preserved" 300 (Btree.count_keys t2);
+  check "value preserved" true (Btree.find t2 123 = Some 861)
+
+let prop_btree_model =
+  QCheck.Test.make ~name:"btree agrees with a map model" ~count:25
+    QCheck.(list (pair (int_range 1 500) (int_range 0 10_000)))
+    (fun kvs ->
+      let _, inst = poseidon_inst () in
+      let t = Btree.create inst in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (k, v) ->
+          Btree.insert t ~key:k ~value:v;
+          Hashtbl.replace model k v)
+        kvs;
+      Btree.check t;
+      Hashtbl.fold (fun k v ok -> ok && Btree.find t k = Some v) model true
+      && Btree.count_keys t = Hashtbl.length model)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_btree_model ]
+
+let () =
+  Alcotest.run "btree"
+    [ ( "basic",
+        [ Alcotest.test_case "empty" `Quick test_empty_tree;
+          Alcotest.test_case "single" `Quick test_single_insert;
+          Alcotest.test_case "update" `Quick test_update_in_place;
+          Alcotest.test_case "key zero" `Quick test_key_zero_rejected ] );
+      ( "splits",
+        [ Alcotest.test_case "sequential" `Quick test_sequential_inserts_split;
+          Alcotest.test_case "reverse" `Quick test_reverse_inserts ] );
+      ( "model",
+        [ Alcotest.test_case "random ops, all allocators" `Quick
+            test_random_vs_model ]
+        @ qsuite );
+      ( "scan",
+        [ Alcotest.test_case "range" `Quick test_scan;
+          Alcotest.test_case "across leaves" `Quick test_scan_crosses_leaves ] );
+      ( "delete",
+        [ Alcotest.test_case "delete/reinsert" `Quick test_delete_then_reinsert;
+          Alcotest.test_case "missing" `Quick test_delete_missing ] );
+      ( "concurrency",
+        [ Alcotest.test_case "parallel inserts" `Quick test_concurrent_inserts;
+          Alcotest.test_case "readers/writers" `Quick
+            test_concurrent_mixed_readers_writers ] );
+      ( "persistence",
+        [ Alcotest.test_case "crash + attach" `Quick test_persistence_across_crash;
+          Alcotest.test_case "crash at split boundaries" `Quick
+            test_crash_at_every_split_boundary ] ) ]

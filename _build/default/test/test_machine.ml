@@ -1,0 +1,281 @@
+(* Tests for the machine layer: charged access, cache model, NUMA
+   costs, MPK integration, locks, parallel, bandwidth queue, critical
+   sections, forced yields. *)
+
+module Sched = Simcore.Sched
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let base = 1 lsl 20
+
+let mkmach ?cfg () =
+  let m = Machine.create ?cfg () in
+  Machine.add_region m ~base ~size:(1 lsl 20) ~kind:Nvmm.Memdev.Nvmm ~numa:0;
+  m
+
+(* simulated time consumed by [body] on one thread *)
+let timed ?cfg ?(cpu = 0) body =
+  let m = mkmach ?cfg () in
+  let t = Machine.spawn m ~cpu (fun () -> body m) in
+  Machine.run m;
+  (m, Sched.thread_clock (Machine.engine m) t)
+
+let test_rw_outside_simulation () =
+  let m = mkmach () in
+  Machine.write_u64 m base 77;
+  check_int "value" 77 (Machine.read_u64 m base)
+
+let test_read_miss_then_hit () =
+  let cfg = Machine.Config.default in
+  let _, elapsed =
+    timed (fun m ->
+        ignore (Machine.read_u64 m base); (* miss: nvmm latency *)
+        ignore (Machine.read_u64 m base) (* hit: cache latency *))
+  in
+  let expected =
+    cfg.Machine.Config.nvmm_read_ns + cfg.Machine.Config.nvmm_read_service_ns
+    + cfg.Machine.Config.cache_hit_ns
+  in
+  check_int "miss+hit cost" expected elapsed
+
+let test_write_invalidates_other_cpu () =
+  (* cpu 0 reads a line (cached); cpu 1 writes it; cpu 0 must miss *)
+  let m = mkmach () in
+  let cost = ref 0 in
+  let t0 =
+    Machine.spawn m ~cpu:0 (fun () ->
+        ignore (Machine.read_u64 m base);
+        Sched.yield ();
+        Sched.yield ();
+        let before = Sched.now () in
+        ignore (Machine.read_u64 m base);
+        cost := Sched.now () - before)
+  in
+  ignore
+    (Machine.spawn m ~cpu:1 (fun () -> Machine.write_u64 m base 1));
+  Machine.run m;
+  ignore t0;
+  check "second read is a miss" true
+    (!cost >= (Machine.cfg m).Machine.Config.nvmm_read_ns)
+
+let test_remote_numa_read_costlier () =
+  let cfg = Machine.Config.default in
+  let m = Machine.create () in
+  Machine.add_region m ~base ~size:4096 ~kind:Nvmm.Memdev.Nvmm ~numa:1;
+  let t =
+    (* cpu 0 is on node 0; the region is on node 1 *)
+    Machine.spawn m ~cpu:0 (fun () -> ignore (Machine.read_u64 m base))
+  in
+  Machine.run m;
+  let elapsed = Sched.thread_clock (Machine.engine m) t in
+  check "remote read costs more" true
+    (elapsed > cfg.Machine.Config.nvmm_read_ns)
+
+let test_mpk_integration () =
+  let m = mkmach () in
+  let k = Mpk.alloc_key (Machine.mpk m) in
+  Mpk.assign_range (Machine.mpk m) k ~base ~size:4096;
+  Mpk.set_default_perm (Machine.mpk m) k Mpk.Read_only;
+  ignore (Machine.read_u64 m base);
+  check "protected write faults" true
+    (try Machine.write_u64 m base 1; false with Mpk.Fault _ -> true);
+  Machine.wrpkru m k Mpk.Read_write;
+  Machine.write_u64 m base 1;
+  check_int "after grant" 1 (Machine.read_u64 m base)
+
+let test_wrpkru_thread_local_in_sim () =
+  let m = mkmach () in
+  let k = Mpk.alloc_key (Machine.mpk m) in
+  Mpk.assign_range (Machine.mpk m) k ~base ~size:4096;
+  Mpk.set_default_perm (Machine.mpk m) k Mpk.Read_only;
+  let other_faulted = ref false in
+  ignore
+    (Machine.spawn m ~cpu:0 (fun () ->
+         Machine.wrpkru m k Mpk.Read_write;
+         Machine.write_u64 m base 5;
+         Sched.yield ()));
+  ignore
+    (Machine.spawn m ~cpu:1 (fun () ->
+         Sched.charge 1;
+         (try Machine.write_u64 m base 6 with Mpk.Fault _ -> other_faulted := true)));
+  Machine.run m;
+  check "grant is per-thread" true !other_faulted
+
+let test_persist_cost () =
+  let cfg = Machine.Config.default in
+  let _, elapsed =
+    timed (fun m ->
+        Machine.write_u64 m base 1;
+        Machine.persist m base 8)
+  in
+  check "persist charges clwb+sfence" true
+    (elapsed
+     >= cfg.Machine.Config.nvmm_write_ns + cfg.Machine.Config.clwb_ns
+        + cfg.Machine.Config.sfence_ns)
+
+let test_parallel_returns_makespan () =
+  let m = mkmach () in
+  let secs =
+    Machine.parallel m ~threads:4 (fun i ->
+        Machine.compute m ((i + 1) * 1000))
+  in
+  Alcotest.(check (float 1e-12)) "makespan = slowest" 4e-6 secs
+
+let test_parallel_batches_accumulate () =
+  let m = mkmach () in
+  let s1 = Machine.parallel m ~threads:2 (fun _ -> Machine.compute m 500) in
+  let s2 = Machine.parallel m ~threads:2 (fun _ -> Machine.compute m 700) in
+  Alcotest.(check (float 1e-12)) "first batch" 5e-7 s1;
+  Alcotest.(check (float 1e-12)) "second batch measured alone" 7e-7 s2
+
+let test_lock_charges () =
+  let m = mkmach () in
+  let l = Machine.Lock.create m () in
+  let t =
+    Machine.spawn m ~cpu:0 (fun () ->
+        Machine.Lock.acquire l;
+        Machine.Lock.release l)
+  in
+  Machine.run m;
+  check_int "uncontended acquire cost"
+    (Machine.cfg m).Machine.Config.lock_acquire_ns
+    (Sched.thread_clock (Machine.engine m) t)
+
+let test_lock_transfer_cost () =
+  let m = mkmach () in
+  let l = Machine.Lock.create m () in
+  ignore
+    (Machine.spawn m ~cpu:0 (fun () ->
+         Machine.Lock.acquire l;
+         Machine.Lock.release l));
+  let t1 =
+    Machine.spawn m ~cpu:1 (fun () ->
+        Sched.charge 100;
+        Machine.Lock.acquire l;
+        Machine.Lock.release l)
+  in
+  Machine.run m;
+  let cfg = Machine.cfg m in
+  check_int "transfer charged"
+    (100 + cfg.Machine.Config.lock_acquire_ns
+     + cfg.Machine.Config.lock_transfer_ns)
+    (Sched.thread_clock (Machine.engine m) t1)
+
+let test_bandwidth_saturation () =
+  (* hammering flushes from many threads must scale sublinearly: the
+     per-node DIMM queue caps throughput *)
+  (* a deliberately narrow device (one slow DIMM per node) so that 32
+     threads exceed the service rate *)
+  let cfg =
+    { Machine.Config.default with
+      nvmm_dimms_per_node = 1;
+      nvmm_write_service_ns = 100 }
+  in
+  let run threads =
+    let m = mkmach ~cfg () in
+    let secs =
+      Machine.parallel m ~threads (fun i ->
+          (* distinct lines every iteration: write-combining must not
+             hide the media traffic *)
+          for j = 1 to 200 do
+            let a = base + (i * 16384) + (j * 64) in
+            Machine.write_u64 m a 1;
+            Machine.persist m a 8
+          done)
+    in
+    float_of_int (threads * 200) /. secs
+  in
+  let r1 = run 1 and r32 = run 32 in
+  check "sublinear under flush storm" true (r32 < 24.0 *. r1)
+
+let test_critical_blocks_yields () =
+  let cfg = { Machine.Config.default with yield_ops = 1 } in
+  let m = mkmach ~cfg () in
+  let interleaved = ref false in
+  let in_critical = ref false in
+  ignore
+    (Machine.spawn m ~cpu:0 (fun () ->
+         Machine.critical m (fun () ->
+             in_critical := true;
+             for i = 0 to 63 do
+               Machine.write_u64 m (base + (i * 8)) i
+             done;
+             in_critical := false)));
+  ignore
+    (Machine.spawn m ~cpu:1 (fun () ->
+         if !in_critical then interleaved := true;
+         ignore (Machine.read_u64 m base)));
+  Machine.run m;
+  check "no interleave inside critical" false !interleaved
+
+let test_yields_bound_drift () =
+  (* with forced yields, two independent threads interleave: the
+     second thread observes the first's store midway *)
+  let cfg = { Machine.Config.default with yield_ops = 4 } in
+  let m = mkmach ~cfg () in
+  let observed = ref 0 in
+  ignore
+    (Machine.spawn m ~cpu:0 (fun () ->
+         for i = 1 to 100 do
+           Machine.write_u64 m base i
+         done));
+  ignore
+    (Machine.spawn m ~cpu:1 (fun () ->
+         for _ = 1 to 20 do
+           ignore (Machine.read_u64 m (base + 4096))
+         done;
+         observed := Machine.read_u64 m base));
+  Machine.run m;
+  check "interleaved observation" true (!observed > 0 && !observed < 100)
+
+let test_profile_accounts_for_clock () =
+  (* the per-category profile must sum to the thread's charged time *)
+  let m = mkmach () in
+  Machine.reset_profile m;
+  let t =
+    Machine.spawn m ~cpu:0 (fun () ->
+        ignore (Machine.read_u64 m base);
+        ignore (Machine.read_u64 m base);
+        Machine.write_u64 m base 1;
+        Machine.persist m base 8;
+        Machine.compute m 123)
+  in
+  Machine.run m;
+  let p = Machine.profile m in
+  let total =
+    p.Machine.p_read_hit + p.Machine.p_read_miss + p.Machine.p_write
+    + p.Machine.p_flush + p.Machine.p_fence + p.Machine.p_bandwidth_wait
+    + p.Machine.p_compute + p.Machine.p_wrpkru
+  in
+  check_int "profile = clock" (Sched.thread_clock (Machine.engine m) t) total;
+  check "hit and miss distinguished" true
+    (p.Machine.p_read_hit > 0 && p.Machine.p_read_miss > 0);
+  check_int "compute tracked" 123 p.Machine.p_compute;
+  Machine.reset_profile m;
+  check_int "reset" 0 (Machine.profile m).Machine.p_compute
+
+let () =
+  Alcotest.run "machine"
+    [ ( "access",
+        [ Alcotest.test_case "outside simulation" `Quick test_rw_outside_simulation;
+          Alcotest.test_case "miss then hit" `Quick test_read_miss_then_hit;
+          Alcotest.test_case "invalidation" `Quick test_write_invalidates_other_cpu;
+          Alcotest.test_case "remote numa" `Quick test_remote_numa_read_costlier;
+          Alcotest.test_case "persist cost" `Quick test_persist_cost ] );
+      ( "mpk",
+        [ Alcotest.test_case "integration" `Quick test_mpk_integration;
+          Alcotest.test_case "per-thread grant" `Quick test_wrpkru_thread_local_in_sim ] );
+      ( "threads",
+        [ Alcotest.test_case "parallel makespan" `Quick test_parallel_returns_makespan;
+          Alcotest.test_case "parallel batches" `Quick test_parallel_batches_accumulate;
+          Alcotest.test_case "yields bound drift" `Quick test_yields_bound_drift;
+          Alcotest.test_case "critical sections" `Quick test_critical_blocks_yields ] );
+      ( "locks",
+        [ Alcotest.test_case "acquire cost" `Quick test_lock_charges;
+          Alcotest.test_case "transfer cost" `Quick test_lock_transfer_cost ] );
+      ( "bandwidth",
+        [ Alcotest.test_case "saturation" `Quick test_bandwidth_saturation ] );
+      ( "profile",
+        [ Alcotest.test_case "accounts for clock" `Quick
+            test_profile_accounts_for_clock ] ) ]

@@ -1,0 +1,280 @@
+(* Tests for the Makalu-like baseline: small/large paths, the 400 B
+   threshold, reclaim spills, the chunk walk, GC mark/sweep semantics,
+   and its documented vulnerabilities as regression assertions. *)
+
+module Prng = Repro_util.Prng
+module Memdev = Nvmm.Memdev
+module H = Makalu_sim.Heap
+module L = Makalu_sim.Layout
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let base = 1 lsl 30
+
+let mkheap ?(size = 1 lsl 24) () =
+  let mach = Machine.create () in
+  (mach, H.create mach ~base ~size ~heap_id:1)
+
+let alloc_exn h size =
+  match H.alloc h size with
+  | Some p -> p
+  | None -> Alcotest.fail "unexpected out-of-memory"
+
+let inst_of h = Makalu_sim.instance h
+
+(* ---------- layout ---------- *)
+
+let test_bucket_of () =
+  check_int "16" 1 (L.bucket_of 16);
+  check_int "1" 1 (L.bucket_of 1);
+  check_int "400" 25 (L.bucket_of 400);
+  check_int "round16" 32 (L.round16 17)
+
+(* ---------- small path ---------- *)
+
+let test_small_roundtrip () =
+  let mach, h = mkheap () in
+  let p = alloc_exn h 100 in
+  Machine.write_u64 mach p 42;
+  check_int "usable" 42 (Machine.read_u64 mach p);
+  check_int "header size" 112 (Machine.read_u64 mach (p - 16));
+  H.free h p;
+  (* same bucket reuse *)
+  let p2 = alloc_exn h 100 in
+  check_int "local list reuse" p p2
+
+let test_small_buckets_independent () =
+  let _, h = mkheap () in
+  let a = alloc_exn h 32 in
+  let b = alloc_exn h 200 in
+  H.free h a;
+  (* a 200-byte allocation must not take the 32-byte block *)
+  let c = alloc_exn h 200 in
+  check "different block" true (c <> a);
+  ignore b
+
+let test_reclaim_spill_and_refill () =
+  let _, h = mkheap () in
+  (* free far more than the local overflow: spills to reclaim *)
+  let ps = List.init 100 (fun _ -> alloc_exn h 64) in
+  List.iter (H.free h) ps;
+  let st = H.stats h in
+  check "spilled" true (st.H.reclaim_moves > 0);
+  (* refill gets them back *)
+  let ps2 = List.init 100 (fun _ -> alloc_exn h 64) in
+  check_int "reused all" 100 (List.length ps2)
+
+(* ---------- large path ---------- *)
+
+let test_large_roundtrip_and_reuse () =
+  let _, h = mkheap () in
+  let p = alloc_exn h 5000 in
+  H.free h p;
+  let p2 = alloc_exn h 5000 in
+  check_int "reused from global list" p p2
+
+let test_large_split () =
+  let _, h = mkheap () in
+  let p = alloc_exn h 100_000 in
+  H.free h p;
+  let a = alloc_exn h 40_000 in
+  let b = alloc_exn h 40_000 in
+  check "both carved from the freed block" true
+    (a >= p && b >= p && a < p + 100_000 && b < p + 100_016 + 100_000);
+  let st = H.stats h in
+  check "list scanned" true (st.H.large_scans >= 0)
+
+let test_threshold_routing () =
+  let _, h = mkheap () in
+  let small = alloc_exn h 400 in
+  let large = alloc_exn h 401 in
+  let before = (H.stats h).H.large_free_len in
+  H.free h small;
+  let after_small = (H.stats h).H.large_free_len in
+  check_int "400 B free stays local" before after_small;
+  H.free h large;
+  let after_large = (H.stats h).H.large_free_len in
+  (* the 401-byte block must land on the global chunk list *)
+  check_int "401 B free goes global" (before + 1) after_large
+
+let test_oom () =
+  let _, h = mkheap ~size:(1 lsl 20) () in
+  check "oversized fails" true (H.alloc h (1 lsl 21) = None)
+
+(* ---------- GC ---------- *)
+
+let test_gc_sweeps_garbage () =
+  let mach, h = mkheap () in
+  let inst = inst_of h in
+  let keep = Option.get (Alloc_intf.i_alloc inst 64) in
+  for _ = 1 to 10 do
+    ignore (Alloc_intf.i_alloc inst 128)
+  done;
+  Alloc_intf.i_set_root inst keep;
+  Memdev.crash (Machine.dev mach) `Strict;
+  let h2 = H.attach mach ~base in
+  let st = H.stats h2 in
+  check_int "live" 1 st.H.gc_live;
+  check_int "swept" 10 st.H.gc_swept;
+  (* swept objects are allocatable again *)
+  let inst2 = inst_of h2 in
+  let p = Option.get (Alloc_intf.i_alloc inst2 128) in
+  ignore p
+
+let test_gc_conservative_marking () =
+  (* any word that looks like an object pointer keeps it alive *)
+  let mach, h = mkheap () in
+  let inst = inst_of h in
+  let a = Option.get (Alloc_intf.i_alloc inst 64) in
+  let b = Option.get (Alloc_intf.i_alloc inst 64) in
+  let araw = Alloc_intf.i_get_rawptr inst a in
+  (* bury b's address mid-object *)
+  Machine.write_u64 mach (araw + 24) (Alloc_intf.i_get_rawptr inst b);
+  Machine.persist mach (araw + 24) 8;
+  Alloc_intf.i_set_root inst a;
+  Memdev.crash (Machine.dev mach) `Strict;
+  let h2 = H.attach mach ~base in
+  check_int "both live" 2 (H.stats h2).H.gc_live
+
+let test_gc_cycles_no_hang () =
+  let mach, h = mkheap () in
+  let inst = inst_of h in
+  let a = Option.get (Alloc_intf.i_alloc inst 64) in
+  let b = Option.get (Alloc_intf.i_alloc inst 64) in
+  let araw = Alloc_intf.i_get_rawptr inst a in
+  let braw = Alloc_intf.i_get_rawptr inst b in
+  Machine.write_u64 mach araw braw;
+  Machine.write_u64 mach braw araw;
+  Machine.persist mach araw 8;
+  Machine.persist mach braw 8;
+  Alloc_intf.i_set_root inst a;
+  Memdev.crash (Machine.dev mach) `Strict;
+  let h2 = H.attach mach ~base in
+  check_int "cycle marked once" 2 (H.stats h2).H.gc_live
+
+let test_gc_leak_fixed () =
+  (* the headline Makalu feature: allocations lost by a crash (never
+     linked anywhere) are recovered without any log *)
+  let mach, h = mkheap ~size:(1 lsl 21) () in
+  let inst = inst_of h in
+  (* allocate until full without retaining anything *)
+  let rec fill n =
+    match Alloc_intf.i_alloc inst 1024 with
+    | Some _ -> fill (n + 1)
+    | None -> n
+  in
+  let n1 = fill 0 in
+  check "filled" true (n1 > 0);
+  Memdev.crash (Machine.dev mach) `Strict;
+  let h2 = H.attach mach ~base in
+  let inst2 = inst_of h2 in
+  let rec fill2 n =
+    match Alloc_intf.i_alloc inst2 1024 with
+    | Some _ -> fill2 (n + 1)
+    | None -> n
+  in
+  check_int "all space recovered by GC" n1 (fill2 0)
+
+(* ---------- vulnerabilities (regressions for the safety matrix) ---------- *)
+
+let test_corrupted_header_breaks_walk () =
+  let mach, h = mkheap () in
+  let inst = inst_of h in
+  let a = Option.get (Alloc_intf.i_alloc inst 64) in
+  let b = Option.get (Alloc_intf.i_alloc inst 64) in
+  let braw = Alloc_intf.i_get_rawptr inst b in
+  (* corrupt a's header magic: the walk stops there and b vanishes *)
+  let araw = Alloc_intf.i_get_rawptr inst a in
+  Machine.write_u64 mach (araw - 8) 0xBAD;
+  Machine.persist mach (araw - 8) 8;
+  Alloc_intf.i_set_root inst b;
+  Memdev.crash (Machine.dev mach) `Strict;
+  let h2 = H.attach mach ~base in
+  (* b is in the same carve chunk, after a: unreachable by the walk *)
+  check_int "everything after the bad header is lost" 0 (H.stats h2).H.gc_live;
+  ignore braw
+
+let test_double_free_corrupts () =
+  let _, h = mkheap () in
+  let p = alloc_exn h 64 in
+  H.free h p;
+  H.free h p;
+  (* two allocations of the bucket now return the same address *)
+  let a = alloc_exn h 64 in
+  let b = alloc_exn h 64 in
+  check_int "same block handed out twice" a b
+
+(* ---------- tx is a no-op by design ---------- *)
+
+let test_tx_alloc_gc_semantics () =
+  let mach, h = mkheap () in
+  let inst = inst_of h in
+  ignore (Alloc_intf.i_tx_alloc inst 64 ~is_end:false);
+  ignore (Alloc_intf.i_tx_alloc inst 64 ~is_end:false);
+  (* never linked, never committed: the GC reclaims them *)
+  Memdev.crash (Machine.dev mach) `Strict;
+  let h2 = H.attach mach ~base in
+  check_int "uncommitted collected" 0 (H.stats h2).H.gc_live;
+  check_int "swept" 2 (H.stats h2).H.gc_swept
+
+(* ---------- property ---------- *)
+
+let prop_random_no_overlap =
+  QCheck.Test.make ~name:"makalu live allocations never overlap" ~count:20
+    QCheck.small_nat
+    (fun seed ->
+      let _, h = mkheap () in
+      let rng = Prng.create (seed + 77) in
+      let live = ref [] in
+      for _ = 1 to 300 do
+        if Prng.bool rng || !live = [] then begin
+          let size = 16 + Prng.int rng 1500 in
+          match H.alloc h size with
+          | Some p -> live := (p, L.round16 size) :: !live
+          | None -> ()
+        end
+        else begin
+          match !live with
+          | (p, _) :: rest ->
+            H.free h p;
+            live := rest
+          | [] -> ()
+        end
+      done;
+      let sorted = List.sort compare !live in
+      let rec disjoint = function
+        | (a, sa) :: ((b, _) :: _ as rest) -> a + sa <= b && disjoint rest
+        | _ -> true
+      in
+      disjoint sorted)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_random_no_overlap ]
+
+let () =
+  Alcotest.run "makalu_sim"
+    [ ("layout", [ Alcotest.test_case "buckets" `Quick test_bucket_of ]);
+      ( "small",
+        [ Alcotest.test_case "roundtrip" `Quick test_small_roundtrip;
+          Alcotest.test_case "buckets independent" `Quick
+            test_small_buckets_independent;
+          Alcotest.test_case "reclaim spill/refill" `Quick
+            test_reclaim_spill_and_refill ] );
+      ( "large",
+        [ Alcotest.test_case "roundtrip/reuse" `Quick test_large_roundtrip_and_reuse;
+          Alcotest.test_case "split" `Quick test_large_split;
+          Alcotest.test_case "400B threshold" `Quick test_threshold_routing;
+          Alcotest.test_case "oom" `Quick test_oom ] );
+      ( "gc",
+        [ Alcotest.test_case "sweeps garbage" `Quick test_gc_sweeps_garbage;
+          Alcotest.test_case "conservative marking" `Quick
+            test_gc_conservative_marking;
+          Alcotest.test_case "cycles" `Quick test_gc_cycles_no_hang;
+          Alcotest.test_case "leak fixed" `Quick test_gc_leak_fixed ] );
+      ( "vulnerabilities",
+        [ Alcotest.test_case "corrupted header breaks walk" `Quick
+            test_corrupted_header_breaks_walk;
+          Alcotest.test_case "double free" `Quick test_double_free_corrupts ] );
+      ( "tx",
+        [ Alcotest.test_case "gc semantics" `Quick test_tx_alloc_gc_semantics ] );
+      ("properties", qsuite) ]

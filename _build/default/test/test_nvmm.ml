@@ -1,0 +1,268 @@
+(* Tests for the simulated NVMM device: access widths, regions,
+   sparse backing, clwb/sfence persistence semantics, crash modes,
+   hole punching, counters. *)
+
+module Memdev = Nvmm.Memdev
+module Prng = Repro_util.Prng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let mkdev ?(size = 1 lsl 20) () =
+  let d = Memdev.create () in
+  Memdev.add_region d ~base:0 ~size ~kind:Memdev.Nvmm ~numa:0;
+  d
+
+(* ---------- scalar access ---------- *)
+
+let test_rw_widths () =
+  let d = mkdev () in
+  Memdev.write_u8 d 0 0xAB;
+  check_int "u8" 0xAB (Memdev.read_u8 d 0);
+  Memdev.write_u16 d 2 0xBEEF;
+  check_int "u16" 0xBEEF (Memdev.read_u16 d 2);
+  Memdev.write_u32 d 4 0xDEADBEEF;
+  check_int "u32" 0xDEADBEEF (Memdev.read_u32 d 4);
+  Memdev.write_u64 d 8 0x123456789ABCDEF;
+  check_int "u64" 0x123456789ABCDEF (Memdev.read_u64 d 8)
+
+let test_unwritten_reads_zero () =
+  let d = mkdev () in
+  check_int "virgin zero" 0 (Memdev.read_u64 d 4096)
+
+let test_chunk_straddle () =
+  let d = mkdev ~size:(1 lsl 20) () in
+  (* 64 KiB chunk boundary at 65536; unaligned u64 across it *)
+  let a = 65536 - 3 in
+  Memdev.write_u64 d a 0x1122334455667788;
+  check_int "straddling u64" 0x1122334455667788 (Memdev.read_u64 d a);
+  check_int "bytes before" 0x88 (Memdev.read_u8 d a)
+
+let test_bytes_roundtrip () =
+  let d = mkdev () in
+  let src = Bytes.of_string "the quick brown fox jumps over the lazy dog" in
+  Memdev.write_bytes d 100 src;
+  Alcotest.(check string) "roundtrip" (Bytes.to_string src)
+    (Bytes.to_string (Memdev.read_bytes d 100 (Bytes.length src)))
+
+let test_bytes_across_chunks () =
+  let d = mkdev ~size:(1 lsl 20) () in
+  let src = Bytes.make 200_000 'x' in
+  Bytes.set src 0 'a';
+  Bytes.set src 199_999 'z';
+  Memdev.write_bytes d 10 src;
+  let back = Memdev.read_bytes d 10 200_000 in
+  check "multi-chunk blob" true (Bytes.equal src back)
+
+let test_fill () =
+  let d = mkdev () in
+  Memdev.fill d 64 100 'q';
+  check_int "filled" (Char.code 'q') (Memdev.read_u8 d 163);
+  check_int "boundary" 0 (Memdev.read_u8 d 164)
+
+(* ---------- regions ---------- *)
+
+let test_region_info () =
+  let d = Memdev.create () in
+  Memdev.add_region d ~base:0 ~size:4096 ~kind:Memdev.Dram ~numa:0;
+  Memdev.add_region d ~base:8192 ~size:4096 ~kind:Memdev.Nvmm ~numa:1;
+  check "dram" true (Memdev.region_info d 100 = (Memdev.Dram, 0));
+  check "nvmm" true (Memdev.region_info d 8192 = (Memdev.Nvmm, 1));
+  check "has_region" true (Memdev.has_region d 0);
+  check "no region" false (Memdev.has_region d 5000)
+
+let test_region_overlap_rejected () =
+  let d = Memdev.create () in
+  Memdev.add_region d ~base:0 ~size:8192 ~kind:Memdev.Nvmm ~numa:0;
+  check "overlap rejected" true
+    (try
+       Memdev.add_region d ~base:4096 ~size:8192 ~kind:Memdev.Nvmm ~numa:0;
+       false
+     with Invalid_argument _ -> true)
+
+let test_invalid_address () =
+  let d = mkdev ~size:4096 () in
+  check "oob read raises" true
+    (try ignore (Memdev.read_u64 d 4096); false
+     with Memdev.Invalid_address _ -> true);
+  check "oob write raises" true
+    (try Memdev.write_u64 d 4090 1; false
+     with Memdev.Invalid_address _ -> true)
+
+(* ---------- persistence ---------- *)
+
+let test_unflushed_lost_on_crash () =
+  let d = mkdev () in
+  Memdev.write_u64 d 0 42;
+  Memdev.crash d `Strict;
+  check_int "unflushed store lost" 0 (Memdev.read_u64 d 0)
+
+let test_persist_survives_crash () =
+  let d = mkdev () in
+  Memdev.write_u64 d 0 42;
+  Memdev.persist d 0 8;
+  Memdev.write_u64 d 8 43; (* same line, not re-flushed *)
+  Memdev.crash d `Strict;
+  check_int "flushed survives" 42 (Memdev.read_u64 d 0);
+  check_int "later store on same line lost" 0 (Memdev.read_u64 d 8)
+
+let test_clwb_without_sfence_lost () =
+  let d = mkdev () in
+  Memdev.write_u64 d 0 42;
+  Memdev.clwb d 0;
+  (* no sfence *)
+  Memdev.crash d `Strict;
+  check_int "clwb without fence not durable" 0 (Memdev.read_u64 d 0)
+
+let test_clwb_snapshot_semantics () =
+  (* stores after clwb but before sfence must not be made durable by
+     that earlier clwb *)
+  let d = mkdev () in
+  Memdev.write_u64 d 0 1;
+  Memdev.clwb d 0;
+  Memdev.write_u64 d 0 2;
+  Memdev.sfence d;
+  Memdev.crash d `Strict;
+  check_int "snapshot at clwb time" 1 (Memdev.read_u64 d 0)
+
+let test_dirty_tracking () =
+  let d = mkdev () in
+  check_int "clean" 0 (Memdev.dirty_lines d);
+  Memdev.write_u64 d 0 1;
+  Memdev.write_u64 d 8 2; (* same line *)
+  check_int "one dirty line" 1 (Memdev.dirty_lines d);
+  Memdev.write_u64 d 64 3;
+  check_int "two dirty lines" 2 (Memdev.dirty_lines d);
+  Memdev.persist d 0 72;
+  check_int "clean after persist" 0 (Memdev.dirty_lines d)
+
+let test_drain () =
+  let d = mkdev () in
+  for i = 0 to 99 do
+    Memdev.write_u64 d (i * 64) i
+  done;
+  Memdev.drain d;
+  Memdev.crash d `Strict;
+  let ok = ref true in
+  for i = 0 to 99 do
+    if Memdev.read_u64 d (i * 64) <> i then ok := false
+  done;
+  check "drain flushed everything" true !ok
+
+let test_adversarial_crash_subsets () =
+  (* adversarial crash may persist any subset of dirty lines; flushed
+     data must survive regardless, and every line must hold either the
+     old or the new value *)
+  let rng = Prng.create 99 in
+  for _ = 1 to 20 do
+    let d = mkdev () in
+    Memdev.write_u64 d 0 7;
+    Memdev.persist d 0 8;
+    Memdev.write_u64 d 0 8;   (* dirty again *)
+    Memdev.write_u64 d 64 9;  (* dirty, never flushed *)
+    Memdev.crash d (`Adversarial rng);
+    let v0 = Memdev.read_u64 d 0 and v1 = Memdev.read_u64 d 64 in
+    check "line0 old or new" true (v0 = 7 || v0 = 8);
+    check "line1 zero or evicted" true (v1 = 0 || v1 = 9)
+  done
+
+let test_crash_idempotent () =
+  let d = mkdev () in
+  Memdev.write_u64 d 0 5;
+  Memdev.persist d 0 8;
+  Memdev.crash d `Strict;
+  Memdev.crash d `Strict;
+  check_int "double crash stable" 5 (Memdev.read_u64 d 0)
+
+(* ---------- punch ---------- *)
+
+let test_punch_zeroes () =
+  let d = mkdev ~size:(1 lsl 20) () in
+  Memdev.write_u64 d 100 42;
+  Memdev.persist d 100 8;
+  Memdev.punch d 0 4096;
+  check_int "volatile zeroed" 0 (Memdev.read_u64 d 100);
+  Memdev.crash d `Strict;
+  check_int "persistent zeroed" 0 (Memdev.read_u64 d 100)
+
+let test_punch_whole_chunk () =
+  let d = mkdev ~size:(1 lsl 20) () in
+  Memdev.write_u64 d 65536 1;
+  Memdev.write_u64 d 65536 1;
+  Memdev.punch d 65536 65536; (* exactly one backing chunk *)
+  check_int "chunk released" 0 (Memdev.read_u64 d 65536)
+
+let test_punch_partial () =
+  let d = mkdev () in
+  Memdev.write_u64 d 0 1;
+  Memdev.write_u64 d 4096 2;
+  Memdev.persist d 0 8;
+  Memdev.persist d 4096 8;
+  Memdev.punch d 0 4096;
+  check_int "punched part zero" 0 (Memdev.read_u64 d 0);
+  check_int "other part intact" 2 (Memdev.read_u64 d 4096)
+
+(* ---------- counters ---------- *)
+
+let test_counters () =
+  let d = mkdev () in
+  Memdev.reset_counters d;
+  Memdev.write_u64 d 0 1;
+  ignore (Memdev.read_u64 d 0);
+  Memdev.persist d 0 8;
+  let c = Memdev.counters d in
+  check_int "stores" 1 c.Memdev.stores;
+  check_int "loads" 1 c.Memdev.loads;
+  check_int "flushed" 1 c.Memdev.lines_flushed;
+  check_int "fences" 1 c.Memdev.fences
+
+(* property: random write/persist/crash traces keep the persistent
+   image consistent with the flush history *)
+let prop_crash_consistency =
+  QCheck.Test.make ~name:"every persisted write survives a strict crash"
+    ~count:100
+    QCheck.(list (pair (int_bound 63) (int_bound 1000)))
+    (fun writes ->
+      let d = mkdev () in
+      let last = Hashtbl.create 16 in
+      List.iter
+        (fun (slot, v) ->
+          let addr = slot * 8 in
+          Memdev.write_u64 d addr v;
+          Memdev.persist d addr 8;
+          Hashtbl.replace last addr v)
+        writes;
+      Memdev.crash d `Strict;
+      Hashtbl.fold (fun addr v ok -> ok && Memdev.read_u64 d addr = v) last true)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_crash_consistency ]
+
+let () =
+  Alcotest.run "nvmm"
+    [ ( "access",
+        [ Alcotest.test_case "widths" `Quick test_rw_widths;
+          Alcotest.test_case "virgin zero" `Quick test_unwritten_reads_zero;
+          Alcotest.test_case "chunk straddle" `Quick test_chunk_straddle;
+          Alcotest.test_case "bytes roundtrip" `Quick test_bytes_roundtrip;
+          Alcotest.test_case "bytes across chunks" `Quick test_bytes_across_chunks;
+          Alcotest.test_case "fill" `Quick test_fill ] );
+      ( "regions",
+        [ Alcotest.test_case "info" `Quick test_region_info;
+          Alcotest.test_case "overlap rejected" `Quick test_region_overlap_rejected;
+          Alcotest.test_case "invalid address" `Quick test_invalid_address ] );
+      ( "persistence",
+        [ Alcotest.test_case "unflushed lost" `Quick test_unflushed_lost_on_crash;
+          Alcotest.test_case "flushed survives" `Quick test_persist_survives_crash;
+          Alcotest.test_case "clwb needs fence" `Quick test_clwb_without_sfence_lost;
+          Alcotest.test_case "clwb snapshots" `Quick test_clwb_snapshot_semantics;
+          Alcotest.test_case "dirty tracking" `Quick test_dirty_tracking;
+          Alcotest.test_case "drain" `Quick test_drain;
+          Alcotest.test_case "adversarial subsets" `Quick
+            test_adversarial_crash_subsets;
+          Alcotest.test_case "crash idempotent" `Quick test_crash_idempotent ]
+        @ qsuite );
+      ( "punch",
+        [ Alcotest.test_case "zeroes" `Quick test_punch_zeroes;
+          Alcotest.test_case "whole chunk" `Quick test_punch_whole_chunk;
+          Alcotest.test_case "partial" `Quick test_punch_partial ] );
+      ("counters", [ Alcotest.test_case "basic" `Quick test_counters ]) ]

@@ -1,0 +1,240 @@
+(* Tests for the persistence-log machinery (Pundo, Plog): the undo
+   protocol, commit points, torn entries, idempotent replay, overflow. *)
+
+module Pundo = Persist.Pundo
+module Plog = Persist.Plog
+module Memdev = Nvmm.Memdev
+module Prng = Repro_util.Prng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let log_base = 1 lsl 20
+let data_base = (1 lsl 20) + 65536
+let count_addr = log_base
+let entries_addr = log_base + 8
+
+let mkmach () =
+  let m = Machine.create () in
+  Machine.add_region m ~base:log_base ~size:(1 lsl 20) ~kind:Nvmm.Memdev.Nvmm
+    ~numa:0;
+  m
+
+let begin_op m = Pundo.begin_op m ~count_addr ~entries_addr ~cap:64
+
+(* ---------- pundo ---------- *)
+
+let test_write_and_commit () =
+  let m = mkmach () in
+  Machine.write_u64 m data_base 1;
+  Machine.persist m data_base 8;
+  let ctx = begin_op m in
+  Pundo.write ctx data_base 2;
+  check_int "in-place visible" 2 (Machine.read_u64 m data_base);
+  Pundo.commit ctx;
+  check "log empty after commit" true (Pundo.is_empty m ~count_addr);
+  Memdev.crash (Machine.dev m) `Strict;
+  check_int "committed value durable" 2 (Machine.read_u64 m data_base)
+
+let test_crash_mid_op_rolls_back () =
+  let m = mkmach () in
+  Machine.write_u64 m data_base 10;
+  Machine.write_u64 m (data_base + 8) 20;
+  Machine.persist m data_base 16;
+  let ctx = begin_op m in
+  Pundo.write ctx data_base 11;
+  Pundo.write ctx (data_base + 8) 21;
+  (* no commit: crash *)
+  Memdev.crash (Machine.dev m) `Strict;
+  check "log non-empty" false (Pundo.is_empty m ~count_addr);
+  check "recovered" true (Pundo.recover m ~count_addr ~entries_addr);
+  check_int "rolled back 1" 10 (Machine.read_u64 m data_base);
+  check_int "rolled back 2" 20 (Machine.read_u64 m (data_base + 8));
+  check "log empty after recover" true (Pundo.is_empty m ~count_addr)
+
+let test_adversarial_crash_mid_op () =
+  (* whatever subset of lines the crash persists, recovery must
+     restore the pre-op state *)
+  let rng = Prng.create 123 in
+  for _ = 1 to 50 do
+    let m = mkmach () in
+    for i = 0 to 7 do
+      Machine.write_u64 m (data_base + (i * 8)) (100 + i)
+    done;
+    Machine.persist m data_base 64;
+    let ctx = begin_op m in
+    for i = 0 to 7 do
+      Pundo.write ctx (data_base + (i * 8)) (200 + i)
+    done;
+    Memdev.crash (Machine.dev m) (`Adversarial rng);
+    ignore (Pundo.recover m ~count_addr ~entries_addr);
+    for i = 0 to 7 do
+      check_int "pre-op state" (100 + i) (Machine.read_u64 m (data_base + (i * 8)))
+    done
+  done
+
+let test_first_write_logged_once () =
+  let m = mkmach () in
+  Machine.write_u64 m data_base 5;
+  Machine.persist m data_base 8;
+  let ctx = begin_op m in
+  Pundo.write ctx data_base 6;
+  Pundo.write ctx data_base 7;
+  Pundo.write ctx data_base 8;
+  check_int "one entry" 1 (Machine.read_u64 m count_addr);
+  Memdev.crash (Machine.dev m) `Strict;
+  ignore (Pundo.recover m ~count_addr ~entries_addr);
+  check_int "rolls to original, not intermediate" 5
+    (Machine.read_u64 m data_base)
+
+let test_recover_idempotent () =
+  let m = mkmach () in
+  Machine.write_u64 m data_base 1;
+  Machine.persist m data_base 8;
+  let ctx = begin_op m in
+  Pundo.write ctx data_base 2;
+  Memdev.crash (Machine.dev m) `Strict;
+  ignore (Pundo.recover m ~count_addr ~entries_addr);
+  (* crash during recovery: replay again *)
+  ignore (Pundo.recover m ~count_addr ~entries_addr);
+  check_int "still original" 1 (Machine.read_u64 m data_base)
+
+let test_torn_entry_skipped () =
+  (* simulate a crash where the count persisted but the newest entry's
+     line did not: recovery must skip the torn entry *)
+  let m = mkmach () in
+  Machine.write_u64 m data_base 1;
+  Machine.persist m data_base 8;
+  (* hand-craft: count = 1, entry garbage (checksum invalid) *)
+  Machine.write_u64 m count_addr 1;
+  Machine.write_u64 m entries_addr data_base;
+  Machine.write_u64 m (entries_addr + 8) 999;
+  Machine.write_u64 m (entries_addr + 16) 0 (* bad checksum *);
+  Machine.persist m count_addr 8;
+  Machine.persist m entries_addr 24;
+  check "recover runs" true (Pundo.recover m ~count_addr ~entries_addr);
+  check_int "torn entry not applied" 1 (Machine.read_u64 m data_base)
+
+let test_overflow () =
+  let m = mkmach () in
+  let ctx = begin_op m in
+  check "overflow raises" true
+    (try
+       for i = 0 to 64 do
+         Pundo.write ctx (data_base + (i * 8)) i
+       done;
+       false
+     with Pundo.Overflow -> true)
+
+let test_before_truncate_hook () =
+  let m = mkmach () in
+  let order = ref [] in
+  let ctx = begin_op m in
+  Pundo.write ctx data_base 1;
+  Pundo.commit ctx ~before_truncate:(fun () ->
+      order := `Hook :: !order;
+      order := (`Count (Machine.read_u64 m count_addr)) :: !order);
+  (* the hook must run while the log is still non-empty *)
+  check "hook saw non-empty log" true
+    (List.exists (function `Count 1 -> true | _ -> false) !order)
+
+let test_mark_dirty_persisted_at_commit () =
+  let m = mkmach () in
+  let ctx = begin_op m in
+  Pundo.write ctx data_base 1; (* ensures the op is real *)
+  Machine.write_u64 m (data_base + 64) 42;
+  Pundo.mark_dirty ctx (data_base + 64);
+  Pundo.commit ctx;
+  Memdev.crash (Machine.dev m) `Strict;
+  check_int "marked line flushed" 42 (Machine.read_u64 m (data_base + 64))
+
+(* property: random op traces with strict crash at any point recover
+   to a prefix of committed ops *)
+let prop_random_ops_crash_recover =
+  QCheck.Test.make ~name:"undo log: crash anywhere, recover to last commit"
+    ~count:60
+    QCheck.(pair small_nat (list (pair (int_bound 15) (int_bound 999))))
+    (fun (crash_after, ops) ->
+      let m = mkmach () in
+      (* initial committed state: slot i = i *)
+      for i = 0 to 15 do
+        Machine.write_u64 m (data_base + (i * 8)) i
+      done;
+      Machine.persist m data_base 128;
+      let committed = Array.init 16 Fun.id in
+      let step = ref 0 in
+      (try
+         List.iter
+           (fun (slot, v) ->
+             let ctx = begin_op m in
+             Pundo.write ctx (data_base + (slot * 8)) v;
+             incr step;
+             if !step = crash_after then raise Exit;
+             Pundo.commit ctx;
+             committed.(slot) <- v)
+           ops
+       with Exit -> ());
+      Memdev.crash (Machine.dev m) `Strict;
+      ignore (Pundo.recover m ~count_addr ~entries_addr);
+      Array.for_all Fun.id
+        (Array.init 16 (fun i ->
+             Machine.read_u64 m (data_base + (i * 8)) = committed.(i))))
+
+(* ---------- plog ---------- *)
+
+let plog_area =
+  { Plog.count_addr = log_base + 32768;
+    entries_addr = log_base + 32768 + 8;
+    cap = 8 }
+
+let test_plog_append_entries () =
+  let m = mkmach () in
+  Plog.append m plog_area 11;
+  Plog.append m plog_area 22;
+  Alcotest.(check (list int)) "entries" [ 11; 22 ] (Plog.entries m plog_area);
+  check "not empty" false (Plog.is_empty m plog_area);
+  Plog.truncate m plog_area;
+  check "empty after truncate" true (Plog.is_empty m plog_area)
+
+let test_plog_survives_crash () =
+  let m = mkmach () in
+  Plog.append m plog_area 7;
+  Memdev.crash (Machine.dev m) `Strict;
+  Alcotest.(check (list int)) "entry durable" [ 7 ] (Plog.entries m plog_area)
+
+let test_plog_truncate_is_commit () =
+  let m = mkmach () in
+  Plog.append m plog_area 7;
+  Plog.truncate m plog_area;
+  Memdev.crash (Machine.dev m) `Strict;
+  check "truncation durable" true (Plog.is_empty m plog_area)
+
+let test_plog_full () =
+  let m = mkmach () in
+  for i = 1 to 8 do
+    Plog.append m plog_area i
+  done;
+  check "full" true (Plog.is_full m plog_area);
+  check "overflow raises" true
+    (try Plog.append m plog_area 9; false with Plog.Overflow -> true)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_random_ops_crash_recover ]
+
+let () =
+  Alcotest.run "persist"
+    [ ( "pundo",
+        [ Alcotest.test_case "write/commit" `Quick test_write_and_commit;
+          Alcotest.test_case "crash mid-op" `Quick test_crash_mid_op_rolls_back;
+          Alcotest.test_case "adversarial crash" `Quick test_adversarial_crash_mid_op;
+          Alcotest.test_case "log once per word" `Quick test_first_write_logged_once;
+          Alcotest.test_case "idempotent recover" `Quick test_recover_idempotent;
+          Alcotest.test_case "torn entry" `Quick test_torn_entry_skipped;
+          Alcotest.test_case "overflow" `Quick test_overflow;
+          Alcotest.test_case "before_truncate hook" `Quick test_before_truncate_hook;
+          Alcotest.test_case "mark_dirty" `Quick test_mark_dirty_persisted_at_commit ]
+        @ qsuite );
+      ( "plog",
+        [ Alcotest.test_case "append/entries" `Quick test_plog_append_entries;
+          Alcotest.test_case "durable entries" `Quick test_plog_survives_crash;
+          Alcotest.test_case "truncate commit" `Quick test_plog_truncate_is_commit;
+          Alcotest.test_case "capacity" `Quick test_plog_full ] ) ]

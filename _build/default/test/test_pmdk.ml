@@ -1,0 +1,349 @@
+(* Tests for the PMDK-like baseline: the AVL tree, the chunk index,
+   small/large allocation paths, the action log, arena behaviour, the
+   Fig. 3 vulnerabilities as regression assertions, and the canary
+   mitigation. *)
+
+module Prng = Repro_util.Prng
+module Memdev = Nvmm.Memdev
+module H = Pmdk_sim.Heap
+module Avl = Pmdk_sim.Avl
+module Ci = Pmdk_sim.Chunk_index
+module L = Pmdk_sim.Layout
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let base = 1 lsl 30
+
+let mkheap ?(size = 1 lsl 24) ?(canary = false) () =
+  let mach = Machine.create () in
+  (mach, H.create mach ~base ~size ~heap_id:1 ~canary ())
+
+let alloc_exn h size =
+  match H.alloc h size with
+  | Some p -> p
+  | None -> Alcotest.fail "unexpected out-of-memory"
+
+(* ---------- AVL ---------- *)
+
+let test_avl_basic () =
+  let t = Avl.create () in
+  Avl.insert t ~size:100 ~addr:1;
+  Avl.insert t ~size:50 ~addr:2;
+  Avl.insert t ~size:200 ~addr:3;
+  check_int "count" 3 (Avl.count t);
+  Avl.check t;
+  check "best fit exact" true (Avl.find_best_fit t ~size:50 = Some (50, 2));
+  check "best fit above" true (Avl.find_best_fit t ~size:51 = Some (100, 1));
+  check "no fit" true (Avl.find_best_fit t ~size:201 = None);
+  check "remove" true (Avl.remove t ~size:100 ~addr:1);
+  check "remove gone" false (Avl.remove t ~size:100 ~addr:1);
+  check_int "count after" 2 (Avl.count t)
+
+let test_avl_remove_best_fit () =
+  let t = Avl.create () in
+  Avl.insert t ~size:64 ~addr:10;
+  Avl.insert t ~size:64 ~addr:20;
+  (* ties broken by address *)
+  check "first" true (Avl.remove_best_fit t ~size:64 = Some (64, 10));
+  check "second" true (Avl.remove_best_fit t ~size:64 = Some (64, 20));
+  check "empty" true (Avl.remove_best_fit t ~size:64 = None)
+
+let prop_avl_vs_model =
+  QCheck.Test.make ~name:"avl behaves like a sorted model" ~count:100
+    QCheck.(list (pair (int_range 1 200) (int_range 1 10_000)))
+    (fun items ->
+      let t = Avl.create () in
+      let module S = Set.Make (struct
+        type t = int * int
+
+        let compare = compare
+      end) in
+      let model = ref S.empty in
+      List.iter
+        (fun (size, addr) ->
+          if not (S.mem (size, addr) !model) then begin
+            Avl.insert t ~size ~addr;
+            model := S.add (size, addr) !model
+          end)
+        items;
+      Avl.check t;
+      (* drain by best fit and compare with the model minimum *)
+      let ok = ref true in
+      while not (S.is_empty !model) do
+        let min = S.min_elt !model in
+        (match Avl.remove_best_fit t ~size:1 with
+         | Some got -> if got <> min then ok := false
+         | None -> ok := false);
+        model := S.remove min !model
+      done;
+      !ok && Avl.count t = 0)
+
+let test_avl_visit_charges () =
+  let visits = ref 0 in
+  let t = Avl.create ~on_visit:(fun () -> incr visits) () in
+  for i = 1 to 64 do
+    Avl.insert t ~size:i ~addr:i
+  done;
+  let before = !visits in
+  ignore (Avl.find_best_fit t ~size:32);
+  check "visits charged, logarithmic" true
+    (!visits > before && !visits - before < 20)
+
+(* ---------- chunk index ---------- *)
+
+let test_chunk_index () =
+  let ci = Ci.create () in
+  Ci.add ci ~base:100 ~size:50;
+  Ci.add ci ~base:300 ~size:100;
+  Ci.add ci ~base:10 ~size:20;
+  check_int "count" 3 (Ci.count ci);
+  check "find inside" true
+    (match Ci.find ci 120 with Some e -> e.Ci.base = 100 | None -> false);
+  check "find first" true
+    (match Ci.find ci 10 with Some e -> e.Ci.base = 10 | None -> false);
+  check "miss between" true (Ci.find ci 200 = None);
+  check "miss below" true (Ci.find ci 5 = None);
+  Ci.resize ci ~base:100 ~size:10;
+  check "resized" true (Ci.find ci 120 = None);
+  check "still inside" true
+    (match Ci.find ci 105 with Some e -> e.Ci.base = 100 | None -> false)
+
+(* ---------- allocation paths ---------- *)
+
+let test_small_alloc_free () =
+  let mach, h = mkheap () in
+  let p = alloc_exn h 100 in
+  Machine.write_u64 mach p 42;
+  check_int "usable" 42 (Machine.read_u64 mach p);
+  check_int "header size" 100 (Machine.read_u64 mach (p - 16));
+  check "header magic" true (Machine.read_u64 mach (p - 8) = L.obj_magic);
+  H.free h p
+
+let test_small_reuse_after_action_batch () =
+  let _, h = mkheap () in
+  (* free enough objects to trigger an action-log apply (cap 64) and a
+     rebuild, then confirm reuse *)
+  let ps = List.init 70 (fun _ -> alloc_exn h 64) in
+  List.iter (H.free h) ps;
+  let ps2 = List.init 70 (fun _ -> alloc_exn h 64) in
+  check_int "reused" 70 (List.length ps2);
+  let st = H.stats h in
+  check "action log applied" true (st.H.action_applies >= 1)
+
+let test_large_alloc_free_reuse () =
+  let _, h = mkheap () in
+  let p = alloc_exn h 100_000 in
+  H.free h p;
+  let p2 = alloc_exn h 100_000 in
+  check_int "same chunk reused" p p2
+
+let test_large_split () =
+  let _, h = mkheap ~size:(1 lsl 24) () in
+  let big = alloc_exn h (4 * 1024 * 1024) in
+  H.free h big;
+  (* a smaller allocation must split the freed chunk *)
+  let small = alloc_exn h 300_000 in
+  let small2 = alloc_exn h 300_000 in
+  check "both inside the old chunk" true
+    (small >= big - 4096 - 16
+     && small2 < big + (4 * 1024 * 1024));
+  let st = H.stats h in
+  check "free chunk remains" true (st.H.avl_nodes >= 1)
+
+let test_oom () =
+  let _, h = mkheap ~size:(1 lsl 21) () in
+  check "oversized fails" true (H.alloc h (1 lsl 22) = None)
+
+let test_fill_heap_small () =
+  let _, h = mkheap ~size:(1 lsl 22) () in
+  let rec fill n =
+    match H.alloc h 64 with Some _ -> fill (n + 1) | None -> n
+  in
+  let n = fill 0 in
+  (* 4 MiB window, 80 B per object (two 64 B units): tens of thousands *)
+  check "thousands of allocations" true (n > 20_000)
+
+let test_arena_assignment () =
+  (* allocations from different CPUs use different arenas: verified by
+     their chunks being disjoint *)
+  let cfg = { Machine.Config.default with num_cpus = 4 } in
+  let mach = Machine.create ~cfg () in
+  let h = H.create mach ~base ~size:(1 lsl 24) ~heap_id:1 () in
+  let ptrs = Array.make 4 0 in
+  let _ =
+    Machine.parallel mach ~threads:4 (fun i ->
+        ptrs.(i) <- Option.get (H.alloc h 64))
+  in
+  let chunk_of p = (p - base) / L.small_chunk_size in
+  let chunks = Array.to_list (Array.map chunk_of ptrs) in
+  check_int "4 distinct chunks (arenas)" 4
+    (List.length (List.sort_uniq compare chunks))
+
+(* ---------- Fig. 3 regressions ---------- *)
+
+let fill_all h size =
+  let rec go acc = match H.alloc h size with
+    | Some p -> go (p :: acc)
+    | None -> acc
+  in
+  go []
+
+let test_fig3_overflow_overlapping () =
+  let mach, h = mkheap ~size:(4 * 1024 * 1024) () in
+  let all = fill_all h 64 in
+  let n = List.length all in
+  let victim = List.nth all (n / 2) in
+  Machine.write_u64 mach (victim - 16) 1088;
+  H.free h victim;
+  let fresh = fill_all h 64 in
+  (* the paper's exact outcome: 9 allocations after freeing one *)
+  check_int "nine allocations (paper Fig. 3)" 9 (List.length fresh);
+  let overlap =
+    List.exists
+      (fun p -> List.exists (fun q -> q <> victim && abs (p - q) < 64) all)
+      fresh
+  in
+  check "overlapping live objects" true overlap
+
+let test_fig3_shrink_leak () =
+  let mach, h = mkheap ~size:(64 * 1024 * 1024) () in
+  let big = 2 * 1024 * 1024 in
+  let all = fill_all h big in
+  let n = List.length all in
+  check "filled some" true (n > 0);
+  List.iter
+    (fun p ->
+      Machine.write_u64 mach (p - 16) 64;
+      H.free h p)
+    all;
+  check_int "no 2 MiB chunk refillable (paper Fig. 3)" 0
+    (List.length (fill_all h big))
+
+let test_canary_blocks_corrupted_free () =
+  let mach, h = mkheap ~canary:true () in
+  let p = alloc_exn h 64 in
+  (* clobber both header words, as a contiguous overrun would *)
+  Machine.write_u64 mach (p - 16) 1088;
+  Machine.write_u64 mach (p - 8) 0x41414141;
+  H.free h p;
+  let st = H.stats h in
+  check_int "free skipped" 1 st.H.skipped_corrupt_free
+
+let test_direct_bitmap_corruption () =
+  let mach, h = mkheap () in
+  let p = alloc_exn h 64 in
+  let chunk = (p - base) / L.small_chunk_size * L.small_chunk_size + base in
+  (* no isolation: the store goes through *)
+  Machine.write_u64 mach (chunk + L.ck_off_bitmap) 0;
+  check_int "silently corrupted" 0
+    (Machine.read_u64 mach (chunk + L.ck_off_bitmap))
+
+(* ---------- tx ---------- *)
+
+let test_tx_rollback () =
+  let mach, h = mkheap () in
+  ignore (H.tx_alloc h 64 ~is_end:false);
+  ignore (H.tx_alloc h 64 ~is_end:false);
+  Memdev.crash (Machine.dev mach) `Strict;
+  let h2 = H.attach mach ~base () in
+  (* rolled back: both objects' units cleared -> refilling gets them *)
+  ignore h2;
+  let p = Option.get (H.alloc h2 64) in
+  ignore p
+
+let test_tx_commit_survives () =
+  let mach, h = mkheap () in
+  let p1 = Option.get (H.tx_alloc h 64 ~is_end:false) in
+  let p2 = Option.get (H.tx_alloc h 64 ~is_end:true) in
+  Machine.write_u64 mach p1 111;
+  Machine.persist mach p1 8;
+  Machine.write_u64 mach p2 222;
+  Machine.persist mach p2 8;
+  Memdev.crash (Machine.dev mach) `Strict;
+  ignore (H.attach mach ~base ());
+  check_int "p1 data" 111 (Machine.read_u64 mach p1);
+  check_int "p2 data" 222 (Machine.read_u64 mach p2)
+
+(* ---------- stats / rebuilds ---------- *)
+
+let test_rebuild_counted () =
+  let _, h = mkheap () in
+  (* exhaust the initial chunk's free-list entries, free everything,
+     and allocate again: the refill must come from an NVMM rescan *)
+  let ps = List.init 2500 (fun _ -> alloc_exn h 64) in
+  List.iter (H.free h) ps;
+  ignore (List.init 2500 (fun _ -> alloc_exn h 64));
+  let st = H.stats h in
+  check "rebuild happened" true (st.H.rebuilds >= 1);
+  check "chunks scanned" true (st.H.chunks_scanned >= 1)
+
+(* Regression for the bitmap word-packing bug: OCaml ints are 63-bit,
+   so packing 64 units per word silently lost every 64th bit and
+   sustained churn eventually handed out overlapping runs.  Shadow
+   every live allocation and assert pairwise disjointness through a
+   long alloc/free cycle that sweeps all bit positions. *)
+let test_churn_never_overlaps () =
+  let rng = Prng.create 1 in
+  let _, h = mkheap ~size:(1 lsl 26) () in
+  let live = Hashtbl.create 1024 in
+  let vals = Hashtbl.create 1024 in
+  let overlap p size =
+    Hashtbl.fold (fun q qs acc -> acc || (p < q + qs && q < p + size)) live false
+  in
+  let alloc size =
+    let p = alloc_exn h size in
+    if overlap p size then Alcotest.fail "overlapping allocation";
+    Hashtbl.replace live p size;
+    p
+  in
+  let free p =
+    Hashtbl.remove live p;
+    H.free h p
+  in
+  for k = 1 to 3000 do
+    Hashtbl.replace vals k (alloc 100);
+    if k mod 15 = 0 then ignore (alloc 512)
+  done;
+  for _ = 1 to 10000 do
+    let k = 1 + Prng.int rng 3000 in
+    if Prng.bool rng then begin
+      let nv = alloc 100 in
+      (match Hashtbl.find_opt vals k with Some old -> free old | None -> ());
+      Hashtbl.replace vals k nv
+    end
+  done
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_avl_vs_model ]
+
+let () =
+  Alcotest.run "pmdk_sim"
+    [ ( "avl",
+        [ Alcotest.test_case "basic" `Quick test_avl_basic;
+          Alcotest.test_case "best-fit order" `Quick test_avl_remove_best_fit;
+          Alcotest.test_case "visit charges" `Quick test_avl_visit_charges ]
+        @ qsuite );
+      ("chunk_index", [ Alcotest.test_case "basic" `Quick test_chunk_index ]);
+      ( "alloc",
+        [ Alcotest.test_case "small roundtrip" `Quick test_small_alloc_free;
+          Alcotest.test_case "small reuse" `Quick test_small_reuse_after_action_batch;
+          Alcotest.test_case "large reuse" `Quick test_large_alloc_free_reuse;
+          Alcotest.test_case "large split" `Quick test_large_split;
+          Alcotest.test_case "oom" `Quick test_oom;
+          Alcotest.test_case "fill heap" `Quick test_fill_heap_small;
+          Alcotest.test_case "arena assignment" `Quick test_arena_assignment ] );
+      ( "fig3",
+        [ Alcotest.test_case "overflow -> overlap" `Quick
+            test_fig3_overflow_overlapping;
+          Alcotest.test_case "shrink -> leak" `Quick test_fig3_shrink_leak;
+          Alcotest.test_case "canary mitigation" `Quick
+            test_canary_blocks_corrupted_free;
+          Alcotest.test_case "direct bitmap store" `Quick
+            test_direct_bitmap_corruption ] );
+      ( "tx",
+        [ Alcotest.test_case "rollback" `Quick test_tx_rollback;
+          Alcotest.test_case "commit survives" `Quick test_tx_commit_survives ] );
+      ( "stats",
+        [ Alcotest.test_case "rebuilds" `Quick test_rebuild_counted;
+          Alcotest.test_case "churn never overlaps" `Quick
+            test_churn_never_overlaps ] ) ]

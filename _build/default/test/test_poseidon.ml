@@ -1,0 +1,526 @@
+(* Tests for the Poseidon allocator: layout, hash table, buddy lists,
+   allocation/deallocation algorithms, defragmentation, MPK
+   protection, transactional allocation, hole punching, pointers,
+   plus property-based random-trace invariant checks. *)
+
+module Prng = Repro_util.Prng
+module Memdev = Nvmm.Memdev
+module H = Poseidon.Heap
+module L = Poseidon.Layout
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let base = 1 lsl 30
+
+let mkheap ?(sub_data_size = 1 lsl 20) ?(base_buckets = 64) ?(protected = true)
+    ?(num_cpus = 4) () =
+  let cfg = { Machine.Config.default with num_cpus } in
+  let mach = Machine.create ~cfg () in
+  let h =
+    H.create mach ~base ~size:(1 lsl 34) ~heap_id:1 ~sub_data_size
+      ~base_buckets ~protected ()
+  in
+  (mach, h)
+
+let alloc_exn h size =
+  match H.alloc h size with
+  | Some p -> p
+  | None -> Alcotest.fail "unexpected out-of-memory"
+
+(* ---------- layout ---------- *)
+
+let test_layout_no_overlaps () =
+  check "undo before micro" true (L.sh_off_undo_entries + (L.undo_cap * L.undo_entry_size) <= L.sh_off_micro_count);
+  check "micro before heads" true
+    (L.sh_off_micro_entries + (L.micro_cap * L.word) <= L.sh_off_buddy_heads);
+  check "heads before tails" true
+    (L.sh_off_buddy_heads + (L.num_classes * L.word) <= L.sh_off_buddy_tails);
+  check "header fits" true
+    (L.sh_off_base_buckets + L.word <= L.sh_header_size);
+  check "header page aligned" true (L.sh_header_size mod L.page = 0)
+
+let test_class_of_size () =
+  check_int "32" 0 (L.class_of_size 32);
+  check_int "63" 0 (L.class_of_size 63);
+  check_int "64" 1 (L.class_of_size 64);
+  check_int "65" 1 (L.class_of_size 65);
+  check_int "1MB" 15 (L.class_of_size (1 lsl 20))
+
+let test_round_up_pow2 () =
+  check_int "1 -> 32" 32 (L.round_up 1);
+  check_int "32" 32 (L.round_up 32);
+  check_int "33 -> 64" 64 (L.round_up 33);
+  check_int "100 -> 128" 128 (L.round_up 100);
+  check_int "4096" 4096 (L.round_up 4096)
+
+(* ---------- basic allocation ---------- *)
+
+let test_alloc_free_roundtrip () =
+  let mach, h = mkheap () in
+  let p = alloc_exn h 256 in
+  let raw = H.get_rawptr h p in
+  Machine.write_u64 mach raw 0xFEED;
+  check_int "user data" 0xFEED (Machine.read_u64 mach raw);
+  H.free h p;
+  H.check_invariants h
+
+let test_alloc_zero_and_negative () =
+  let _, h = mkheap () in
+  check "zero -> None" true (H.alloc h 0 = None);
+  check "negative -> None" true (H.alloc h (-5) = None)
+
+let test_alloc_too_big () =
+  let _, h = mkheap ~sub_data_size:(1 lsl 20) () in
+  check "oversized -> None" true (H.alloc h (1 lsl 21) = None)
+
+let test_alloc_distinct_regions () =
+  let _, h = mkheap () in
+  let ps = List.init 50 (fun _ -> alloc_exn h 64) in
+  let raws = List.map (H.get_rawptr h) ps in
+  let sorted = List.sort_uniq compare raws in
+  check_int "all distinct" 50 (List.length sorted);
+  (* pairwise non-overlap at 64 B *)
+  let rec pairs = function
+    | a :: (b :: _ as rest) ->
+      check "no overlap" true (b - a >= 64);
+      pairs rest
+    | _ -> ()
+  in
+  pairs (List.sort compare raws);
+  H.check_invariants h
+
+let test_free_enables_reuse () =
+  let _, h = mkheap ~sub_data_size:(1 lsl 16) () in
+  (* fill completely, free all, fill again *)
+  let rec fill acc =
+    match H.alloc h 1024 with Some p -> fill (p :: acc) | None -> acc
+  in
+  let first = fill [] in
+  check "filled some" true (List.length first > 0);
+  List.iter (H.free h) first;
+  H.check_invariants h;
+  let second = fill [] in
+  check_int "reuse restores capacity" (List.length first) (List.length second);
+  List.iter (H.free h) second;
+  H.check_invariants h
+
+let test_exact_pool_accounting () =
+  let _, h = mkheap () in
+  let p1 = alloc_exn h 100 (* rounds to 128 *) in
+  let p2 = alloc_exn h 32 in
+  let st = H.stats h in
+  check_int "live bytes" (128 + 32) st.H.live_bytes;
+  H.free h p1;
+  H.free h p2;
+  let st = H.stats h in
+  check_int "live after frees" 0 st.H.live_bytes
+
+let test_data_region_isolation () =
+  (* metadata region must not be writable; user region must be *)
+  let mach, h = mkheap () in
+  let p = alloc_exn h 64 in
+  let raw = H.get_rawptr h p in
+  Machine.write_u64 mach raw 1;
+  (* stray store below the first block lands in metadata -> fault *)
+  let meta_target = ref 0 in
+  H.iter_subheaps h (fun sh -> meta_target := sh.Poseidon.Subheap.meta_base + L.sh_off_buddy_heads);
+  check "metadata protected" true
+    (try Machine.write_u64 mach !meta_target 0xBAD; false
+     with Mpk.Fault _ -> true);
+  H.check_invariants h
+
+let test_unprotected_mode () =
+  let mach, h = mkheap ~protected:false () in
+  ignore (alloc_exn h 64);
+  let meta_target = ref 0 in
+  H.iter_subheaps h (fun sh -> meta_target := sh.Poseidon.Subheap.meta_base + L.sh_off_buddy_heads);
+  (* ablation mode: no fault *)
+  Machine.write_u64 mach !meta_target (Machine.read_u64 mach !meta_target)
+
+(* ---------- double / invalid frees (4.4) ---------- *)
+
+let test_double_free_rejected () =
+  let _, h = mkheap () in
+  let p = alloc_exn h 64 in
+  H.free h p;
+  H.free h p;
+  let st = H.stats h in
+  check_int "double free counted" 1 st.H.double_frees;
+  H.check_invariants h
+
+let test_invalid_free_rejected () =
+  let _, h = mkheap () in
+  let p = alloc_exn h 256 in
+  H.free h { p with Alloc_intf.off = p.Alloc_intf.off + 32 };
+  let st = H.stats h in
+  check_int "invalid free counted" 1 st.H.invalid_frees;
+  (* original object untouched *)
+  H.free h p;
+  check_int "live 0" 0 (H.stats h).H.live_bytes;
+  H.check_invariants h
+
+let test_foreign_pointer_free () =
+  let _, h = mkheap () in
+  H.free h Alloc_intf.null;
+  H.free h { Alloc_intf.heap_id = 99; subheap = 0; off = 0 };
+  H.free h { Alloc_intf.heap_id = 1; subheap = 9999; off = 0 };
+  H.check_invariants h
+
+(* ---------- pointers ---------- *)
+
+let test_pointer_roundtrip () =
+  let _, h = mkheap () in
+  let p = alloc_exn h 64 in
+  let raw = H.get_rawptr h p in
+  check "roundtrip" true (Alloc_intf.equal_nvmptr p (H.get_nvmptr h raw))
+
+let test_rawptr_validation () =
+  let _, h = mkheap () in
+  check "null rejected" true
+    (try ignore (H.get_rawptr h Alloc_intf.null); false
+     with Invalid_argument _ -> true);
+  check "outside data rejected" true
+    (try ignore (H.get_nvmptr h base); false with Invalid_argument _ -> true)
+
+let test_pack_unpack () =
+  let p = { Alloc_intf.heap_id = 7; subheap = 3; off = 0xABCDE } in
+  let p' = Alloc_intf.unpack ~heap_id:7 (Alloc_intf.pack p) in
+  check "pack/unpack" true (Alloc_intf.equal_nvmptr p p');
+  check "null packs" true
+    (Alloc_intf.is_null (Alloc_intf.unpack ~heap_id:0 Alloc_intf.packed_null))
+
+(* ---------- root pointer ---------- *)
+
+let test_root_pointer () =
+  let mach, h = mkheap () in
+  check "initial null" true (Alloc_intf.is_null (H.get_root h));
+  let p = alloc_exn h 64 in
+  H.set_root h p;
+  check "read back" true (Alloc_intf.equal_nvmptr p (H.get_root h));
+  (* survives crash + attach *)
+  Memdev.crash (Machine.dev mach) `Strict;
+  let h2 = H.attach mach ~base () in
+  check "root durable" true (Alloc_intf.equal_nvmptr p (H.get_root h2))
+
+(* ---------- splitting & defragmentation ---------- *)
+
+let test_split_then_merge_roundtrip () =
+  let _, h = mkheap ~sub_data_size:(1 lsl 16) () in
+  (* many small allocations split the initial block; freeing them and
+     allocating the whole heap forces defragmentation *)
+  let small = List.init 512 (fun _ -> alloc_exn h 32) in
+  H.check_invariants h;
+  List.iter (H.free h) small;
+  H.check_invariants h;
+  (* a whole-pool allocation: only possible if defragmentation merged
+     all 512 fragments back into a single block *)
+  (match H.alloc h (1 lsl 16) with
+   | Some _ -> ()
+   | None -> Alcotest.fail "defrag failed to rebuild the full block");
+  H.check_invariants h
+
+let test_full_merge_restores_single_block () =
+  let _, h = mkheap ~sub_data_size:(1 lsl 16) () in
+  let ps = List.init 128 (fun _ -> alloc_exn h 512) in
+  List.iter (H.free h) ps;
+  (* whole-pool allocation must succeed after defrag *)
+  (match H.alloc h (1 lsl 16) with
+   | Some _ -> ()
+   | None -> Alcotest.fail "full-size allocation after frees");
+  H.check_invariants h
+
+let test_interleaved_sizes () =
+  let _, h = mkheap () in
+  let rng = Prng.create 5 in
+  let live = ref [] in
+  for _ = 1 to 500 do
+    if Prng.bool rng || !live = [] then begin
+      let size = 32 lsl Prng.int rng 7 in
+      match H.alloc h size with
+      | Some p -> live := p :: !live
+      | None -> ()
+    end
+    else begin
+      match !live with
+      | p :: rest ->
+        H.free h p;
+        live := rest
+      | [] -> ()
+    end
+  done;
+  H.check_invariants h
+
+(* ---------- per-CPU sub-heaps ---------- *)
+
+let test_per_cpu_subheaps () =
+  let mach, h = mkheap ~num_cpus:4 () in
+  let seen = Array.make 4 Alloc_intf.null in
+  let _ =
+    Machine.parallel mach ~threads:4 (fun i ->
+        seen.(i) <- Option.get (H.alloc h 64))
+  in
+  let subs = Array.map (fun p -> p.Alloc_intf.subheap) seen in
+  Array.sort compare subs;
+  Alcotest.(check (array int)) "each CPU its own sub-heap" [| 0; 1; 2; 3 |] subs;
+  check_int "4 active" 4 (H.stats h).H.subheaps_active;
+  H.check_invariants h
+
+let test_cross_thread_free () =
+  let mach, h = mkheap ~num_cpus:2 () in
+  let p = ref Alloc_intf.null in
+  let _ =
+    Machine.parallel mach ~threads:1 (fun _ -> p := Option.get (H.alloc h 64))
+  in
+  (* free from CPU 1 (different sub-heap owner) *)
+  let _ =
+    Machine.parallel mach ~threads:2 (fun i -> if i = 1 then H.free h !p)
+  in
+  check_int "freed" 0 (H.stats h).H.live_bytes;
+  H.check_invariants h
+
+let test_single_subheap_mode () =
+  let mach, h =
+    let cfg = { Machine.Config.default with num_cpus = 4 } in
+    let mach = Machine.create ~cfg () in
+    ( mach,
+      H.create mach ~base ~size:(1 lsl 34) ~heap_id:1
+        ~sub_data_size:(1 lsl 20) ~base_buckets:64 ~single_subheap:true () )
+  in
+  let _ =
+    Machine.parallel mach ~threads:4 (fun _ -> ignore (H.alloc h 64))
+  in
+  check_int "one sub-heap" 1 (H.stats h).H.subheaps_active
+
+(* ---------- transactional allocation (5.3) ---------- *)
+
+let test_tx_commit () =
+  let mach, h = mkheap () in
+  let p1 = Option.get (H.tx_alloc h 64 ~is_end:false) in
+  let p2 = Option.get (H.tx_alloc h 64 ~is_end:true) in
+  Memdev.crash (Machine.dev mach) `Strict;
+  let h2 = H.attach mach ~base () in
+  check_int "committed allocations survive" 128 (H.stats h2).H.live_bytes;
+  H.free h2 p1;
+  H.free h2 p2;
+  H.check_invariants h2
+
+let test_tx_rollback_on_crash () =
+  let mach, h = mkheap () in
+  let keeper = alloc_exn h 64 in
+  ignore (H.tx_alloc h 64 ~is_end:false);
+  ignore (H.tx_alloc h 64 ~is_end:false);
+  (* crash before commit *)
+  Memdev.crash (Machine.dev mach) `Strict;
+  let h2 = H.attach mach ~base () in
+  check_int "uncommitted rolled back, keeper stays" 64
+    (H.stats h2).H.live_bytes;
+  H.free h2 keeper;
+  H.check_invariants h2
+
+let test_tx_abort () =
+  let _, h = mkheap () in
+  ignore (H.tx_alloc h 64 ~is_end:false);
+  ignore (H.tx_alloc h 64 ~is_end:false);
+  H.tx_abort h;
+  check_int "aborted" 0 (H.stats h).H.live_bytes;
+  H.check_invariants h
+
+(* ---------- hash-table growth & hole punching ---------- *)
+
+let test_hash_extension () =
+  (* tiny base_buckets forces multi-level growth *)
+  let _, h = mkheap ~base_buckets:8 ~sub_data_size:(1 lsl 18) () in
+  let ps = List.init 2048 (fun _ -> alloc_exn h 32) in
+  check "extended" true ((H.stats h).H.hash_extends > 0);
+  H.check_invariants h;
+  List.iter (H.free h) ps;
+  H.check_invariants h
+
+let test_shrink_metadata () =
+  let _, h = mkheap ~base_buckets:8 ~sub_data_size:(1 lsl 18) () in
+  let ps = List.init 2048 (fun _ -> alloc_exn h 32) in
+  List.iter (H.free h) ps;
+  (* merge everything back, then punch empty levels *)
+  (match H.alloc h (1 lsl 18) with Some _ -> () | None -> Alcotest.fail "defrag");
+  H.shrink_metadata h;
+  H.check_invariants h
+
+(* ---------- recovery / restart ---------- *)
+
+let test_attach_clean () =
+  let mach, h = mkheap () in
+  let p = alloc_exn h 256 in
+  Memdev.drain (Machine.dev mach);
+  H.finish h;
+  let h2 = H.attach mach ~base () in
+  check_int "state preserved" 256 (H.stats h2).H.live_bytes;
+  H.free h2 p;
+  H.check_invariants h2
+
+let test_attach_bad_magic () =
+  let mach = Machine.create () in
+  Machine.add_region mach ~base ~size:8192 ~kind:Nvmm.Memdev.Nvmm ~numa:0;
+  check "bad magic rejected" true
+    (try ignore (H.attach mach ~base ()); false with Failure _ -> true)
+
+let test_many_restarts_pkey_recycling () =
+  let mach, h = mkheap () in
+  ignore (alloc_exn h 64);
+  let href = ref h in
+  (* more restarts than there are MPK keys: keys must recycle *)
+  for _ = 1 to 40 do
+    Memdev.crash (Machine.dev mach) `Strict;
+    href := H.attach mach ~base ()
+  done;
+  H.check_invariants !href;
+  check_int "object survived all restarts" 64 (H.stats !href).H.live_bytes
+
+(* ---------- wrpkru lockdown (8 extension) ---------- *)
+
+let test_lockdown () =
+  let mach, h = mkheap () in
+  let p = alloc_exn h 64 in
+  H.lockdown h;
+  (* an attacker's wrpkru gadget is refused... *)
+  check "hijack denied" true
+    (try Machine.wrpkru mach (H.pkey h) Mpk.Read_write; false
+     with Mpk.Wrpkru_denied _ -> true);
+  (* ...while the heap keeps operating normally, including recovery *)
+  H.free h p;
+  ignore (alloc_exn h 128);
+  Memdev.crash (Machine.dev mach) `Strict;
+  let h2 = H.attach mach ~base () in
+  H.check_invariants h2;
+  check_int "state preserved" 128 (H.stats h2).H.live_bytes
+
+(* ---------- property: random traces ---------- *)
+
+let random_trace ~ops ~seed ~crash =
+  let mach, h = mkheap ~sub_data_size:(1 lsl 18) ~base_buckets:32 () in
+  let rng = Prng.create seed in
+  let live = ref [] in
+  let model = Hashtbl.create 64 in (* raw -> size *)
+  for _ = 1 to ops do
+    if Prng.bool rng || !live = [] then begin
+      let size = 32 lsl Prng.int rng 6 in
+      match H.alloc h size with
+      | Some p ->
+        live := p :: !live;
+        Hashtbl.replace model (H.get_rawptr h p) (L.round_up size)
+      | None -> ()
+    end
+    else begin
+      let n = Prng.int rng (List.length !live) in
+      let p = List.nth !live n in
+      live := List.filteri (fun i _ -> i <> n) !live;
+      Hashtbl.remove model (H.get_rawptr h p);
+      H.free h p
+    end
+  done;
+  if crash then begin
+    Memdev.crash (Machine.dev mach) `Strict;
+    let h2 = H.attach mach ~base () in
+    H.check_invariants h2;
+    (* every live object still allocated with its size *)
+    let expected = Hashtbl.fold (fun _ s acc -> acc + s) model 0 in
+    (H.stats h2).H.live_bytes = expected
+  end
+  else begin
+    H.check_invariants h;
+    let expected = Hashtbl.fold (fun _ s acc -> acc + s) model 0 in
+    (H.stats h).H.live_bytes = expected
+  end
+
+let prop_random_trace =
+  QCheck.Test.make ~name:"random alloc/free traces keep invariants" ~count:20
+    QCheck.small_nat
+    (fun seed -> random_trace ~ops:400 ~seed ~crash:false)
+
+let prop_random_trace_crash =
+  QCheck.Test.make ~name:"random traces survive crash+recovery" ~count:15
+    QCheck.small_nat
+    (fun seed -> random_trace ~ops:250 ~seed ~crash:true)
+
+let prop_no_overlap =
+  QCheck.Test.make ~name:"live allocations never overlap" ~count:15
+    QCheck.small_nat
+    (fun seed ->
+      let _, h = mkheap ~sub_data_size:(1 lsl 17) ~base_buckets:32 () in
+      let rng = Prng.create (seed + 1000) in
+      let live = ref [] in
+      for _ = 1 to 300 do
+        if Prng.bool rng || !live = [] then begin
+          let size = 32 lsl Prng.int rng 5 in
+          match H.alloc h size with
+          | Some p -> live := (H.get_rawptr h p, L.round_up size, p) :: !live
+          | None -> ()
+        end
+        else begin
+          match !live with
+          | (_, _, p) :: rest ->
+            H.free h p;
+            live := rest
+          | [] -> ()
+        end
+      done;
+      let sorted =
+        List.sort (fun (a, _, _) (b, _, _) -> compare a b) !live
+      in
+      let rec disjoint = function
+        | (a, sa, _) :: ((b, _, _) :: _ as rest) ->
+          a + sa <= b && disjoint rest
+        | _ -> true
+      in
+      disjoint sorted)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_random_trace; prop_random_trace_crash; prop_no_overlap ]
+
+let () =
+  Alcotest.run "poseidon"
+    [ ( "layout",
+        [ Alcotest.test_case "no overlaps" `Quick test_layout_no_overlaps;
+          Alcotest.test_case "class_of_size" `Quick test_class_of_size;
+          Alcotest.test_case "round_up" `Quick test_round_up_pow2 ] );
+      ( "alloc",
+        [ Alcotest.test_case "roundtrip" `Quick test_alloc_free_roundtrip;
+          Alcotest.test_case "zero/negative" `Quick test_alloc_zero_and_negative;
+          Alcotest.test_case "too big" `Quick test_alloc_too_big;
+          Alcotest.test_case "distinct regions" `Quick test_alloc_distinct_regions;
+          Alcotest.test_case "reuse after free" `Quick test_free_enables_reuse;
+          Alcotest.test_case "accounting" `Quick test_exact_pool_accounting;
+          Alcotest.test_case "interleaved sizes" `Quick test_interleaved_sizes ] );
+      ( "safety",
+        [ Alcotest.test_case "metadata isolation" `Quick test_data_region_isolation;
+          Alcotest.test_case "unprotected mode" `Quick test_unprotected_mode;
+          Alcotest.test_case "double free" `Quick test_double_free_rejected;
+          Alcotest.test_case "invalid free" `Quick test_invalid_free_rejected;
+          Alcotest.test_case "foreign pointers" `Quick test_foreign_pointer_free;
+          Alcotest.test_case "wrpkru lockdown" `Quick test_lockdown ] );
+      ( "pointers",
+        [ Alcotest.test_case "roundtrip" `Quick test_pointer_roundtrip;
+          Alcotest.test_case "validation" `Quick test_rawptr_validation;
+          Alcotest.test_case "pack/unpack" `Quick test_pack_unpack;
+          Alcotest.test_case "root" `Quick test_root_pointer ] );
+      ( "defrag",
+        [ Alcotest.test_case "split/merge roundtrip" `Quick
+            test_split_then_merge_roundtrip;
+          Alcotest.test_case "full merge" `Quick test_full_merge_restores_single_block ] );
+      ( "subheaps",
+        [ Alcotest.test_case "per-CPU" `Quick test_per_cpu_subheaps;
+          Alcotest.test_case "cross-thread free" `Quick test_cross_thread_free;
+          Alcotest.test_case "single mode" `Quick test_single_subheap_mode ] );
+      ( "tx",
+        [ Alcotest.test_case "commit" `Quick test_tx_commit;
+          Alcotest.test_case "rollback on crash" `Quick test_tx_rollback_on_crash;
+          Alcotest.test_case "abort" `Quick test_tx_abort ] );
+      ( "hash",
+        [ Alcotest.test_case "extension" `Quick test_hash_extension;
+          Alcotest.test_case "shrink/punch" `Quick test_shrink_metadata ] );
+      ( "restart",
+        [ Alcotest.test_case "clean attach" `Quick test_attach_clean;
+          Alcotest.test_case "bad magic" `Quick test_attach_bad_magic;
+          Alcotest.test_case "pkey recycling" `Quick test_many_restarts_pkey_recycling ] );
+      ("properties", qsuite) ]

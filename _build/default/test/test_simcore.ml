@@ -1,0 +1,285 @@
+(* Tests for the discrete-event engine: priority queue, scheduler
+   ordering, clock accounting, locks (including the out-of-order
+   free_at semantics), join, determinism, deadlock detection. *)
+
+module Pqueue = Simcore.Pqueue
+module Sched = Simcore.Sched
+module Prng = Repro_util.Prng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------- pqueue ---------- *)
+
+let test_pqueue_order () =
+  let q = Pqueue.create () in
+  List.iter (fun t -> Pqueue.push q ~time:t t) [ 5; 1; 4; 1; 3 ];
+  let popped = List.init 5 (fun _ -> fst (Option.get (Pqueue.pop q))) in
+  Alcotest.(check (list int)) "sorted" [ 1; 1; 3; 4; 5 ] popped;
+  check "now empty" true (Pqueue.is_empty q)
+
+let test_pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~time:7 "a";
+  Pqueue.push q ~time:7 "b";
+  Pqueue.push q ~time:7 "c";
+  let vals = List.init 3 (fun _ -> snd (Option.get (Pqueue.pop q))) in
+  Alcotest.(check (list string)) "insertion order on ties" [ "a"; "b"; "c" ] vals
+
+let prop_pqueue_sorted =
+  QCheck.Test.make ~name:"pqueue pops in nondecreasing time order" ~count:200
+    QCheck.(list (int_bound 10_000))
+    (fun times ->
+      let q = Pqueue.create () in
+      List.iter (fun t -> Pqueue.push q ~time:t ()) times;
+      let rec drain last =
+        match Pqueue.pop q with
+        | None -> true
+        | Some (t, ()) -> t >= last && drain t
+      in
+      drain min_int)
+
+(* ---------- scheduler basics ---------- *)
+
+let test_charge_and_clock () =
+  let e = Sched.create () in
+  let final = ref 0 in
+  let tid =
+    Sched.spawn e (fun () ->
+        Sched.charge 100;
+        Sched.charge 50;
+        final := Sched.now ())
+  in
+  Sched.run e;
+  check_int "clock accumulates" 150 !final;
+  check_int "thread_clock" 150 (Sched.thread_clock e tid);
+  check_int "horizon" 150 (Sched.horizon e)
+
+let test_outside_simulation () =
+  check "not in simulation" false (Sched.in_simulation ());
+  Alcotest.check_raises "charge outside" Sched.Not_in_simulation (fun () ->
+      Sched.charge 1)
+
+let test_spawn_inherits_clock () =
+  let e = Sched.create () in
+  let child_start = ref (-1) in
+  ignore
+    (Sched.spawn e (fun () ->
+         Sched.charge 500;
+         let child = Sched.spawn e (fun () -> child_start := Sched.now ()) in
+         Sched.join child));
+  Sched.run e;
+  check_int "child starts at parent clock" 500 !child_start
+
+let test_join_max_clock () =
+  let e = Sched.create () in
+  let t_slow = Sched.spawn e (fun () -> Sched.charge 1000) in
+  let joined_at = ref 0 in
+  ignore
+    (Sched.spawn e (fun () ->
+         Sched.charge 10;
+         Sched.join t_slow;
+         joined_at := Sched.now ()));
+  Sched.run e;
+  check_int "join waits" 1000 !joined_at
+
+let test_join_finished () =
+  let e = Sched.create () in
+  let t1 = Sched.spawn e (fun () -> Sched.charge 7) in
+  Sched.run e;
+  let joined_at = ref 0 in
+  ignore
+    (Sched.spawn e (fun () ->
+         Sched.join t1;
+         joined_at := Sched.now ()));
+  Sched.run e;
+  check_int "joining finished thread bumps clock" 7 !joined_at
+
+let test_min_clock_ordering () =
+  (* threads yield after charging different amounts; the order of
+     resumption must be clock order *)
+  let e = Sched.create () in
+  let order = ref [] in
+  let mk d =
+    Sched.spawn e (fun () ->
+        Sched.charge d;
+        Sched.yield ();
+        order := d :: !order)
+  in
+  List.iter (fun d -> ignore (mk d)) [ 30; 10; 20 ];
+  Sched.run e;
+  Alcotest.(check (list int)) "resumed in clock order" [ 10; 20; 30 ]
+    (List.rev !order)
+
+let test_cpu_pinning () =
+  let e = Sched.create () in
+  let seen = ref (-1) in
+  ignore (Sched.spawn e ~cpu:5 (fun () -> seen := Sched.cpu ()));
+  Sched.run e;
+  check_int "cpu" 5 !seen
+
+let test_sleep () =
+  let e = Sched.create () in
+  let t = Sched.spawn e (fun () -> Sched.sleep 123) in
+  Sched.run e;
+  check_int "sleep advances" 123 (Sched.thread_clock e t)
+
+(* ---------- locks ---------- *)
+
+let test_lock_mutual_exclusion_time () =
+  (* three threads each hold the lock 100ns starting from different
+     arrival times; holds must serialize in arrival order *)
+  let e = Sched.create () in
+  let m = Sched.Mutex.create () in
+  let spans = ref [] in
+  let mk arrive =
+    Sched.spawn e (fun () ->
+        Sched.charge arrive;
+        Sched.Mutex.acquire m;
+        let t0 = Sched.now () in
+        Sched.charge 100;
+        Sched.Mutex.release m;
+        spans := (t0, t0 + 100) :: !spans)
+  in
+  List.iter (fun a -> ignore (mk a)) [ 0; 10; 20 ];
+  Sched.run e;
+  let spans = List.sort compare !spans in
+  Alcotest.(check (list (pair int int)))
+    "serialized" [ (0, 100); (100, 200); (200, 300) ] spans;
+  check_int "acquisitions" 3 (Sched.Mutex.acquisitions m);
+  check_int "contended" 2 (Sched.Mutex.contended m)
+
+let test_lock_free_at_semantics () =
+  (* the holder runs its whole body in one resume (no suspension after
+     acquire), so a later try-acquire at an earlier simulated time must
+     still wait for the simulated release time *)
+  let e = Sched.create () in
+  let m = Sched.Mutex.create () in
+  let second_got_at = ref 0 in
+  ignore
+    (Sched.spawn e (fun () ->
+         Sched.Mutex.acquire m;
+         Sched.charge 1000;
+         Sched.Mutex.release m));
+  ignore
+    (Sched.spawn e (fun () ->
+         Sched.charge 10;
+         (* in real execution order this runs after the first thread
+            completed, but at simulated time 10 *)
+         Sched.Mutex.acquire m;
+         second_got_at := Sched.now ();
+         Sched.Mutex.release m));
+  Sched.run e;
+  check_int "waits for simulated release" 1000 !second_got_at
+
+let test_lock_release_by_non_holder () =
+  let e = Sched.create () in
+  let m = Sched.Mutex.create () in
+  let raised = ref false in
+  ignore
+    (Sched.spawn e (fun () ->
+         try Sched.Mutex.release m with Invalid_argument _ -> raised := true));
+  Sched.run e;
+  check "non-holder release rejected" true !raised
+
+let test_lock_with_lock_releases_on_exception () =
+  let e = Sched.create () in
+  let m = Sched.Mutex.create () in
+  let second_ran = ref false in
+  ignore
+    (Sched.spawn e (fun () ->
+         (try Sched.Mutex.with_lock m (fun () -> failwith "boom")
+          with Failure _ -> ())));
+  ignore
+    (Sched.spawn e (fun () ->
+         Sched.Mutex.with_lock m (fun () -> second_ran := true)));
+  Sched.run e;
+  check "lock released after exception" true !second_ran
+
+let test_lock_last_holder_cpu () =
+  let e = Sched.create () in
+  let m = Sched.Mutex.create () in
+  check_int "never held" (-1) (Sched.Mutex.last_holder_cpu m);
+  ignore
+    (Sched.spawn e ~cpu:3 (fun () ->
+         Sched.Mutex.acquire m;
+         Sched.Mutex.release m));
+  Sched.run e;
+  check_int "cpu recorded" 3 (Sched.Mutex.last_holder_cpu m)
+
+let test_deadlock_detection () =
+  let e = Sched.create () in
+  let m = Sched.Mutex.create () in
+  ignore
+    (Sched.spawn e (fun () ->
+         Sched.Mutex.acquire m;
+         (* never released; second acquire blocks forever *)
+         Sched.Mutex.acquire m));
+  check "deadlock raises" true
+    (try
+       Sched.run e;
+       false
+     with Sched.Deadlock _ -> true)
+
+(* ---------- determinism ---------- *)
+
+let run_once () =
+  let e = Sched.create () in
+  let m = Sched.Mutex.create () in
+  let trace = Buffer.create 64 in
+  for i = 0 to 7 do
+    ignore
+      (Sched.spawn e ~cpu:i (fun () ->
+           let rng = Prng.create i in
+           for _ = 1 to 20 do
+             Sched.charge (Prng.int rng 50);
+             Sched.Mutex.with_lock m (fun () ->
+                 Buffer.add_string trace (string_of_int i);
+                 Sched.charge 10)
+           done))
+  done;
+  Sched.run e;
+  (Buffer.contents trace, Sched.horizon e)
+
+let test_determinism () =
+  let t1, h1 = run_once () in
+  let t2, h2 = run_once () in
+  Alcotest.(check string) "same interleaving" t1 t2;
+  check_int "same horizon" h1 h2
+
+let test_run_twice () =
+  let e = Sched.create () in
+  ignore (Sched.spawn e (fun () -> Sched.charge 5));
+  Sched.run e;
+  ignore (Sched.spawn e (fun () -> Sched.charge 7));
+  Sched.run e;
+  check_int "live" 0 (Sched.live_threads e)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_pqueue_sorted ]
+
+let () =
+  Alcotest.run "simcore"
+    [ ( "pqueue",
+        [ Alcotest.test_case "ordering" `Quick test_pqueue_order;
+          Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties ]
+        @ qsuite );
+      ( "scheduler",
+        [ Alcotest.test_case "charge/clock" `Quick test_charge_and_clock;
+          Alcotest.test_case "outside simulation" `Quick test_outside_simulation;
+          Alcotest.test_case "spawn inherits clock" `Quick test_spawn_inherits_clock;
+          Alcotest.test_case "join waits" `Quick test_join_max_clock;
+          Alcotest.test_case "join finished" `Quick test_join_finished;
+          Alcotest.test_case "min-clock order" `Quick test_min_clock_ordering;
+          Alcotest.test_case "cpu pinning" `Quick test_cpu_pinning;
+          Alcotest.test_case "sleep" `Quick test_sleep;
+          Alcotest.test_case "run twice" `Quick test_run_twice ] );
+      ( "mutex",
+        [ Alcotest.test_case "serialization" `Quick test_lock_mutual_exclusion_time;
+          Alcotest.test_case "free_at out-of-order" `Quick test_lock_free_at_semantics;
+          Alcotest.test_case "non-holder release" `Quick test_lock_release_by_non_holder;
+          Alcotest.test_case "release on exception" `Quick
+            test_lock_with_lock_releases_on_exception;
+          Alcotest.test_case "last holder cpu" `Quick test_lock_last_holder_cpu;
+          Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection ] );
+      ( "determinism",
+        [ Alcotest.test_case "identical replay" `Quick test_determinism ] ) ]

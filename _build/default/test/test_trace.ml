@@ -1,0 +1,129 @@
+(* Tests for trace generation, serialization and replay. *)
+
+module Trace = Workloads.Trace
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_random_trace_well_formed () =
+  let t = Trace.random ~seed:7 ~events:500 () in
+  check_int "length" 500 (Array.length t);
+  (* every free refers to a previously allocated, not-yet-freed id *)
+  let live = Hashtbl.create 64 in
+  Array.iter
+    (function
+      | Trace.Alloc (id, size) | Trace.Tx_alloc (id, size, _) ->
+        check "positive size" true (size > 0);
+        check "fresh id" false (Hashtbl.mem live id);
+        Hashtbl.replace live id ()
+      | Trace.Free id ->
+        check "free of live id" true (Hashtbl.mem live id);
+        Hashtbl.remove live id)
+    t
+
+let test_roundtrip_serialization () =
+  let t = Trace.random ~seed:3 ~events:300 ~tx_ratio:0.3 () in
+  let s = Trace.to_string t in
+  let t' = Trace.of_string s in
+  check "roundtrip equal" true (t = t')
+
+let test_parse_error () =
+  check "garbage rejected" true
+    (try ignore (Trace.of_string "a 1 2\nbogus line\n"); false
+     with Trace.Parse_error (2, _) -> true)
+
+let test_determinism () =
+  let a = Trace.random ~seed:11 ~events:200 () in
+  let b = Trace.random ~seed:11 ~events:200 () in
+  check "same seed, same trace" true (a = b);
+  let c = Trace.random ~seed:12 ~events:200 () in
+  check "different seed differs" true (a <> c)
+
+let mk_poseidon () =
+  let f = Workloads.Factories.poseidon ~sub_data_size:(1 lsl 20) () in
+  f.Workloads.Factories.make ()
+
+let test_replay_counts () =
+  let _, inst = mk_poseidon () in
+  let t = Trace.random ~seed:5 ~events:400 ~max_size:512 () in
+  let r = Trace.replay inst t in
+  let allocs =
+    Array.fold_left
+      (fun a -> function
+        | Trace.Alloc _ | Trace.Tx_alloc _ -> a + 1
+        | Trace.Free _ -> a)
+      0 t
+  in
+  check_int "all allocations succeed" allocs r.Trace.allocs_ok;
+  check_int "no failures" 0 r.Trace.allocs_failed;
+  check_int "all frees hit" (Array.length t - allocs) r.Trace.frees;
+  check_int "none skipped" 0 r.Trace.skipped_frees
+
+let test_replay_timed_and_comparable () =
+  let t = Trace.random ~seed:9 ~events:600 ~max_size:1024 () in
+  let times =
+    List.map
+      (fun (f : Workloads.Factories.factory) ->
+        let mach, inst = f.Workloads.Factories.make () in
+        let r = Trace.replay_timed ~mach inst t in
+        check (f.Workloads.Factories.name ^ " replayed") true
+          (r.Trace.allocs_ok > 0);
+        (f.Workloads.Factories.name, r.Trace.simulated_seconds))
+      [ Workloads.Factories.poseidon (); Workloads.Factories.pmdk ();
+        Workloads.Factories.makalu () ]
+  in
+  List.iter (fun (_, s) -> check "positive time" true (s > 0.0)) times
+
+let test_replay_parallel () =
+  let f = Workloads.Factories.poseidon () in
+  let mach, inst = f.Workloads.Factories.make () in
+  let t = Trace.random ~seed:21 ~events:800 ~max_size:256 () in
+  let secs = Trace.replay_parallel ~mach inst ~threads:4 t in
+  check "parallel replay runs" true (secs > 0.0)
+
+let test_replay_oversized_graceful () =
+  (* a trace with requests bigger than the heap: failed allocations
+     and their frees are tolerated *)
+  let f = Workloads.Factories.poseidon ~sub_data_size:(1 lsl 16) () in
+  let _, inst = f.Workloads.Factories.make () in
+  let t =
+    [| Trace.Alloc (0, 1 lsl 20); Trace.Alloc (1, 64); Trace.Free 0;
+       Trace.Free 1 |]
+  in
+  let r = Trace.replay inst t in
+  check_int "one failed" 1 r.Trace.allocs_failed;
+  check_int "one skipped free" 1 r.Trace.skipped_frees;
+  check_int "one real free" 1 r.Trace.frees
+
+let test_ycsb_abc_extension () =
+  let r =
+    Workloads.Ycsb.run_abc
+      ~factory:(Workloads.Factories.poseidon ())
+      ~cfg:{ Machine.Config.default with num_cpus = 4 }
+      ~threads:2 ~records:300 ~operations:300 ()
+  in
+  check "load" true (r.Workloads.Ycsb.l > 0.0);
+  check "A" true (r.Workloads.Ycsb.a > 0.0);
+  check "B" true (r.Workloads.Ycsb.b > 0.0);
+  check "C" true (r.Workloads.Ycsb.c > 0.0);
+  (* read-heavier workloads allocate less, so they should not be
+     slower than A by much; sanity: all within a sane band *)
+  check "sane band" true (r.Workloads.Ycsb.c < 100.0 *. r.Workloads.Ycsb.a)
+
+let () =
+  Alcotest.run "trace"
+    [ ( "generation",
+        [ Alcotest.test_case "well-formed" `Quick test_random_trace_well_formed;
+          Alcotest.test_case "determinism" `Quick test_determinism ] );
+      ( "serialization",
+        [ Alcotest.test_case "roundtrip" `Quick test_roundtrip_serialization;
+          Alcotest.test_case "parse error" `Quick test_parse_error ] );
+      ( "replay",
+        [ Alcotest.test_case "counts" `Quick test_replay_counts;
+          Alcotest.test_case "timed, all allocators" `Quick
+            test_replay_timed_and_comparable;
+          Alcotest.test_case "parallel" `Quick test_replay_parallel;
+          Alcotest.test_case "oversized graceful" `Quick
+            test_replay_oversized_graceful ] );
+      ( "ycsb-extension",
+        [ Alcotest.test_case "workloads B and C" `Quick test_ycsb_abc_extension ] ) ]
