@@ -16,6 +16,17 @@ let full = ref false
 let figures = ref []
 let ablations = ref []
 let run_bechamel = ref false
+let smoke = ref false
+let json_out = ref "BENCH_results.json"
+
+(* Every measured cell also lands in the metrics registry, so each run
+   ends with a machine-readable BENCH_*.json snapshot next to the
+   human-readable tables. *)
+let record ~title ~name ~threads ~unit v =
+  Obs.Metrics.set_gauge ~scope:("bench/" ^ title)
+    (Printf.sprintf "%s %s @%dt" name unit threads)
+    v;
+  v
 
 let scale n = if !full then n * 10 else n
 
@@ -57,7 +68,13 @@ let sweep ~title ~unit run =
   in
   List.iter
     (fun threads ->
-      let row = List.map (fun f -> run ~factory:f ~threads) facs in
+      let row =
+        List.map
+          (fun f ->
+            record ~title ~name:f.Workloads.Factories.name ~threads ~unit
+              (run ~factory:f ~threads))
+          facs
+      in
       Tablefmt.add_float_row table (string_of_int threads) row)
     !thread_counts;
   Tablefmt.print table
@@ -135,6 +152,15 @@ let figure9 () =
             Workloads.Ycsb.run ~factory ~threads ~records ~operations ())
           facs
       in
+      List.iter2
+        (fun (f : Workloads.Factories.factory) r ->
+          ignore
+            (record ~title:"Fig 9 - YCSB Load" ~name:f.name ~threads
+               ~unit:"Mops/s" r.Workloads.Ycsb.load_mops);
+          ignore
+            (record ~title:"Fig 9 - YCSB Workload A" ~name:f.name ~threads
+               ~unit:"Mops/s" r.Workloads.Ycsb.a_mops))
+        facs results;
       Tablefmt.add_float_row load_tbl (string_of_int threads)
         (List.map (fun r -> r.Workloads.Ycsb.load_mops) results);
       Tablefmt.add_float_row a_tbl (string_of_int threads)
@@ -521,12 +547,54 @@ let bechamel_suite () =
     ols;
   print_newline ()
 
+(* ---------- smoke suite ---------- *)
+
+(* A minute-scale sanity run: the 256 B microbenchmark on every
+   allocator at 1 and 4 threads.  Small enough for CI, still exercises
+   sub-heap creation, locking and persistence on all three designs. *)
+let smoke_suite () =
+  note "";
+  note "### Smoke: 256 B microbenchmark, all allocators";
+  List.iter
+    (fun threads ->
+      List.iter
+        (fun (f : Workloads.Factories.factory) ->
+          let mops =
+            Workloads.Microbench.run ~factory:f ~size:256 ~threads
+              ~total_ops:4_000 ()
+          in
+          ignore
+            (record ~title:"smoke micro 256B" ~name:f.name ~threads
+               ~unit:"Mops/s" mops);
+          note "  %-12s %2d threads  %8.3f Mops/s" f.name threads mops)
+        (factories ()))
+    [ 1; 4 ];
+  print_newline ()
+
+let write_results () =
+  let doc =
+    Obs.Json.Obj
+      [ ("schema", Obs.Json.Str "poseidon-bench/v1");
+        ("suite", Obs.Json.Str (if !smoke then "smoke" else "figures"));
+        ("full", Obs.Json.Bool !full);
+        ("metrics", Obs.Metrics.snapshot ()) ]
+  in
+  match open_out !json_out with
+  | exception Sys_error msg ->
+    Printf.eprintf "bench: cannot write metrics snapshot: %s\n" msg;
+    exit 1
+  | oc ->
+    output_string oc (Obs.Json.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    note "metrics snapshot written to %s" !json_out
+
 (* ---------- driver ---------- *)
 
 let () =
   let usage =
     "bench/main.exe [--figure N]... [--ablation NAME]... [--full] \
-     [--threads LIST] [--bechamel]"
+     [--threads LIST] [--bechamel] [--smoke] [--json-out FILE]"
   in
   let spec =
     [ ( "--figure",
@@ -541,26 +609,34 @@ let () =
           (fun s ->
             thread_counts := List.map int_of_string (String.split_on_char ',' s)),
         "LIST  comma-separated thread counts" );
-      ("--bechamel", Arg.Set run_bechamel, " also run the wall-clock suite") ]
+      ("--bechamel", Arg.Set run_bechamel, " also run the wall-clock suite");
+      ("--smoke", Arg.Set smoke, " quick sanity suite only (for CI)");
+      ( "--json-out",
+        Arg.Set_string json_out,
+        "FILE  metrics snapshot destination (default BENCH_results.json)" ) ]
   in
   Arg.parse spec (fun _ -> ()) usage;
-  let default = !figures = [] && !ablations = [] in
-  let run_fig n = default || List.mem n !figures in
-  let run_abl s = default || List.mem s !ablations in
   note "Poseidon reproduction benchmark suite";
   note "(simulated 64-CPU, 2-NUMA-node machine with Optane-like NVMM;";
   note " see DESIGN.md and EXPERIMENTS.md for the methodology)";
-  if run_fig 3 then figure3 ();
-  if run_fig 6 then figure6 ();
-  if run_fig 7 then figure7 ();
-  if run_fig 8 then figure8 ();
-  if run_fig 9 then figure9 ();
-  if run_abl "index" then ablation_index ();
-  if run_abl "capacity" then ablation_capacity ();
-  if run_abl "costs" then ablation_costs ();
-  if run_abl "subheap" then ablation_subheap_mpk ();
-  if run_abl "ycsb-abc" then extension_ycsb_abc ();
-  if run_abl "trace" then extension_trace_replay ();
-  if run_abl "remote-free" then extension_remote_free ();
-  if run_abl "exthash" then extension_exthash ();
-  if !run_bechamel then bechamel_suite ()
+  (if !smoke then smoke_suite ()
+   else begin
+     let default = !figures = [] && !ablations = [] in
+     let run_fig n = default || List.mem n !figures in
+     let run_abl s = default || List.mem s !ablations in
+     if run_fig 3 then figure3 ();
+     if run_fig 6 then figure6 ();
+     if run_fig 7 then figure7 ();
+     if run_fig 8 then figure8 ();
+     if run_fig 9 then figure9 ();
+     if run_abl "index" then ablation_index ();
+     if run_abl "capacity" then ablation_capacity ();
+     if run_abl "costs" then ablation_costs ();
+     if run_abl "subheap" then ablation_subheap_mpk ();
+     if run_abl "ycsb-abc" then extension_ycsb_abc ();
+     if run_abl "trace" then extension_trace_replay ();
+     if run_abl "remote-free" then extension_remote_free ();
+     if run_abl "exthash" then extension_exthash ();
+     if !run_bechamel then bechamel_suite ()
+   end);
+  write_results ()

@@ -49,6 +49,40 @@ let workload_conv =
     [ ("micro", `Micro); ("larson", `Larson); ("ackermann", `Ackermann);
       ("kruskal", `Kruskal); ("nqueens", `Nqueens); ("ycsb", `Ycsb) ]
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Record a simulated-time event trace of the run and write it to \
+           $(docv) as Chrome trace-event JSON (load in Perfetto or \
+           chrome://tracing).")
+
+(* Tracing brackets the whole subcommand so setup, crash injection and
+   recovery all land in the trace, not just the steady state. *)
+let with_tracing trace_out f =
+  if trace_out <> None then Obs.Trace.start ();
+  let r = f () in
+  match trace_out with
+  | None -> r
+  | Some file ->
+    Obs.Trace.stop ();
+    let r =
+      try
+        Obs.Trace.write_chrome file;
+        Printf.printf "trace: %d events -> %s (%d emitted, %d dropped)\n"
+          (Obs.Trace.count ()) file
+          (Obs.Trace.total_emitted ())
+          (Obs.Trace.dropped ());
+        r
+      with Sys_error msg ->
+        Printf.eprintf "trace: cannot write trace file: %s\n" msg;
+        1
+    in
+    Obs.Trace.clear ();
+    r
+
 (* ---------- bench ---------- *)
 
 let bench_cmd =
@@ -72,7 +106,8 @@ let bench_cmd =
       & opt int 20_000
       & info [ "n"; "ops" ] ~docv:"N" ~doc:"Total operations / iterations.")
   in
-  let run allocator threads workload size ops =
+  let run allocator threads workload size ops trace_out =
+    with_tracing trace_out @@ fun () ->
     let factory = factory_of allocator in
     let name = factory.Workloads.Factories.name in
     (match workload with
@@ -108,7 +143,9 @@ let bench_cmd =
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Run one workload on one allocator.")
-    Term.(const run $ allocator_arg $ threads_arg $ workload_arg $ size_arg $ ops_arg)
+    Term.(
+      const run $ allocator_arg $ threads_arg $ workload_arg $ size_arg
+      $ ops_arg $ trace_out_arg)
 
 (* ---------- safety ---------- *)
 
@@ -141,7 +178,8 @@ let stress_cmd =
   let seed_arg =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.")
   in
-  let run rounds seed =
+  let run rounds seed trace_out =
+    with_tracing trace_out @@ fun () ->
     let module Prng = Repro_util.Prng in
     let base = 1 lsl 30 in
     let mach = Machine.create () in
@@ -173,12 +211,13 @@ let stress_cmd =
   Cmd.v
     (Cmd.info "stress"
        ~doc:"Random allocation/crash/recovery torture with invariant checks.")
-    Term.(const run $ rounds_arg $ seed_arg)
+    Term.(const run $ rounds_arg $ seed_arg $ trace_out_arg)
 
 (* ---------- inspect ---------- *)
 
 let inspect_cmd =
-  let run allocator threads =
+  let run allocator threads trace_out =
+    with_tracing trace_out @@ fun () ->
     let factory = factory_of allocator in
     let mach, inst = factory.Workloads.Factories.make () in
     let _ =
@@ -208,11 +247,18 @@ let inspect_cmd =
       c.Nvmm.Memdev.fences;
     Printf.printf "mpk faults observed: %d\n"
       (Mpk.faults_observed (Machine.mpk mach));
+    Printf.printf "locks (%d):\n" (List.length (Machine.lock_stats mach));
+    List.iter
+      (fun (lname, s) ->
+        Printf.printf "  %-20s %6d acquisitions, %5d contended, %10d ns waited\n"
+          lname s.Machine.Lock.acquisitions s.Machine.Lock.contended
+          s.Machine.Lock.wait_ns)
+      (Machine.lock_stats mach);
     0
   in
   Cmd.v
     (Cmd.info "inspect" ~doc:"Run a small mixed workload and dump counters.")
-    Term.(const run $ allocator_arg $ threads_arg)
+    Term.(const run $ allocator_arg $ threads_arg $ trace_out_arg)
 
 (* ---------- fsck ---------- *)
 

@@ -27,7 +27,23 @@ type t = {
   sb_lock : Machine.Lock.lock;
   protect : bool;
   single : bool; (* ablation A2: one sub-heap shared by every CPU *)
+  (* live metrics (registry scope "heap<id>") *)
+  c_allocs : int ref;
+  c_alloc_fails : int ref;
+  c_frees : int ref;
+  c_tx_allocs : int ref;
+  c_tx_commits : int ref;
+  c_tx_aborts : int ref;
 }
+
+let mk_counters heap_id =
+  let scope = Printf.sprintf "heap%d" heap_id in
+  ( Obs.Metrics.counter ~scope "allocs",
+    Obs.Metrics.counter ~scope "alloc_fails",
+    Obs.Metrics.counter ~scope "frees",
+    Obs.Metrics.counter ~scope "tx_allocs",
+    Obs.Metrics.counter ~scope "tx_commits",
+    Obs.Metrics.counter ~scope "tx_aborts" )
 
 let machine h = h.mach
 let heap_id h = h.heap_id
@@ -80,6 +96,9 @@ let create mach ~base ~size ~heap_id ?(sub_data_size = default_sub_data_size)
     end
     else 0
   in
+  let c_allocs, c_alloc_fails, c_frees, c_tx_allocs, c_tx_commits, c_tx_aborts =
+    mk_counters heap_id
+  in
   { mach;
     base;
     heap_id;
@@ -92,7 +111,13 @@ let create mach ~base ~size ~heap_id ?(sub_data_size = default_sub_data_size)
     subheaps = Array.make num_slots None;
     sb_lock = Machine.Lock.create mach ~name:"superblock" ();
     protect = protected;
-    single = single_subheap }
+    single = single_subheap;
+    c_allocs;
+    c_alloc_fails;
+    c_frees;
+    c_tx_allocs;
+    c_tx_commits;
+    c_tx_aborts }
 
 let meta_region_size h =
   Layout.meta_size ~base_buckets:h.base_buckets ~levels:Layout.max_levels
@@ -121,6 +146,9 @@ let attach mach ~base ?(protected = true) () =
     end
     else 0
   in
+  let c_allocs, c_alloc_fails, c_frees, c_tx_allocs, c_tx_commits, c_tx_aborts =
+    mk_counters heap_id
+  in
   let h =
     { mach;
       base;
@@ -134,7 +162,13 @@ let attach mach ~base ?(protected = true) () =
       subheaps = Array.make num_slots None;
       sb_lock = Machine.Lock.create mach ~name:"superblock" ();
       protect = protected;
-      single = false }
+      single = false;
+      c_allocs;
+      c_alloc_fails;
+      c_frees;
+      c_tx_allocs;
+      c_tx_commits;
+      c_tx_aborts }
   in
   let meta_size = meta_region_size h in
   for slot = 0 to num_slots - 1 do
@@ -150,10 +184,12 @@ let attach mach ~base ?(protected = true) () =
     end
   done;
   (* recovery (§5.8) *)
+  Obs.Trace.emit1 Obs.Event.Recovery_begin heap_id;
   with_metadata_access h (fun () ->
       Array.iter
         (function Some sh -> Subheap.recover sh | None -> ())
         h.subheaps);
+  Obs.Trace.emit1 Obs.Event.Recovery_end heap_id;
   h
 
 (** Enables the paper's 8 wrpkru-lockdown countermeasure: guards the
@@ -199,6 +235,7 @@ let create_subheap h slot =
     Superblock.publish_slot mach ~base:h.base slot ~meta_base ~data_base
       ~data_size:h.sub_data_size;
     h.subheaps.(slot) <- Some sh;
+    Obs.Trace.emit2 Obs.Event.Subheap_create slot numa;
     Some sh
   end
 
@@ -220,24 +257,45 @@ let mk_ptr (h : t) sh off : Alloc_intf.nvmptr =
   { Alloc_intf.heap_id = h.heap_id; subheap = sh.Subheap.index; off }
 
 let alloc h size =
-  with_metadata_access h (fun () ->
-      match subheap_for h with
-      | None -> None
-      | Some sh ->
-        Machine.Lock.with_lock sh.Subheap.lock (fun () ->
-            Option.map (mk_ptr h sh) (Subheap.allocate sh size)))
+  let r =
+    with_metadata_access h (fun () ->
+        match subheap_for h with
+        | None -> None
+        | Some sh ->
+          Machine.Lock.with_lock sh.Subheap.lock (fun () ->
+              Option.map (mk_ptr h sh) (Subheap.allocate sh size)))
+  in
+  (match r with
+   | Some p ->
+     Obs.Metrics.incr h.c_allocs;
+     Obs.Trace.emit2 Obs.Event.Alloc size p.Alloc_intf.subheap
+   | None -> Obs.Metrics.incr h.c_alloc_fails);
+  r
 
 let tx_alloc h size ~is_end =
-  with_metadata_access h (fun () ->
-      match subheap_for h with
-      | None -> None
-      | Some sh ->
-        Machine.Lock.with_lock sh.Subheap.lock (fun () ->
-            let r = Subheap.allocate_tx sh size in
-            (* the last allocation's success commits the transaction
-               by truncating the micro log (§5.3) *)
-            if is_end && r <> None then Subheap.commit_tx sh;
-            Option.map (mk_ptr h sh) r))
+  let r =
+    with_metadata_access h (fun () ->
+        match subheap_for h with
+        | None -> None
+        | Some sh ->
+          Machine.Lock.with_lock sh.Subheap.lock (fun () ->
+              let r = Subheap.allocate_tx sh size in
+              (* the last allocation's success commits the transaction
+                 by truncating the micro log (§5.3) *)
+              if is_end && r <> None then begin
+                Subheap.commit_tx sh;
+                sh.Subheap.stat_tx_commits <- sh.Subheap.stat_tx_commits + 1;
+                Obs.Metrics.incr h.c_tx_commits;
+                Obs.Trace.emit1 Obs.Event.Tx_commit sh.Subheap.index
+              end;
+              Option.map (mk_ptr h sh) r))
+  in
+  (match r with
+   | Some p ->
+     Obs.Metrics.incr h.c_tx_allocs;
+     Obs.Trace.emit2 Obs.Event.Tx_alloc size p.Alloc_intf.subheap
+   | None -> Obs.Metrics.incr h.c_alloc_fails);
+  r
 
 (** Commits the in-flight transaction of the calling CPU's sub-heap
     explicitly (equivalent to a successful [is_end:true] allocation):
@@ -248,7 +306,10 @@ let tx_commit h =
       | None -> ()
       | Some sh ->
         Machine.Lock.with_lock sh.Subheap.lock (fun () ->
-            Subheap.commit_tx sh))
+            Subheap.commit_tx sh;
+            sh.Subheap.stat_tx_commits <- sh.Subheap.stat_tx_commits + 1;
+            Obs.Metrics.incr h.c_tx_commits;
+            Obs.Trace.emit1 Obs.Event.Tx_commit sh.Subheap.index))
 
 (** Aborts the in-flight transaction of the calling CPU's sub-heap:
     frees every address in the micro log, then truncates it. *)
@@ -258,12 +319,19 @@ let tx_abort h =
       | None -> ()
       | Some sh ->
         Machine.Lock.with_lock sh.Subheap.lock (fun () ->
+            let entries =
+              Microlog.entries h.mach ~meta_base:sh.Subheap.meta_base
+            in
             List.iter
               (fun packed ->
                 let p = Alloc_intf.unpack ~heap_id:h.heap_id packed in
                 ignore (Subheap.deallocate sh p.Alloc_intf.off))
-              (Microlog.entries h.mach ~meta_base:sh.Subheap.meta_base);
-            Subheap.commit_tx sh))
+              entries;
+            Subheap.commit_tx sh;
+            sh.Subheap.stat_tx_aborts <- sh.Subheap.stat_tx_aborts + 1;
+            Obs.Metrics.incr h.c_tx_aborts;
+            Obs.Trace.emit2 Obs.Event.Tx_abort sh.Subheap.index
+              (List.length entries)))
 
 let free h (ptr : Alloc_intf.nvmptr) =
   let reject sh =
@@ -280,7 +348,11 @@ let free h (ptr : Alloc_intf.nvmptr) =
     | Some sh ->
       with_metadata_access h (fun () ->
           Machine.Lock.with_lock sh.Subheap.lock (fun () ->
-              ignore (Subheap.deallocate sh ptr.off)))
+              match Subheap.deallocate sh ptr.off with
+              | Subheap.Freed ->
+                Obs.Metrics.incr h.c_frees;
+                Obs.Trace.emit2 Obs.Event.Free ptr.off ptr.subheap
+              | Subheap.Invalid_free | Subheap.Double_free -> ()))
 
 let get_rawptr h (ptr : Alloc_intf.nvmptr) =
   if Alloc_intf.is_null ptr then invalid_arg "Heap.get_rawptr: null pointer";
@@ -342,6 +414,9 @@ type stats = {
   merges : int;
   defrag_passes : int;
   hash_extends : int;
+  tx_commits : int;
+  tx_aborts : int;
+  recovery_replays : int;
   live_bytes : int;
   free_bytes : int;
 }
@@ -355,6 +430,9 @@ let stats h =
         merges = 0;
         defrag_passes = 0;
         hash_extends = 0;
+        tx_commits = 0;
+        tx_aborts = 0;
+        recovery_replays = 0;
         live_bytes = 0;
         free_bytes = 0 }
   in
@@ -366,6 +444,38 @@ let stats h =
           merges = !s.merges + sh.Subheap.stat_merges;
           defrag_passes = !s.defrag_passes + sh.Subheap.stat_defrag_passes;
           hash_extends = !s.hash_extends + sh.Subheap.stat_hash_extends;
+          tx_commits = !s.tx_commits + sh.Subheap.stat_tx_commits;
+          tx_aborts = !s.tx_aborts + sh.Subheap.stat_tx_aborts;
+          recovery_replays =
+            !s.recovery_replays + sh.Subheap.stat_recovery_replays;
           live_bytes = !s.live_bytes + Subheap.live_bytes sh;
           free_bytes = !s.free_bytes + Subheap.free_bytes sh });
   !s
+
+(** Pushes heap-level metrics — aggregate statistics plus per-sub-heap
+    occupancy — into the registry under [heap<id>] and
+    [heap<id>/subheap<slot>] scopes. *)
+let publish_metrics ?registry h =
+  let g scope name v =
+    Obs.Metrics.set_gauge ?m:registry ~scope name (float_of_int v)
+  in
+  let scope = Printf.sprintf "heap%d" h.heap_id in
+  let s = stats h in
+  g scope "subheaps_active" s.subheaps_active;
+  g scope "invalid_frees" s.invalid_frees;
+  g scope "double_frees" s.double_frees;
+  g scope "merges" s.merges;
+  g scope "defrag_passes" s.defrag_passes;
+  g scope "hash_extends" s.hash_extends;
+  g scope "stat_tx_commits" s.tx_commits;
+  g scope "stat_tx_aborts" s.tx_aborts;
+  g scope "recovery_replays" s.recovery_replays;
+  g scope "live_bytes" s.live_bytes;
+  g scope "free_bytes" s.free_bytes;
+  iter_subheaps h (fun sh ->
+      let sscope = Printf.sprintf "%s/subheap%d" scope sh.Subheap.index in
+      g sscope "live_bytes" (Subheap.live_bytes sh);
+      g sscope "free_bytes" (Subheap.free_bytes sh);
+      g sscope "merges" sh.Subheap.stat_merges;
+      g sscope "hash_extends" sh.Subheap.stat_hash_extends;
+      g sscope "recovery_replays" sh.Subheap.stat_recovery_replays)

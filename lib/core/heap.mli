@@ -113,8 +113,18 @@ type stats = {
   merges : int;
   defrag_passes : int;
   hash_extends : int;
+  tx_commits : int; (** committed transactions (explicit or [is_end]) *)
+  tx_aborts : int; (** explicit {!tx_abort} calls *)
+  recovery_replays : int;
+      (** undo-log replays + micro-log rollback entries processed by
+          {!attach} recovery *)
   live_bytes : int;
   free_bytes : int;
 }
 
 val stats : t -> stats
+
+val publish_metrics : ?registry:Obs.Metrics.t -> t -> unit
+(** Pushes aggregate heap statistics and per-sub-heap occupancy into
+    the metrics registry (default {!Obs.Metrics.default}) under the
+    [heap<id>] and [heap<id>/subheap<slot>] scopes. *)

@@ -22,6 +22,9 @@ type t = {
   mutable stat_merges : int;
   mutable stat_defrag_passes : int;
   mutable stat_hash_extends : int;
+  mutable stat_tx_commits : int;
+  mutable stat_tx_aborts : int;
+  mutable stat_recovery_replays : int;
 }
 
 let nil = Layout.nil_off
@@ -47,7 +50,10 @@ let make mach ~heap_id ~index ~cpu ~meta_base ~data_base ~data_size ~base_bucket
     stat_double_free = 0;
     stat_merges = 0;
     stat_defrag_passes = 0;
-    stat_hash_extends = 0 }
+    stat_hash_extends = 0;
+    stat_tx_commits = 0;
+    stat_tx_aborts = 0;
+    stat_recovery_replays = 0 }
 
 let attach mach ~heap_id ~index ~meta_base =
   if hdr_read mach meta_base Layout.sh_off_magic <> Layout.sh_magic then
@@ -92,7 +98,8 @@ let merge ctx sh ~left_rec ~right_rec =
   Record.set_status ctx right_rec Layout.st_tombstone;
   Hashtable.live_decr ctx sh.ht (Hashtable.level_of_rec sh.ht right_rec);
   Buddy.push_head ctx sh.meta_base (Layout.class_of_size (lsz + rsz)) left_rec;
-  sh.stat_merges <- sh.stat_merges + 1
+  sh.stat_merges <- sh.stat_merges + 1;
+  Obs.Trace.emit2 Obs.Event.Merge sh.index (lsz + rsz)
 
 (* Hash-window defragmentation (paper §5.4 case 2): free a slot in the
    probe windows of [off] by merging a free block found there into its
@@ -134,6 +141,7 @@ let rec insert_record ?(attempt = 0) ctx sh ~off ~size ~status ~prev ~next =
       insert_record ~attempt:1 ctx sh ~off ~size ~status ~prev ~next
     else if attempt <= 1 && Hashtable.extend ctx sh.ht then begin
       sh.stat_hash_extends <- sh.stat_hash_extends + 1;
+      Obs.Trace.emit1 Obs.Event.Hash_extend sh.index;
       insert_record ~attempt:2 ctx sh ~off ~size ~status ~prev ~next
     end
     else None
@@ -203,6 +211,7 @@ let alloc_once ctx sh rsize =
 let defrag_pass sh ~target =
   let mach = sh.mach in
   sh.stat_defrag_passes <- sh.stat_defrag_passes + 1;
+  Obs.Trace.emit2 Obs.Event.Defrag sh.index target;
   let budget = ref 256 in
   let merged_any = ref false in
   let max_cls = min (Layout.class_of_size target) (Layout.num_classes - 1) in
@@ -354,8 +363,15 @@ let format mach ~heap_id ~index ~cpu ~meta_base ~data_base ~data_size ~base_buck
 (* Replays the undo log, then rolls back the uncommitted transaction
    recorded in the micro log.  Idempotent. *)
 let recover sh =
-  ignore (Undolog.recover sh.mach ~meta_base:sh.meta_base);
+  let undo_replayed = Undolog.recover sh.mach ~meta_base:sh.meta_base in
   let entries = Microlog.entries sh.mach ~meta_base:sh.meta_base in
+  sh.stat_recovery_replays <-
+    sh.stat_recovery_replays
+    + (if undo_replayed then 1 else 0)
+    + List.length entries;
+  Obs.Trace.emit2 Obs.Event.Undo_replay
+    (if undo_replayed then 1 else 0)
+    (List.length entries);
   List.iter
     (fun packed ->
       let ptr = Alloc_intf.unpack ~heap_id:sh.heap_id packed in

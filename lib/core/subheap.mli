@@ -22,6 +22,11 @@ type t = {
   mutable stat_merges : int;
   mutable stat_defrag_passes : int;
   mutable stat_hash_extends : int;
+  mutable stat_tx_commits : int; (** maintained by the heap layer *)
+  mutable stat_tx_aborts : int; (** maintained by the heap layer *)
+  mutable stat_recovery_replays : int;
+      (** undo-log replays plus micro-log entries rolled back by
+          {!recover} over the sub-heap's lifetime in this process *)
 }
 
 val format :

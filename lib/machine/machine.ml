@@ -40,6 +40,8 @@ type t = {
     (* per-(node, DIMM) last 256 B XPLine served (write combining) *)
   mutable op_count : int; (* ops since the last forced yield *)
   mutable no_yield : bool; (* inside a critical (preemption-free) section *)
+  mutable locks_ : Sched.Mutex.mutex list; (* every lock created on this machine *)
+  mutable sim_fences : int; (* fences charged in simulation (sfence + persist) *)
   prof : profile;
   (* precomputed remote costs *)
   dram_read_remote : int;
@@ -49,6 +51,9 @@ type t = {
 
 let create ?(cfg = Config.default) () =
   Config.validate cfg;
+  (* traced events carry the NUMA node of their CPU *)
+  Obs.Trace.set_node_of_cpu (fun cpu ->
+      if cpu >= 0 && cpu < cfg.num_cpus then Config.cpu_numa cfg cpu else -1);
   let mk_cache _ =
     { tags = Array.make cfg.cache_lines_per_cpu (-1);
       vers = Array.make cfg.cache_lines_per_cpu 0;
@@ -70,6 +75,8 @@ let create ?(cfg = Config.default) () =
           Array.make cfg.nvmm_dimms_per_node (-1));
     op_count = 0;
     no_yield = false;
+    locks_ = [];
+    sim_fences = 0;
     prof =
       { p_read_hit = 0; p_read_miss = 0; p_write = 0; p_flush = 0;
         p_fence = 0; p_bandwidth_wait = 0; p_compute = 0; p_wrpkru = 0 };
@@ -266,7 +273,9 @@ let fill t a len c =
 let sfence t =
   if Sched.in_simulation () then begin
     t.prof.p_fence <- t.prof.p_fence + t.config.sfence_ns;
-    Sched.charge t.config.sfence_ns
+    t.sim_fences <- t.sim_fences + 1;
+    Sched.charge t.config.sfence_ns;
+    Obs.Trace.emit Obs.Event.Sfence
   end;
   Memdev.sfence t.dev_
 
@@ -274,6 +283,7 @@ let clwb t a =
   if Sched.in_simulation () then begin
     t.prof.p_flush <- t.prof.p_flush + t.config.clwb_ns;
     Sched.charge t.config.clwb_ns;
+    Obs.Trace.emit1 Obs.Event.Clwb a;
     match Memdev.region_info t.dev_ a with
     | Memdev.Nvmm, numa -> serve_node t numa a t.config.nvmm_write_service_ns
     | Memdev.Dram, _ -> ()
@@ -289,6 +299,7 @@ let punch t a len =
 let has_region t a = Memdev.has_region t.dev_ a
 
 let profile t = t.prof
+let sim_fences t = t.sim_fences
 
 let reset_profile t =
   let p = t.prof in
@@ -307,7 +318,9 @@ let persist t a len =
       let lines = line_of (a + len - 1) - line_of a + 1 in
       t.prof.p_flush <- t.prof.p_flush + (lines * t.config.clwb_ns);
       t.prof.p_fence <- t.prof.p_fence + t.config.sfence_ns;
+      t.sim_fences <- t.sim_fences + 1;
       Sched.charge ((lines * t.config.clwb_ns) + t.config.sfence_ns);
+      Obs.Trace.emit2 Obs.Event.Persist a len;
       (match Memdev.region_info t.dev_ a with
        | Memdev.Nvmm, numa ->
          for l = 0 to lines - 1 do
@@ -327,7 +340,9 @@ let compute t ns =
 let wrpkru ?cap t key perm =
   if Sched.in_simulation () then begin
     t.prof.p_wrpkru <- t.prof.p_wrpkru + t.config.wrpkru_ns;
-    Sched.charge t.config.wrpkru_ns
+    Sched.charge t.config.wrpkru_ns;
+    Obs.Trace.emit2 Obs.Event.Wrpkru key
+      (match perm with Mpk.No_access -> 0 | Mpk.Read_only -> 1 | Mpk.Read_write -> 2)
   end;
   Mpk.set_perm ?cap t.mpk_ ~thread:(current_thread ()) key perm
 
@@ -336,12 +351,26 @@ let wrpkru ?cap t key perm =
 module Lock = struct
   type lock = { m : Sched.Mutex.mutex; owner : t }
 
-  let create t ?name () = { m = Sched.Mutex.create ?name (); owner = t }
+  type stats = { acquisitions : int; contended : int; wait_ns : int }
+
+  let create t ?name () =
+    let l = { m = Sched.Mutex.create ?name (); owner = t } in
+    t.locks_ <- l.m :: t.locks_;
+    l
 
   let acquire l =
     if Sched.in_simulation () then begin
       Sched.charge l.owner.config.lock_acquire_ns;
+      let t0 = if Obs.Trace.enabled () then Sched.now () else 0 in
       Sched.Mutex.acquire l.m;
+      if Obs.Trace.enabled () then begin
+        let waited = Sched.now () - t0 in
+        if waited > 0 then
+          Obs.Trace.emit_span ~name:(Sched.Mutex.name l.m)
+            Obs.Event.Lock_contend ~dur:waited waited;
+        Obs.Trace.emit_named Obs.Event.Lock_acquire (Sched.Mutex.name l.m)
+          (Sched.Mutex.acquisitions l.m)
+      end;
       (* the previous releaser's CPU is recorded at release time, so
          reading it after our acquisition gives the CPU the lock's
          cache line bounces from *)
@@ -353,17 +382,72 @@ module Lock = struct
         else Sched.charge l.owner.transfer_remote
     end
 
-  let release l = if Sched.in_simulation () then Sched.Mutex.release l.m
+  let release l =
+    if Sched.in_simulation () then begin
+      if Obs.Trace.enabled () then
+        Obs.Trace.emit_named Obs.Event.Lock_release (Sched.Mutex.name l.m) 0;
+      Sched.Mutex.release l.m
+    end
 
   let with_lock l f =
     acquire l;
     Fun.protect ~finally:(fun () -> release l) f
 
+  let name l = Sched.Mutex.name l.m
+
   let stats l =
-    ( Sched.Mutex.acquisitions l.m,
-      Sched.Mutex.contended l.m,
-      Sched.Mutex.total_wait_ns l.m )
+    { acquisitions = Sched.Mutex.acquisitions l.m;
+      contended = Sched.Mutex.contended l.m;
+      wait_ns = Sched.Mutex.total_wait_ns l.m }
 end
+
+(* Every lock ever created on this machine, most recent first, with its
+   name and contention statistics — the inspect subcommand and the
+   metrics registry read this. *)
+let lock_stats t =
+  List.rev_map
+    (fun m ->
+      ( Sched.Mutex.name m,
+        { Lock.acquisitions = Sched.Mutex.acquisitions m;
+          contended = Sched.Mutex.contended m;
+          wait_ns = Sched.Mutex.total_wait_ns m } ))
+    t.locks_
+
+(* ---------- metrics publishing ---------- *)
+
+(** Pushes this machine's accumulated accounting — cost profile,
+    device counters, scheduler activity, MPK faults and per-lock
+    contention — into the metrics registry (the [machine] and
+    [lock/<name>] scopes).  Gauges overwrite on re-publish, so calling
+    this repeatedly snapshots the latest totals. *)
+let publish_metrics ?registry t =
+  let g scope name v = Obs.Metrics.set_gauge ?m:registry ~scope name (float_of_int v) in
+  let p = t.prof in
+  g "machine" "profile/read_hit_ns" p.p_read_hit;
+  g "machine" "profile/read_miss_ns" p.p_read_miss;
+  g "machine" "profile/write_ns" p.p_write;
+  g "machine" "profile/flush_ns" p.p_flush;
+  g "machine" "profile/fence_ns" p.p_fence;
+  g "machine" "profile/bandwidth_wait_ns" p.p_bandwidth_wait;
+  g "machine" "profile/compute_ns" p.p_compute;
+  g "machine" "profile/wrpkru_ns" p.p_wrpkru;
+  g "machine" "sim_fences" t.sim_fences;
+  let c = Memdev.counters t.dev_ in
+  g "machine" "device/loads" c.Memdev.loads;
+  g "machine" "device/stores" c.Memdev.stores;
+  g "machine" "device/lines_flushed" c.Memdev.lines_flushed;
+  g "machine" "device/fences" c.Memdev.fences;
+  g "machine" "sched/context_switches" (Sched.context_switches t.engine_);
+  g "machine" "sched/max_runq_depth" (Sched.max_runq_depth t.engine_);
+  g "machine" "sched/horizon_ns" (Sched.horizon t.engine_);
+  g "machine" "mpk/faults" (Mpk.faults_observed t.mpk_);
+  List.iter
+    (fun (name, s) ->
+      let scope = "lock/" ^ name in
+      g scope "acquisitions" s.Lock.acquisitions;
+      g scope "contended" s.Lock.contended;
+      g scope "wait_ns" s.Lock.wait_ns)
+    (lock_stats t)
 
 (* ---------- threads ---------- *)
 

@@ -94,6 +94,18 @@ type profile = {
 val profile : t -> profile
 val reset_profile : t -> unit
 
+val sim_fences : t -> int
+(** Fences charged inside the simulation ({!sfence} calls plus one per
+    {!persist}); an accounting path independent of the profile's
+    [p_fence] nanosecond total, used to cross-check instrumentation. *)
+
+val publish_metrics : ?registry:Obs.Metrics.t -> t -> unit
+(** Pushes the machine's accumulated accounting — cost profile, device
+    counters, scheduler activity, MPK faults, per-lock contention —
+    into the metrics registry (default: {!Obs.Metrics.default}) under
+    the [machine] and [lock/<name>] scopes.  Gauges overwrite, so
+    re-publishing snapshots the latest totals. *)
+
 val compute : t -> int -> unit
 (** [compute t ns] charges pure computation time. *)
 
@@ -115,13 +127,24 @@ val wrpkru : ?cap:Mpk.capability -> t -> Mpk.pkey -> Mpk.perm -> unit
 module Lock : sig
   type lock
 
+  type stats = { acquisitions : int; contended : int; wait_ns : int }
+
   val create : t -> ?name:string -> unit -> lock
+  (** Locks register themselves with the owning machine; see
+      {!Machine.lock_stats}. *)
+
   val acquire : lock -> unit
   val release : lock -> unit
   val with_lock : lock -> (unit -> 'a) -> 'a
-  val stats : lock -> int * int * int
-  (** (acquisitions, contended, total wait ns). *)
+
+  val name : lock -> string
+
+  val stats : lock -> stats
 end
+
+val lock_stats : t -> (string * Lock.stats) list
+(** Name and contention statistics of every lock created on this
+    machine, in creation order. *)
 
 (** {2 Thread management} *)
 

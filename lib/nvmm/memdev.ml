@@ -325,6 +325,11 @@ let has_region t a =
   match find_region t a with _ -> true | exception Invalid_address _ -> false
 
 let crash t mode =
+  let at_risk =
+    Hashtbl.fold (fun _ c acc -> acc + Bitset.count c.dirty) t.chunks 0
+    + Hashtbl.length t.staged
+  in
+  let persisted = ref 0 in
   (match mode with
    | `Strict -> ()
    | `Adversarial rng ->
@@ -334,7 +339,8 @@ let crash t mode =
          Bitset.iter_set c.dirty (fun line ->
              if Prng.bool rng then begin
                let off = line * cache_line in
-               Bytes.blit c.vol off c.pers off cache_line
+               Bytes.blit c.vol off c.pers off cache_line;
+               incr persisted
              end))
        t.chunks;
      (* Staged-but-unfenced lines likewise may or may not land. *)
@@ -342,7 +348,8 @@ let crash t mode =
        (fun base data ->
          if Prng.bool rng then begin
            let c = get_chunk t (base lsr chunk_bits) in
-           Bytes.blit data 0 c.pers (base land (chunk_size - 1)) cache_line
+           Bytes.blit data 0 c.pers (base land (chunk_size - 1)) cache_line;
+           incr persisted
          end)
        t.staged);
   Hashtbl.reset t.staged;
@@ -350,7 +357,15 @@ let crash t mode =
     (fun _idx c ->
       Bytes.blit c.pers 0 c.vol 0 chunk_size;
       Bitset.clear_all c.dirty)
-    t.chunks
+    t.chunks;
+  Obs.Trace.emit2 Obs.Event.Crash !persisted (at_risk - !persisted);
+  Obs.Metrics.incr (Obs.Metrics.counter ~scope:"nvmm" "crashes");
+  Obs.Metrics.add
+    (Obs.Metrics.counter ~scope:"nvmm" "crash_lines_persisted")
+    !persisted;
+  Obs.Metrics.add
+    (Obs.Metrics.counter ~scope:"nvmm" "crash_lines_lost")
+    (at_risk - !persisted)
 
 let dirty_lines t =
   Hashtbl.fold (fun _ c acc -> acc + Bitset.count c.dirty) t.chunks 0

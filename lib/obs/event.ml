@@ -1,0 +1,127 @@
+(** Typed trace-event kinds.
+
+    One constructor per mechanism the paper's evaluation attributes
+    cost to: allocator operations (§5.2–§5.5), transactions (§5.3),
+    locks (§5.7), persistence barriers (§6), MPK toggles (§4.3),
+    crash/recovery (§5.8), sub-heap and hash-table maintenance (§4.1,
+    §4.4, §5.6) and scheduler activity.  Kinds are stored as small
+    ints in the trace ring buffer; [name] and [category] drive the
+    Chrome trace-event export. *)
+
+type kind =
+  | Alloc
+  | Free
+  | Tx_alloc
+  | Tx_commit
+  | Tx_abort
+  | Lock_acquire
+  | Lock_contend
+  | Lock_release
+  | Clwb
+  | Sfence
+  | Persist
+  | Wrpkru
+  | Crash
+  | Recovery_begin
+  | Recovery_end
+  | Undo_replay
+  | Subheap_create
+  | Hash_extend
+  | Defrag
+  | Merge
+  | Ctx_switch
+  | Thread_spawn
+  | Thread_finish
+  | Custom
+
+let to_int = function
+  | Alloc -> 0
+  | Free -> 1
+  | Tx_alloc -> 2
+  | Tx_commit -> 3
+  | Tx_abort -> 4
+  | Lock_acquire -> 5
+  | Lock_contend -> 6
+  | Lock_release -> 7
+  | Clwb -> 8
+  | Sfence -> 9
+  | Persist -> 10
+  | Wrpkru -> 11
+  | Crash -> 12
+  | Recovery_begin -> 13
+  | Recovery_end -> 14
+  | Undo_replay -> 15
+  | Subheap_create -> 16
+  | Hash_extend -> 17
+  | Defrag -> 18
+  | Merge -> 19
+  | Ctx_switch -> 20
+  | Thread_spawn -> 21
+  | Thread_finish -> 22
+  | Custom -> 23
+
+let of_int = function
+  | 0 -> Alloc
+  | 1 -> Free
+  | 2 -> Tx_alloc
+  | 3 -> Tx_commit
+  | 4 -> Tx_abort
+  | 5 -> Lock_acquire
+  | 6 -> Lock_contend
+  | 7 -> Lock_release
+  | 8 -> Clwb
+  | 9 -> Sfence
+  | 10 -> Persist
+  | 11 -> Wrpkru
+  | 12 -> Crash
+  | 13 -> Recovery_begin
+  | 14 -> Recovery_end
+  | 15 -> Undo_replay
+  | 16 -> Subheap_create
+  | 17 -> Hash_extend
+  | 18 -> Defrag
+  | 19 -> Merge
+  | 20 -> Ctx_switch
+  | 21 -> Thread_spawn
+  | 22 -> Thread_finish
+  | 23 -> Custom
+  | n -> invalid_arg (Printf.sprintf "Event.of_int: %d" n)
+
+let name = function
+  | Alloc -> "alloc"
+  | Free -> "free"
+  | Tx_alloc -> "tx_alloc"
+  | Tx_commit -> "tx_commit"
+  | Tx_abort -> "tx_abort"
+  | Lock_acquire -> "lock_acquire"
+  | Lock_contend -> "lock_contend"
+  | Lock_release -> "lock_release"
+  | Clwb -> "clwb"
+  | Sfence -> "sfence"
+  | Persist -> "persist"
+  | Wrpkru -> "wrpkru"
+  | Crash -> "crash"
+  | Recovery_begin -> "recovery_begin"
+  | Recovery_end -> "recovery_end"
+  | Undo_replay -> "undo_replay"
+  | Subheap_create -> "subheap_create"
+  | Hash_extend -> "hash_extend"
+  | Defrag -> "defrag"
+  | Merge -> "merge"
+  | Ctx_switch -> "ctx_switch"
+  | Thread_spawn -> "thread_spawn"
+  | Thread_finish -> "thread_finish"
+  | Custom -> "custom"
+
+(** Chrome trace-event category ("cat" field): lets Perfetto filter
+    whole mechanism families at once. *)
+let category = function
+  | Alloc | Free -> "alloc"
+  | Tx_alloc | Tx_commit | Tx_abort -> "tx"
+  | Lock_acquire | Lock_contend | Lock_release -> "lock"
+  | Clwb | Sfence | Persist -> "persist"
+  | Wrpkru -> "mpk"
+  | Crash | Recovery_begin | Recovery_end | Undo_replay -> "crash"
+  | Subheap_create | Hash_extend | Defrag | Merge -> "heap"
+  | Ctx_switch | Thread_spawn | Thread_finish -> "sched"
+  | Custom -> "misc"

@@ -1,0 +1,126 @@
+(** Metrics registry: named counters, gauges and streaming histograms
+    grouped by scope, snapshottable to JSON.
+
+    Scopes are free-form strings chosen by the instrumented layer —
+    ["machine"], ["heap1"], ["lock/subheap-3"], ["bench/Fig 6 - 256 B"]
+    — so per-heap, per-sub-heap, per-lock and machine-wide metrics all
+    live in one registry and export together.
+
+    Counter handles are plain [int ref]s: incrementing one is as cheap
+    as the hand-rolled stat fields it replaces, so live counters stay
+    enabled unconditionally.  Histograms are {!Repro_util.Stats}
+    instances and export count/mean/percentile summaries.
+
+    A process-global {!default} registry serves the common case;
+    every function takes [?m] to target a private registry (tests). *)
+
+type value =
+  | Counter of int ref
+  | Gauge of float ref
+  | Histo of Repro_util.Stats.t
+
+type t = {
+  tbl : (string * string, value) Hashtbl.t;
+  mutable order : (string * string) list; (* reverse insertion order *)
+}
+
+let create () = { tbl = Hashtbl.create 64; order = [] }
+
+let default = create ()
+
+let reset ?(m = default) () =
+  Hashtbl.reset m.tbl;
+  m.order <- []
+
+let find_or_add m key mk =
+  match Hashtbl.find_opt m.tbl key with
+  | Some v -> v
+  | None ->
+    let v = mk () in
+    Hashtbl.add m.tbl key v;
+    m.order <- key :: m.order;
+    v
+
+let counter ?(m = default) ~scope name =
+  match find_or_add m (scope, name) (fun () -> Counter (ref 0)) with
+  | Counter r -> r
+  | _ -> invalid_arg (Printf.sprintf "Metrics.counter: %s/%s is not a counter" scope name)
+
+let incr r = Stdlib.incr r
+let add r n = r := !r + n
+let value r = !r
+
+let set_gauge ?(m = default) ~scope name x =
+  match find_or_add m (scope, name) (fun () -> Gauge (ref 0.)) with
+  | Gauge r -> r := x
+  | _ -> invalid_arg (Printf.sprintf "Metrics.set_gauge: %s/%s is not a gauge" scope name)
+
+let histogram ?(m = default) ~scope name =
+  match find_or_add m (scope, name) (fun () -> Histo (Repro_util.Stats.create ())) with
+  | Histo s -> s
+  | _ -> invalid_arg (Printf.sprintf "Metrics.histogram: %s/%s is not a histogram" scope name)
+
+let observe = Repro_util.Stats.add
+
+(* ---------- lookup (tests, cross-checks) ---------- *)
+
+let get_counter ?(m = default) ~scope name =
+  match Hashtbl.find_opt m.tbl (scope, name) with
+  | Some (Counter r) -> Some !r
+  | _ -> None
+
+let get_gauge ?(m = default) ~scope name =
+  match Hashtbl.find_opt m.tbl (scope, name) with
+  | Some (Gauge r) -> Some !r
+  | _ -> None
+
+(* ---------- snapshot ---------- *)
+
+let value_to_json = function
+  | Counter r -> Json.Num (float_of_int !r)
+  | Gauge r -> Json.Num !r
+  | Histo s ->
+    let module St = Repro_util.Stats in
+    if St.count s = 0 then Json.Obj [ ("count", Json.Num 0.) ]
+    else
+      Json.Obj
+        [ ("count", Json.Num (float_of_int (St.count s)));
+          ("mean", Json.Num (St.mean s));
+          ("min", Json.Num (St.min_value s));
+          ("p50", Json.Num (St.percentile s 50.));
+          ("p99", Json.Num (St.percentile s 99.));
+          ("max", Json.Num (St.max_value s)) ]
+
+(** Snapshot as a JSON value: one object per scope, in first-insertion
+    order, each mapping metric names to numbers (counters, gauges) or
+    summary objects (histograms). *)
+let snapshot ?(m = default) () =
+  let keys = List.rev m.order in
+  let scopes = Hashtbl.create 16 in
+  let scope_order = ref [] in
+  List.iter
+    (fun (scope, name) ->
+      let entry =
+        match Hashtbl.find_opt scopes scope with
+        | Some l -> l
+        | None ->
+          let l = ref [] in
+          Hashtbl.add scopes scope l;
+          scope_order := scope :: !scope_order;
+          l
+      in
+      entry := (name, value_to_json (Hashtbl.find m.tbl (scope, name))) :: !entry)
+    keys;
+  Json.Obj
+    (List.rev_map
+       (fun scope ->
+         (scope, Json.Obj (List.rev !(Hashtbl.find scopes scope))))
+       !scope_order)
+
+let to_json ?m () = Json.to_string (snapshot ?m ())
+
+let write_json ?m path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json ?m ()))

@@ -1,0 +1,236 @@
+(** Structured event tracer.
+
+    A process-global ring buffer of typed events, each stamped with
+    simulated-time nanoseconds, simulated thread id, CPU and NUMA node.
+    Emission is allocation-free: events live in parallel int arrays,
+    names are interned, and every [emit*] entry point starts with a
+    single flag test, so a disabled tracer costs one load + branch per
+    call site.
+
+    Timestamps come from a clock the scheduler library registers at
+    link time ({!set_clock}); events emitted outside the simulation
+    (setup, crash injection) reuse the largest timestamp seen so far
+    with thread id/CPU [-1], which keeps the stream monotone per
+    thread.
+
+    The export format is Chrome trace-event JSON (the ["traceEvents"]
+    array form), directly loadable in Perfetto ({{:https://ui.perfetto.dev}}).
+    Durations are spans (ph ["X"]); everything else is a thread-scoped
+    instant (ph ["i"]).  [ts]/[dur] are microseconds with nanosecond
+    decimals, as the format requires. *)
+
+(* ---------- clock plumbing ---------- *)
+
+type clock = {
+  in_sim : unit -> bool;
+  now : unit -> int;
+  tid : unit -> int;
+  cpu : unit -> int;
+}
+
+let clock : clock option ref = ref None
+
+let set_clock ~in_sim ~now ~tid ~cpu =
+  clock := Some { in_sim; now; tid; cpu }
+
+let node_of_cpu : (int -> int) ref = ref (fun _ -> -1)
+let set_node_of_cpu f = node_of_cpu := f
+
+(* ---------- name interning ---------- *)
+
+let name_ids : (string, int) Hashtbl.t = Hashtbl.create 64
+let names = ref (Array.make 64 "")
+let name_count = ref 0
+
+let intern s =
+  match Hashtbl.find_opt name_ids s with
+  | Some i -> i
+  | None ->
+    let i = !name_count in
+    if i >= Array.length !names then begin
+      let bigger = Array.make (2 * Array.length !names) "" in
+      Array.blit !names 0 bigger 0 i;
+      names := bigger
+    end;
+    !names.(i) <- s;
+    Hashtbl.add name_ids s i;
+    name_count := i + 1;
+    i
+
+(* ---------- the ring ---------- *)
+
+type ring = {
+  cap : int;
+  ts : int array;
+  dur : int array; (* -1 = instant *)
+  tid : int array;
+  cpu : int array;
+  node : int array;
+  kind : int array;
+  a1 : int array;
+  a2 : int array;
+  name_ix : int array; (* -1 = none *)
+  mutable total : int; (* events emitted, including overwritten ones *)
+  mutable last_ts : int;
+}
+
+let mk_ring cap =
+  { cap;
+    ts = Array.make cap 0;
+    dur = Array.make cap (-1);
+    tid = Array.make cap (-1);
+    cpu = Array.make cap (-1);
+    node = Array.make cap (-1);
+    kind = Array.make cap 0;
+    a1 = Array.make cap 0;
+    a2 = Array.make cap 0;
+    name_ix = Array.make cap (-1);
+    total = 0;
+    last_ts = 0 }
+
+let on = ref false
+let ring : ring option ref = ref None
+
+let default_capacity = 1 lsl 20
+
+let start ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Trace.start: capacity must be positive";
+  ring := Some (mk_ring capacity);
+  on := true
+
+let stop () = on := false
+
+let clear () =
+  on := false;
+  ring := None
+
+let enabled () = !on
+
+let count () = match !ring with Some r -> min r.total r.cap | None -> 0
+let total_emitted () = match !ring with Some r -> r.total | None -> 0
+let dropped () = match !ring with Some r -> max 0 (r.total - r.cap) | None -> 0
+
+(* ---------- emission ---------- *)
+
+let record r ~dur ~name_ix k a1 a2 =
+  let ts, tid, cpu =
+    match !clock with
+    | Some c when c.in_sim () -> (c.now (), c.tid (), c.cpu ())
+    | _ -> (r.last_ts, -1, -1)
+  in
+  if ts > r.last_ts then r.last_ts <- ts;
+  let i = r.total mod r.cap in
+  r.ts.(i) <- ts;
+  r.dur.(i) <- dur;
+  r.tid.(i) <- tid;
+  r.cpu.(i) <- cpu;
+  r.node.(i) <- (if cpu >= 0 then !node_of_cpu cpu else -1);
+  r.kind.(i) <- Event.to_int k;
+  r.a1.(i) <- a1;
+  r.a2.(i) <- a2;
+  r.name_ix.(i) <- name_ix;
+  r.total <- r.total + 1
+
+let emit2 k a1 a2 =
+  if !on then
+    match !ring with
+    | Some r -> record r ~dur:(-1) ~name_ix:(-1) k a1 a2
+    | None -> ()
+
+let emit k = emit2 k 0 0
+let emit1 k a1 = emit2 k a1 0
+
+let emit_named k name a1 =
+  if !on then
+    match !ring with
+    | Some r -> record r ~dur:(-1) ~name_ix:(intern name) k a1 0
+    | None -> ()
+
+(** A span that just ended: covers [now - dur, now]. *)
+let emit_span ?name k ~dur a1 =
+  if !on then
+    match !ring with
+    | Some r ->
+      let name_ix = match name with Some s -> intern s | None -> -1 in
+      record r ~dur:(max dur 0) ~name_ix k a1 0
+    | None -> ()
+
+(* ---------- reading back ---------- *)
+
+let iter f =
+  match !ring with
+  | None -> ()
+  | Some r ->
+    let retained = min r.total r.cap in
+    let first = r.total - retained in
+    for n = first to r.total - 1 do
+      let i = n mod r.cap in
+      f ~ts:r.ts.(i) ~dur:r.dur.(i) ~tid:r.tid.(i) ~cpu:r.cpu.(i)
+        ~node:r.node.(i)
+        ~kind:(Event.of_int r.kind.(i))
+        ~a1:r.a1.(i) ~a2:r.a2.(i)
+        ~name:(if r.name_ix.(i) >= 0 then Some !names.(r.name_ix.(i)) else None)
+    done
+
+(* ---------- Chrome trace-event export ---------- *)
+
+(* ts is nanoseconds; the format wants microseconds.  %.3f keeps full
+   nanosecond resolution. *)
+let us ns = Printf.sprintf "%.3f" (float_of_int ns /. 1000.)
+
+let to_chrome_json () =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_char buf ',' in
+  (* metadata: name the process and every simulated thread *)
+  let tids = Hashtbl.create 64 in
+  iter (fun ~ts:_ ~dur:_ ~tid ~cpu:_ ~node:_ ~kind:_ ~a1:_ ~a2:_ ~name:_ ->
+      Hashtbl.replace tids tid ());
+  sep ();
+  Buffer.add_string buf
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+     \"args\":{\"name\":\"poseidon-sim\"}}";
+  Hashtbl.iter
+    (fun tid () ->
+      sep ();
+      let tname = if tid < 0 then "main" else Printf.sprintf "sim-thread-%d" tid in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\
+            \"args\":{\"name\":%s}}"
+           tid (Json.to_string (Json.Str tname))))
+    tids;
+  iter (fun ~ts ~dur ~tid ~cpu ~node ~kind ~a1 ~a2 ~name ->
+      sep ();
+      let ev_name =
+        match name with
+        | Some s -> Event.name kind ^ ":" ^ s
+        | None -> Event.name kind
+      in
+      Buffer.add_string buf "{\"name\":";
+      Json.escape_to buf ev_name;
+      Buffer.add_string buf ",\"cat\":\"";
+      Buffer.add_string buf (Event.category kind);
+      Buffer.add_string buf "\",";
+      if dur >= 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "\"ph\":\"X\",\"ts\":%s,\"dur\":%s,"
+             (us (ts - dur)) (us dur))
+      else
+        Buffer.add_string buf
+          (Printf.sprintf "\"ph\":\"i\",\"s\":\"t\",\"ts\":%s," (us ts));
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\"pid\":0,\"tid\":%d,\"args\":{\"cpu\":%d,\"node\":%d,\
+            \"a1\":%d,\"a2\":%d}}"
+           tid cpu node a1 a2));
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ns\"}";
+  Buffer.contents buf
+
+let write_chrome path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_chrome_json ()))

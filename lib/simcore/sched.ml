@@ -22,6 +22,8 @@ type t = {
   mutable live : int;
   mutable horizon_ : int;
   mutable next_id : int;
+  mutable switches : int; (* coroutine resumptions (context switches) *)
+  mutable max_runq : int; (* high-water mark of the runnable queue *)
 }
 
 (* A single effect carries the registration closure that parks the
@@ -41,16 +43,29 @@ let create () =
     threads = Hashtbl.create 64;
     live = 0;
     horizon_ = 0;
-    next_id = 0 }
+    next_id = 0;
+    switches = 0;
+    max_runq = 0 }
 
 let on_exit engine th =
   th.finished <- true;
   engine.live <- engine.live - 1;
-  if th.clock > engine.horizon_ then engine.horizon_ <- th.clock
+  if th.clock > engine.horizon_ then engine.horizon_ <- th.clock;
+  Obs.Trace.emit1 Obs.Event.Thread_finish th.id
+
+(* Every resumption of a suspended coroutine is a context switch of the
+   simulated machine; the trace records the runnable-queue depth at the
+   instant of the switch. *)
+let note_switch engine =
+  engine.switches <- engine.switches + 1;
+  let depth = Pqueue.length engine.runq in
+  if depth > engine.max_runq then engine.max_runq <- depth;
+  Obs.Trace.emit1 Obs.Event.Ctx_switch depth
 
 let rec resume engine th k v =
   let saved = !current in
   current := Some (engine, th);
+  note_switch engine;
   Fun.protect
     ~finally:(fun () -> current := saved)
     (fun () -> continue k v)
@@ -97,6 +112,8 @@ let spawn engine ?(cpu = 0) ?at body =
   Pqueue.push engine.runq ~time:start_clock (fun () ->
       let saved = !current in
       current := Some (engine, th);
+      note_switch engine;
+      Obs.Trace.emit2 Obs.Event.Thread_spawn th.id th.tcpu;
       Fun.protect
         ~finally:(fun () -> current := saved)
         (fun () -> match_with body () (handler engine th)));
@@ -126,6 +143,8 @@ let thread_clock engine tid =
   | None -> invalid_arg "Sched.thread_clock: unknown thread"
 
 let live_threads engine = engine.live
+let context_switches engine = engine.switches
+let max_runq_depth engine = engine.max_runq
 
 let charge ns =
   if ns < 0 then invalid_arg "Sched.charge: negative cost";
@@ -145,6 +164,15 @@ let cpu () =
   th.tcpu
 
 let in_simulation () = !current <> None
+
+(* Give the tracer simulated-time stamps: obs is a leaf library, so the
+   clock is injected here rather than depended upon. *)
+let () =
+  Obs.Trace.set_clock
+    ~in_sim:(fun () -> !current <> None)
+    ~now:(fun () -> match !current with Some (_, th) -> th.clock | None -> 0)
+    ~tid:(fun () -> match !current with Some (_, th) -> th.id | None -> -1)
+    ~cpu:(fun () -> match !current with Some (_, th) -> th.tcpu | None -> -1)
 
 let yield () =
   let engine, _ = ctx () in

@@ -45,6 +45,14 @@ val thread_clock : t -> thread_id -> int
 
 val live_threads : t -> int
 
+val context_switches : t -> int
+(** Coroutine resumptions performed so far (simulated context
+    switches); also emitted as [Ctx_switch] trace events carrying the
+    runnable-queue depth. *)
+
+val max_runq_depth : t -> int
+(** High-water mark of the runnable queue. *)
+
 (** {2 Intra-thread operations} *)
 
 val charge : int -> unit

@@ -1,0 +1,7 @@
+#!/bin/sh
+# Minute-scale benchmark sanity run; leaves a machine-readable metrics
+# snapshot in BENCH_smoke.json at the repo root.
+set -eu
+cd "$(dirname "$0")/.."
+dune build bench/main.exe
+dune exec bench/main.exe -- --smoke --json-out BENCH_smoke.json

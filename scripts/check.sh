@@ -1,0 +1,7 @@
+#!/bin/sh
+# Tier-1 verification: full build plus every test suite.
+set -eu
+cd "$(dirname "$0")/.."
+dune build
+dune runtest
+echo "check: build + all test suites OK"

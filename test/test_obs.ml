@@ -1,0 +1,220 @@
+(* Observability layer: tracer ordering guarantees, Chrome-trace
+   export well-formedness, metrics cross-checks against the machine's
+   own accounting, and the zero-cost-when-disabled contract. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let micro ~threads ~total_ops () =
+  Workloads.Microbench.run
+    ~factory:(Workloads.Factories.poseidon ())
+    ~size:256 ~threads ~total_ops ()
+
+(* ---------- JSON writer/parser ---------- *)
+
+let test_json_roundtrip () =
+  let module J = Obs.Json in
+  let v =
+    J.Obj
+      [ ("s", J.Str "a\"b\\c\nd\té");
+        ("n", J.Num 1.5);
+        ("neg", J.Num (-3.));
+        ("t", J.Bool true);
+        ("f", J.Bool false);
+        ("z", J.Null);
+        ("a", J.Arr [ J.Num 1.; J.Str "x"; J.Obj [] ]) ]
+  in
+  let v' = J.parse (J.to_string v) in
+  check "round-trip" true (v = v');
+  check "parse ws" true
+    (J.parse "  { \"k\" : [ 1 , 2.25e1 , -4 ] }  "
+     = J.Obj [ ("k", J.Arr [ J.Num 1.; J.Num 22.5; J.Num (-4.) ]) ]);
+  check "rejects garbage" true
+    (match J.parse "{\"k\":}" with
+     | exception J.Parse_error _ -> true
+     | _ -> false)
+
+(* ---------- tracer ---------- *)
+
+let test_trace_monotone () =
+  Obs.Trace.clear ();
+  Obs.Trace.start ();
+  ignore (micro ~threads:4 ~total_ops:2_000 ());
+  Obs.Trace.stop ();
+  check "events recorded" true (Obs.Trace.count () > 0);
+  check_int "nothing dropped" 0 (Obs.Trace.dropped ());
+  let last : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let kinds_seen : (Obs.Event.kind, int) Hashtbl.t = Hashtbl.create 16 in
+  Obs.Trace.iter
+    (fun ~ts ~dur:_ ~tid ~cpu:_ ~node ~kind ~a1:_ ~a2:_ ~name:_ ->
+      (match Hashtbl.find_opt last tid with
+       | Some prev -> check "per-thread ts monotone" true (ts >= prev)
+       | None -> ());
+      Hashtbl.replace last tid ts;
+      if tid >= 0 then check "node resolved for sim threads" true (node >= 0);
+      Hashtbl.replace kinds_seen kind
+        (1 + Option.value ~default:0 (Hashtbl.find_opt kinds_seen kind)));
+  let seen k = Hashtbl.mem kinds_seen k in
+  check "alloc events" true (seen Obs.Event.Alloc);
+  check "free events" true (seen Obs.Event.Free);
+  check "clwb events" true (seen Obs.Event.Clwb);
+  check "sfence events" true (seen Obs.Event.Sfence);
+  check "persist events" true (seen Obs.Event.Persist);
+  check "wrpkru events" true (seen Obs.Event.Wrpkru);
+  check "lock acquire events" true (seen Obs.Event.Lock_acquire);
+  check "subheap creation events" true (seen Obs.Event.Subheap_create);
+  Obs.Trace.clear ()
+
+let test_trace_chrome_export () =
+  let module J = Obs.Json in
+  let mem k v =
+    match J.member k v with
+    | Some x -> x
+    | None -> Alcotest.failf "missing field %S" k
+  in
+  let str v =
+    match J.to_str v with Some s -> s | None -> Alcotest.fail "not a string"
+  in
+  let flo v =
+    match J.to_float v with Some f -> f | None -> Alcotest.fail "not a number"
+  in
+  Obs.Trace.clear ();
+  Obs.Trace.start ();
+  ignore (micro ~threads:4 ~total_ops:2_000 ());
+  Obs.Trace.stop ();
+  let doc = J.parse (Obs.Trace.to_chrome_json ()) in
+  let evs =
+    match J.to_list (mem "traceEvents" doc) with
+    | Some l -> l
+    | None -> Alcotest.fail "traceEvents is not an array"
+  in
+  (* every retained event + process metadata + one name per thread *)
+  check "all events exported" true (List.length evs > Obs.Trace.count ());
+  let names = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace names (str (mem "name" e)) ();
+      match str (mem "ph" e) with
+      | "M" -> ()
+      | "i" -> check "instant ts >= 0" true (flo (mem "ts" e) >= 0.)
+      | "X" ->
+        check "span dur >= 0" true (flo (mem "dur" e) >= 0.);
+        check "span ts >= 0" true (flo (mem "ts" e) >= 0.)
+      | ph -> Alcotest.failf "unexpected phase %S" ph)
+    evs;
+  check "alloc exported" true (Hashtbl.mem names "alloc");
+  check "persist exported" true (Hashtbl.mem names "persist");
+  check "thread metadata" true (Hashtbl.mem names "thread_name");
+  Obs.Trace.clear ()
+
+(* ---------- metrics ---------- *)
+
+let test_metrics_cross_check () =
+  Obs.Metrics.reset ();
+  Obs.Trace.clear ();
+  (* Deterministic single-thread micro run: ops_per_thread = 2000, so
+     10 rounds of 100 batched pairs -> 1000 allocs + 1000 frees, plus
+     the one warm-up object per thread. *)
+  ignore (micro ~threads:1 ~total_ops:2_000 ());
+  let counter name =
+    Option.value ~default:(-1)
+      (Obs.Metrics.get_counter ~scope:"heap1" name)
+  in
+  check_int "allocs" 1_001 (counter "allocs");
+  check_int "frees" 1_001 (counter "frees");
+  check_int "alloc_fails" 0 (counter "alloc_fails");
+  check_int "tx_allocs" 0 (counter "tx_allocs")
+
+let test_metrics_vs_profile () =
+  Obs.Metrics.reset ();
+  let mach = Machine.create () in
+  let base = 1 lsl 30 in
+  Machine.add_region mach ~base ~size:(1 lsl 20) ~kind:Nvmm.Memdev.Nvmm
+    ~numa:0;
+  ignore
+    (Machine.parallel mach ~threads:4 (fun i ->
+         let a = base + (i * 4096) in
+         for j = 0 to 99 do
+           Machine.write_u64 mach (a + (8 * (j mod 64))) j;
+           Machine.persist mach (a + (8 * (j mod 64))) 8
+         done;
+         Machine.sfence mach));
+  let p = Machine.profile mach in
+  let sfence_ns = (Machine.cfg mach).Machine.Config.sfence_ns in
+  (* the independent fence count must explain the profiled fence time *)
+  check_int "p_fence = sim_fences * sfence_ns"
+    (Machine.sim_fences mach * sfence_ns)
+    p.Machine.p_fence;
+  check_int "404 fences" 404 (Machine.sim_fences mach);
+  Machine.publish_metrics mach;
+  let gauge name =
+    Option.value ~default:(-1.) (Obs.Metrics.get_gauge ~scope:"machine" name)
+  in
+  check "published fence_ns" true
+    (gauge "profile/fence_ns" = float_of_int p.Machine.p_fence);
+  check "published sim_fences" true
+    (gauge "sim_fences" = float_of_int (Machine.sim_fences mach));
+  let c = Nvmm.Memdev.counters (Machine.dev mach) in
+  check "published device fences" true
+    (gauge "device/fences" = float_of_int c.Nvmm.Memdev.fences);
+  check "device agrees with machine" true
+    (c.Nvmm.Memdev.fences = Machine.sim_fences mach)
+
+let test_lock_stats () =
+  Obs.Metrics.reset ();
+  let mach = Machine.create () in
+  let l = Machine.Lock.create mach ~name:"test-lock" () in
+  let shared = ref 0 in
+  ignore
+    (Machine.parallel mach ~threads:4 (fun _ ->
+         for _ = 1 to 25 do
+           Machine.Lock.with_lock l (fun () ->
+               Machine.compute mach 50;
+               incr shared)
+         done));
+  check_int "critical sections ran" 100 !shared;
+  let s = Machine.Lock.stats l in
+  check_int "acquisitions" 100 s.Machine.Lock.acquisitions;
+  check "contention observed" true (s.Machine.Lock.contended > 0);
+  check "wait time recorded" true (s.Machine.Lock.wait_ns > 0);
+  check "named" true (Machine.Lock.name l = "test-lock");
+  check "listed on machine" true
+    (List.mem_assoc "test-lock" (Machine.lock_stats mach));
+  Machine.publish_metrics mach;
+  check "per-lock gauge" true
+    (Obs.Metrics.get_gauge ~scope:"lock/test-lock" "acquisitions"
+     = Some 100.)
+
+(* ---------- disabled tracer is inert ---------- *)
+
+let test_disabled_identical () =
+  Obs.Trace.clear ();
+  let off1 = micro ~threads:4 ~total_ops:2_000 () in
+  Obs.Trace.start ();
+  let on_ = micro ~threads:4 ~total_ops:2_000 () in
+  Obs.Trace.stop ();
+  Obs.Trace.clear ();
+  let off2 = micro ~threads:4 ~total_ops:2_000 () in
+  check "tracing does not change results" true (off1 = on_);
+  check "runs are deterministic" true (off1 = off2);
+  check_int "no events retained when disabled" 0 (Obs.Trace.count ())
+
+let () =
+  Alcotest.run "obs"
+    [ ( "json",
+        [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip ] );
+      ( "trace",
+        [ Alcotest.test_case "per-thread monotone timestamps" `Quick
+            test_trace_monotone;
+          Alcotest.test_case "chrome export parses" `Quick
+            test_trace_chrome_export ] );
+      ( "metrics",
+        [ Alcotest.test_case "heap counters vs known workload" `Quick
+            test_metrics_cross_check;
+          Alcotest.test_case "fence accounting vs profile" `Quick
+            test_metrics_vs_profile;
+          Alcotest.test_case "lock stats and per-lock gauges" `Quick
+            test_lock_stats ] );
+      ( "overhead",
+        [ Alcotest.test_case "disabled tracer is inert" `Quick
+            test_disabled_identical ] ) ]
