@@ -1,12 +1,13 @@
 (* poseidon-repro: command-line front end for the reproduction.
 
    Subcommands:
-     bench     run one workload on one allocator with explicit knobs
-     safety    print the Fig. 3 safety matrix
-     stress    random alloc/free/crash torture with invariant checking
-     inspect   allocate a workload and dump device/MPK counters
-     fsck      run a workload and print a heap consistency report
-     trace     replay one recorded trace on every allocator
+     bench      run one workload on one allocator with explicit knobs
+     safety     print the Fig. 3 safety matrix
+     stress     random alloc/free/crash torture with invariant checking
+     crashcheck systematic persistency model checking (every crash point)
+     inspect    allocate a workload and dump device/MPK counters
+     fsck       run a workload and print a heap consistency report
+     trace      replay one recorded trace on every allocator
 
    (Figure regeneration lives in bench/main.exe; this tool is for
    interactive poking.) *)
@@ -196,10 +197,20 @@ let stress_cmd =
           ignore (Poseidon.Heap.alloc !heap (32 lsl Prng.int rng 8))
         else ignore (Poseidon.Heap.tx_alloc !heap 64 ~is_end:(Prng.bool rng))
       done;
-      Nvmm.Memdev.crash dev
-        (if Prng.bool rng then `Strict else `Adversarial rng);
-      heap := Poseidon.Heap.attach mach ~base ();
-      Poseidon.Heap.check_invariants !heap;
+      let strict = Prng.bool rng in
+      (* on failure, report where we were before re-raising: the round,
+         seed and crash mode are what a reproduction needs *)
+      (try
+         Nvmm.Memdev.crash dev (if strict then `Strict else `Adversarial rng);
+         heap := Poseidon.Heap.attach mach ~base ();
+         Poseidon.Heap.check_invariants !heap
+       with e ->
+         Printf.eprintf
+           "stress: FAILED at round %d/%d (seed %d, crash mode %s): %s\n%!"
+           round rounds seed
+           (if strict then "strict" else "adversarial")
+           (Printexc.to_string e);
+         raise e);
       if round mod 10 = 0 then
         Printf.printf "round %d: invariants OK (live=%d bytes)\n%!" round
           (Poseidon.Heap.stats !heap).Poseidon.Heap.live_bytes
@@ -212,6 +223,139 @@ let stress_cmd =
     (Cmd.info "stress"
        ~doc:"Random allocation/crash/recovery torture with invariant checks.")
     Term.(const run $ rounds_arg $ seed_arg $ trace_out_arg)
+
+(* ---------- crashcheck ---------- *)
+
+let crashcheck_cmd =
+  let scenario_arg =
+    Arg.(
+      value & opt string "all"
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:
+            "Scenario to explore: alloc, free, tx-commit, tx-abort, extend, \
+             broken (deliberately buggy, for mutation sanity checks) or all \
+             (the five correct ones).")
+  in
+  let max_points_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "max-points" ] ~docv:"N"
+          ~doc:
+            "Budget: explore at most $(docv) crash points per scenario \
+             (evenly strided); 0 = exhaustive.")
+  in
+  let subsets_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "subsets" ] ~docv:"N"
+          ~doc:
+            "Budget: adversarial dirty-line subsets tried per crash point, \
+             in addition to the dirty-lost-all crash.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"S" ~doc:"Base seed for subset derivation.")
+  in
+  let point_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "point" ] ~docv:"K"
+          ~doc:
+            "Replay a single crash at persistence point $(docv) of the \
+             chosen scenario instead of sweeping (counterexample replay).")
+  in
+  let subset_seed_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "subset-seed" ] ~docv:"S"
+          ~doc:
+            "With --point: crash in dirty-subset mode with this derived \
+             seed (as printed in the counterexample); omit for \
+             dirty-lost-all.")
+  in
+  let run scenario max_points subsets seed point subset_seed trace_out =
+    with_tracing trace_out @@ fun () ->
+    let module C = Crashcheck in
+    let scenarios =
+      if scenario = "all" then Ok (C.all_scenarios ())
+      else
+        match C.scenario_by_name scenario with
+        | Some s -> Ok [ s ]
+        | None -> Error (Printf.sprintf "unknown scenario %S" scenario)
+    in
+    match scenarios with
+    | Error msg ->
+      Printf.eprintf "crashcheck: %s\n" msg;
+      2
+    | Ok scenarios -> (
+      match point with
+      | Some point -> (
+        match scenarios with
+        | [ scn ] -> (
+          let mode =
+            match subset_seed with
+            | Some s -> C.Dirty_subset s
+            | None -> C.Dirty_lost_all
+          in
+          match C.check_point scn ~point ~mode with
+          | None ->
+            Printf.printf
+              "crashcheck: %s point %d (%s): recovery verified, all oracles \
+               green\n"
+              scn.C.sname point (C.mode_to_string mode);
+            0
+          | Some cx ->
+            Format.printf "%a@." C.pp_counterexample cx;
+            1)
+        | _ ->
+          Printf.eprintf
+            "crashcheck: --point needs a single --scenario, not 'all'\n";
+          2)
+      | None ->
+        let reports =
+          List.map
+            (fun scn ->
+              let r =
+                C.run ~max_points ~subsets_per_point:subsets ~seed scn
+              in
+              Format.printf "%a@." C.pp_report r;
+              r)
+            scenarios
+        in
+        let points =
+          List.fold_left (fun a r -> a + r.C.points_explored) 0 reports
+        and subsets_tried =
+          List.fold_left (fun a r -> a + r.C.subsets_tried) 0 reports
+        and verified =
+          List.fold_left (fun a r -> a + r.C.recoveries_verified) 0 reports
+        and cexs = List.concat_map (fun r -> r.C.counterexamples) reports in
+        Printf.printf
+          "crashcheck: %d crash points explored, %d subsets tried, %d \
+           recoveries verified, %d counterexample(s)\n"
+          points subsets_tried verified (List.length cexs);
+        List.iter
+          (fun cx ->
+            Printf.printf
+              "replay: poseidon-repro crashcheck --scenario %s --point %d%s \
+               --trace-out cex.json\n"
+              cx.C.cx_scenario cx.C.cx_point
+              (match cx.C.cx_mode with
+               | C.Dirty_lost_all -> ""
+               | C.Dirty_subset s -> Printf.sprintf " --subset-seed %d" s))
+          cexs;
+        if cexs = [] then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "crashcheck"
+       ~doc:
+         "Systematic persistency model checking: crash at every persistence \
+          point of each covered heap operation (dirty-lost-all plus seeded \
+          adversarial dirty-line subsets), recover, and verify \
+          durability/atomicity oracles.")
+    Term.(
+      const run $ scenario_arg $ max_points_arg $ subsets_arg $ seed_arg
+      $ point_arg $ subset_seed_arg $ trace_out_arg)
 
 (* ---------- inspect ---------- *)
 
@@ -347,4 +491,8 @@ let () =
         "Reproduction of 'Poseidon: Safe, Fast and Scalable Persistent \
          Memory Allocator' (Middleware '20) on a simulated NVMM machine."
   in
-  exit (Cmd.eval' (Cmd.group info [ bench_cmd; safety_cmd; stress_cmd; inspect_cmd; fsck_cmd; trace_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ bench_cmd; safety_cmd; stress_cmd; crashcheck_cmd; inspect_cmd;
+            fsck_cmd; trace_cmd ]))

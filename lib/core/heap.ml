@@ -407,6 +407,30 @@ let iter_subheaps h f =
 let check_invariants h =
   iter_subheaps h Subheap.check_invariants
 
+(* ---------- oracle accessors (crash checking) ---------- *)
+
+let base h = h.base
+
+let data_capacity h =
+  let n = ref 0 in
+  iter_subheaps h (fun sh -> n := !n + sh.Subheap.data_size);
+  !n
+
+let tx_pending h =
+  let n = ref 0 in
+  iter_subheaps h (fun sh ->
+      n := !n + Microlog.count h.mach ~meta_base:sh.Subheap.meta_base);
+  !n
+
+let logs_quiescent h =
+  let ok = ref true in
+  iter_subheaps h (fun sh ->
+      if
+        (not (Undolog.is_empty h.mach ~meta_base:sh.Subheap.meta_base))
+        || not (Microlog.is_empty h.mach ~meta_base:sh.Subheap.meta_base)
+      then ok := false);
+  !ok
+
 type stats = {
   subheaps_active : int;
   invalid_frees : int;

@@ -99,8 +99,27 @@ val shrink_metadata : t -> unit
 val machine : t -> Machine.t
 val heap_id : t -> int
 val pkey : t -> int
+val base : t -> int
 
 val iter_subheaps : t -> (Subheap.t -> unit) -> unit
+
+(** {2 Oracle accessors}
+
+    Read-only views used by crash-consistency oracles
+    (the {!Crashcheck} model checker). *)
+
+val data_capacity : t -> int
+(** Sum of the data-region sizes of every active sub-heap. *)
+
+val tx_pending : t -> int
+(** Total micro-log entries across sub-heaps — the number of
+    allocations belonging to transactions that have not committed.
+    Zero after a completed recovery. *)
+
+val logs_quiescent : t -> bool
+(** Every sub-heap's undo log and micro log is empty — no operation
+    in flight and no uncommitted transaction.  Recovery must always
+    leave the heap in this state. *)
 
 val check_invariants : t -> unit
 (** Full structural validation of every sub-heap; raises

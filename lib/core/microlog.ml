@@ -18,4 +18,5 @@ let area meta_base =
 let append mach ~meta_base packed = Persist.Plog.append mach (area meta_base) packed
 let commit mach ~meta_base = Persist.Plog.truncate mach (area meta_base)
 let entries mach ~meta_base = Persist.Plog.entries mach (area meta_base)
+let count mach ~meta_base = Persist.Plog.count mach (area meta_base)
 let is_empty mach ~meta_base = Persist.Plog.is_empty mach (area meta_base)

@@ -15,4 +15,5 @@ val append : Machine.t -> meta_base:int -> int -> unit
 
 val commit : Machine.t -> meta_base:int -> unit
 val entries : Machine.t -> meta_base:int -> int list
+val count : Machine.t -> meta_base:int -> int
 val is_empty : Machine.t -> meta_base:int -> bool

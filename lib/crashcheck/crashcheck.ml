@@ -1,0 +1,428 @@
+(* Deterministic persistency model checker: enumerate every
+   persistence point of a heap operation, crash there (worst-case and
+   seeded adversarial dirty subsets), recover, and validate oracles.
+   See crashcheck.mli for the model. *)
+
+module Prng = Repro_util.Prng
+module Memdev = Nvmm.Memdev
+module H = Poseidon.Heap
+
+type mode = Dirty_lost_all | Dirty_subset of int
+
+let mode_to_string = function
+  | Dirty_lost_all -> "dirty-lost-all"
+  | Dirty_subset seed -> Printf.sprintf "dirty-subset:%d" seed
+
+type ledger = { mutable durable : int; mutable slack : int }
+
+type env = {
+  mach : Machine.t;
+  base : int;
+  mutable heap : Poseidon.Heap.t;
+  ledger : ledger;
+}
+
+type oracle = { oname : string; check : env -> (unit, string) result }
+
+type scenario = {
+  sname : string;
+  setup : unit -> env;
+  op : env -> unit;
+  extra_oracles : oracle list;
+}
+
+(* ---------- oracles ---------- *)
+
+let o_invariants =
+  { oname = "invariants";
+    check =
+      (fun env ->
+        match H.check_invariants env.heap with
+        | () -> Ok ()
+        | exception Poseidon.Subheap.Invariant_violation msg -> Error msg) }
+
+let o_fsck =
+  { oname = "fsck";
+    check =
+      (fun env ->
+        let r = Poseidon.Fsck.run env.heap in
+        if Poseidon.Fsck.is_clean r then Ok ()
+        else
+          let first =
+            List.concat_map
+              (fun (s : Poseidon.Fsck.subheap_report) -> s.violations)
+              r.Poseidon.Fsck.subheaps
+          in
+          Error
+            (Printf.sprintf "%d violation(s): %s"
+               r.Poseidon.Fsck.total_violations
+               (match first with v :: _ -> v | [] -> "(unlocated)"))) }
+
+let o_quiescent =
+  { oname = "quiescent";
+    check =
+      (fun env ->
+        if H.logs_quiescent env.heap then Ok ()
+        else
+          Error
+            (Printf.sprintf
+               "logs not quiescent after recovery (%d micro-log entries \
+                pending)"
+               (H.tx_pending env.heap))) }
+
+let o_accounting =
+  { oname = "accounting";
+    check =
+      (fun env ->
+        let live = (H.stats env.heap).H.live_bytes
+        and free = (H.stats env.heap).H.free_bytes
+        and cap = H.data_capacity env.heap in
+        if live + free = cap then Ok ()
+        else
+          Error
+            (Printf.sprintf
+               "leak or double-own: live %d + free %d <> capacity %d \
+                (delta %d)"
+               live free cap (cap - live - free))) }
+
+let o_durability =
+  { oname = "durability";
+    check =
+      (fun env ->
+        let live = (H.stats env.heap).H.live_bytes in
+        let { durable; slack } = env.ledger in
+        if live >= durable - slack && live <= durable + slack then Ok ()
+        else
+          Error
+            (Printf.sprintf
+               "live %d B outside [%d - %d, %d + %d]: committed work lost \
+                or uncommitted work leaked"
+               live durable slack durable slack)) }
+
+let standard_oracles =
+  [ o_invariants; o_fsck; o_quiescent; o_accounting; o_durability ]
+
+(* ---------- checking core ---------- *)
+
+type counterexample = {
+  cx_scenario : string;
+  cx_point : int;
+  cx_mode : mode;
+  cx_oracle : string;
+  cx_detail : string;
+}
+
+type report = {
+  rp_scenario : string;
+  fences_total : int;
+  points_explored : int;
+  subsets_tried : int;
+  recoveries_verified : int;
+  counterexamples : counterexample list;
+}
+
+exception Stop
+
+(* Run [op] on a fresh environment, cutting execution at persistence
+   point [stop_at] (0 = run to completion).  Fences are counted from
+   the start of [op]: setup's own persistence traffic is excluded. *)
+let run_op scn ~stop_at =
+  let env = scn.setup () in
+  let dev = Machine.dev env.mach in
+  Memdev.reset_counters dev;
+  if stop_at > 0 then
+    Memdev.set_persistence_hook dev
+      (Some
+         (fun (info : Memdev.fence_info) ->
+           if info.Memdev.fence_no >= stop_at then raise Stop));
+  let fences =
+    Fun.protect
+      ~finally:(fun () -> Memdev.set_persistence_hook dev None)
+      (fun () ->
+        (try scn.op env with Stop -> ());
+        (Memdev.counters dev).Memdev.fences)
+  in
+  (env, fences)
+
+let measure scn = snd (run_op scn ~stop_at:0)
+
+let subset_seed ~seed ~point s =
+  (seed * 0x9E3779B1) lxor (point * 0x85EBCA6B) lxor (s * 0xC2B2AE35)
+  land 0x3FFFFFFF
+
+let check_point scn ~point ~mode =
+  Obs.Trace.emit_named Obs.Event.Custom "crashcheck_point" point;
+  let env, _ = run_op scn ~stop_at:point in
+  let dev = Machine.dev env.mach in
+  (match mode with
+   | Dirty_lost_all -> Memdev.crash dev `Strict
+   | Dirty_subset seed -> Memdev.crash dev (`Adversarial (Prng.create seed)));
+  let cex oracle detail =
+    Some
+      { cx_scenario = scn.sname;
+        cx_point = point;
+        cx_mode = mode;
+        cx_oracle = oracle;
+        cx_detail = detail }
+  in
+  match H.attach env.mach ~base:env.base () with
+  | exception e -> cex "recovery" (Printexc.to_string e)
+  | recovered -> (
+    env.heap <- recovered;
+    let rec first_failure = function
+      | [] -> None
+      | o :: rest -> (
+        match o.check env with
+        | Ok () -> first_failure rest
+        | Error detail -> cex o.oname detail
+        | exception e ->
+          cex o.oname ("oracle raised: " ^ Printexc.to_string e))
+    in
+    first_failure (standard_oracles @ scn.extra_oracles))
+
+(* Evenly-strided sample of [1..n] with [k] elements, endpoints
+   included — the budget-capped point selection. *)
+let stride_sample n k =
+  if k <= 0 || n <= k then List.init n (fun i -> i + 1)
+  else if k = 1 then [ 1 ]
+  else
+    List.init k (fun i -> 1 + (i * (n - 1) / (k - 1)))
+    |> List.sort_uniq compare
+
+let run ?(max_points = 0) ?(subsets_per_point = 2) ?(seed = 1) scn =
+  let c name = Obs.Metrics.counter ~scope:"crashcheck" name in
+  let c_points = c "points_explored"
+  and c_subsets = c "subsets_tried"
+  and c_verified = c "recoveries_verified"
+  and c_cex = c "counterexamples" in
+  let fences_total = measure scn in
+  (* +1: the point past the last fence crashes after [op] completed *)
+  let points = stride_sample (fences_total + 1) max_points in
+  let subsets = ref 0 and verified = ref 0 and cexs = ref [] in
+  List.iter
+    (fun point ->
+      Obs.Metrics.incr c_points;
+      let modes =
+        Dirty_lost_all
+        :: List.init subsets_per_point (fun s ->
+               Dirty_subset (subset_seed ~seed ~point s))
+      in
+      List.iter
+        (fun mode ->
+          (match mode with
+           | Dirty_subset _ ->
+             incr subsets;
+             Obs.Metrics.incr c_subsets
+           | Dirty_lost_all -> ());
+          match check_point scn ~point ~mode with
+          | None ->
+            incr verified;
+            Obs.Metrics.incr c_verified
+          | Some cx ->
+            Obs.Metrics.incr c_cex;
+            cexs := cx :: !cexs)
+        modes)
+    points;
+  { rp_scenario = scn.sname;
+    fences_total;
+    points_explored = List.length points;
+    subsets_tried = !subsets;
+    recoveries_verified = !verified;
+    counterexamples = List.rev !cexs }
+
+let pp_counterexample ppf cx =
+  Format.fprintf ppf
+    "COUNTEREXAMPLE %s: crash at point %d (%s) violates %s@,  %s" cx.cx_scenario
+    cx.cx_point (mode_to_string cx.cx_mode) cx.cx_oracle cx.cx_detail
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>%-10s %3d fences, %3d points explored, %3d subsets tried, %4d \
+     recoveries verified, %d counterexample(s)"
+    r.rp_scenario r.fences_total r.points_explored r.subsets_tried
+    r.recoveries_verified
+    (List.length r.counterexamples);
+  List.iter (fun cx -> Format.fprintf ppf "@,%a" pp_counterexample cx)
+    r.counterexamples;
+  Format.fprintf ppf "@]"
+
+(* ---------- built-in scenarios ---------- *)
+
+let heap_base = 1 lsl 30
+
+(* One CPU and a 64 KiB data region keep the fence space small enough
+   to enumerate exhaustively while still exercising split, merge,
+   defragmentation and hash-growth paths. *)
+let mk_env ?(base_buckets = 32) () =
+  let cfg =
+    { Machine.Config.default with
+      Machine.Config.num_cpus = 1;
+      numa_domains = 1 }
+  in
+  let mach = Machine.create ~cfg () in
+  let heap =
+    H.create mach ~base:heap_base ~size:(1 lsl 30) ~heap_id:1
+      ~sub_data_size:(1 lsl 16) ~base_buckets ()
+  in
+  { mach; base = heap_base; heap; ledger = { durable = 0; slack = 0 } }
+
+let finish_setup env =
+  (* everything the setup did is the durable baseline *)
+  Memdev.drain (Machine.dev env.mach);
+  env
+
+let round_up = Poseidon.Layout.round_up
+
+(* Ledger-updating wrappers: the ledger moves only when the call
+   returns, so a crash mid-call leaves its effect inside [slack]. *)
+let alloc_l env size =
+  match H.alloc env.heap size with
+  | Some p ->
+    env.ledger.durable <- env.ledger.durable + round_up size;
+    Some p
+  | None -> None
+
+let free_l env p ~size =
+  H.free env.heap p;
+  env.ledger.durable <- env.ledger.durable - round_up size
+
+let scn_alloc () =
+  { sname = "alloc";
+    extra_oracles = [];
+    setup =
+      (fun () ->
+        let env = mk_env () in
+        env.ledger.slack <- 1024;
+        ignore (alloc_l env 64);
+        ignore (alloc_l env 192);
+        finish_setup env);
+    op =
+      (fun env ->
+        List.iter
+          (fun s -> ignore (alloc_l env s))
+          [ 32; 64; 96; 128; 256; 512; 32; 1024; 48; 64 ]) }
+
+let scn_free () =
+  let sizes = [ 32; 64; 128; 256; 512; 32; 64; 128; 256; 1024 ] in
+  let ptrs = ref [] in
+  { sname = "free";
+    extra_oracles = [];
+    setup =
+      (fun () ->
+        let env = mk_env () in
+        env.ledger.slack <- 1024;
+        ptrs :=
+          List.filter_map
+            (fun s -> Option.map (fun p -> (p, s)) (alloc_l env s))
+            sizes;
+        finish_setup env);
+    op =
+      (fun env -> List.iter (fun (p, s) -> free_l env p ~size:s) !ptrs) }
+
+(* A transaction's bytes become durable at the micro-log truncation
+   inside the [is_end] call; the ledger moves when that call returns,
+   so [slack] must cover one whole transaction. *)
+let tx_l env sizes =
+  let n = List.length sizes in
+  let bytes = List.fold_left (fun a s -> a + round_up s) 0 sizes in
+  let ok = ref true in
+  List.iteri
+    (fun i s ->
+      if H.tx_alloc env.heap s ~is_end:(i = n - 1) = None then ok := false)
+    sizes;
+  if !ok then env.ledger.durable <- env.ledger.durable + bytes
+
+let scn_tx_commit () =
+  { sname = "tx-commit";
+    extra_oracles = [];
+    setup =
+      (fun () ->
+        let env = mk_env () in
+        env.ledger.slack <- 512;
+        ignore (alloc_l env 64);
+        finish_setup env);
+    op =
+      (fun env ->
+        tx_l env [ 64; 128; 64 ];
+        tx_l env [ 256; 32 ]) }
+
+let scn_tx_abort () =
+  { sname = "tx-abort";
+    extra_oracles = [];
+    setup =
+      (fun () ->
+        let env = mk_env () in
+        env.ledger.slack <- 512;
+        ignore (alloc_l env 128);
+        finish_setup env);
+    op =
+      (fun env ->
+        ignore (H.tx_alloc env.heap 64 ~is_end:false);
+        ignore (H.tx_alloc env.heap 128 ~is_end:false);
+        ignore (H.tx_alloc env.heap 256 ~is_end:false);
+        H.tx_abort env.heap;
+        ignore (alloc_l env 64)) }
+
+let scn_extend () =
+  { sname = "extend";
+    extra_oracles = [];
+    setup =
+      (fun () ->
+        (* tiny level 0 so a few dozen records overflow the probe
+           windows and force hash growth *)
+        let env = mk_env ~base_buckets:8 () in
+        env.ledger.slack <- 64;
+        finish_setup env);
+    op =
+      (fun env ->
+        for _ = 1 to 40 do
+          ignore (alloc_l env 32)
+        done) }
+
+let scn_broken_missing_flush () =
+  let raw = ref 0 in
+  let magic = 0xDEC0DE in
+  { sname = "broken";
+    setup =
+      (fun () ->
+        let env = mk_env () in
+        env.ledger.slack <- 128;
+        (match alloc_l env 128 with
+         | Some p -> raw := H.get_rawptr env.heap p
+         | None -> failwith "broken scenario: setup allocation failed");
+        finish_setup env);
+    op =
+      (fun env ->
+        (* two-line commit protocol with the data flush forgotten: the
+           flag's persist can land while the data line is still
+           volatile-only *)
+        Machine.write_u64 env.mach !raw magic;
+        (* BUG under test: missing  Machine.persist env.mach !raw 8  *)
+        Machine.write_u64 env.mach (!raw + 64) 1;
+        Machine.persist env.mach (!raw + 64) 8);
+    extra_oracles =
+      [ { oname = "app-commit";
+          check =
+            (fun env ->
+              let flag = Machine.read_u64 env.mach (!raw + 64) in
+              let data = Machine.read_u64 env.mach !raw in
+              if flag = 1 && data <> magic then
+                Error
+                  (Printf.sprintf
+                     "commit flag persisted but data lost (data=%#x): \
+                      missing clwb on the data line"
+                     data)
+              else Ok ()) } ] }
+
+let all_scenarios () =
+  [ scn_alloc (); scn_free (); scn_tx_commit (); scn_tx_abort ();
+    scn_extend () ]
+
+let scenario_by_name = function
+  | "alloc" -> Some (scn_alloc ())
+  | "free" -> Some (scn_free ())
+  | "tx-commit" -> Some (scn_tx_commit ())
+  | "tx-abort" -> Some (scn_tx_abort ())
+  | "extend" -> Some (scn_extend ())
+  | "broken" -> Some (scn_broken_missing_flush ())
+  | _ -> None

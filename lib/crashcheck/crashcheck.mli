@@ -1,0 +1,183 @@
+(** Deterministic persistency model checker (paper §5.8 validation).
+
+    Random crash sampling ([bin stress], [test_crash.ml]) covers a
+    vanishing fraction of the crash-instant space; ordering bugs (a
+    forgotten [clwb], a fence on the wrong side of a commit point)
+    hide in the instants it never draws.  This checker instead
+    {e enumerates} the space exactly:
+
+    - every mutation between two [sfence]s is volatile, so distinct
+      crash instants collapse onto persistence points — the fence
+      boundaries.  Driving the operation under
+      {!Nvmm.Memdev.set_persistence_hook} and cutting execution at
+      fence [k] covers every crash instant in [(fence k, fence k+1)];
+    - at each point the checker crashes the device in
+      {!mode}[ Dirty_lost_all] (no unfenced line survives — the
+      deterministic worst case) and in [Dirty_subset] modes (a seeded
+      adversarial subset of the unflushed dirty lines persists first,
+      modelling cache evictions), then re-attaches, runs recovery and
+      validates every oracle against the scenario's ledger.
+
+    Every verdict is replayable: a counterexample names the scenario,
+    the crash-point index and the dirty-subset seed, which
+    {!check_point} (or [bin/main.exe crashcheck --point N]) replays
+    deterministically — with [--trace-out] for an event-trace dump of
+    the failing execution. *)
+
+type mode =
+  | Dirty_lost_all
+      (** every unfenced line is lost — {!Nvmm.Memdev.crash} [`Strict] *)
+  | Dirty_subset of int
+      (** a seeded adversarial subset of unflushed dirty lines
+          persists — [`Adversarial] with a PRNG built from the seed *)
+
+val mode_to_string : mode -> string
+
+(** {2 Scenarios}
+
+    A scenario owns a fresh machine + heap per exploration run:
+    [setup] builds and pre-populates it (ending fully drained, so the
+    baseline is durable), [op] is the operation sequence whose crash
+    space is explored.  [op] updates the {!ledger} as each API call
+    {e returns}, giving the oracles a durable lower bound; anything
+    the single in-flight call may add or remove is bounded by
+    [slack]. *)
+
+type ledger = {
+  mutable durable : int;
+      (** bytes the completed prefix of [op] has durably live *)
+  mutable slack : int;
+      (** max bytes the one in-flight call can add or remove *)
+}
+
+type env = {
+  mach : Machine.t;
+  base : int;
+  mutable heap : Poseidon.Heap.t;
+      (** replaced by the recovered heap after crash + attach *)
+  ledger : ledger;
+}
+
+type oracle = {
+  oname : string;
+  check : env -> (unit, string) result;
+      (** runs on the recovered heap; [Error] describes the violation *)
+}
+
+type scenario = {
+  sname : string;
+  setup : unit -> env;
+  op : env -> unit;
+  extra_oracles : oracle list;
+      (** scenario-specific oracles, run after {!standard_oracles} *)
+}
+
+(** {2 Oracles} *)
+
+val o_invariants : oracle
+(** {!Poseidon.Heap.check_invariants} holds on the recovered heap. *)
+
+val o_fsck : oracle
+(** {!Poseidon.Fsck.run} reports a clean heap. *)
+
+val o_quiescent : oracle
+(** Recovery left every undo and micro log empty
+    ({!Poseidon.Heap.logs_quiescent}). *)
+
+val o_accounting : oracle
+(** No leaked or double-owned blocks: every sub-heap's live + free
+    bytes exactly tile its data region. *)
+
+val o_durability : oracle
+(** Durability/atomicity: recovered live bytes lie within
+    [ledger.durable ± ledger.slack] — committed operations (including
+    committed transactions) are fully visible, uncommitted
+    transactions fully rolled back, with at most one in-flight call of
+    ambiguous fate. *)
+
+val standard_oracles : oracle list
+(** The five oracles above, in order. *)
+
+(** {2 Checking} *)
+
+type counterexample = {
+  cx_scenario : string;
+  cx_point : int;  (** crash after fence [cx_point] of [op] *)
+  cx_mode : mode;
+  cx_oracle : string;
+  cx_detail : string;
+}
+
+type report = {
+  rp_scenario : string;
+  fences_total : int;  (** fences in one uninterrupted run of [op] *)
+  points_explored : int;
+  subsets_tried : int;
+  recoveries_verified : int;  (** crash+recover runs with every oracle green *)
+  counterexamples : counterexample list;
+}
+
+val measure : scenario -> int
+(** Dry run: the number of fences [op] executes uninterrupted. *)
+
+val subset_seed : seed:int -> point:int -> int -> int
+(** The PRNG seed the checker derives for adversarial subset [s] at
+    [point] under base [seed] — exposed so counterexamples replay. *)
+
+val check_point : scenario -> point:int -> mode:mode -> counterexample option
+(** Replays a single crash: run [op] to persistence point [point]
+    (or to completion if [point] exceeds the fence count), crash in
+    [mode], recover, run the oracles.  [None] = all green. *)
+
+val run :
+  ?max_points:int ->
+  ?subsets_per_point:int ->
+  ?seed:int ->
+  scenario ->
+  report
+(** Full exploration.  Enumerates points [1 .. measure + 1] (the last
+    is a crash after [op] completed); each point is checked in
+    [Dirty_lost_all] plus [subsets_per_point] seeded [Dirty_subset]
+    modes (default 2).  [max_points > 0] budget-caps the sweep to an
+    evenly-strided sample (default [0]: exhaustive).  Deterministic in
+    [seed].  Obs counters under scope ["crashcheck"]:
+    [points_explored], [subsets_tried], [recoveries_verified],
+    [counterexamples]. *)
+
+val pp_counterexample : Format.formatter -> counterexample -> unit
+val pp_report : Format.formatter -> report -> unit
+
+(** {2 Built-in scenarios}
+
+    Five operation paths over a deliberately small heap (one CPU,
+    64 KiB of sub-heap data) so exhaustive enumeration stays cheap,
+    plus a deliberately broken protocol for mutation sanity checks. *)
+
+val scn_alloc : unit -> scenario
+(** Mixed-size singleton allocations (split paths included). *)
+
+val scn_free : unit -> scenario
+(** Frees of a pre-populated heap (merge/defrag paths included). *)
+
+val scn_tx_commit : unit -> scenario
+(** Two multi-allocation transactions committed via [is_end]. *)
+
+val scn_tx_abort : unit -> scenario
+(** A multi-allocation transaction explicitly aborted. *)
+
+val scn_extend : unit -> scenario
+(** Tiny allocations against a tiny hash level 0, forcing sub-heap
+    hash-table extension (§5.2 growth path). *)
+
+val scn_broken_missing_flush : unit -> scenario
+(** Mutation sanity check: a two-line "write data, persist commit
+    flag" protocol that {e forgets the clwb on the data line}.  Its
+    extra oracle demands data be intact whenever the flag persisted;
+    the checker must report a counterexample at the flag's fence. *)
+
+val all_scenarios : unit -> scenario list
+(** The five correct scenarios (not the broken one). *)
+
+val scenario_by_name : string -> scenario option
+(** ["alloc" | "free" | "tx-commit" | "tx-abort" | "extend" |
+    "broken"]. *)

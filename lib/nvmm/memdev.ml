@@ -28,13 +28,19 @@ type counters = {
   mutable fences : int;
 }
 
+type fence_info = {
+  fence_no : int;
+  lines_committed : int;
+  dirty_residue : int;
+}
+
 type t = {
   chunks : (int, chunk) Hashtbl.t;
   staged : (addr, Bytes.t) Hashtbl.t; (* line base addr -> snapshot *)
   mutable regions : region array;      (* sorted by base *)
   mutable last_region : region option; (* lookup memo *)
   ctrs : counters;
-  mutable fence_hook : (int -> unit) option;
+  mutable fence_hook : (fence_info -> unit) option;
 }
 
 let create () =
@@ -45,7 +51,10 @@ let create () =
     ctrs = { loads = 0; stores = 0; lines_flushed = 0; fences = 0 };
     fence_hook = None }
 
-let set_fence_hook t hook = t.fence_hook <- hook
+let set_persistence_hook t hook = t.fence_hook <- hook
+
+let set_fence_hook t hook =
+  t.fence_hook <- Option.map (fun f info -> f info.fence_no) hook
 
 (* ---------- regions ---------- *)
 
@@ -256,13 +265,20 @@ let commit_line t base data =
   if Bytes.sub c.vol off cache_line = data then Bitset.clear c.dirty line
   else Bitset.set c.dirty line
 
+let count_dirty t =
+  Hashtbl.fold (fun _ c acc -> acc + Bitset.count c.dirty) t.chunks 0
+
 let sfence t =
   t.ctrs.fences <- t.ctrs.fences + 1;
   let staged = Hashtbl.fold (fun base data acc -> (base, data) :: acc) t.staged [] in
   Hashtbl.reset t.staged;
   List.iter (fun (base, data) -> commit_line t base data) staged;
   match t.fence_hook with
-  | Some hook -> hook t.ctrs.fences
+  | Some hook ->
+    hook
+      { fence_no = t.ctrs.fences;
+        lines_committed = List.length staged;
+        dirty_residue = count_dirty t }
   | None -> ()
 
 let persist t a len =
@@ -367,8 +383,7 @@ let crash t mode =
     (Obs.Metrics.counter ~scope:"nvmm" "crash_lines_lost")
     (at_risk - !persisted)
 
-let dirty_lines t =
-  Hashtbl.fold (fun _ c acc -> acc + Bitset.count c.dirty) t.chunks 0
+let dirty_lines t = count_dirty t
 
 let counters t = t.ctrs
 

@@ -111,8 +111,29 @@ type counters = {
 val counters : t -> counters
 val reset_counters : t -> unit
 
+(** {2 Persistence-point instrumentation}
+
+    Every {!sfence} is a persistence point: the instant where staged
+    lines become durable and the only boundary a crash can be usefully
+    aligned to (stores between two fences are indistinguishable to a
+    post-crash observer).  The hooks below let checkers enumerate and
+    cut execution at exactly these points. *)
+
+type fence_info = {
+  fence_no : int;  (** cumulative fence count (see {!counters}) *)
+  lines_committed : int;  (** staged lines this fence wrote back *)
+  dirty_residue : int;
+      (** lines still volatile-only after the fence — the at-risk set
+          an adversarial crash draws its persisted subset from *)
+}
+
+val set_persistence_hook : t -> (fence_info -> unit) option -> unit
+(** Called after every completed {!sfence}.  Raising from the hook
+    aborts the caller mid-operation — the persistency model checker
+    ({!Crashcheck}) uses this to stop execution at an exact
+    persistence point and then {!crash}.  Shares one slot with
+    {!set_fence_hook}: setting either replaces the other. *)
+
 val set_fence_hook : t -> (int -> unit) option -> unit
-(** Test instrumentation: called after every completed {!sfence} with
-    the cumulative fence count.  Raising from the hook aborts the
-    caller mid-operation — crash-injection tests use this to stop
-    execution at a precise persistence point and then {!crash}. *)
+(** Convenience wrapper over {!set_persistence_hook} passing only
+    [fence_no]. *)

@@ -1,7 +1,19 @@
 #!/bin/sh
-# Tier-1 verification: full build plus every test suite.
+# Tier-1 verification: full build plus every test suite, then a
+# budget-capped persistency-model-checker smoke run.
 set -eu
 cd "$(dirname "$0")/.."
 dune build
 dune runtest
-echo "check: build + all test suites OK"
+# crashcheck smoke: a strided sample of crash points per operation so
+# tier-1 stays fast (the exhaustive sweep runs in test_crashcheck and
+# via `bin/main.exe crashcheck` with no budget).
+dune exec bin/main.exe -- crashcheck --max-points 6 --subsets 1 > /dev/null
+# mutation sanity: the checker must flag the deliberately-broken
+# missing-flush protocol (non-zero exit = counterexample found).
+if dune exec bin/main.exe -- crashcheck --scenario broken --max-points 2 \
+     --subsets 0 > /dev/null 2>&1; then
+  echo "check: crashcheck FAILED to detect the seeded missing-flush bug" >&2
+  exit 1
+fi
+echo "check: build + all test suites + crashcheck smoke OK"

@@ -1,0 +1,27 @@
+(* Seed plumbing for the randomized suites: every fixed-seed random
+   loop takes its seed from the CRASH_SEED environment variable (the
+   per-test default applies when unset), and a failing run prints the
+   seed that reproduces it before re-raising.  Reproduce with e.g.
+
+     CRASH_SEED=12345 dune exec test/test_crash.exe *)
+
+let get ~default =
+  match Sys.getenv_opt "CRASH_SEED" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n -> n
+    | None ->
+      Printf.eprintf "[crash_seed] ignoring unparsable CRASH_SEED=%S\n%!" s;
+      default)
+  | None -> default
+
+let with_seed ~default f =
+  let seed = get ~default in
+  try f seed
+  with e ->
+    Printf.eprintf
+      "\n[crash_seed] failing seed: rerun with CRASH_SEED=%d (test default \
+       %d)\n\
+       %!"
+      seed default;
+    raise e

@@ -7,7 +7,12 @@
    strict crash "after fence k" covers every crash instant in
    (fence k, fence k+1).  A fence hook aborts execution exactly there,
    mid-operation included; adversarial mode additionally persists
-   random subsets of the unflushed lines, modelling cache eviction. *)
+   random subsets of the unflushed lines, modelling cache eviction.
+
+   Randomized loops seed from CRASH_SEED (see crash_seed.ml); a
+   failure prints the seed that reproduces it.  The *systematic*
+   (exhaustive, oracle-checked) exploration lives in lib/crashcheck
+   and test_crashcheck.ml. *)
 
 module Prng = Repro_util.Prng
 module Memdev = Nvmm.Memdev
@@ -79,8 +84,9 @@ let test_crash_at_every_fence () =
   done
 
 let test_crash_adversarial_random () =
+  Crash_seed.with_seed ~default:2024 @@ fun seed ->
   let total = count_fences () in
-  let rng = Prng.create 2024 in
+  let rng = Prng.create seed in
   for _ = 1 to 60 do
     let k = 1 + Prng.int rng total in
     let mach = run_trace ~crash_after:k in
@@ -92,8 +98,9 @@ let test_double_crash_during_recovery () =
   (* crash mid-trace, recover partially (recovery itself interrupted
      by a fence-hook crash), then recover fully: idempotent replay
      (5.8) *)
+  Crash_seed.with_seed ~default:7 @@ fun seed ->
   let total = count_fences () in
-  let rng = Prng.create 7 in
+  let rng = Prng.create seed in
   for _ = 1 to 25 do
     let k = 1 + Prng.int rng total in
     let mach = run_trace ~crash_after:k in
@@ -114,8 +121,9 @@ let test_committed_allocations_survive_any_crash () =
   (* allocations whose API call returned before the crash point must
      survive: compare the live bytes after recovery with the sizes
      whose H.alloc completed *)
+  Crash_seed.with_seed ~default:99 @@ fun seed ->
   let total = count_fences () in
-  let rng = Prng.create 99 in
+  let rng = Prng.create seed in
   for _ = 1 to 40 do
     let k = 1 + Prng.int rng total in
     let mach = mkmach () in
@@ -149,7 +157,8 @@ let test_tx_atomicity_at_any_crash_point () =
      random fence: after recovery the live bytes equal exactly the sum
      of the transactions whose commit completed — every transaction is
      all-or-nothing (4.5) *)
-  let rng = Prng.create 777 in
+  Crash_seed.with_seed ~default:777 @@ fun seed ->
+  let rng = Prng.create seed in
   for _round = 1 to 40 do
     let mach = mkmach () in
     let h = mkheap mach in
@@ -188,7 +197,8 @@ let test_tx_atomicity_at_any_crash_point () =
 
 let test_pmdk_crash_recovery_consistent () =
   (* the PMDK baseline also recovers its lanes and action log *)
-  let rng = Prng.create 4242 in
+  Crash_seed.with_seed ~default:4242 @@ fun seed ->
+  let rng = Prng.create seed in
   for _ = 1 to 20 do
     let mach = Machine.create () in
     let h = Pmdk_sim.Heap.create mach ~base ~size:(1 lsl 24) ~heap_id:1 () in
@@ -220,7 +230,8 @@ let test_pmdk_crash_recovery_consistent () =
   done
 
 let test_pmdk_crash_mid_op () =
-  let rng = Prng.create 31337 in
+  Crash_seed.with_seed ~default:31337 @@ fun seed ->
+  let rng = Prng.create seed in
   for _ = 1 to 25 do
     let mach = Machine.create () in
     let h = Pmdk_sim.Heap.create mach ~base ~size:(1 lsl 24) ~heap_id:1 () in

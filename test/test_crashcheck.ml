@@ -1,0 +1,148 @@
+(* Tests for the persistency model checker (lib/crashcheck): exhaustive
+   crash-point sweeps of the five covered operation paths must verify
+   recovery everywhere, budgets must bound the sweep, counterexamples
+   must replay from their recorded coordinates, and — the mutation
+   sanity check — a deliberately-broken missing-flush protocol must be
+   caught. *)
+
+module C = Crashcheck
+module H = Poseidon.Heap
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let sweep_clean mk min_points () =
+  let scn = mk () in
+  let r = C.run ~subsets_per_point:1 scn in
+  List.iter
+    (fun cx -> Alcotest.failf "%s" (Format.asprintf "%a" C.pp_counterexample cx))
+    r.C.counterexamples;
+  check "sweep covers the whole operation" true
+    (r.C.points_explored >= min_points);
+  (* every point ran dirty-lost-all + 1 subset, all verified *)
+  check_int "all recoveries verified" (2 * r.C.points_explored)
+    r.C.recoveries_verified
+
+(* exhaustive sweeps, one per covered operation path; minimum point
+   counts keep the scenarios honest about actually exercising fences *)
+let test_sweep_alloc = sweep_clean C.scn_alloc 30
+let test_sweep_free = sweep_clean C.scn_free 20
+let test_sweep_tx_commit = sweep_clean C.scn_tx_commit 20
+let test_sweep_tx_abort = sweep_clean C.scn_tx_abort 20
+let test_sweep_extend = sweep_clean C.scn_extend 50
+
+let test_hundred_points_across_operations () =
+  (* the standing acceptance bar: >= 100 distinct crash points across
+     the five operations, each recovery verified *)
+  let reports = List.map (C.run ~subsets_per_point:0) (C.all_scenarios ()) in
+  let points = List.fold_left (fun a r -> a + r.C.points_explored) 0 reports in
+  check "over 100 distinct crash points" true (points >= 100);
+  List.iter
+    (fun r ->
+      check_int
+        (Printf.sprintf "%s: every point's recovery verified" r.C.rp_scenario)
+        r.C.points_explored r.C.recoveries_verified)
+    reports
+
+let test_extend_scenario_extends_hash () =
+  (* the extend sweep is only meaningful if the op really grows the
+     sub-heap hash table *)
+  let scn = C.scn_extend () in
+  let env = scn.C.setup () in
+  scn.C.op env;
+  check "hash extension exercised" true ((H.stats env.C.heap).H.hash_extends > 0)
+
+let test_measure_deterministic () =
+  let scn = C.scn_alloc () in
+  check_int "same fence count on every dry run" (C.measure scn) (C.measure scn)
+
+let test_budget_caps_points () =
+  let r = C.run ~max_points:5 ~subsets_per_point:0 (C.scn_alloc ()) in
+  check_int "budget respected" 5 r.C.points_explored;
+  check "budget still samples the full span" true (r.C.fences_total > 5);
+  let r1 = C.run ~max_points:1 ~subsets_per_point:0 (C.scn_alloc ()) in
+  check_int "degenerate budget" 1 r1.C.points_explored
+
+let test_subsets_budget () =
+  let r = C.run ~max_points:3 ~subsets_per_point:4 (C.scn_free ()) in
+  check_int "subsets per point honoured" (3 * 4) r.C.subsets_tried;
+  check_int "strict + subsets all verified" (3 * 5) r.C.recoveries_verified
+
+(* ---------- mutation sanity check ---------- *)
+
+let test_broken_protocol_detected () =
+  let r = C.run ~subsets_per_point:1 (C.scn_broken_missing_flush ()) in
+  check "missing flush caught" true (r.C.counterexamples <> []);
+  let cx = List.hd r.C.counterexamples in
+  Alcotest.(check string) "the app oracle flags it" "app-commit" cx.C.cx_oracle;
+  (* dirty-lost-all at the flag's fence is the deterministic witness *)
+  check "found at a real persistence point" true
+    (cx.C.cx_point >= 1 && cx.C.cx_point <= r.C.fences_total + 1)
+
+let test_counterexample_replays () =
+  (* a counterexample's recorded coordinates (scenario, point, mode)
+     must reproduce it on a fresh scenario instance — seed-replayable *)
+  let r = C.run ~subsets_per_point:1 (C.scn_broken_missing_flush ()) in
+  List.iter
+    (fun cx ->
+      let scn = Option.get (C.scenario_by_name cx.C.cx_scenario) in
+      match C.check_point scn ~point:cx.C.cx_point ~mode:cx.C.cx_mode with
+      | Some cx' ->
+        Alcotest.(check string) "same oracle on replay" cx.C.cx_oracle
+          cx'.C.cx_oracle
+      | None -> Alcotest.fail "counterexample did not replay")
+    r.C.counterexamples;
+  (* adversarial subsets are seeded: at least the strict mode must be
+     among the counterexamples, and derived seeds must be stable *)
+  check "strict counterexample present" true
+    (List.exists (fun cx -> cx.C.cx_mode = C.Dirty_lost_all) r.C.counterexamples);
+  check_int "subset seed derivation is stable"
+    (C.subset_seed ~seed:1 ~point:7 0)
+    (C.subset_seed ~seed:1 ~point:7 0)
+
+let test_healthy_point_is_green () =
+  match C.check_point (C.scn_alloc ()) ~point:3 ~mode:C.Dirty_lost_all with
+  | None -> ()
+  | Some cx -> Alcotest.failf "unexpected: %s" cx.C.cx_detail
+
+let test_obs_counters_advance () =
+  let get name =
+    Option.value ~default:0
+      (Obs.Metrics.get_counter ~scope:"crashcheck" name)
+  in
+  let p0 = get "points_explored" and v0 = get "recoveries_verified" in
+  let r = C.run ~max_points:4 ~subsets_per_point:1 (C.scn_tx_commit ()) in
+  check_int "points counted" (p0 + r.C.points_explored) (get "points_explored");
+  check_int "verifications counted"
+    (v0 + r.C.recoveries_verified)
+    (get "recoveries_verified")
+
+let () =
+  Alcotest.run "crashcheck"
+    [ ( "sweeps",
+        [ Alcotest.test_case "alloc path exhaustive" `Quick test_sweep_alloc;
+          Alcotest.test_case "free path exhaustive" `Quick test_sweep_free;
+          Alcotest.test_case "tx-commit path exhaustive" `Quick
+            test_sweep_tx_commit;
+          Alcotest.test_case "tx-abort path exhaustive" `Quick
+            test_sweep_tx_abort;
+          Alcotest.test_case "extend path exhaustive" `Slow test_sweep_extend;
+          Alcotest.test_case "100+ points across operations" `Slow
+            test_hundred_points_across_operations;
+          Alcotest.test_case "extend really extends" `Quick
+            test_extend_scenario_extends_hash ] );
+      ( "budgets",
+        [ Alcotest.test_case "measure deterministic" `Quick
+            test_measure_deterministic;
+          Alcotest.test_case "max-points budget" `Quick test_budget_caps_points;
+          Alcotest.test_case "subsets budget" `Quick test_subsets_budget ] );
+      ( "mutation",
+        [ Alcotest.test_case "missing flush detected" `Quick
+            test_broken_protocol_detected;
+          Alcotest.test_case "counterexamples replay" `Quick
+            test_counterexample_replays;
+          Alcotest.test_case "healthy point green" `Quick
+            test_healthy_point_is_green ] );
+      ( "obs",
+        [ Alcotest.test_case "counters advance" `Quick
+            test_obs_counters_advance ] ) ]

@@ -1,7 +1,11 @@
 (* Tests for the Poseidon allocator: layout, hash table, buddy lists,
    allocation/deallocation algorithms, defragmentation, MPK
    protection, transactional allocation, hole punching, pointers,
-   plus property-based random-trace invariant checks. *)
+   plus property-based random-trace invariant checks.
+
+   Fixed-seed random loops seed from CRASH_SEED (see crash_seed.ml);
+   a failure prints the seed that reproduces it.  QCheck properties
+   already print their failing input. *)
 
 module Prng = Repro_util.Prng
 module Memdev = Nvmm.Memdev
@@ -231,8 +235,9 @@ let test_full_merge_restores_single_block () =
   H.check_invariants h
 
 let test_interleaved_sizes () =
+  Crash_seed.with_seed ~default:5 @@ fun seed ->
   let _, h = mkheap () in
-  let rng = Prng.create 5 in
+  let rng = Prng.create seed in
   let live = ref [] in
   for _ = 1 to 500 do
     if Prng.bool rng || !live = [] then begin
