@@ -17,7 +17,8 @@ let figures = ref []
 let ablations = ref []
 let run_bechamel = ref false
 let smoke = ref false
-let json_out = ref "BENCH_results.json"
+let suite = ref ""
+let json_out = ref ""
 
 (* Every measured cell also lands in the metrics registry, so each run
    ends with a machine-readable BENCH_*.json snapshot next to the
@@ -571,15 +572,86 @@ let smoke_suite () =
     [ 1; 4 ];
   print_newline ()
 
-let write_results () =
-  let doc =
-    Obs.Json.Obj
-      [ ("schema", Obs.Json.Str "poseidon-bench/v1");
-        ("suite", Obs.Json.Str (if !smoke then "smoke" else "figures"));
-        ("full", Obs.Json.Bool !full);
-        ("metrics", Obs.Metrics.snapshot ()) ]
+(* ---------- service suite: poseidon-kv end-to-end ---------- *)
+
+(* Offered-rate sweep over the sharded KV server plus one crash run:
+   throughput vs goodput (they diverge once admission control sheds),
+   client latency percentiles, and recovery time.  See lib/service. *)
+let service_suite () =
+  note "";
+  note "### Service: poseidon-kv under open-loop simulated traffic";
+  note "(throughput vs goodput per offered rate — the top rate is past";
+  note " saturation, so admission control sheds; then a crash run with RTO)";
+  let module S = Service.Server in
+  let factory = Workloads.Factories.poseidon () in
+  let make () = factory.Workloads.Factories.make () in
+  let reattach mach =
+    Poseidon.instance
+      (Poseidon.Heap.attach mach ~base:Workloads.Factories.heap_base ())
   in
-  match open_out !json_out with
+  let base rate scope =
+    { S.default_config with
+      S.shards = 4;
+      clients = 32;
+      rate;
+      duration = (if !full then 0.05 else 0.02);
+      value_size = 128;
+      keyspace = 4096;
+      queue_capacity = 32;
+      scope }
+  in
+  let runs = ref [] in
+  let run_one label cfg =
+    let r = S.run ~make ~reattach cfg in
+    runs := (label, cfg, r) :: !runs;
+    r
+  in
+  let table =
+    Tablefmt.create ~title:"poseidon-kv: offered-rate sweep (4 shards)"
+      ~columns:
+        [ "offered req/s"; "throughput"; "goodput"; "shed"; "p50 ns";
+          "p99 ns"; "p999 ns" ]
+  in
+  List.iter
+    (fun rate ->
+      let r =
+        run_one
+          (Printf.sprintf "rate-%.0f" rate)
+          (base rate (Printf.sprintf "bench/service/rate%.0f" rate))
+      in
+      Tablefmt.add_row table
+        (Printf.sprintf "%.0f" rate)
+        [ Printf.sprintf "%.0f" r.S.throughput;
+          Printf.sprintf "%.0f" r.S.goodput;
+          string_of_int r.S.shed;
+          string_of_int r.S.latency.S.p50;
+          string_of_int r.S.latency.S.p99;
+          string_of_int r.S.latency.S.p999 ])
+    [ 20_000.; 50_000.; 100_000.; 2_000_000. ];
+  Tablefmt.print table;
+  let r =
+    run_one "crash"
+      { (base 50_000. "bench/service/crash") with S.crash_at = Some 0.5 }
+  in
+  note
+    "  crash run: RTO %d ns; ledger %d checked, %d ambiguous, %d mismatch(es)"
+    r.S.rto_ns r.S.ledger.S.checked r.S.ledger.S.ambiguous
+    r.S.ledger.S.mismatches;
+  if r.S.ledger.S.mismatches > 0 then begin
+    Printf.eprintf "bench service: LEDGER MISMATCH — acked writes lost\n";
+    exit 1
+  end;
+  List.rev !runs
+
+(* ---------- JSON output ---------- *)
+
+let rev_json () =
+  match Repro_util.Gitrev.short () with
+  | Some r -> Obs.Json.Str r
+  | None -> Obs.Json.Null
+
+let write_doc file doc =
+  match open_out file with
   | exception Sys_error msg ->
     Printf.eprintf "bench: cannot write metrics snapshot: %s\n" msg;
     exit 1
@@ -587,14 +659,80 @@ let write_results () =
     output_string oc (Obs.Json.to_string doc);
     output_char oc '\n';
     close_out oc;
-    note "metrics snapshot written to %s" !json_out
+    note "metrics snapshot written to %s" file
+
+let write_results () =
+  let module J = Obs.Json in
+  let doc =
+    J.Obj
+      [ ("schema", J.Str "poseidon-bench/v1");
+        ("rev", rev_json ());
+        ("suite", J.Str (if !smoke then "smoke" else "figures"));
+        ("full", J.Bool !full);
+        ( "config",
+          J.Obj
+            [ ("full", J.Bool !full);
+              ( "threads",
+                J.Arr
+                  (List.map (fun t -> J.Num (float_of_int t)) !thread_counts) );
+              ( "figures",
+                J.Arr (List.map (fun n -> J.Num (float_of_int n)) !figures) );
+              ("ablations", J.Arr (List.map (fun s -> J.Str s) !ablations)) ] );
+        ("metrics", Obs.Metrics.snapshot ()) ]
+  in
+  write_doc (if !json_out = "" then "BENCH_results.json" else !json_out) doc
+
+let write_service_results runs =
+  let module S = Service.Server in
+  let module J = Obs.Json in
+  let num i = J.Num (float_of_int i) in
+  let pct (p : S.percentiles) =
+    J.Obj
+      [ ("p50", num p.S.p50); ("p99", num p.S.p99); ("p999", num p.S.p999);
+        ("mean", J.Num p.S.mean); ("max", num p.S.max);
+        ("samples", num p.S.samples) ]
+  in
+  let run_json (label, (cfg : S.config), (r : S.result)) =
+    J.Obj
+      [ ("label", J.Str label);
+        ( "config",
+          J.Obj
+            [ ("shards", num cfg.S.shards); ("clients", num cfg.S.clients);
+              ("rate", J.Num cfg.S.rate); ("duration", J.Num cfg.S.duration);
+              ("value_size", num cfg.S.value_size);
+              ("keyspace", num cfg.S.keyspace);
+              ("queue_capacity", num cfg.S.queue_capacity);
+              ( "crash_at",
+                match cfg.S.crash_at with
+                | Some f -> J.Num f
+                | None -> J.Null ) ] );
+        ("offered", num r.S.offered); ("admitted", num r.S.admitted);
+        ("shed", num r.S.shed); ("completed", num r.S.completed);
+        ("throughput", J.Num r.S.throughput); ("goodput", J.Num r.S.goodput);
+        ("latency", pct r.S.latency); ("service", pct r.S.service);
+        ("crashed", J.Bool r.S.crashed); ("rto_ns", num r.S.rto_ns);
+        ( "ledger",
+          J.Obj
+            [ ("checked", num r.S.ledger.S.checked);
+              ("ambiguous", num r.S.ledger.S.ambiguous);
+              ("mismatches", num r.S.ledger.S.mismatches) ] ) ]
+  in
+  let doc =
+    J.Obj
+      [ ("schema", J.Str "poseidon-bench-service/v1");
+        ("rev", rev_json ());
+        ("config", J.Obj [ ("full", J.Bool !full) ]);
+        ("runs", J.Arr (List.map run_json runs));
+        ("metrics", Obs.Metrics.snapshot ()) ]
+  in
+  write_doc (if !json_out = "" then "BENCH_service.json" else !json_out) doc
 
 (* ---------- driver ---------- *)
 
 let () =
   let usage =
-    "bench/main.exe [--figure N]... [--ablation NAME]... [--full] \
-     [--threads LIST] [--bechamel] [--smoke] [--json-out FILE]"
+    "bench/main.exe [--figure N]... [--ablation NAME]... [--suite NAME] \
+     [--full] [--threads LIST] [--bechamel] [--smoke] [--json-out FILE]"
   in
   let spec =
     [ ( "--figure",
@@ -611,14 +749,28 @@ let () =
         "LIST  comma-separated thread counts" );
       ("--bechamel", Arg.Set run_bechamel, " also run the wall-clock suite");
       ("--smoke", Arg.Set smoke, " quick sanity suite only (for CI)");
+      ( "--suite",
+        Arg.Set_string suite,
+        "NAME  run a named suite instead of the figures ('service':\n\
+        \        poseidon-kv rate sweep + crash run -> BENCH_service.json)" );
       ( "--json-out",
         Arg.Set_string json_out,
-        "FILE  metrics snapshot destination (default BENCH_results.json)" ) ]
+        "FILE  metrics snapshot destination (default BENCH_results.json, \
+         or BENCH_service.json for --suite service)" ) ]
   in
   Arg.parse spec (fun _ -> ()) usage;
   note "Poseidon reproduction benchmark suite";
   note "(simulated 64-CPU, 2-NUMA-node machine with Optane-like NVMM;";
   note " see DESIGN.md and EXPERIMENTS.md for the methodology)";
+  if !suite = "service" then begin
+    let runs = service_suite () in
+    write_service_results runs;
+    exit 0
+  end
+  else if !suite <> "" then begin
+    Printf.eprintf "bench: unknown suite %S (known: service)\n" !suite;
+    exit 2
+  end;
   (if !smoke then smoke_suite ()
    else begin
      let default = !figures = [] && !ablations = [] in

@@ -451,6 +451,208 @@ let fsck_cmd =
           consistency report.")
     Term.(const run $ threads_arg $ crash_arg)
 
+(* ---------- serve ---------- *)
+
+let serve_cmd =
+  let shards_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~docv:"N" ~doc:"Server shards (one simulated CPU each).")
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "clients" ] ~docv:"N" ~doc:"Open-loop client threads.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 50_000.
+      & info [ "rate" ] ~docv:"OPS"
+          ~doc:"Total offered load, requests per simulated second.")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 0.02
+      & info [ "duration" ] ~docv:"SECS" ~doc:"Simulated seconds of traffic.")
+  in
+  let value_size_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "value-size" ] ~docv:"BYTES" ~doc:"Value object size.")
+  in
+  let zipf_arg =
+    Arg.(
+      value & opt float 0.99
+      & info [ "zipf" ] ~docv:"THETA"
+          ~doc:"Zipfian skew of key popularity (YCSB default 0.99).")
+  in
+  let keyspace_arg =
+    Arg.(
+      value & opt int 4096
+      & info [ "keyspace" ] ~docv:"N" ~doc:"Distinct keys.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-capacity" ] ~docv:"N"
+          ~doc:"Per-shard request queue bound (admission control).")
+  in
+  let crash_at_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "crash-at" ] ~docv:"FRAC"
+          ~doc:
+            "Crash the machine at $(docv) x duration (in (0,1)), then \
+             re-attach, replay in-flight effects and verify the store \
+             against the ledger of acked writes.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.")
+  in
+  let json_out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json-out" ] ~docv:"FILE"
+          ~doc:"Write results + metrics snapshot as JSON to $(docv).")
+  in
+  let run shards clients rate duration value_size zipf keyspace queue crash_at
+      seed json_out trace_out =
+    with_tracing trace_out @@ fun () ->
+    let module S = Service.Server in
+    let cfg =
+      { S.default_config with
+        shards;
+        clients;
+        rate;
+        duration;
+        value_size;
+        zipf_theta = zipf;
+        keyspace;
+        queue_capacity = queue;
+        crash_at;
+        seed }
+    in
+    let factory = Workloads.Factories.poseidon () in
+    let r =
+      S.run
+        ~make:(fun () -> factory.Workloads.Factories.make ())
+        ~reattach:(fun mach ->
+          Poseidon.instance
+            (Poseidon.Heap.attach mach ~base:Workloads.Factories.heap_base ()))
+        cfg
+    in
+    Printf.printf
+      "poseidon-kv: %d shards, %d clients, offered %.0f req/s for %.3f s%s\n"
+      shards clients rate duration
+      (match crash_at with
+       | Some f -> Printf.sprintf " (crash at %.0f%%)" (f *. 100.)
+       | None -> "");
+    Printf.printf
+      "  offered %d  admitted %d  shed %d (Overloaded)  completed %d\n"
+      r.S.offered r.S.admitted r.S.shed r.S.completed;
+    Printf.printf "  throughput %.0f req/s  goodput %.0f req/s\n" r.S.throughput
+      r.S.goodput;
+    Printf.printf
+      "  latency: p50 %d ns  p99 %d ns  p999 %d ns  mean %.0f ns  max %d ns \
+       (%d samples)\n"
+      r.S.latency.S.p50 r.S.latency.S.p99 r.S.latency.S.p999 r.S.latency.S.mean
+      r.S.latency.S.max r.S.latency.S.samples;
+    Printf.printf "  max shard queue depth %d (capacity %d)\n"
+      r.S.queue_max_depth queue;
+    if r.S.crashed then begin
+      (match r.S.recovery with
+       | Some rc ->
+         Printf.printf
+           "  crash: recovered %d shards — %d intent(s) replayed, %d rolled \
+            back; RTO %d ns\n"
+           shards rc.Service.Kv.replayed rc.Service.Kv.rolled_back r.S.rto_ns
+       | None -> ());
+      Printf.printf "  in flight at crash: %d key(s) (not checked)\n"
+        r.S.in_flight_at_crash
+    end;
+    Printf.printf "  ledger: %d key(s) checked, %d ambiguous, %d mismatch(es)\n"
+      r.S.ledger.S.checked r.S.ledger.S.ambiguous r.S.ledger.S.mismatches;
+    (match json_out with
+     | None -> ()
+     | Some file ->
+       let module J = Obs.Json in
+       let num i = J.Num (float_of_int i) in
+       let pct (p : S.percentiles) =
+         J.Obj
+           [ ("p50", num p.S.p50); ("p99", num p.S.p99);
+             ("p999", num p.S.p999); ("mean", J.Num p.S.mean);
+             ("max", num p.S.max); ("samples", num p.S.samples) ]
+       in
+       let json =
+         J.Obj
+           [ ("schema", J.Str "poseidon-serve/v1");
+             ( "rev",
+               match Repro_util.Gitrev.short () with
+               | Some r -> J.Str r
+               | None -> J.Null );
+             ( "config",
+               J.Obj
+                 [ ("shards", num shards); ("clients", num clients);
+                   ("rate", J.Num rate); ("duration", J.Num duration);
+                   ("value_size", num value_size); ("zipf_theta", J.Num zipf);
+                   ("keyspace", num keyspace);
+                   ("queue_capacity", num queue);
+                   ( "crash_at",
+                     match crash_at with
+                     | Some f -> J.Num f
+                     | None -> J.Null );
+                   ("seed", num seed) ] );
+             ( "results",
+               J.Obj
+                 [ ("offered", num r.S.offered);
+                   ("admitted", num r.S.admitted); ("shed", num r.S.shed);
+                   ("completed", num r.S.completed);
+                   ("acked_mutations", num r.S.acked_mutations);
+                   ("sim_ns", num r.S.sim_ns);
+                   ("throughput", J.Num r.S.throughput);
+                   ("goodput", J.Num r.S.goodput);
+                   ("latency", pct r.S.latency);
+                   ("service", pct r.S.service);
+                   ("crashed", J.Bool r.S.crashed);
+                   ("rto_ns", num r.S.rto_ns);
+                   ( "recovery",
+                     match r.S.recovery with
+                     | Some rc ->
+                       J.Obj
+                         [ ("replayed", num rc.Service.Kv.replayed);
+                           ("rolled_back", num rc.Service.Kv.rolled_back) ]
+                     | None -> J.Null );
+                   ( "ledger",
+                     J.Obj
+                       [ ("checked", num r.S.ledger.S.checked);
+                         ("ambiguous", num r.S.ledger.S.ambiguous);
+                         ("mismatches", num r.S.ledger.S.mismatches) ] );
+                   ("in_flight_at_crash", num r.S.in_flight_at_crash);
+                   ("queue_max_depth", num r.S.queue_max_depth) ] );
+             ("metrics", Obs.Metrics.snapshot ()) ]
+       in
+       let oc = open_out file in
+       Fun.protect
+         ~finally:(fun () -> close_out oc)
+         (fun () -> output_string oc (J.to_string json));
+       Printf.printf "results -> %s\n" file);
+    if r.S.ledger.S.mismatches > 0 then begin
+      Printf.eprintf "serve: LEDGER MISMATCH — acked writes lost\n";
+      1
+    end
+    else 0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the sharded persistent KV server (poseidon-kv) under open-loop \
+          simulated traffic, optionally crash it mid-serving, and verify \
+          recovery against the client ledger.")
+    Term.(
+      const run $ shards_arg $ clients_arg $ rate_arg $ duration_arg
+      $ value_size_arg $ zipf_arg $ keyspace_arg $ queue_arg $ crash_at_arg
+      $ seed_arg $ json_out_arg $ trace_out_arg)
+
 (* ---------- trace ---------- *)
 
 let trace_cmd =
@@ -495,4 +697,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ bench_cmd; safety_cmd; stress_cmd; crashcheck_cmd; inspect_cmd;
-            fsck_cmd; trace_cmd ]))
+            fsck_cmd; serve_cmd; trace_cmd ]))

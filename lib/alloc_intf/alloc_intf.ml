@@ -60,6 +60,13 @@ module type S = sig
       a per-heap transaction; the [is_end:true] call commits it.  After
       a crash before commit, recovery rolls every one of them back. *)
 
+  val tx_commit : heap -> unit
+  (** Commits the calling CPU's in-flight allocation transaction
+      without a further allocation — the point a client of
+      {!tx_alloc}[ ~is_end:false] reaches once its own durable state
+      references the new blocks.  A no-op when no transaction is
+      pending (and always for allocators without a redo/undo log). *)
+
   val free : heap -> nvmptr -> unit
   (** Deallocation. Implementations differ on invalid/double frees:
       Poseidon rejects them; the baselines corrupt, as in the paper. *)
@@ -84,6 +91,7 @@ let instance_name (Instance ((module A), _)) = A.allocator_name
 let instance_machine (Instance ((module A), h)) = A.machine h
 let i_alloc (Instance ((module A), h)) size = A.alloc h size
 let i_tx_alloc (Instance ((module A), h)) size ~is_end = A.tx_alloc h size ~is_end
+let i_tx_commit (Instance ((module A), h)) = A.tx_commit h
 let i_free (Instance ((module A), h)) p = A.free h p
 let i_get_rawptr (Instance ((module A), h)) p = A.get_rawptr h p
 let i_get_nvmptr (Instance ((module A), h)) a = A.get_nvmptr h a

@@ -22,9 +22,21 @@
     v}
     fanout 31 -> node size = 16 + 31*16 = 512 bytes. *)
 
+(** Where the tree's root pointer durably lives.  The classic layout
+    stores it in the allocator's root slot (one tree per heap); a
+    service embedding several trees in one heap points each tree at a
+    persistent cell of its own (e.g. a slot in a superroot object).
+    [store] must persist the pointer before returning. *)
+type root_cell = {
+  load : unit -> Alloc_intf.nvmptr;
+  store : Alloc_intf.nvmptr -> unit;
+}
+
 type t = {
   inst : Alloc_intf.instance;
   mach : Machine.t;
+  cell : root_cell;
+  hid : int; (* heap id all of this tree's pointers carry *)
   smo_lock : Machine.Lock.lock;
   leaf_locks : (int, Machine.Lock.lock) Hashtbl.t; (* node addr -> lock *)
   leaf_locks_guard : Machine.Lock.lock;
@@ -82,33 +94,47 @@ let alloc_node t ~leaf =
 
 (* ---------- construction ---------- *)
 
-let create inst =
+let create_in inst cell =
   let mach = Alloc_intf.instance_machine inst in
   let t =
     { inst;
       mach;
+      cell;
+      hid = 0; (* placeholder until the root node exists *)
       smo_lock = Machine.Lock.create mach ~name:"btree-smo" ();
       leaf_locks = Hashtbl.create 1024;
       leaf_locks_guard = Machine.Lock.create mach ~name:"btree-locktab" ();
       root = Alloc_intf.null }
   in
   let root = alloc_node t ~leaf:true in
+  let t = { t with hid = root.Alloc_intf.heap_id } in
   t.root <- root;
-  Alloc_intf.i_set_root t.inst root;
+  t.cell.store root;
   t
 
-(** Reopens the tree stored at the allocator's root pointer (restart
-    path; the allocator must already be attached/recovered). *)
-let attach inst =
+let attach_in inst cell =
   let mach = Alloc_intf.instance_machine inst in
-  let root = Alloc_intf.i_get_root inst in
+  let root = cell.load () in
   if Alloc_intf.is_null root then invalid_arg "Btree.attach: no tree at root";
   { inst;
     mach;
+    cell;
+    hid = root.Alloc_intf.heap_id;
     smo_lock = Machine.Lock.create mach ~name:"btree-smo" ();
     leaf_locks = Hashtbl.create 1024;
     leaf_locks_guard = Machine.Lock.create mach ~name:"btree-locktab" ();
     root }
+
+(* one-tree-per-heap layout: the allocator root slot is the cell *)
+let allocator_cell inst =
+  { load = (fun () -> Alloc_intf.i_get_root inst);
+    store = (fun p -> Alloc_intf.i_set_root inst p) }
+
+let create inst = create_in inst (allocator_cell inst)
+
+(** Reopens the tree stored at the allocator's root pointer (restart
+    path; the allocator must already be attached/recovered). *)
+let attach inst = attach_in inst (allocator_cell inst)
 
 let node_lock t addr =
   match Hashtbl.find_opt t.leaf_locks addr with
@@ -124,9 +150,7 @@ let node_lock t addr =
 
 (* ---------- search ---------- *)
 
-let heap_id t = (Alloc_intf.i_get_root t.inst).Alloc_intf.heap_id
-
-let ptr_of_packed t packed = Alloc_intf.unpack ~heap_id:(heap_id t) packed
+let ptr_of_packed t packed = Alloc_intf.unpack ~heap_id:t.hid packed
 
 (* If [k]'s range moved to a right sibling (a split whose separator
    has not reached the parent — e.g. after a crash), follow the
@@ -311,7 +335,7 @@ let split_one t key =
                  ~value:(Alloc_intf.pack right_ptr);
                write_meta t new_root ~count:2 ~leaf:false);
            t.root <- new_root_ptr;
-           Alloc_intf.i_set_root t.inst new_root_ptr))
+           t.cell.store new_root_ptr))
 
 let rec insert t ~key ~value =
   if key < 1 then invalid_arg "Btree.insert: keys must be >= 1";

@@ -15,6 +15,16 @@
 
 type t
 
+type root_cell = {
+  load : unit -> Alloc_intf.nvmptr;
+  store : Alloc_intf.nvmptr -> unit;
+}
+(** Where the tree's root pointer durably lives.  {!create}/{!attach}
+    use the allocator's root slot (one tree per heap); embedders with
+    several trees in one heap (e.g. a sharded KV service) supply a
+    persistent cell per tree via {!create_in}/{!attach_in}.  [store]
+    must persist the pointer before returning. *)
+
 val create : Alloc_intf.instance -> t
 (** Allocates an empty tree and publishes its root as the allocator's
     root object. *)
@@ -23,6 +33,12 @@ val attach : Alloc_intf.instance -> t
 (** Reopens the tree stored at the allocator's root pointer (restart
     path; the allocator must already be attached/recovered).  Raises
     [Invalid_argument] if the root is null. *)
+
+val create_in : Alloc_intf.instance -> root_cell -> t
+(** {!create}, but publishing the root through the given cell. *)
+
+val attach_in : Alloc_intf.instance -> root_cell -> t
+(** {!attach}, but loading the root from the given cell. *)
 
 val insert : t -> key:int -> value:int -> unit
 (** Inserts or updates (updates are in-place 8-byte atomic stores).

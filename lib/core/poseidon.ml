@@ -29,6 +29,7 @@ let attach mach ~base = Heap.attach mach ~base ()
 let finish = Heap.finish
 let alloc = Heap.alloc
 let tx_alloc = Heap.tx_alloc
+let tx_commit = Heap.tx_commit
 let free = Heap.free
 let get_rawptr = Heap.get_rawptr
 let get_nvmptr = Heap.get_nvmptr
@@ -48,6 +49,7 @@ let instance heap =
         let finish = finish
         let alloc = alloc
         let tx_alloc = tx_alloc
+        let tx_commit = tx_commit
         let free = free
         let get_rawptr = get_rawptr
         let get_nvmptr = get_nvmptr

@@ -414,9 +414,154 @@ let scn_broken_missing_flush () =
                      data)
               else Ok ()) } ] }
 
+(* ---------- service scenarios: poseidon-kv intent protocol ---------- *)
+
+type kv_op = Kput of int * int | Kdel of int
+
+(* Drive the KV store's write path through the sweep.  The ledger
+   snapshots [live_bytes] after each completed operation, so [slack]
+   only has to cover the single in-flight op: one value block, one
+   possible tree-node split and one not-yet-freed old value.
+
+   The extra oracle re-attaches the *service* on the recovered heap —
+   running the intent replay/rollback — and then checks three things:
+   the allocator is still sane after replay mutated it, the store
+   matches the acked prefix of the plan exactly, and the one in-flight
+   operation is atomic (its key reads as either the pre- or the
+   post-state, never a torn value). *)
+let scn_kv ~sname ~preload ~plan () =
+  let svc = ref None in
+  let acked = ref 0 in
+  let value_size = 64 in
+  let setup () =
+    let env = mk_env () in
+    env.ledger.slack <- 4096;
+    let inst = Poseidon.instance env.heap in
+    let s = Service.Kv.create inst ~shards:2 ~value_size in
+    List.iter
+      (fun (k, vs) ->
+        if not (Service.Kv.put s ~key:k ~vseed:vs) then
+          failwith "kv scenario: preload put failed")
+      preload;
+    svc := Some s;
+    acked := 0;
+    env.ledger.durable <- (H.stats env.heap).H.live_bytes;
+    finish_setup env
+  in
+  let op env =
+    let s = Option.get !svc in
+    List.iter
+      (fun o ->
+        (match o with
+         | Kput (k, vs) -> ignore (Service.Kv.put s ~key:k ~vseed:vs)
+         | Kdel k -> ignore (Service.Kv.delete s ~key:k));
+        incr acked;
+        env.ledger.durable <- (H.stats env.heap).H.live_bytes)
+      plan
+  in
+  let apply tbl = function
+    | Kput (k, vs) -> Hashtbl.replace tbl k vs
+    | Kdel k -> Hashtbl.remove tbl k
+  in
+  let o_kv =
+    { oname = "kv-store";
+      check =
+        (fun env ->
+          let inst = Poseidon.instance env.heap in
+          match Service.Kv.attach inst with
+          | exception e ->
+            Error ("service recovery raised: " ^ Printexc.to_string e)
+          | s2, _recovery -> (
+            (* replay mutated the heap; it must still be self-consistent *)
+            match H.check_invariants env.heap with
+            | exception Poseidon.Subheap.Invariant_violation m ->
+              Error ("post-replay invariants: " ^ m)
+            | () ->
+              if not (H.logs_quiescent env.heap) then
+                Error "post-replay logs not quiescent"
+              else begin
+                let live = (H.stats env.heap).H.live_bytes
+                and free = (H.stats env.heap).H.free_bytes
+                and cap = H.data_capacity env.heap in
+                if live + free <> cap then
+                  Error
+                    (Printf.sprintf
+                       "post-replay leak: live %d + free %d <> capacity %d"
+                       live free cap)
+                else begin
+                  Service.Kv.check s2;
+                  let pre = Hashtbl.create 32 in
+                  List.iter (fun (k, vs) -> Hashtbl.replace pre k vs) preload;
+                  List.iteri
+                    (fun i o -> if i < !acked then apply pre o)
+                    plan;
+                  let in_flight =
+                    if !acked < List.length plan then
+                      Some (List.nth plan !acked)
+                    else None
+                  in
+                  let post = Hashtbl.copy pre in
+                  Option.iter (apply post) in_flight;
+                  let in_flight_key =
+                    match in_flight with
+                    | Some (Kput (k, _)) | Some (Kdel k) -> Some k
+                    | None -> None
+                  in
+                  let keys = Hashtbl.create 32 in
+                  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) pre;
+                  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) post;
+                  Option.iter (fun k -> Hashtbl.replace keys k ()) in_flight_key;
+                  let cks vs = Service.Kv.value_checksum s2 ~vseed:vs in
+                  let err = ref None in
+                  Hashtbl.iter
+                    (fun k () ->
+                      if !err = None then begin
+                        let got = Service.Kv.get s2 ~key:k in
+                        let want_pre =
+                          Option.map cks (Hashtbl.find_opt pre k)
+                        and want_post =
+                          Option.map cks (Hashtbl.find_opt post k)
+                        in
+                        let ok =
+                          if in_flight_key = Some k then
+                            got = want_pre || got = want_post
+                          else got = want_pre
+                        in
+                        if not ok then
+                          err :=
+                            Some
+                              (Printf.sprintf
+                                 "key %d: recovered store disagrees with the \
+                                  acked-prefix ledger (%d op(s) acked)"
+                                 k !acked)
+                      end)
+                    keys;
+                  match !err with Some m -> Error m | None -> Ok ()
+                end
+              end))
+    }
+  in
+  { sname; setup; op; extra_oracles = [ o_kv ] }
+
+let scn_kv_put () =
+  scn_kv ~sname:"kv-put"
+    ~preload:[ (1, 101); (2, 102); (3, 103); (4, 104); (5, 105); (6, 106) ]
+    ~plan:
+      [ Kput (3, 201); Kput (9, 202); Kput (4, 203); Kput (10, 204);
+        Kput (3, 205); Kput (11, 206) ]
+    ()
+
+let scn_kv_delete () =
+  scn_kv ~sname:"kv-delete"
+    ~preload:
+      [ (1, 111); (2, 112); (3, 113); (4, 114); (5, 115); (6, 116);
+        (7, 117); (8, 118) ]
+    ~plan:[ Kdel 2; Kdel 5; Kput (5, 222); Kdel 7; Kdel 99; Kdel 3; Kdel 5 ]
+    ()
+
 let all_scenarios () =
   [ scn_alloc (); scn_free (); scn_tx_commit (); scn_tx_abort ();
-    scn_extend () ]
+    scn_extend (); scn_kv_put (); scn_kv_delete () ]
 
 let scenario_by_name = function
   | "alloc" -> Some (scn_alloc ())
@@ -424,5 +569,7 @@ let scenario_by_name = function
   | "tx-commit" -> Some (scn_tx_commit ())
   | "tx-abort" -> Some (scn_tx_abort ())
   | "extend" -> Some (scn_extend ())
+  | "kv-put" -> Some (scn_kv_put ())
+  | "kv-delete" -> Some (scn_kv_delete ())
   | "broken" -> Some (scn_broken_missing_flush ())
   | _ -> None

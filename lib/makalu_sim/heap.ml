@@ -333,6 +333,7 @@ let alloc t size =
    application never linked into reachable data is unreachable, and
    the restart GC reclaims it.  [is_end] is therefore irrelevant. *)
 let tx_alloc t size ~is_end:_ = alloc t size
+let tx_commit _t = ()
 
 let free t p =
   (* trusts the in-place header — corruptible, as in the paper *)

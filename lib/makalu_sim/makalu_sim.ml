@@ -27,6 +27,7 @@ let finish = Heap.finish
 
 let alloc h size = Option.map (to_ptr h) (Heap.alloc h size)
 let tx_alloc h size ~is_end = Option.map (to_ptr h) (Heap.tx_alloc h size ~is_end)
+let tx_commit = Heap.tx_commit
 let free h p = Heap.free h (of_ptr h p)
 
 let get_rawptr = of_ptr
@@ -50,6 +51,7 @@ let instance heap =
         let finish = finish
         let alloc = alloc
         let tx_alloc = tx_alloc
+        let tx_commit = tx_commit
         let free = free
         let get_rawptr = get_rawptr
         let get_nvmptr = get_nvmptr

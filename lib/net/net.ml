@@ -1,0 +1,134 @@
+module Sched = Simcore.Sched
+
+type 'a msg = {
+  payload : 'a;
+  sent_at : int;
+  delivered_at : int;
+  src_cpu : int;
+}
+
+type 'a port = {
+  cpu : int;
+  capacity : int;
+  q : 'a msg Queue.t;
+  mutable enqueued : int;
+  mutable rejected : int;
+  mutable delivered : int;
+  mutable max_depth : int;
+}
+
+type 'a t = {
+  mach : Machine.t;
+  ports : 'a port array;
+  local_ns : int;
+  remote_ns : int;
+  send_cpu_ns : int;
+  poll_ns : int;
+}
+
+let create mach ~ports ?(local_ns = 1_500) ?remote_ns ?(send_cpu_ns = 300)
+    ?(poll_ns = 500) () =
+  let cfg = Machine.cfg mach in
+  let remote_ns =
+    match remote_ns with
+    | Some n -> n
+    | None ->
+      int_of_float (float_of_int local_ns *. cfg.Machine.Config.remote_numa_mult)
+  in
+  let ports =
+    Array.map
+      (fun (cpu, capacity) ->
+        if capacity < 1 then invalid_arg "Net.create: capacity < 1";
+        { cpu;
+          capacity;
+          q = Queue.create ();
+          enqueued = 0;
+          rejected = 0;
+          delivered = 0;
+          max_depth = 0 })
+      ports
+  in
+  { mach; ports; local_ns; remote_ns; send_cpu_ns; poll_ns }
+
+let latency t ~src_cpu ~dst_cpu =
+  let cfg = Machine.cfg t.mach in
+  if Machine.Config.cpu_numa cfg src_cpu = Machine.Config.cpu_numa cfg dst_cpu then t.local_ns
+  else t.remote_ns
+
+let try_send t ~dst payload =
+  let p = t.ports.(dst) in
+  if Queue.length p.q >= p.capacity then begin
+    p.rejected <- p.rejected + 1;
+    false
+  end
+  else begin
+    let in_sim = Sched.in_simulation () in
+    if in_sim then Sched.charge t.send_cpu_ns;
+    let now = if in_sim then Sched.now () else 0 in
+    let src_cpu = if in_sim then Sched.cpu () else Machine.main_thread in
+    let lat = if in_sim then latency t ~src_cpu ~dst_cpu:p.cpu else 0 in
+    Queue.push { payload; sent_at = now; delivered_at = now + lat; src_cpu }
+      p.q;
+    p.enqueued <- p.enqueued + 1;
+    let depth = Queue.length p.q in
+    if depth > p.max_depth then p.max_depth <- depth;
+    true
+  end
+
+let recv t ~port =
+  let p = t.ports.(port) in
+  let now = if Sched.in_simulation () then Sched.now () else max_int in
+  match Queue.peek_opt p.q with
+  | Some m when m.delivered_at <= now ->
+    ignore (Queue.pop p.q);
+    p.delivered <- p.delivered + 1;
+    Some m
+  | _ -> None
+
+let rec recv_wait t ~port ~until =
+  match recv t ~port with
+  | Some _ as r -> r
+  | None ->
+    let now = Sched.now () in
+    if now >= until then None
+    else begin
+      let p = t.ports.(port) in
+      let target =
+        match Queue.peek_opt p.q with
+        | Some m when m.delivered_at > now -> min m.delivered_at until
+        | _ -> min (now + t.poll_ns) until
+      in
+      Sched.sleep (max 1 (target - now));
+      recv_wait t ~port ~until
+    end
+
+let pending t ~port = Queue.length t.ports.(port).q
+let port_cpu t port = t.ports.(port).cpu
+
+type port_stats = {
+  enqueued : int;
+  rejected : int;
+  delivered : int;
+  max_depth : int;
+}
+
+let stats t ~port =
+  let p = t.ports.(port) in
+  { enqueued = p.enqueued;
+    rejected = p.rejected;
+    delivered = p.delivered;
+    max_depth = p.max_depth }
+
+module Loadgen = struct
+  type t = { rng : Repro_util.Prng.t; mean_gap_ns : float }
+
+  let create ~rate ~seed =
+    if rate <= 0. then invalid_arg "Loadgen.create: rate <= 0";
+    { rng = Repro_util.Prng.create seed; mean_gap_ns = 1e9 /. rate }
+
+  let next_gap_ns t =
+    (* inverse-CDF exponential draw; u in [0,1) so log argument > 0 *)
+    let u = Repro_util.Prng.float t.rng 1.0 in
+    let gap = -.log (1. -. u) *. t.mean_gap_ns in
+    max 1 (int_of_float gap)
+end

@@ -1,0 +1,82 @@
+(** Simulated point-to-point network over the discrete-event machine.
+
+    A network is a set of {e ports}, each pinned to a simulated CPU and
+    backed by a bounded FIFO queue.  Sending charges the sender a small
+    CPU cost and stamps the message with a delivery time derived from
+    the machine's NUMA topology (cross-socket sends pay the config's
+    [remote_numa_mult]); the message becomes visible to the receiver
+    once simulated time reaches that stamp.  Queues are bounded:
+    {!try_send} refuses (returns [false]) when the destination queue is
+    full — that refusal is the admission-control signal the service
+    layer turns into an [Overloaded] reply.
+
+    Each port has a single logical reader (one simulated thread);
+    delivery within a port is FIFO.  Outside the simulation (setup /
+    post-run draining) sends and receives still work, with zero
+    latency and no CPU charging. *)
+
+type 'a msg = {
+  payload : 'a;
+  sent_at : int; (** simulated ns at {!try_send} *)
+  delivered_at : int; (** simulated ns the message reached the port *)
+  src_cpu : int;
+}
+
+type 'a t
+
+val create :
+  Machine.t ->
+  ports:(int * int) array ->
+  ?local_ns:int ->
+  ?remote_ns:int ->
+  ?send_cpu_ns:int ->
+  ?poll_ns:int ->
+  unit ->
+  'a t
+(** [create mach ~ports ()] builds a network with [Array.length ports]
+    ports; port [i] lives on CPU [fst ports.(i)] with queue capacity
+    [snd ports.(i)].  [local_ns] is the one-way latency within a NUMA
+    domain (default 1500 ns); [remote_ns] the cross-domain latency
+    (default [local_ns *. remote_numa_mult] from the machine config);
+    [send_cpu_ns] the sender-side CPU charge (default 300 ns);
+    [poll_ns] the empty-queue polling quantum of {!recv_wait}
+    (default 500 ns). *)
+
+val try_send : 'a t -> dst:int -> 'a -> bool
+(** Enqueue for port [dst]; [false] if its queue is full (the message
+    is dropped — admission control; the drop is counted). *)
+
+val recv : 'a t -> port:int -> 'a msg option
+(** Dequeue the head of [port]'s queue if it has been delivered
+    (i.e. its [delivered_at] is in the past).  Non-blocking. *)
+
+val recv_wait : 'a t -> port:int -> until:int -> 'a msg option
+(** Like {!recv} but sleeps (in simulated time) until a message is
+    deliverable or the clock reaches [until].  Must be called from a
+    simulated thread. *)
+
+val pending : 'a t -> port:int -> int
+(** Messages currently queued for [port] (delivered or in flight). *)
+
+val port_cpu : 'a t -> int -> int
+
+type port_stats = {
+  enqueued : int; (** accepted by {!try_send} *)
+  rejected : int; (** refused: queue full *)
+  delivered : int; (** handed to the reader by [recv]/[recv_wait] *)
+  max_depth : int; (** high-water queue depth *)
+}
+
+val stats : 'a t -> port:int -> port_stats
+
+(** Open-loop arrival process: exponential inter-arrival gaps (Poisson
+    process) at a fixed mean rate, decoupled from service rate. *)
+module Loadgen : sig
+  type t
+
+  val create : rate:float -> seed:int -> t
+  (** [rate] in arrivals per simulated second. *)
+
+  val next_gap_ns : t -> int
+  (** Next inter-arrival gap, ≥ 1 ns. *)
+end

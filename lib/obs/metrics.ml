@@ -18,6 +18,7 @@ type value =
   | Counter of int ref
   | Gauge of float ref
   | Histo of Repro_util.Stats.t
+  | Loghist of Hist.t
 
 type t = {
   tbl : (string * string, value) Hashtbl.t;
@@ -62,6 +63,16 @@ let histogram ?(m = default) ~scope name =
 
 let observe = Repro_util.Stats.add
 
+(** Fixed-bucket log-scale histogram ({!Hist}) for high-volume
+    simulated-ns latency samples; exports p50/p99/p999 in snapshots. *)
+let log_histogram ?(m = default) ~scope name =
+  match find_or_add m (scope, name) (fun () -> Loghist (Hist.create ())) with
+  | Loghist h -> h
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Metrics.log_histogram: %s/%s is not a log histogram"
+         scope name)
+
 (* ---------- lookup (tests, cross-checks) ---------- *)
 
 let get_counter ?(m = default) ~scope name =
@@ -72,6 +83,11 @@ let get_counter ?(m = default) ~scope name =
 let get_gauge ?(m = default) ~scope name =
   match Hashtbl.find_opt m.tbl (scope, name) with
   | Some (Gauge r) -> Some !r
+  | _ -> None
+
+let get_log_histogram ?(m = default) ~scope name =
+  match Hashtbl.find_opt m.tbl (scope, name) with
+  | Some (Loghist h) -> Some h
   | _ -> None
 
 (* ---------- snapshot ---------- *)
@@ -90,6 +106,17 @@ let value_to_json = function
           ("p50", Json.Num (St.percentile s 50.));
           ("p99", Json.Num (St.percentile s 99.));
           ("max", Json.Num (St.max_value s)) ]
+  | Loghist h ->
+    if Hist.count h = 0 then Json.Obj [ ("count", Json.Num 0.) ]
+    else
+      Json.Obj
+        [ ("count", Json.Num (float_of_int (Hist.count h)));
+          ("mean", Json.Num (Hist.mean h));
+          ("min", Json.Num (float_of_int (Hist.min_value h)));
+          ("p50", Json.Num (float_of_int (Hist.percentile h 50.)));
+          ("p99", Json.Num (float_of_int (Hist.percentile h 99.)));
+          ("p999", Json.Num (float_of_int (Hist.percentile h 99.9)));
+          ("max", Json.Num (float_of_int (Hist.max_value h))) ]
 
 (** Snapshot as a JSON value: one object per scope, in first-insertion
     order, each mapping metric names to numbers (counters, gauges) or

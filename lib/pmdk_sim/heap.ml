@@ -368,6 +368,10 @@ let tx_alloc t size ~is_end =
   if is_end && r <> None then Persist.Plog.truncate t.mach (tx_area t lane);
   r
 
+(* Commit without a trailing allocation: truncating the lane's redo
+   log is the commit point, exactly as the [is_end:true] path above. *)
+let tx_commit t = Persist.Plog.truncate t.mach (tx_area t (lane_of ()))
+
 (* ---------- deallocation ---------- *)
 
 (* One batched free: clear the run's bits, trusting the in-place

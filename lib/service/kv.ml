@@ -1,0 +1,231 @@
+module A = Alloc_intf
+
+(* superroot layout (u64 words):
+   +0  magic
+   +8  geometry: shards lor (value_size lsl 16)
+   +16 + i*64: shard record i:
+        +0  tree root (packed nvmptr)
+        +8  intent state (st_* below)
+        +16 intent key
+        +24 intent new value (packed)
+        +32 intent old value (packed) *)
+
+let magic = 0x00504F534B560003 (* "POSKV" v3 *)
+let hdr_size = 16
+let shard_stride = 64
+let slot_root = 0
+let slot_state = 8
+let slot_key = 16
+let slot_new = 24
+let slot_old = 32
+
+let st_empty = 0
+let st_put_intent = 1
+let st_put_committed = 2
+let st_del_intent = 3
+
+type shard = { tree : Btree.t; base : int (* raw addr of the record *) }
+
+type t = {
+  inst : A.instance;
+  mach : Machine.t;
+  hid : int;
+  value_size : int;
+  nshards : int;
+  shard_tbl : shard array;
+}
+
+type recovery = { replayed : int; rolled_back : int }
+
+let shards t = t.nshards
+let value_size t = t.value_size
+
+(* splitmix64-style finalizer with constants cut to OCaml's 63 bits *)
+let mix k =
+  let z = k + 0x2545F4914F6CDD1D in
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  (z lxor (z lsr 31)) land max_int
+
+let shard_of_key t k = mix k mod t.nshards
+let shard t k = t.shard_tbl.(shard_of_key t k)
+
+let val_word vseed w = mix ((vseed lsl 8) lxor (w + 1))
+
+let value_checksum t ~vseed =
+  let words = t.value_size / 8 in
+  let acc = ref 0 in
+  for w = 0 to words - 1 do
+    acc := !acc lxor val_word vseed w
+  done;
+  !acc
+
+(* ---------- construction / recovery ---------- *)
+
+let cell_of mach hid base =
+  { Btree.load =
+      (fun () -> A.unpack ~heap_id:hid (Machine.read_u64 mach (base + slot_root)));
+    store =
+      (fun p ->
+        Machine.write_u64 mach (base + slot_root) (A.pack p);
+        Machine.persist mach (base + slot_root) 8) }
+
+let create inst ~shards ~value_size =
+  if shards < 1 || shards > 0xFFFF then invalid_arg "Kv.create: bad shards";
+  let value_size = max 8 ((value_size + 7) / 8 * 8) in
+  let mach = A.instance_machine inst in
+  let size = hdr_size + (shards * shard_stride) in
+  let p =
+    match A.i_alloc inst size with
+    | Some p -> p
+    | None -> failwith "Kv.create: allocator out of memory for superroot"
+  in
+  let raw = A.i_get_rawptr inst p in
+  for w = 0 to (size / 8) - 1 do
+    Machine.write_u64 mach (raw + (8 * w)) 0
+  done;
+  Machine.write_u64 mach raw magic;
+  Machine.write_u64 mach (raw + 8) (shards lor (value_size lsl 16));
+  Machine.persist mach raw size;
+  A.i_set_root inst p;
+  let hid = p.A.heap_id in
+  let shard_tbl =
+    Array.init shards (fun i ->
+        let base = raw + hdr_size + (i * shard_stride) in
+        { tree = Btree.create_in inst (cell_of mach hid base); base })
+  in
+  { inst; mach; hid; value_size; nshards = shards; shard_tbl }
+
+let set_state t sh st =
+  Machine.write_u64 t.mach (sh.base + slot_state) st;
+  Machine.persist t.mach (sh.base + slot_state) 8
+
+let recover_shard t sh acc =
+  let rd off = Machine.read_u64 t.mach (sh.base + off) in
+  let st = rd slot_state in
+  if st = st_empty then acc
+  else begin
+    let key = rd slot_key in
+    let newv = rd slot_new and oldv = rd slot_old in
+    let replayed, rolled_back = acc in
+    let acc =
+      if st = st_put_intent then begin
+        (* the value may or may not have survived (allocator tx commit
+           raced the crash); safe free absorbs both cases *)
+        if newv <> A.packed_null then
+          A.i_free t.inst (A.unpack ~heap_id:t.hid newv);
+        (replayed, rolled_back + 1)
+      end
+      else if st = st_put_committed then begin
+        (* redo the publication; insert is an idempotent overwrite and
+           the old-value free is safe if the first attempt got there *)
+        Btree.insert sh.tree ~key ~value:newv;
+        if oldv <> A.packed_null then
+          A.i_free t.inst (A.unpack ~heap_id:t.hid oldv);
+        (replayed + 1, rolled_back)
+      end
+      else if st = st_del_intent then begin
+        ignore (Btree.delete sh.tree key);
+        if oldv <> A.packed_null then
+          A.i_free t.inst (A.unpack ~heap_id:t.hid oldv);
+        (replayed + 1, rolled_back)
+      end
+      else failwith "Kv.attach: corrupt intent slot"
+    in
+    set_state t sh st_empty;
+    acc
+  end
+
+let attach inst =
+  let mach = A.instance_machine inst in
+  let root = A.i_get_root inst in
+  if A.is_null root then invalid_arg "Kv.attach: no store at allocator root";
+  let raw = A.i_get_rawptr inst root in
+  if Machine.read_u64 mach raw <> magic then
+    failwith "Kv.attach: bad superroot magic";
+  let geom = Machine.read_u64 mach (raw + 8) in
+  let nshards = geom land 0xFFFF in
+  let value_size = (geom lsr 16) land 0xFFFF_FFFF in
+  let hid = root.A.heap_id in
+  let shard_tbl =
+    Array.init nshards (fun i ->
+        let base = raw + hdr_size + (i * shard_stride) in
+        { tree = Btree.attach_in inst (cell_of mach hid base); base })
+  in
+  let t = { inst; mach; hid; value_size; nshards; shard_tbl } in
+  let replayed, rolled_back =
+    Array.fold_left (fun acc sh -> recover_shard t sh acc) (0, 0) t.shard_tbl
+  in
+  (t, { replayed; rolled_back })
+
+(* ---------- operations ---------- *)
+
+let put t ~key ~vseed =
+  if key < 1 then invalid_arg "Kv.put: keys must be >= 1";
+  let sh = shard t key in
+  match A.i_tx_alloc t.inst t.value_size ~is_end:false with
+  | None -> false
+  | Some p ->
+    let vaddr = A.i_get_rawptr t.inst p in
+    let words = t.value_size / 8 in
+    for w = 0 to words - 1 do
+      Machine.write_u64 t.mach (vaddr + (8 * w)) (val_word vseed w)
+    done;
+    Machine.persist t.mach vaddr t.value_size;
+    let old =
+      match Btree.find sh.tree key with
+      | Some v -> v
+      | None -> A.packed_null
+    in
+    (* write-ahead intent: fields first, then the state flag *)
+    Machine.write_u64 t.mach (sh.base + slot_key) key;
+    Machine.write_u64 t.mach (sh.base + slot_new) (A.pack p);
+    Machine.write_u64 t.mach (sh.base + slot_old) old;
+    Machine.persist t.mach (sh.base + slot_key) 24;
+    set_state t sh st_put_intent;
+    (* commit point: the intent now owns the block *)
+    A.i_tx_commit t.inst;
+    set_state t sh st_put_committed;
+    Btree.insert sh.tree ~key ~value:(A.pack p);
+    if old <> A.packed_null then A.i_free t.inst (A.unpack ~heap_id:t.hid old);
+    set_state t sh st_empty;
+    true
+
+let get t ~key =
+  let sh = shard t key in
+  match Btree.find sh.tree key with
+  | None -> None
+  | Some v ->
+    let vaddr = A.i_get_rawptr t.inst (A.unpack ~heap_id:t.hid v) in
+    let words = t.value_size / 8 in
+    let acc = ref 0 in
+    for w = 0 to words - 1 do
+      acc := !acc lxor Machine.read_u64 t.mach (vaddr + (8 * w))
+    done;
+    Some !acc
+
+let delete t ~key =
+  let sh = shard t key in
+  match Btree.find sh.tree key with
+  | None -> false
+  | Some old ->
+    Machine.write_u64 t.mach (sh.base + slot_key) key;
+    Machine.write_u64 t.mach (sh.base + slot_new) A.packed_null;
+    Machine.write_u64 t.mach (sh.base + slot_old) old;
+    Machine.persist t.mach (sh.base + slot_key) 24;
+    set_state t sh st_del_intent;
+    ignore (Btree.delete sh.tree key);
+    A.i_free t.inst (A.unpack ~heap_id:t.hid old);
+    set_state t sh st_empty;
+    true
+
+let scan t ~from_key ~n =
+  let sh = shard t from_key in
+  let visited = ref 0 in
+  Btree.scan sh.tree ~from_key ~n (fun _ _ -> incr visited);
+  !visited
+
+let count_keys t =
+  Array.fold_left (fun acc sh -> acc + Btree.count_keys sh.tree) 0 t.shard_tbl
+
+let check t = Array.iter (fun sh -> Btree.check sh.tree) t.shard_tbl

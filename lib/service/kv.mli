@@ -1,0 +1,72 @@
+(** poseidon-kv: a sharded persistent key-value store over any
+    {!Alloc_intf} allocator.
+
+    Keys (ints ≥ 1) are partitioned across [shards] persistent
+    B+-trees by a hash; each shard is intended to be driven by one
+    simulated CPU (the paper's per-CPU sub-heap affinity), though the
+    data structure itself does not enforce it.  Values are
+    fixed-size blocks whose contents are derived deterministically
+    from a 63-bit [vseed], so a verifier can recompute the expected
+    checksum of any acked write without storing the bytes.
+
+    {2 Durability protocol}
+
+    Mutations are micro-log transactions combined with a per-shard
+    persistent {e intent slot} (write-ahead record in the superroot
+    object).  A put: allocates the value under an open allocator
+    transaction, persists the bytes, persists the intent
+    (key/new/old + state PUT_INTENT), commits the allocator
+    transaction, flips the slot to PUT_COMMITTED, publishes into the
+    B+-tree, frees the overwritten value, and clears the slot.
+    {!attach} replays the slot: PUT_INTENT rolls back (frees the
+    orphan value — idempotent only because the allocator detects
+    invalid/double frees, i.e. Poseidon's safe free is load-bearing
+    here), PUT_COMMITTED / DEL_INTENT redo the publication.  Every
+    crash point therefore resolves to "op fully applied" or "op never
+    happened", with no leak and no dangling pointer. *)
+
+type t
+
+type recovery = {
+  replayed : int; (** slots redone (op completed after restart) *)
+  rolled_back : int; (** slots undone (op never happened) *)
+}
+
+val create : Alloc_intf.instance -> shards:int -> value_size:int -> t
+(** Allocates the superroot (magic, geometry, one 64-byte shard record
+    each holding the tree root and the intent slot), publishes it as
+    the allocator root and creates the per-shard trees.  [value_size]
+    is rounded up to a multiple of 8 (min 8).  Raises [Failure] when
+    the heap cannot fit the superroot. *)
+
+val attach : Alloc_intf.instance -> t * recovery
+(** Reopens the store of an already-attached allocator instance and
+    replays/rolls back any in-flight intent — the restart path. *)
+
+val shards : t -> int
+val value_size : t -> int
+
+val shard_of_key : t -> int -> int
+(** Hash partition: which shard owns this key (stable across restarts). *)
+
+val put : t -> key:int -> vseed:int -> bool
+(** Insert or overwrite; [false] when allocation fails (heap full). *)
+
+val get : t -> key:int -> int option
+(** Checksum of the stored value (reads every word), or [None]. *)
+
+val delete : t -> key:int -> bool
+(** [false] when the key was absent (no state change). *)
+
+val scan : t -> from_key:int -> n:int -> int
+(** Visits up to [n] entries with key ≥ [from_key] in the owning
+    shard's tree; returns the number visited. *)
+
+val value_checksum : t -> vseed:int -> int
+(** The checksum {!get} returns for a value written with [vseed],
+    computed without touching memory — the verifier's oracle. *)
+
+val count_keys : t -> int
+
+val check : t -> unit
+(** Structural check of every shard tree; raises [Failure]. *)

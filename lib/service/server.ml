@@ -1,0 +1,380 @@
+module Sched = Simcore.Sched
+module Prng = Repro_util.Prng
+module Zipf = Repro_util.Zipf
+module Hist = Obs.Hist
+
+type config = {
+  shards : int;
+  clients : int;
+  rate : float;
+  duration : float;
+  value_size : int;
+  keyspace : int;
+  zipf_theta : float;
+  read_pct : int;
+  delete_pct : int;
+  scan_pct : int;
+  queue_capacity : int;
+  preload : int;
+  crash_at : float option;
+  seed : int;
+  scope : string;
+}
+
+let default_config =
+  { shards = 4;
+    clients = 16;
+    rate = 50_000.;
+    duration = 0.02;
+    value_size = 128;
+    keyspace = 4096;
+    zipf_theta = 0.99;
+    read_pct = 50;
+    delete_pct = 10;
+    scan_pct = 5;
+    queue_capacity = 64;
+    preload = 2048;
+    crash_at = None;
+    seed = 42;
+    scope = "service" }
+
+type op_kind = KGet | KPut | KDel | KScan
+
+type payload =
+  | Req of { rid : int; client : int; kind : op_kind; key : int; vseed : int }
+  | Rep of { rid : int; ok : bool; mutated : bool; fin : int }
+
+(* client-side record of a request awaiting its reply *)
+type pending = { p_kind : op_kind; p_key : int; p_vseed : int; p_sent : int }
+
+type percentiles = {
+  p50 : int;
+  p99 : int;
+  p999 : int;
+  mean : float;
+  max : int;
+  samples : int;
+}
+
+let percentiles_of h =
+  { p50 = Hist.percentile h 50.;
+    p99 = Hist.percentile h 99.;
+    p999 = Hist.percentile h 99.9;
+    mean = Hist.mean h;
+    max = Hist.max_value h;
+    samples = Hist.count h }
+
+type ledger_report = { checked : int; ambiguous : int; mismatches : int }
+
+type result = {
+  offered : int;
+  admitted : int;
+  shed : int;
+  completed : int;
+  acked_mutations : int;
+  sim_ns : int;
+  throughput : float;
+  goodput : float;
+  latency : percentiles;
+  service : percentiles;
+  crashed : bool;
+  rto_ns : int;
+  recovery : Kv.recovery option;
+  ledger : ledger_report;
+  in_flight_at_crash : int;
+  queue_max_depth : int;
+}
+
+let run ~make ~reattach cfg =
+  if cfg.shards < 1 || cfg.clients < 1 then
+    invalid_arg "Server.run: shards and clients must be >= 1";
+  if cfg.rate <= 0. || cfg.duration <= 0. then
+    invalid_arg "Server.run: rate and duration must be positive";
+  if cfg.read_pct + cfg.delete_pct + cfg.scan_pct > 100 then
+    invalid_arg "Server.run: op mix exceeds 100%";
+  (match cfg.crash_at with
+   | Some f when f <= 0. || f >= 1. ->
+     invalid_arg "Server.run: crash_at must be in (0, 1)"
+   | _ -> ());
+  let mach, inst = make () in
+  let ncpu = (Machine.cfg mach).Machine.Config.num_cpus in
+  if cfg.shards > ncpu then invalid_arg "Server.run: more shards than CPUs";
+  let svc = Kv.create inst ~shards:cfg.shards ~value_size:cfg.value_size in
+
+  (* durable baseline: preloaded keys are in the ledger from the start *)
+  let preload_n = min cfg.preload cfg.keyspace in
+  for k = 1 to preload_n do
+    if not (Kv.put svc ~key:k ~vseed:k) then
+      failwith "Server.run: preload exhausted the heap"
+  done;
+  Nvmm.Memdev.drain (Machine.dev mach);
+
+  let duration_ns = int_of_float (cfg.duration *. 1e9) in
+  let t_crash =
+    Option.map
+      (fun f -> max 1 (int_of_float (f *. float_of_int duration_ns)))
+      cfg.crash_at
+  in
+  let t_stop = match t_crash with Some c -> min c duration_ns | None -> duration_ns in
+  let grace_ns = 5_000_000 in
+
+  (* ports 0..shards-1: shard request queues (the admission bound);
+     ports shards..shards+clients-1: client reply queues (generous) *)
+  let reply_cap = max 1024 (4 * cfg.queue_capacity) in
+  let client_cpu j =
+    if cfg.shards >= ncpu then j mod ncpu
+    else cfg.shards + (j mod (ncpu - cfg.shards))
+  in
+  let ports =
+    Array.init (cfg.shards + cfg.clients) (fun i ->
+        if i < cfg.shards then (i, cfg.queue_capacity)
+        else (client_cpu (i - cfg.shards), reply_cap))
+  in
+  let net : payload Net.t = Net.create mach ~ports ~poll_ns:2_000 () in
+
+  let offered = ref 0 and admitted = ref 0 and shed = ref 0 in
+  let handled = ref 0 and completed = ref 0 and acked_mut = ref 0 in
+  let reply_drops = ref 0 in
+  let senders = ref cfg.clients in
+  let lat_h = Hist.create () and svc_h = Hist.create () in
+  (* acked mutations: (key, Some vseed | None for delete, server finish ns).
+     Server finish time totally orders mutations of a key: a key lives on
+     one shard and the shard thread serializes its requests. *)
+  let ledger : (int * int option * int) list ref = ref [] in
+  let outstanding : (int, pending) Hashtbl.t array =
+    Array.init cfg.clients (fun _ -> Hashtbl.create 64)
+  in
+
+  (* ---------- server threads (one per shard) ---------- *)
+  let server_body i () =
+    let server_end = match t_crash with Some c -> c | None -> max_int in
+    let handle (m : payload Net.msg) =
+      match m.payload with
+      | Rep _ -> ()
+      | Req r ->
+        let t0 = Sched.now () in
+        Machine.compute mach 200 (* request decode / dispatch overhead *);
+        let ok, mutated =
+          match r.kind with
+          | KGet -> (Kv.get svc ~key:r.key <> None, false)
+          | KPut ->
+            let ok = Kv.put svc ~key:r.key ~vseed:r.vseed in
+            (ok, ok)
+          | KDel ->
+            let ok = Kv.delete svc ~key:r.key in
+            (ok, ok)
+          | KScan ->
+            ignore (Kv.scan svc ~from_key:r.key ~n:16);
+            (true, false)
+        in
+        incr handled;
+        Hist.record svc_h (Sched.now () - t0);
+        let rep = Rep { rid = r.rid; ok; mutated; fin = Sched.now () } in
+        if not (Net.try_send net ~dst:(cfg.shards + r.client) rep) then
+          incr reply_drops
+    in
+    let rec loop () =
+      if Sched.now () >= server_end then ()
+      else
+        match Net.recv net ~port:i with
+        | Some m ->
+          handle m;
+          loop ()
+        | None ->
+          if !senders = 0 && Net.pending net ~port:i = 0 then ()
+          else begin
+            let until = min server_end (Sched.now () + 100_000) in
+            (match Net.recv_wait net ~port:i ~until with
+             | Some m -> handle m
+             | None -> ());
+            loop ()
+          end
+    in
+    loop ()
+  in
+
+  (* ---------- client threads ---------- *)
+  let zipf = Zipf.create ~theta:cfg.zipf_theta cfg.keyspace in
+  let client_body j () =
+    let rng = Prng.create (cfg.seed + (7919 * (j + 1))) in
+    let lg =
+      Net.Loadgen.create
+        ~rate:(cfg.rate /. float_of_int cfg.clients)
+        ~seed:(cfg.seed lxor (j * 65537) lxor 0x10AD)
+    in
+    let out = outstanding.(j) in
+    let port = cfg.shards + j in
+    let seq = ref 0 in
+    let drain () =
+      let rec go () =
+        match Net.recv net ~port with
+        | Some { payload = Rep r; delivered_at; _ } ->
+          (match Hashtbl.find_opt out r.rid with
+           | Some p ->
+             Hashtbl.remove out r.rid;
+             incr completed;
+             Hist.record lat_h (delivered_at - p.p_sent);
+             if r.mutated then begin
+               incr acked_mut;
+               let v = if p.p_kind = KPut then Some p.p_vseed else None in
+               ledger := (p.p_key, v, r.fin) :: !ledger
+             end
+           | None -> ());
+          go ()
+        | Some _ -> go () (* a Req on a reply port: ignore *)
+        | None -> ()
+      in
+      go ()
+    in
+    let rec send_loop t_next =
+      if t_next >= t_stop then ()
+      else begin
+        let now = Sched.now () in
+        if now < t_next then Sched.sleep (t_next - now);
+        if Sched.now () >= t_stop then ()
+        else begin
+          drain ();
+          let key = 1 + Zipf.scrambled zipf rng in
+          let die = Prng.int rng 100 in
+          let kind =
+            if die < cfg.read_pct then KGet
+            else if die < cfg.read_pct + cfg.delete_pct then KDel
+            else if die < cfg.read_pct + cfg.delete_pct + cfg.scan_pct then
+              KScan
+            else KPut
+          in
+          incr offered;
+          let rid = (j lsl 32) lor !seq in
+          incr seq;
+          let dst = Kv.shard_of_key svc key in
+          if Net.try_send net ~dst (Req { rid; client = j; kind; key; vseed = rid })
+          then begin
+            incr admitted;
+            Hashtbl.replace out rid
+              { p_kind = kind; p_key = key; p_vseed = rid; p_sent = Sched.now () }
+          end
+          else incr shed (* Overloaded: admission refused, request dropped *);
+          send_loop (t_next + Net.Loadgen.next_gap_ns lg)
+        end
+      end
+    in
+    send_loop (Net.Loadgen.next_gap_ns lg);
+    decr senders;
+    (match t_crash with
+     | Some _ -> drain () (* take what already arrived; rest is in flight *)
+     | None ->
+       let deadline = t_stop + grace_ns in
+       let rec wait () =
+         drain ();
+         if Hashtbl.length out > 0 && Sched.now () < deadline then begin
+           Sched.sleep 10_000;
+           wait ()
+         end
+       in
+       wait ())
+  in
+
+  for i = 0 to cfg.shards - 1 do
+    ignore (Machine.spawn mach ~cpu:i (server_body i))
+  done;
+  for j = 0 to cfg.clients - 1 do
+    ignore (Machine.spawn mach ~cpu:(client_cpu j) (client_body j))
+  done;
+  let t_run0 = Sched.horizon (Machine.engine mach) in
+  Machine.run mach;
+  let sim_ns = Sched.horizon (Machine.engine mach) - t_run0 in
+
+  (* mutations never acked: their keys are ambiguous for verification *)
+  let in_flight_keys = Hashtbl.create 64 in
+  Array.iter
+    (fun out ->
+      Hashtbl.iter
+        (fun _ p ->
+          if p.p_kind = KPut || p.p_kind = KDel then
+            Hashtbl.replace in_flight_keys p.p_key ())
+        out)
+    outstanding;
+  let in_flight_at_crash = Hashtbl.length in_flight_keys in
+
+  let verify store =
+    let expected = Hashtbl.create (preload_n + 64) in
+    for k = 1 to preload_n do
+      Hashtbl.replace expected k (Some k)
+    done;
+    let entries =
+      List.sort (fun (_, _, a) (_, _, b) -> compare a b) !ledger
+    in
+    List.iter (fun (k, v, _) -> Hashtbl.replace expected k v) entries;
+    Hashtbl.iter
+      (fun k () ->
+        if not (Hashtbl.mem expected k) then Hashtbl.replace expected k None)
+      in_flight_keys;
+    let checked = ref 0 and ambiguous = ref 0 and mismatches = ref 0 in
+    Hashtbl.iter
+      (fun k exp ->
+        if Hashtbl.mem in_flight_keys k then incr ambiguous
+        else begin
+          incr checked;
+          let got = Kv.get store ~key:k in
+          let want =
+            Option.map (fun vs -> Kv.value_checksum store ~vseed:vs) exp
+          in
+          if got <> want then incr mismatches
+        end)
+      expected;
+    { checked = !checked; ambiguous = !ambiguous; mismatches = !mismatches }
+  in
+
+  let crashed, rto_ns, recovery, ledger_rep =
+    match t_crash with
+    | None -> (false, 0, None, verify svc)
+    | Some _ ->
+      Nvmm.Memdev.crash (Machine.dev mach) `Strict;
+      let got = ref None in
+      let secs =
+        Machine.parallel mach ~threads:1 (fun _ ->
+            let inst' = reattach mach in
+            got := Some (Kv.attach inst'))
+      in
+      let svc', reco = Option.get !got in
+      Kv.check svc';
+      (true, int_of_float (secs *. 1e9), Some reco, verify svc')
+  in
+
+  let queue_max_depth = ref 0 in
+  for i = 0 to cfg.shards - 1 do
+    let s = Net.stats net ~port:i in
+    if s.Net.max_depth > !queue_max_depth then queue_max_depth := s.Net.max_depth
+  done;
+
+  let secs = float_of_int t_stop /. 1e9 in
+  let scope = cfg.scope in
+  let g name v = Obs.Metrics.set_gauge ~scope name v in
+  g "offered" (float_of_int !offered);
+  g "admitted" (float_of_int !admitted);
+  g "shed" (float_of_int !shed);
+  g "handled" (float_of_int !handled);
+  g "completed" (float_of_int !completed);
+  g "acked_mutations" (float_of_int !acked_mut);
+  g "reply_drops" (float_of_int !reply_drops);
+  g "queue_max_depth" (float_of_int !queue_max_depth);
+  g "rto_ns" (float_of_int rto_ns);
+  Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "latency_ns") lat_h;
+  Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "service_ns") svc_h;
+
+  { offered = !offered;
+    admitted = !admitted;
+    shed = !shed;
+    completed = !completed;
+    acked_mutations = !acked_mut;
+    sim_ns;
+    throughput = float_of_int !handled /. secs;
+    goodput = float_of_int !completed /. secs;
+    latency = percentiles_of lat_h;
+    service = percentiles_of svc_h;
+    crashed;
+    rto_ns;
+    recovery;
+    ledger = ledger_rep;
+    in_flight_at_crash;
+    queue_max_depth = !queue_max_depth }

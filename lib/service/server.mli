@@ -1,0 +1,90 @@
+(** Traffic orchestration for poseidon-kv: simulated clients drive the
+    sharded store through a {!Net} network, open-loop, with optional
+    crash injection mid-traffic and a client-side ledger that verifies
+    the store after recovery.
+
+    Topology: shard [i]'s handler thread runs on CPU [i] and owns
+    network port [i] (bounded queue — the admission-control point);
+    each client thread owns a reply port and generates arrivals from a
+    Poisson process with zipfian key popularity.  A send refused by a
+    full shard queue is an [Overloaded] shed: it is counted and the
+    request abandoned, so offered load and goodput diverge at
+    saturation instead of queues growing without bound.
+
+    Crash model: at [crash_at × duration] the server CPUs stop taking
+    requests and clients stop sending (request-granularity cut); the
+    device then loses its unfenced state ([`Strict]), the heap and
+    store re-attach inside the simulation (the charged makespan is the
+    RTO), and the recovered store is checked against the ledger of
+    acked mutations.  Requests in flight at the cut are ambiguous
+    (either outcome is legal) and are reported, not checked.  The
+    sub-request crash space is covered exhaustively by the [kv-put] /
+    [kv-delete] crashcheck scenarios. *)
+
+type config = {
+  shards : int;
+  clients : int;
+  rate : float; (** total offered arrivals per simulated second *)
+  duration : float; (** simulated seconds of traffic *)
+  value_size : int;
+  keyspace : int;
+  zipf_theta : float;
+  read_pct : int; (** % of arrivals that are gets *)
+  delete_pct : int;
+  scan_pct : int; (** remainder after read/delete/scan is puts *)
+  queue_capacity : int; (** per-shard request queue bound *)
+  preload : int; (** keys put (and drained) before traffic starts *)
+  crash_at : float option; (** fraction of [duration], e.g. 0.5 *)
+  seed : int;
+  scope : string; (** obs metrics scope for this run *)
+}
+
+val default_config : config
+
+type percentiles = {
+  p50 : int;
+  p99 : int;
+  p999 : int;
+  mean : float;
+  max : int;
+  samples : int;
+}
+
+type ledger_report = {
+  checked : int; (** keys verified against the recovered store *)
+  ambiguous : int; (** keys with a mutation in flight at the crash *)
+  mismatches : int; (** acked state the store failed to reproduce *)
+}
+
+type result = {
+  offered : int; (** arrivals generated *)
+  admitted : int; (** accepted into a shard queue *)
+  shed : int; (** refused at admission ([Overloaded]) *)
+  completed : int; (** replies received by clients *)
+  acked_mutations : int;
+  sim_ns : int; (** simulated time traffic actually ran *)
+  throughput : float; (** server-handled requests per simulated second *)
+  goodput : float;
+  (** client-acked completions per simulated second — under overload
+      this diverges from the offered rate ([offered / duration]): shed
+      requests never contribute to it *)
+  latency : percentiles; (** client-observed request latency, ns *)
+  service : percentiles; (** server-side handler time, ns *)
+  crashed : bool;
+  rto_ns : int; (** simulated re-attach + replay time (0 if no crash) *)
+  recovery : Kv.recovery option;
+  ledger : ledger_report;
+  in_flight_at_crash : int;
+  queue_max_depth : int; (** high-water mark across shard queues *)
+}
+
+val run :
+  make:(unit -> Machine.t * Alloc_intf.instance) ->
+  reattach:(Machine.t -> Alloc_intf.instance) ->
+  config ->
+  result
+(** Builds the heap via [make], preloads, runs traffic, optionally
+    crashes and re-attaches via [reattach], verifies the ledger and
+    publishes metrics (counters, gauges and p50/p99/p999 log
+    histograms) under [config.scope] in the default obs registry.
+    Raises [Invalid_argument] on nonsensical configs. *)

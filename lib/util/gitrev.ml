@@ -1,0 +1,70 @@
+let read_file path =
+  try
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        Some (really_input_string ic n))
+  with Sys_error _ | End_of_file -> None
+
+let is_hex s =
+  String.length s > 0
+  && String.for_all
+       (function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false)
+       s
+
+let first_line s =
+  match String.index_opt s '\n' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let rec find_git_dir dir depth =
+  if depth > 8 then None
+  else
+    let cand = Filename.concat dir ".git" in
+    if Sys.file_exists cand && Sys.is_directory cand then Some cand
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else find_git_dir parent (depth + 1)
+
+let resolve_ref git_dir ref_name =
+  let loose = Filename.concat git_dir ref_name in
+  match read_file loose with
+  | Some s when is_hex (String.trim (first_line s)) ->
+    Some (String.trim (first_line s))
+  | _ -> (
+    (* packed-refs: lines of "<hash> <refname>" (comments start with #) *)
+    match read_file (Filename.concat git_dir "packed-refs") with
+    | None -> None
+    | Some body ->
+      String.split_on_char '\n' body
+      |> List.find_map (fun line ->
+             match String.index_opt line ' ' with
+             | Some i
+               when String.sub line (i + 1) (String.length line - i - 1)
+                    = ref_name
+                    && is_hex (String.sub line 0 i) ->
+               Some (String.sub line 0 i)
+             | _ -> None))
+
+let get () =
+  match find_git_dir (Sys.getcwd ()) 0 with
+  | None -> None
+  | Some git_dir -> (
+    match read_file (Filename.concat git_dir "HEAD") with
+    | None -> None
+    | Some head -> (
+      let head = String.trim (first_line head) in
+      match String.index_opt head ':' with
+      | Some i when String.sub head 0 i = "ref" ->
+        let ref_name =
+          String.trim (String.sub head (i + 1) (String.length head - i - 1))
+        in
+        resolve_ref git_dir ref_name
+      | _ -> if is_hex head then Some head else None))
+
+let short () =
+  match get () with
+  | Some h when String.length h >= 12 -> Some (String.sub h 0 12)
+  | other -> other

@@ -1,0 +1,13 @@
+(** Best-effort git revision lookup without spawning a subprocess.
+
+    Walks up from the current directory looking for a [.git] directory,
+    then resolves [HEAD] (following one level of [ref:] indirection
+    through loose refs or [packed-refs]).  Returns [None] when not in a
+    git checkout or when anything about the layout is unexpected —
+    callers treat the revision as optional metadata. *)
+
+val get : unit -> string option
+(** Full 40-char revision of HEAD, if resolvable. *)
+
+val short : unit -> string option
+(** First 12 chars of {!get}. *)

@@ -30,17 +30,24 @@ let insert_record mach inst tree rng key =
 let load ~mach ~inst ~threads ~records =
   Factories.warmup mach inst ~threads;
   let tree = Btree.create inst in
-  let per_thread = records / threads in
   let secs =
     Machine.parallel mach ~threads (fun i ->
         let rng = Prng.create (0x10AD + i) in
-        for j = 0 to per_thread - 1 do
-          (* keys partitioned across threads, scattered by stride *)
-          let key = 1 + (j * threads) + i in
-          insert_record mach inst tree rng key
+        (* keys partitioned across threads, scattered by stride; the
+           strict bound keeps the remainder when threads does not
+           divide records (thread i loads keys i, i+threads, ...) *)
+        let j = ref 0 in
+        while (!j * threads) + i < records do
+          let key = 1 + (!j * threads) + i in
+          insert_record mach inst tree rng key;
+          incr j
         done)
   in
-  (tree, float_of_int (threads * per_thread) /. secs /. 1e6)
+  let loaded = Btree.count_keys tree in
+  if loaded <> records then
+    failwith
+      (Printf.sprintf "Ycsb.load: loaded %d keys, expected %d" loaded records);
+  (tree, float_of_int records /. secs /. 1e6)
 
 (** A mixed read/update phase on a loaded tree; [read_pct] is the
     read percentage: 50 = Workload A, 95 = Workload B, 100 = Workload

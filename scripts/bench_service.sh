@@ -1,0 +1,10 @@
+#!/bin/sh
+# poseidon-kv service benchmark: offered-rate sweep (including a
+# past-saturation point where admission control sheds) plus a
+# crash-mid-serving run with recovery-time measurement.  Leaves a
+# machine-readable snapshot in BENCH_service.json at the repo root.
+# Pass --full for longer traffic windows.
+set -eu
+cd "$(dirname "$0")/.."
+dune build bench/main.exe
+dune exec bench/main.exe -- --suite service "$@"

@@ -16,4 +16,12 @@ if dune exec bin/main.exe -- crashcheck --scenario broken --max-points 2 \
   echo "check: crashcheck FAILED to detect the seeded missing-flush bug" >&2
   exit 1
 fi
-echo "check: build + all test suites + crashcheck smoke OK"
+# service crash-point sweep: the KV write path's intent protocol,
+# strided for tier-1 speed (exhaustive in test_crashcheck / manual runs).
+dune exec bin/main.exe -- crashcheck --scenario kv-put --max-points 8 \
+  --subsets 1 > /dev/null
+# serve smoke: bounded open-loop traffic with a crash at the midpoint;
+# exits non-zero if the recovered store loses any acked write.
+dune exec bin/main.exe -- serve --shards 2 --clients 8 --rate 40000 \
+  --duration 0.005 --crash-at 0.5 > /dev/null
+echo "check: build + all test suites + crashcheck + serve smoke OK"

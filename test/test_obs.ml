@@ -185,6 +185,113 @@ let test_lock_stats () =
     (Obs.Metrics.get_gauge ~scope:"lock/test-lock" "acquisitions"
      = Some 100.)
 
+(* ---------- log-linear histogram ---------- *)
+
+(* 32 sub-buckets per octave bound the relative error of any recorded
+   value's bucket midpoint by ~3.2 %. *)
+let test_hist_bucket_accuracy () =
+  let module Hi = Obs.Hist in
+  let v = ref 3 in
+  while !v < 1 lsl 40 do
+    let h = Hi.create () in
+    (* two samples so the clamp-to-min/max can't mask bucketing *)
+    Hi.record h !v;
+    Hi.record h (!v * 3);
+    let got = Hi.percentile h 50. in
+    let err =
+      abs_float (float_of_int (got - !v)) /. float_of_int !v
+    in
+    if err > 0.033 then
+      Alcotest.failf "value %d bucketed to %d (%.1f%% error)" !v got
+        (100. *. err);
+    v := (!v * 7 / 3) + 1
+  done
+
+let test_hist_percentiles () =
+  let module Hi = Obs.Hist in
+  let h = Hi.create () in
+  for i = 1 to 10_000 do
+    Hi.record h i
+  done;
+  check_int "count" 10_000 (Hi.count h);
+  check_int "total is exact" (10_000 * 10_001 / 2) (Hi.total h);
+  check_int "min exact" 1 (Hi.min_value h);
+  check_int "max exact" 10_000 (Hi.max_value h);
+  let near p expect =
+    let got = Hi.percentile h p in
+    let err =
+      abs_float (float_of_int got -. float_of_int expect)
+      /. float_of_int expect
+    in
+    if err > 0.04 then
+      Alcotest.failf "p%.1f = %d, expected ~%d (%.1f%% off)" p got expect
+        (100. *. err)
+  in
+  near 50. 5_000;
+  near 99. 9_900;
+  near 99.9 9_990;
+  check_int "p0 clamps to min" 1 (Hi.percentile h 0.);
+  check_int "p100 clamps to max" 10_000 (Hi.percentile h 100.);
+  check "mean" true (abs_float (Hi.mean h -. 5_000.5) < 0.01);
+  (* negative samples clamp to zero instead of crashing *)
+  let h2 = Hi.create () in
+  Hi.record h2 (-42);
+  check_int "negative clamps to 0" 0 (Hi.percentile h2 50.);
+  check_int "empty histogram percentile" 0 (Hi.percentile (Hi.create ()) 99.)
+
+let test_hist_merge () =
+  let module Hi = Obs.Hist in
+  let a = Hi.create () and b = Hi.create () and all = Hi.create () in
+  for i = 1 to 4_000 do
+    Hi.record (if i <= 2_000 then a else b) i;
+    Hi.record all i
+  done;
+  Hi.merge ~into:a b;
+  check_int "merged count" (Hi.count all) (Hi.count a);
+  check_int "merged total" (Hi.total all) (Hi.total a);
+  check_int "merged min" (Hi.min_value all) (Hi.min_value a);
+  check_int "merged max" (Hi.max_value all) (Hi.max_value a);
+  List.iter
+    (fun p ->
+      check_int
+        (Printf.sprintf "merged p%.1f matches single-pass" p)
+        (Hi.percentile all p) (Hi.percentile a p))
+    [ 50.; 99.; 99.9 ];
+  Hi.clear a;
+  check_int "clear resets" 0 (Hi.count a)
+
+(* the registry integration: same instance on re-lookup, and p999
+   lands in the JSON snapshot *)
+let test_log_histogram_registry () =
+  let module J = Obs.Json in
+  let h = Obs.Metrics.log_histogram ~scope:"test/hist" "lat_ns" in
+  Obs.Hist.clear h;
+  for i = 1 to 1_000 do
+    Obs.Hist.record h (i * 100)
+  done;
+  check "re-lookup returns the same histogram" true
+    (Obs.Metrics.log_histogram ~scope:"test/hist" "lat_ns" == h);
+  check "get_log_histogram finds it" true
+    (Obs.Metrics.get_log_histogram ~scope:"test/hist" "lat_ns" = Some h);
+  let field name =
+    match Obs.Metrics.snapshot () with
+    | J.Obj scopes -> (
+      match List.assoc "test/hist" scopes with
+      | J.Obj metrics -> (
+        match List.assoc "lat_ns" metrics with
+        | J.Obj fields -> List.assoc_opt name fields
+        | _ -> None)
+      | _ -> None)
+    | _ -> None
+  in
+  (match field "count" with
+   | Some (J.Num n) -> check "snapshot count" true (n = 1_000.)
+   | _ -> Alcotest.fail "count missing from snapshot");
+  match field "p999" with
+  | Some (J.Num p) ->
+    check "p999 in tail" true (p >= 95_000. && p <= 100_000.)
+  | _ -> Alcotest.fail "p999 missing from snapshot"
+
 (* ---------- disabled tracer is inert ---------- *)
 
 let test_disabled_identical () =
@@ -215,6 +322,15 @@ let () =
             test_metrics_vs_profile;
           Alcotest.test_case "lock stats and per-lock gauges" `Quick
             test_lock_stats ] );
+      ( "hist",
+        [ Alcotest.test_case "bucket midpoint error <= 3.3%" `Quick
+            test_hist_bucket_accuracy;
+          Alcotest.test_case "percentiles on a uniform ramp" `Quick
+            test_hist_percentiles;
+          Alcotest.test_case "merge equals single-pass" `Quick
+            test_hist_merge;
+          Alcotest.test_case "registry + p999 in snapshot" `Quick
+            test_log_histogram_registry ] );
       ( "overhead",
         [ Alcotest.test_case "disabled tracer is inert" `Quick
             test_disabled_identical ] ) ]
