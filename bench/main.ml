@@ -643,6 +643,105 @@ let service_suite () =
   end;
   List.rev !runs
 
+(* ---------- replication suite: primary/backup on two machines ---------- *)
+
+(* Same traffic harness on a two-machine cluster (lib/cluster +
+   lib/replica): sync vs async clean runs expose the sync-mode latency
+   tax; then the RTO experiment — one failover run (primary lost at
+   50%, backup promoted) against one plain restart run (same store,
+   same traffic, same seed, crash + re-attach + intent replay).
+   Promotion only seals the shipped log and replays the wire tail, so
+   its RTO must come in under the full replay-on-restart path. *)
+let replication_suite () =
+  note "";
+  note "### Replication: primary/backup log shipping, two-machine cluster";
+  note "(sync vs async latency tax under identical zipfian traffic, then";
+  note " promote-on-failover RTO vs replay-on-restart RTO, same seed)";
+  let module S = Service.Server in
+  let factory = Workloads.Factories.poseidon () in
+  let base scope =
+    { S.default_config with
+      S.shards = 4;
+      clients = 32;
+      rate = 50_000.;
+      duration = (if !full then 0.05 else 0.02);
+      value_size = 128;
+      keyspace = 4096;
+      read_pct = 20;
+      queue_capacity = 32;
+      scope }
+  in
+  let make mach = Workloads.Factories.poseidon_on mach in
+  let runs = ref [] in
+  let repl label cfg rcfg =
+    let rr = S.run_replicated ~make cfg rcfg in
+    runs := (label, cfg, rr.S.base, Some rr) :: !runs;
+    rr
+  in
+  let sync_rcfg = S.default_repl_config in
+  let async_rcfg = { S.default_repl_config with S.repl_mode = Replica.Async } in
+  let sync_r = repl "sync-clean" (base "bench/replication/sync") sync_rcfg in
+  let async_r =
+    repl "async-clean" (base "bench/replication/async") async_rcfg
+  in
+  let table =
+    Tablefmt.create ~title:"poseidon-kv replicated: sync vs async (4 shards)"
+      ~columns:
+        [ "mode"; "throughput"; "goodput"; "p50 ns"; "p99 ns"; "max lag";
+          "acked" ]
+  in
+  List.iter
+    (fun (mode, (rr : S.repl_result)) ->
+      let r = rr.S.base in
+      Tablefmt.add_row table mode
+        [ Printf.sprintf "%.0f" r.S.throughput;
+          Printf.sprintf "%.0f" r.S.goodput;
+          string_of_int r.S.latency.S.p50;
+          string_of_int r.S.latency.S.p99;
+          string_of_int rr.S.max_lag;
+          string_of_int rr.S.acked_records ])
+    [ ("sync", sync_r); ("async", async_r) ];
+  Tablefmt.print table;
+  note "  sync latency tax: p50 +%d ns, p99 +%d ns over async"
+    (sync_r.S.base.S.latency.S.p50 - async_r.S.base.S.latency.S.p50)
+    (sync_r.S.base.S.latency.S.p99 - async_r.S.base.S.latency.S.p99);
+  let failover =
+    repl "sync-failover"
+      { (base "bench/replication/failover") with S.crash_at = Some 0.5 }
+      sync_rcfg
+  in
+  let restart =
+    let cfg =
+      { (base "bench/replication/restart") with S.crash_at = Some 0.5 }
+    in
+    let r =
+      S.run
+        ~make:(fun () -> factory.Workloads.Factories.make ())
+        ~reattach:(fun mach ->
+          Poseidon.instance
+            (Poseidon.Heap.attach mach ~base:Workloads.Factories.heap_base ()))
+        cfg
+    in
+    runs := ("restart-replay", cfg, r, None) :: !runs;
+    r
+  in
+  note
+    "  RTO: promote backup %d ns (%d tail record(s) replayed)  vs  \
+     replay-on-restart %d ns"
+    failover.S.base.S.rto_ns failover.S.tail_replayed restart.S.rto_ns;
+  note "  failover ledger: %d checked, %d ambiguous, %d mismatch(es)"
+    failover.S.base.S.ledger.S.checked failover.S.base.S.ledger.S.ambiguous
+    failover.S.base.S.ledger.S.mismatches;
+  if failover.S.base.S.ledger.S.mismatches > 0 then begin
+    Printf.eprintf
+      "bench replication: LEDGER MISMATCH — sync-acked writes lost in \
+       failover\n";
+    exit 1
+  end;
+  if failover.S.base.S.rto_ns >= restart.S.rto_ns then
+    note "  WARNING: promote RTO did not beat replay-on-restart RTO";
+  List.rev !runs
+
 (* ---------- JSON output ---------- *)
 
 let rev_json () =
@@ -727,6 +826,79 @@ let write_service_results runs =
   in
   write_doc (if !json_out = "" then "BENCH_service.json" else !json_out) doc
 
+let write_replication_results runs =
+  let module S = Service.Server in
+  let module J = Obs.Json in
+  let num i = J.Num (float_of_int i) in
+  let pct (p : S.percentiles) =
+    J.Obj
+      [ ("p50", num p.S.p50); ("p99", num p.S.p99); ("p999", num p.S.p999);
+        ("mean", J.Num p.S.mean); ("max", num p.S.max);
+        ("samples", num p.S.samples) ]
+  in
+  let ledger (l : S.ledger_report) =
+    J.Obj
+      [ ("checked", num l.S.checked); ("ambiguous", num l.S.ambiguous);
+        ("mismatches", num l.S.mismatches) ]
+  in
+  let run_json (label, (cfg : S.config), (r : S.result), repl) =
+    J.Obj
+      [ ("label", J.Str label);
+        ( "config",
+          J.Obj
+            [ ("shards", num cfg.S.shards); ("clients", num cfg.S.clients);
+              ("rate", J.Num cfg.S.rate); ("duration", J.Num cfg.S.duration);
+              ("read_pct", num cfg.S.read_pct);
+              ("seed", num cfg.S.seed);
+              ( "crash_at",
+                match cfg.S.crash_at with
+                | Some f -> J.Num f
+                | None -> J.Null ) ] );
+        ("offered", num r.S.offered); ("completed", num r.S.completed);
+        ("throughput", J.Num r.S.throughput); ("goodput", J.Num r.S.goodput);
+        ("latency", pct r.S.latency);
+        ("crashed", J.Bool r.S.crashed); ("rto_ns", num r.S.rto_ns);
+        ("ledger", ledger r.S.ledger);
+        ( "replication",
+          match repl with
+          | None -> J.Null
+          | Some (rr : S.repl_result) ->
+            J.Obj
+              [ ("mode", J.Str (if rr.S.sync then "sync" else "async"));
+                ("shipped", num rr.S.shipped);
+                ("acked_records", num rr.S.acked_records);
+                ("retransmits", num rr.S.retransmits);
+                ("max_lag", num rr.S.max_lag);
+                ("backup_applied", num rr.S.backup_applied);
+                ("tail_replayed", num rr.S.tail_replayed);
+                ( "backup_ledger",
+                  match rr.S.backup_ledger with
+                  | Some l -> ledger l
+                  | None -> J.Null ) ] ) ]
+  in
+  let find label =
+    List.find_opt (fun (l, _, _, _) -> l = label) runs
+    |> Option.map (fun (_, _, (r : S.result), _) -> r.S.rto_ns)
+  in
+  let rto_cmp =
+    match (find "sync-failover", find "restart-replay") with
+    | Some promote, Some replay ->
+      J.Obj
+        [ ("promote_rto_ns", num promote); ("replay_rto_ns", num replay);
+          ("promote_beats_replay", J.Bool (promote < replay)) ]
+    | _ -> J.Null
+  in
+  let doc =
+    J.Obj
+      [ ("schema", J.Str "poseidon-bench-replication/v1");
+        ("rev", rev_json ());
+        ("config", J.Obj [ ("full", J.Bool !full) ]);
+        ("runs", J.Arr (List.map run_json runs));
+        ("rto", rto_cmp);
+        ("metrics", Obs.Metrics.snapshot ()) ]
+  in
+  write_doc (if !json_out = "" then "BENCH_replication.json" else !json_out) doc
+
 (* ---------- driver ---------- *)
 
 let () =
@@ -752,11 +924,13 @@ let () =
       ( "--suite",
         Arg.Set_string suite,
         "NAME  run a named suite instead of the figures ('service':\n\
-        \        poseidon-kv rate sweep + crash run -> BENCH_service.json)" );
+        \        poseidon-kv rate sweep + crash run -> BENCH_service.json;\n\
+        \        'replication': sync/async tax + promote-vs-replay RTO ->\n\
+        \        BENCH_replication.json)" );
       ( "--json-out",
         Arg.Set_string json_out,
         "FILE  metrics snapshot destination (default BENCH_results.json, \
-         or BENCH_service.json for --suite service)" ) ]
+         BENCH_service.json / BENCH_replication.json for the named suites)" ) ]
   in
   Arg.parse spec (fun _ -> ()) usage;
   note "Poseidon reproduction benchmark suite";
@@ -767,8 +941,14 @@ let () =
     write_service_results runs;
     exit 0
   end
+  else if !suite = "replication" then begin
+    let runs = replication_suite () in
+    write_replication_results runs;
+    exit 0
+  end
   else if !suite <> "" then begin
-    Printf.eprintf "bench: unknown suite %S (known: service)\n" !suite;
+    Printf.eprintf "bench: unknown suite %S (known: service, replication)\n"
+      !suite;
     exit 2
   end;
   (if !smoke then smoke_suite ()

@@ -233,8 +233,9 @@ let crashcheck_cmd =
       & info [ "scenario" ] ~docv:"NAME"
           ~doc:
             "Scenario to explore: alloc, free, tx-commit, tx-abort, extend, \
-             broken (deliberately buggy, for mutation sanity checks) or all \
-             (the five correct ones).")
+             kv-put, kv-delete, kv-replicated-put (two-machine sync \
+             replication, cluster-wide crash), broken (deliberately buggy, \
+             for mutation sanity checks) or all (every correct one).")
   in
   let max_points_arg =
     Arg.(
@@ -515,8 +516,51 @@ let serve_cmd =
       & info [ "json-out" ] ~docv:"FILE"
           ~doc:"Write results + metrics snapshot as JSON to $(docv).")
   in
+  let replicate_arg =
+    Arg.(
+      value & flag
+      & info [ "replicate" ]
+          ~doc:
+            "Serve on a two-machine cluster: ship every mutation to a backup \
+             machine; with --crash-at the backup is $(i,promoted) (seal + \
+             tail replay) instead of re-attaching the primary.")
+  in
+  let repl_mode_arg =
+    Arg.(
+      value & opt (enum [ ("sync", `Sync); ("async", `Async) ]) `Sync
+      & info [ "repl-mode" ] ~docv:"MODE"
+          ~doc:
+            "sync: hold each mutation's reply until the backup acks (acked \
+             writes survive primary loss); async: reply after the local \
+             persist, backup lag bounded by the window.")
+  in
+  let wire_ns_arg =
+    Arg.(
+      value & opt int 20_000
+      & info [ "wire-ns" ] ~docv:"NS"
+          ~doc:"One-way inter-machine link latency.")
+  in
+  let repl_window_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "repl-window" ] ~docv:"N"
+          ~doc:"Max unacked records per shard (the async lag bound).")
+  in
+  let drop_pct_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "drop-pct" ] ~docv:"PCT"
+          ~doc:"Seeded link loss percentage (go-back-N recovers).")
+  in
+  let dup_pct_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "dup-pct" ] ~docv:"PCT"
+          ~doc:"Seeded duplicate-delivery percentage (applier dedups).")
+  in
   let run shards clients rate duration value_size zipf keyspace queue crash_at
-      seed json_out trace_out =
+      seed json_out replicate repl_mode wire_ns repl_window drop_pct dup_pct
+      trace_out =
     with_tracing trace_out @@ fun () ->
     let module S = Service.Server in
     let cfg =
@@ -533,13 +577,35 @@ let serve_cmd =
         seed }
     in
     let factory = Workloads.Factories.poseidon () in
-    let r =
-      S.run
-        ~make:(fun () -> factory.Workloads.Factories.make ())
-        ~reattach:(fun mach ->
-          Poseidon.instance
-            (Poseidon.Heap.attach mach ~base:Workloads.Factories.heap_base ()))
-        cfg
+    let repl, r =
+      if replicate then begin
+        let rcfg =
+          { S.default_repl_config with
+            S.repl_mode =
+              (match repl_mode with
+               | `Sync -> Replica.Sync
+               | `Async -> Replica.Async);
+            wire_ns;
+            repl_window;
+            link_drop_pct = drop_pct;
+            link_dup_pct = dup_pct }
+        in
+        let rr =
+          S.run_replicated
+            ~make:(fun mach -> Workloads.Factories.poseidon_on mach)
+            cfg rcfg
+        in
+        (Some rr, rr.S.base)
+      end
+      else
+        ( None,
+          S.run
+            ~make:(fun () -> factory.Workloads.Factories.make ())
+            ~reattach:(fun mach ->
+              Poseidon.instance
+                (Poseidon.Heap.attach mach
+                   ~base:Workloads.Factories.heap_base ()))
+            cfg )
     in
     Printf.printf
       "poseidon-kv: %d shards, %d clients, offered %.0f req/s for %.3f s%s\n"
@@ -567,11 +633,36 @@ let serve_cmd =
             back; RTO %d ns\n"
            shards rc.Service.Kv.replayed rc.Service.Kv.rolled_back r.S.rto_ns
        | None -> ());
+      (match repl with
+       | Some rr ->
+         Printf.printf
+           "  crash: primary lost — backup promoted, %d tail record(s) \
+            replayed; RTO %d ns\n"
+           rr.S.tail_replayed r.S.rto_ns
+       | None -> ());
       Printf.printf "  in flight at crash: %d key(s) (not checked)\n"
         r.S.in_flight_at_crash
     end;
     Printf.printf "  ledger: %d key(s) checked, %d ambiguous, %d mismatch(es)\n"
       r.S.ledger.S.checked r.S.ledger.S.ambiguous r.S.ledger.S.mismatches;
+    (match repl with
+     | None -> ()
+     | Some rr ->
+       Printf.printf
+         "  replication (%s): shipped %d  acked %d  retransmits %d  max lag \
+          %d\n"
+         (if rr.S.sync then "sync" else "async")
+         rr.S.shipped rr.S.acked_records rr.S.retransmits rr.S.max_lag;
+       Printf.printf
+         "  link: %d dropped, %d duplicated; backup applied %d record(s)\n"
+         rr.S.link_dropped rr.S.link_duplicated rr.S.backup_applied;
+       (match rr.S.backup_ledger with
+        | Some l ->
+          Printf.printf
+            "  backup ledger: %d key(s) checked, %d ambiguous, %d \
+             mismatch(es)\n"
+            l.S.checked l.S.ambiguous l.S.mismatches
+        | None -> ()));
     (match json_out with
      | None -> ()
      | Some file ->
@@ -628,7 +719,30 @@ let serve_cmd =
                          ("ambiguous", num r.S.ledger.S.ambiguous);
                          ("mismatches", num r.S.ledger.S.mismatches) ] );
                    ("in_flight_at_crash", num r.S.in_flight_at_crash);
-                   ("queue_max_depth", num r.S.queue_max_depth) ] );
+                   ("queue_max_depth", num r.S.queue_max_depth);
+                   ( "replication",
+                     match repl with
+                     | None -> J.Null
+                     | Some rr ->
+                       J.Obj
+                         [ ( "mode",
+                             J.Str (if rr.S.sync then "sync" else "async") );
+                           ("shipped", num rr.S.shipped);
+                           ("acked_records", num rr.S.acked_records);
+                           ("retransmits", num rr.S.retransmits);
+                           ("max_lag", num rr.S.max_lag);
+                           ("link_dropped", num rr.S.link_dropped);
+                           ("link_duplicated", num rr.S.link_duplicated);
+                           ("backup_applied", num rr.S.backup_applied);
+                           ("tail_replayed", num rr.S.tail_replayed);
+                           ( "backup_ledger",
+                             match rr.S.backup_ledger with
+                             | Some l ->
+                               J.Obj
+                                 [ ("checked", num l.S.checked);
+                                   ("ambiguous", num l.S.ambiguous);
+                                   ("mismatches", num l.S.mismatches) ]
+                             | None -> J.Null ) ] ) ] );
              ("metrics", Obs.Metrics.snapshot ()) ]
        in
        let oc = open_out file in
@@ -636,7 +750,15 @@ let serve_cmd =
          ~finally:(fun () -> close_out oc)
          (fun () -> output_string oc (J.to_string json));
        Printf.printf "results -> %s\n" file);
-    if r.S.ledger.S.mismatches > 0 then begin
+    let backup_mismatch =
+      match repl with
+      | Some rr when rr.S.sync -> (
+        match rr.S.backup_ledger with
+        | Some l -> l.S.mismatches > 0
+        | None -> false)
+      | _ -> false
+    in
+    if r.S.ledger.S.mismatches > 0 || backup_mismatch then begin
       Printf.eprintf "serve: LEDGER MISMATCH — acked writes lost\n";
       1
     end
@@ -646,12 +768,14 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the sharded persistent KV server (poseidon-kv) under open-loop \
-          simulated traffic, optionally crash it mid-serving, and verify \
-          recovery against the client ledger.")
+          simulated traffic — optionally replicated to a backup machine \
+          (--replicate) — crash it mid-serving, and verify recovery (or \
+          failover promotion) against the client ledger.")
     Term.(
       const run $ shards_arg $ clients_arg $ rate_arg $ duration_arg
       $ value_size_arg $ zipf_arg $ keyspace_arg $ queue_arg $ crash_at_arg
-      $ seed_arg $ json_out_arg $ trace_out_arg)
+      $ seed_arg $ json_out_arg $ replicate_arg $ repl_mode_arg $ wire_ns_arg
+      $ repl_window_arg $ drop_pct_arg $ dup_pct_arg $ trace_out_arg)
 
 (* ---------- trace ---------- *)
 

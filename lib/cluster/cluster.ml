@@ -1,0 +1,152 @@
+type t = { engine : Simcore.Sched.t; machines : Machine.t array }
+
+let create ?(cfg = Machine.Config.default) ~machines () =
+  if machines < 1 then invalid_arg "Cluster.create: machines < 1";
+  let engine = Simcore.Sched.create () in
+  let ms =
+    Array.init machines (fun _ -> Machine.create ~cfg ~engine ())
+  in
+  { engine; machines = ms }
+
+let size t = Array.length t.machines
+let machine t i = t.machines.(i)
+let engine t = t.engine
+let run t = Simcore.Sched.run t.engine
+
+module Link = struct
+  type 'a msg = { payload : 'a; sent_at : int; delivered_at : int }
+
+  type stats = {
+    sent : int;
+    rejected : int;
+    dropped : int;
+    duplicated : int;
+    received : int;
+    max_depth : int;
+  }
+
+  type 'a endpoint = {
+    q : 'a msg Queue.t;
+    mutable sent : int;
+    mutable rejected : int;
+    mutable dropped : int;
+    mutable duplicated : int;
+    mutable received : int;
+    mutable max_depth : int;
+  }
+
+  type 'a t = {
+    wire_ns : int;
+    capacity : int;
+    send_cpu_ns : int;
+    drop_pct : int;
+    dup_pct : int;
+    prng : Repro_util.Prng.t;
+    eps : 'a endpoint array; (* eps.(i) = traffic toward endpoint i *)
+  }
+
+  let mk_endpoint () =
+    {
+      q = Queue.create ();
+      sent = 0;
+      rejected = 0;
+      dropped = 0;
+      duplicated = 0;
+      received = 0;
+      max_depth = 0;
+    }
+
+  let create ?(wire_ns = 20_000) ?(capacity = 256) ?(send_cpu_ns = 300)
+      ?(drop_pct = 0) ?(dup_pct = 0) ?(seed = 0xC1A5) () =
+    if wire_ns < 0 then invalid_arg "Link.create: wire_ns < 0";
+    if capacity < 1 then invalid_arg "Link.create: capacity < 1";
+    if drop_pct < 0 || drop_pct >= 100 then
+      invalid_arg "Link.create: drop_pct must be in [0, 100)";
+    if dup_pct < 0 || dup_pct > 100 then
+      invalid_arg "Link.create: dup_pct must be in [0, 100]";
+    {
+      wire_ns;
+      capacity;
+      send_cpu_ns;
+      drop_pct;
+      dup_pct;
+      prng = Repro_util.Prng.create seed;
+      eps = [| mk_endpoint (); mk_endpoint () |];
+    }
+
+  let check_ep ep = if ep < 0 || ep > 1 then invalid_arg "Link: endpoint not 0|1"
+
+  let in_sim () = Simcore.Sched.in_simulation ()
+
+  let send t ~dst payload =
+    check_ep dst;
+    let e = t.eps.(dst) in
+    if Queue.length e.q >= t.capacity then (
+      e.rejected <- e.rejected + 1;
+      false)
+    else begin
+      let now = if in_sim () then Simcore.Sched.now () else 0 in
+      if in_sim () && t.send_cpu_ns > 0 then
+        Simcore.Sched.charge t.send_cpu_ns;
+      e.sent <- e.sent + 1;
+      (* Faults: skip the PRNG entirely on a clean link so the default
+         configuration is bit-identical to a fault-free build. *)
+      let dropped =
+        (t.drop_pct > 0 || t.dup_pct > 0)
+        && Repro_util.Prng.int t.prng 100 < t.drop_pct
+      in
+      if dropped then e.dropped <- e.dropped + 1
+      else begin
+        let delivered_at = if in_sim () then now + t.wire_ns else 0 in
+        let m = { payload; sent_at = now; delivered_at } in
+        Queue.add m e.q;
+        if
+          t.dup_pct > 0
+          && Queue.length e.q < t.capacity
+          && Repro_util.Prng.int t.prng 100 < t.dup_pct
+        then begin
+          e.duplicated <- e.duplicated + 1;
+          Queue.add m e.q
+        end;
+        if Queue.length e.q > e.max_depth then
+          e.max_depth <- Queue.length e.q
+      end;
+      true
+    end
+
+  let deliverable t ~ep =
+    check_ep ep;
+    let e = t.eps.(ep) in
+    match Queue.peek_opt e.q with
+    | None -> None
+    | Some m ->
+        if (not (in_sim ())) || m.delivered_at <= Simcore.Sched.now () then
+          Some (e, m)
+        else None
+
+  let recv t ~ep =
+    match deliverable t ~ep with
+    | None -> None
+    | Some (e, _) ->
+        let m = Queue.pop e.q in
+        e.received <- e.received + 1;
+        Some m
+
+  let pending t ~ep =
+    check_ep ep;
+    Queue.length t.eps.(ep).q
+
+  let delivered_pending t ~ep = deliverable t ~ep <> None
+
+  let stats t ~ep =
+    check_ep ep;
+    let e = t.eps.(ep) in
+    {
+      sent = e.sent;
+      rejected = e.rejected;
+      dropped = e.dropped;
+      duplicated = e.duplicated;
+      received = e.received;
+      max_depth = e.max_depth;
+    }
+end

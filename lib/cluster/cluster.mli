@@ -1,0 +1,92 @@
+(** A multi-machine simulated cluster on one discrete-event engine.
+
+    Each member is a full {!Machine.t} — its own NVMM/DRAM device, MPK
+    unit, per-CPU caches and NUMA topology — but all of them share one
+    {!Simcore.Sched} engine, so their simulated threads interleave on a
+    single timeline and cross-machine protocols (replication, failover)
+    are legal linearisations exactly like intra-machine parallelism.
+
+    Machines are connected by {!Link}s: point-to-point inter-machine
+    channels whose one-way latency sits well above any intra-machine
+    NUMA distance, with optional seeded drop/duplicate fault injection
+    for testing loss-handling protocols.  Crashing one machine's
+    device ({!Nvmm.Memdev.crash}) leaves the others untouched — the
+    failure model replication exists for. *)
+
+type t
+
+val create : ?cfg:Machine.Config.t -> machines:int -> unit -> t
+(** [create ~machines ()] builds [machines] identical machines (same
+    cost model, default {!Machine.Config.default}) on one shared
+    engine.  [machines >= 1]. *)
+
+val size : t -> int
+val machine : t -> int -> Machine.t
+val engine : t -> Simcore.Sched.t
+
+val run : t -> unit
+(** Drives the shared engine until every spawned thread (on any
+    machine) has finished — {!Simcore.Sched.run}. *)
+
+(** Inter-machine message channel: two endpoints (0 and 1), each a
+    bounded FIFO of messages travelling toward it.  A send stamps the
+    message with [now + wire_ns] and charges the sender a small CPU
+    cost; {!recv} only surfaces messages whose delivery time has
+    passed.  Outside the simulation sends and receives work with zero
+    latency (setup / post-run draining), as in {!Net}.
+
+    Fault injection (seeded, deterministic): a send may be silently
+    dropped ([drop_pct]) — the sender still sees [true], as on a real
+    lossy wire — or duplicated ([dup_pct], second copy enqueued right
+    behind the first).  Both default to 0, i.e. a reliable link. *)
+module Link : sig
+  type 'a msg = {
+    payload : 'a;
+    sent_at : int;
+    delivered_at : int;
+  }
+
+  type 'a t
+
+  val create :
+    ?wire_ns:int ->
+    ?capacity:int ->
+    ?send_cpu_ns:int ->
+    ?drop_pct:int ->
+    ?dup_pct:int ->
+    ?seed:int ->
+    unit ->
+    'a t
+  (** [wire_ns] one-way latency (default 20_000 ns — an order of
+      magnitude above cross-NUMA); [capacity] per-endpoint queue bound
+      (default 256); [send_cpu_ns] sender CPU charge (default 300);
+      [drop_pct]/[dup_pct] in [0, 100] ([drop_pct] < 100 — a link that
+      drops everything cannot carry a protocol); [seed] for the fault
+      PRNG. *)
+
+  val send : 'a t -> dst:int -> 'a -> bool
+  (** Enqueue toward endpoint [dst]; [false] when its queue is full
+      (counted as a rejection).  [true] on a fault-injected drop — the
+      sender cannot observe wire loss. *)
+
+  val recv : 'a t -> ep:int -> 'a msg option
+  (** Head of [ep]'s queue if delivered; non-blocking. *)
+
+  val pending : 'a t -> ep:int -> int
+  (** Messages queued toward [ep], delivered or still in flight. *)
+
+  val delivered_pending : 'a t -> ep:int -> bool
+  (** Whether a {!recv} at the current simulated instant would succeed. *)
+
+  type stats = {
+    sent : int;  (** accepted sends (including ones then dropped) *)
+    rejected : int;  (** refused: destination queue full *)
+    dropped : int;  (** fault-injected wire losses *)
+    duplicated : int;  (** fault-injected duplicate deliveries *)
+    received : int;  (** messages handed to the reader *)
+    max_depth : int;
+  }
+
+  val stats : 'a t -> ep:int -> stats
+  (** Statistics for traffic {e toward} endpoint [ep]. *)
+end

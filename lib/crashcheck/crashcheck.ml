@@ -20,6 +20,7 @@ type env = {
   base : int;
   mutable heap : Poseidon.Heap.t;
   ledger : ledger;
+  mutable aux_devs : Nvmm.Memdev.t list;
 }
 
 type oracle = { oname : string; check : env -> (unit, string) result }
@@ -125,22 +126,34 @@ exception Stop
 
 (* Run [op] on a fresh environment, cutting execution at persistence
    point [stop_at] (0 = run to completion).  Fences are counted from
-   the start of [op]: setup's own persistence traffic is excluded. *)
+   the start of [op]: setup's own persistence traffic is excluded.
+   With [aux_devs] (multi-machine scenarios) the count is cumulative
+   across every device in execution order, so the sweep interleaves
+   the machines' persistence points exactly as the run did. *)
 let run_op scn ~stop_at =
   let env = scn.setup () in
-  let dev = Machine.dev env.mach in
-  Memdev.reset_counters dev;
-  if stop_at > 0 then
-    Memdev.set_persistence_hook dev
-      (Some
-         (fun (info : Memdev.fence_info) ->
-           if info.Memdev.fence_no >= stop_at then raise Stop));
+  let devs = Machine.dev env.mach :: env.aux_devs in
+  List.iter Memdev.reset_counters devs;
+  if stop_at > 0 then begin
+    let count = ref 0 in
+    List.iter
+      (fun d ->
+        Memdev.set_persistence_hook d
+          (Some
+             (fun (_ : Memdev.fence_info) ->
+               incr count;
+               if !count >= stop_at then raise Stop)))
+      devs
+  end;
   let fences =
     Fun.protect
-      ~finally:(fun () -> Memdev.set_persistence_hook dev None)
+      ~finally:(fun () ->
+        List.iter (fun d -> Memdev.set_persistence_hook d None) devs)
       (fun () ->
         (try scn.op env with Stop -> ());
-        (Memdev.counters dev).Memdev.fences)
+        List.fold_left
+          (fun acc d -> acc + (Memdev.counters d).Memdev.fences)
+          0 devs)
   in
   (env, fences)
 
@@ -157,6 +170,15 @@ let check_point scn ~point ~mode =
   (match mode with
    | Dirty_lost_all -> Memdev.crash dev `Strict
    | Dirty_subset seed -> Memdev.crash dev (`Adversarial (Prng.create seed)));
+  (* multi-machine scenarios: every member loses power at the same
+     instant (correlated cluster-wide crash — the worst case) *)
+  List.iteri
+    (fun i d ->
+      match mode with
+      | Dirty_lost_all -> Memdev.crash d `Strict
+      | Dirty_subset seed ->
+        Memdev.crash d (`Adversarial (Prng.create (seed + (31 * (i + 1))))))
+    env.aux_devs;
   let cex oracle detail =
     Some
       { cx_scenario = scn.sname;
@@ -264,7 +286,11 @@ let mk_env ?(base_buckets = 32) () =
     H.create mach ~base:heap_base ~size:(1 lsl 30) ~heap_id:1
       ~sub_data_size:(1 lsl 16) ~base_buckets ()
   in
-  { mach; base = heap_base; heap; ledger = { durable = 0; slack = 0 } }
+  { mach;
+    base = heap_base;
+    heap;
+    ledger = { durable = 0; slack = 0 };
+    aux_devs = [] }
 
 let finish_setup env =
   (* everything the setup did is the durable baseline *)
@@ -418,17 +444,98 @@ let scn_broken_missing_flush () =
 
 type kv_op = Kput of int * int | Kdel of int
 
+let apply_kv tbl = function
+  | Kput (k, vs) -> Hashtbl.replace tbl k vs
+  | Kdel k -> Hashtbl.remove tbl k
+
+(* Recovery oracle shared by the local and the replicated KV sweeps:
+   re-attach the *service* on [env]'s surviving heap — running the
+   intent replay/rollback — then check three things: the allocator is
+   still sane after replay mutated it, the store matches the acked
+   prefix of [plan] applied over [preload] exactly, and the one
+   in-flight operation is atomic (its key reads as either the pre- or
+   the post-state, never a torn value). *)
+let kv_prefix_oracle ~oname ~preload ~plan ~acked =
+  { oname;
+    check =
+      (fun env ->
+        let inst = Poseidon.instance env.heap in
+        match Service.Kv.attach inst with
+        | exception e ->
+          Error ("service recovery raised: " ^ Printexc.to_string e)
+        | s2, _recovery -> (
+          (* replay mutated the heap; it must still be self-consistent *)
+          match H.check_invariants env.heap with
+          | exception Poseidon.Subheap.Invariant_violation m ->
+            Error ("post-replay invariants: " ^ m)
+          | () ->
+            if not (H.logs_quiescent env.heap) then
+              Error "post-replay logs not quiescent"
+            else begin
+              let live = (H.stats env.heap).H.live_bytes
+              and free = (H.stats env.heap).H.free_bytes
+              and cap = H.data_capacity env.heap in
+              if live + free <> cap then
+                Error
+                  (Printf.sprintf
+                     "post-replay leak: live %d + free %d <> capacity %d"
+                     live free cap)
+              else begin
+                Service.Kv.check s2;
+                let pre = Hashtbl.create 32 in
+                List.iter (fun (k, vs) -> Hashtbl.replace pre k vs) preload;
+                List.iteri
+                  (fun i o -> if i < !acked then apply_kv pre o)
+                  plan;
+                let in_flight =
+                  if !acked < List.length plan then
+                    Some (List.nth plan !acked)
+                  else None
+                in
+                let post = Hashtbl.copy pre in
+                Option.iter (apply_kv post) in_flight;
+                let in_flight_key =
+                  match in_flight with
+                  | Some (Kput (k, _)) | Some (Kdel k) -> Some k
+                  | None -> None
+                in
+                let keys = Hashtbl.create 32 in
+                Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) pre;
+                Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) post;
+                Option.iter (fun k -> Hashtbl.replace keys k ()) in_flight_key;
+                let cks vs = Service.Kv.value_checksum s2 ~vseed:vs in
+                let err = ref None in
+                Hashtbl.iter
+                  (fun k () ->
+                    if !err = None then begin
+                      let got = Service.Kv.get s2 ~key:k in
+                      let want_pre =
+                        Option.map cks (Hashtbl.find_opt pre k)
+                      and want_post =
+                        Option.map cks (Hashtbl.find_opt post k)
+                      in
+                      let ok =
+                        if in_flight_key = Some k then
+                          got = want_pre || got = want_post
+                        else got = want_pre
+                      in
+                      if not ok then
+                        err :=
+                          Some
+                            (Printf.sprintf
+                               "key %d: recovered store disagrees with the \
+                                acked-prefix ledger (%d op(s) acked)"
+                               k !acked)
+                    end)
+                  keys;
+                match !err with Some m -> Error m | None -> Ok ()
+              end
+            end)) }
+
 (* Drive the KV store's write path through the sweep.  The ledger
    snapshots [live_bytes] after each completed operation, so [slack]
    only has to cover the single in-flight op: one value block, one
-   possible tree-node split and one not-yet-freed old value.
-
-   The extra oracle re-attaches the *service* on the recovered heap —
-   running the intent replay/rollback — and then checks three things:
-   the allocator is still sane after replay mutated it, the store
-   matches the acked prefix of the plan exactly, and the one in-flight
-   operation is atomic (its key reads as either the pre- or the
-   post-state, never a torn value). *)
+   possible tree-node split and one not-yet-freed old value. *)
 let scn_kv ~sname ~preload ~plan () =
   let svc = ref None in
   let acked = ref 0 in
@@ -459,88 +566,7 @@ let scn_kv ~sname ~preload ~plan () =
         env.ledger.durable <- (H.stats env.heap).H.live_bytes)
       plan
   in
-  let apply tbl = function
-    | Kput (k, vs) -> Hashtbl.replace tbl k vs
-    | Kdel k -> Hashtbl.remove tbl k
-  in
-  let o_kv =
-    { oname = "kv-store";
-      check =
-        (fun env ->
-          let inst = Poseidon.instance env.heap in
-          match Service.Kv.attach inst with
-          | exception e ->
-            Error ("service recovery raised: " ^ Printexc.to_string e)
-          | s2, _recovery -> (
-            (* replay mutated the heap; it must still be self-consistent *)
-            match H.check_invariants env.heap with
-            | exception Poseidon.Subheap.Invariant_violation m ->
-              Error ("post-replay invariants: " ^ m)
-            | () ->
-              if not (H.logs_quiescent env.heap) then
-                Error "post-replay logs not quiescent"
-              else begin
-                let live = (H.stats env.heap).H.live_bytes
-                and free = (H.stats env.heap).H.free_bytes
-                and cap = H.data_capacity env.heap in
-                if live + free <> cap then
-                  Error
-                    (Printf.sprintf
-                       "post-replay leak: live %d + free %d <> capacity %d"
-                       live free cap)
-                else begin
-                  Service.Kv.check s2;
-                  let pre = Hashtbl.create 32 in
-                  List.iter (fun (k, vs) -> Hashtbl.replace pre k vs) preload;
-                  List.iteri
-                    (fun i o -> if i < !acked then apply pre o)
-                    plan;
-                  let in_flight =
-                    if !acked < List.length plan then
-                      Some (List.nth plan !acked)
-                    else None
-                  in
-                  let post = Hashtbl.copy pre in
-                  Option.iter (apply post) in_flight;
-                  let in_flight_key =
-                    match in_flight with
-                    | Some (Kput (k, _)) | Some (Kdel k) -> Some k
-                    | None -> None
-                  in
-                  let keys = Hashtbl.create 32 in
-                  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) pre;
-                  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) post;
-                  Option.iter (fun k -> Hashtbl.replace keys k ()) in_flight_key;
-                  let cks vs = Service.Kv.value_checksum s2 ~vseed:vs in
-                  let err = ref None in
-                  Hashtbl.iter
-                    (fun k () ->
-                      if !err = None then begin
-                        let got = Service.Kv.get s2 ~key:k in
-                        let want_pre =
-                          Option.map cks (Hashtbl.find_opt pre k)
-                        and want_post =
-                          Option.map cks (Hashtbl.find_opt post k)
-                        in
-                        let ok =
-                          if in_flight_key = Some k then
-                            got = want_pre || got = want_post
-                          else got = want_pre
-                        in
-                        if not ok then
-                          err :=
-                            Some
-                              (Printf.sprintf
-                                 "key %d: recovered store disagrees with the \
-                                  acked-prefix ledger (%d op(s) acked)"
-                                 k !acked)
-                      end)
-                    keys;
-                  match !err with Some m -> Error m | None -> Ok ()
-                end
-              end))
-    }
-  in
+  let o_kv = kv_prefix_oracle ~oname:"kv-store" ~preload ~plan ~acked in
   { sname; setup; op; extra_oracles = [ o_kv ] }
 
 let scn_kv_put () =
@@ -559,9 +585,89 @@ let scn_kv_delete () =
     ~plan:[ Kdel 2; Kdel 5; Kput (5, 222); Kdel 7; Kdel 99; Kdel 3; Kdel 5 ]
     ()
 
+(* Sweep the full sync-replication pipeline: primary local persist →
+   ship over the link → backup apply/persist → cumulative ack.  Two
+   machines (two devices — the primary's rides in [aux_devs], so its
+   fences interleave into the same point space), one {!Cluster.Link},
+   the real {!Replica} shipper/applier.  The whole cluster loses power
+   at each point; recovery attaches the BACKUP ([env.mach]) — primary
+   loss is the failure replication exists for — and the oracle asserts
+   the backup store equals the acked prefix: any write acked in sync
+   mode survives the primary's death, and the in-flight record is
+   atomic (pre- or post-state, never torn). *)
+let scn_kv_replicated_put () =
+  let preload = [ (1, 131); (2, 132); (3, 133); (4, 134) ] in
+  let plan = [ Kput (3, 301); Kput (9, 302); Kdel 2; Kput (10, 303) ] in
+  let state = ref None in
+  let acked = ref 0 in
+  let setup () =
+    (* backup first: it is the env the sweep recovers and checks *)
+    let env = mk_env () in
+    env.ledger.slack <- 4096;
+    let svc_b =
+      Service.Kv.create (Poseidon.instance env.heap) ~shards:2 ~value_size:64
+    in
+    let penv = mk_env () in
+    let svc_p =
+      Service.Kv.create (Poseidon.instance penv.heap) ~shards:2 ~value_size:64
+    in
+    List.iter
+      (fun (k, vs) ->
+        if
+          not
+            (Service.Kv.put svc_p ~key:k ~vseed:vs
+            && Service.Kv.put svc_b ~key:k ~vseed:vs)
+        then failwith "kv-replicated scenario: preload put failed")
+      preload;
+    let link = Cluster.Link.create () in
+    let rcfg = { Replica.default_config with Replica.window = 8 } in
+    let shipper = Replica.Shipper.create rcfg ~shards:2 ~link in
+    let applier =
+      Replica.Applier.create rcfg ~shards:2 ~link
+        ~apply:(fun ~shard:_ op ->
+          match op with
+          | Replica.Put { key; vseed } ->
+            ignore (Service.Kv.put svc_b ~key ~vseed)
+          | Replica.Del { key } -> ignore (Service.Kv.delete svc_b ~key))
+    in
+    state := Some (svc_p, shipper, applier, link);
+    acked := 0;
+    env.aux_devs <- [ Machine.dev penv.mach ];
+    Memdev.drain (Machine.dev penv.mach);
+    env.ledger.durable <- (H.stats env.heap).H.live_bytes;
+    finish_setup env
+  in
+  let op env =
+    let svc_p, shipper, applier, link = Option.get !state in
+    List.iter
+      (fun o ->
+        (* 1. primary local persist *)
+        (match o with
+         | Kput (k, vs) -> ignore (Service.Kv.put svc_p ~key:k ~vseed:vs)
+         | Kdel k -> ignore (Service.Kv.delete svc_p ~key:k));
+        let key, rop =
+          match o with
+          | Kput (k, vs) -> (k, Replica.Put { key = k; vseed = vs })
+          | Kdel k -> (k, Replica.Del { key = k })
+        in
+        let shard = Service.Kv.shard_of_key svc_p key in
+        (* 2. ship; 3. backup applies + persists; 4. wait for the ack *)
+        let seq = Replica.Shipper.ship shipper ~shard rop in
+        Replica.Applier.pump applier ~until:(fun () ->
+            Cluster.Link.pending link ~ep:Replica.backup_ep = 0);
+        if not (Replica.Shipper.wait_acked shipper ~shard ~seq ~deadline:0)
+        then failwith "kv-replicated scenario: sync ack lost on clean run";
+        incr acked;
+        env.ledger.durable <- (H.stats env.heap).H.live_bytes)
+      plan
+  in
+  let o_kv = kv_prefix_oracle ~oname:"kv-replica" ~preload ~plan ~acked in
+  { sname = "kv-replicated-put"; setup; op; extra_oracles = [ o_kv ] }
+
 let all_scenarios () =
   [ scn_alloc (); scn_free (); scn_tx_commit (); scn_tx_abort ();
-    scn_extend (); scn_kv_put (); scn_kv_delete () ]
+    scn_extend (); scn_kv_put (); scn_kv_delete ();
+    scn_kv_replicated_put () ]
 
 let scenario_by_name = function
   | "alloc" -> Some (scn_alloc ())
@@ -571,5 +677,6 @@ let scenario_by_name = function
   | "extend" -> Some (scn_extend ())
   | "kv-put" -> Some (scn_kv_put ())
   | "kv-delete" -> Some (scn_kv_delete ())
+  | "kv-replicated-put" -> Some (scn_kv_replicated_put ())
   | "broken" -> Some (scn_broken_missing_flush ())
   | _ -> None

@@ -56,6 +56,13 @@ type env = {
   mutable heap : Poseidon.Heap.t;
       (** replaced by the recovered heap after crash + attach *)
   ledger : ledger;
+  mutable aux_devs : Nvmm.Memdev.t list;
+      (** devices of {e other} machines a multi-machine scenario
+          involves (e.g. the replication primary).  Their fences count
+          into the same persistence-point space, and {!check_point}
+          crashes them at the same instant as [mach]'s device — a
+          correlated cluster-wide power loss.  Empty for the
+          single-machine scenarios. *)
 }
 
 type oracle = {
@@ -149,9 +156,11 @@ val pp_report : Format.formatter -> report -> unit
 
 (** {2 Built-in scenarios}
 
-    Five operation paths over a deliberately small heap (one CPU,
-    64 KiB of sub-heap data) so exhaustive enumeration stays cheap,
-    plus a deliberately broken protocol for mutation sanity checks. *)
+    Operation paths over a deliberately small heap (one CPU, 64 KiB of
+    sub-heap data) so exhaustive enumeration stays cheap, plus a
+    deliberately broken protocol for mutation sanity checks.  The KV
+    scenarios drive the {!Service.Kv} intent protocol; the replicated
+    one adds a second machine and the {!Replica} shipping pipeline. *)
 
 val scn_alloc : unit -> scenario
 (** Mixed-size singleton allocations (split paths included). *)
@@ -169,6 +178,24 @@ val scn_extend : unit -> scenario
 (** Tiny allocations against a tiny hash level 0, forcing sub-heap
     hash-table extension (§5.2 growth path). *)
 
+val scn_kv_put : unit -> scenario
+(** KV puts (inserts + overwrites) through the intent protocol; the
+    recovered store must equal the acked prefix of the plan, with the
+    one in-flight put atomic. *)
+
+val scn_kv_delete : unit -> scenario
+(** KV deletes (present, absent and re-inserted keys) under the same
+    acked-prefix oracle. *)
+
+val scn_kv_replicated_put : unit -> scenario
+(** Sync replication over a two-machine cluster: each op persists on
+    the primary, ships over a {!Cluster.Link}, is applied/persisted on
+    the backup and cumulatively acked — and the sweep crashes the
+    whole cluster at every fence of that pipeline (both devices' fence
+    streams share one point space via [aux_devs]).  Recovery attaches
+    the {e backup}; the oracle asserts every sync-acked write is
+    readable there after primary loss. *)
+
 val scn_broken_missing_flush : unit -> scenario
 (** Mutation sanity check: a two-line "write data, persist commit
     flag" protocol that {e forgets the clwb on the data line}.  Its
@@ -176,8 +203,8 @@ val scn_broken_missing_flush : unit -> scenario
     the checker must report a counterexample at the flag's fence. *)
 
 val all_scenarios : unit -> scenario list
-(** The five correct scenarios (not the broken one). *)
+(** Every correct scenario (not the broken one). *)
 
 val scenario_by_name : string -> scenario option
 (** ["alloc" | "free" | "tx-commit" | "tx-abort" | "extend" |
-    "broken"]. *)
+    "kv-put" | "kv-delete" | "kv-replicated-put" | "broken"]. *)

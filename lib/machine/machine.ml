@@ -49,7 +49,7 @@ type t = {
   transfer_remote : int;
 }
 
-let create ?(cfg = Config.default) () =
+let create ?(cfg = Config.default) ?engine () =
   Config.validate cfg;
   (* traced events carry the NUMA node of their CPU *)
   Obs.Trace.set_node_of_cpu (fun cpu ->
@@ -61,7 +61,7 @@ let create ?(cfg = Config.default) () =
   in
   let scale ns = int_of_float (float_of_int ns *. cfg.remote_numa_mult) in
   { config = cfg;
-    engine_ = Sched.create ();
+    engine_ = (match engine with Some e -> e | None -> Sched.create ());
     dev_ = Memdev.create ();
     mpk_ = Mpk.create ();
     caches = Array.init cfg.num_cpus mk_cache;

@@ -22,7 +22,12 @@ type t
 
 type addr = int
 
-val create : ?cfg:Config.t -> unit -> t
+val create : ?cfg:Config.t -> ?engine:Simcore.Sched.t -> unit -> t
+(** [engine] lets several machines share one discrete-event engine —
+    the multi-machine (cluster) setup, where threads of every machine
+    interleave on one simulated timeline.  Default: a private engine,
+    the single-machine case.  Each machine keeps its own device, MPK
+    unit, caches and cost accounting either way. *)
 
 val cfg : t -> Config.t
 val engine : t -> Simcore.Sched.t

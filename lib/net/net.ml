@@ -14,6 +14,8 @@ type 'a port = {
   mutable enqueued : int;
   mutable rejected : int;
   mutable delivered : int;
+  mutable dropped : int;
+  mutable duplicated : int;
   mutable max_depth : int;
 }
 
@@ -24,10 +26,18 @@ type 'a t = {
   remote_ns : int;
   send_cpu_ns : int;
   poll_ns : int;
+  drop_pct : int;
+  dup_pct : int;
+  fault_rng : Repro_util.Prng.t;
 }
 
 let create mach ~ports ?(local_ns = 1_500) ?remote_ns ?(send_cpu_ns = 300)
-    ?(poll_ns = 500) () =
+    ?(poll_ns = 500) ?(drop_pct = 0) ?(dup_pct = 0) ?(fault_seed = 0xFA17) ()
+    =
+  if drop_pct < 0 || drop_pct >= 100 then
+    invalid_arg "Net.create: drop_pct must be in [0, 100)";
+  if dup_pct < 0 || dup_pct > 100 then
+    invalid_arg "Net.create: dup_pct must be in [0, 100]";
   let cfg = Machine.cfg mach in
   let remote_ns =
     match remote_ns with
@@ -45,10 +55,14 @@ let create mach ~ports ?(local_ns = 1_500) ?remote_ns ?(send_cpu_ns = 300)
           enqueued = 0;
           rejected = 0;
           delivered = 0;
+          dropped = 0;
+          duplicated = 0;
           max_depth = 0 })
       ports
   in
-  { mach; ports; local_ns; remote_ns; send_cpu_ns; poll_ns }
+  { mach; ports; local_ns; remote_ns; send_cpu_ns; poll_ns;
+    drop_pct; dup_pct;
+    fault_rng = Repro_util.Prng.create fault_seed }
 
 let latency t ~src_cpu ~dst_cpu =
   let cfg = Machine.cfg t.mach in
@@ -67,11 +81,28 @@ let try_send t ~dst payload =
     let now = if in_sim then Sched.now () else 0 in
     let src_cpu = if in_sim then Sched.cpu () else Machine.main_thread in
     let lat = if in_sim then latency t ~src_cpu ~dst_cpu:p.cpu else 0 in
-    Queue.push { payload; sent_at = now; delivered_at = now + lat; src_cpu }
-      p.q;
     p.enqueued <- p.enqueued + 1;
-    let depth = Queue.length p.q in
-    if depth > p.max_depth then p.max_depth <- depth;
+    (* Fault injection (lossy links for replication testing).  On a
+       clean network (both percentages 0, the default) the PRNG is
+       never consulted, keeping behaviour bit-identical. *)
+    let faulty = t.drop_pct > 0 || t.dup_pct > 0 in
+    if faulty && Repro_util.Prng.int t.fault_rng 100 < t.drop_pct then
+      (* Wire loss is invisible to the sender: still [true]. *)
+      p.dropped <- p.dropped + 1
+    else begin
+      let m = { payload; sent_at = now; delivered_at = now + lat; src_cpu } in
+      Queue.push m p.q;
+      if
+        faulty
+        && Queue.length p.q < p.capacity
+        && Repro_util.Prng.int t.fault_rng 100 < t.dup_pct
+      then begin
+        p.duplicated <- p.duplicated + 1;
+        Queue.push m p.q
+      end;
+      let depth = Queue.length p.q in
+      if depth > p.max_depth then p.max_depth <- depth
+    end;
     true
   end
 
@@ -109,6 +140,8 @@ type port_stats = {
   enqueued : int;
   rejected : int;
   delivered : int;
+  dropped : int;
+  duplicated : int;
   max_depth : int;
 }
 
@@ -117,6 +150,8 @@ let stats t ~port =
   { enqueued = p.enqueued;
     rejected = p.rejected;
     delivered = p.delivered;
+    dropped = p.dropped;
+    duplicated = p.duplicated;
     max_depth = p.max_depth }
 
 module Loadgen = struct

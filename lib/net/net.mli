@@ -31,6 +31,9 @@ val create :
   ?remote_ns:int ->
   ?send_cpu_ns:int ->
   ?poll_ns:int ->
+  ?drop_pct:int ->
+  ?dup_pct:int ->
+  ?fault_seed:int ->
   unit ->
   'a t
 (** [create mach ~ports ()] builds a network with [Array.length ports]
@@ -40,11 +43,21 @@ val create :
     (default [local_ns *. remote_numa_mult] from the machine config);
     [send_cpu_ns] the sender-side CPU charge (default 300 ns);
     [poll_ns] the empty-queue polling quantum of {!recv_wait}
-    (default 500 ns). *)
+    (default 500 ns).
+
+    [drop_pct]/[dup_pct] inject seeded wire faults into {!try_send}: a
+    send may be silently lost (the sender still sees [true] — loss on
+    the wire is not observable at the sender) or delivered twice (the
+    copy enqueued right behind the original).  [drop_pct] must stay
+    below 100 — an always-dropping link cannot carry a protocol.  Both
+    default to 0, in which case the fault PRNG ([fault_seed]) is never
+    consulted and behaviour is bit-identical to a fault-free build. *)
 
 val try_send : 'a t -> dst:int -> 'a -> bool
 (** Enqueue for port [dst]; [false] if its queue is full (the message
-    is dropped — admission control; the drop is counted). *)
+    is dropped — admission control; the drop is counted).  With fault
+    injection enabled the message may instead be silently lost or
+    duplicated, counted in {!port_stats}. *)
 
 val recv : 'a t -> port:int -> 'a msg option
 (** Dequeue the head of [port]'s queue if it has been delivered
@@ -64,6 +77,8 @@ type port_stats = {
   enqueued : int; (** accepted by {!try_send} *)
   rejected : int; (** refused: queue full *)
   delivered : int; (** handed to the reader by [recv]/[recv_wait] *)
+  dropped : int; (** fault-injected wire losses *)
+  duplicated : int; (** fault-injected duplicate deliveries *)
   max_depth : int; (** high-water queue depth *)
 }
 

@@ -1,0 +1,247 @@
+module Sched = Simcore.Sched
+module Link = Cluster.Link
+
+type op =
+  | Put of { key : int; vseed : int }
+  | Del of { key : int }
+
+type mode = Sync | Async
+
+type msg =
+  | Rec of { shard : int; seq : int; op : op }
+  | Ack of { shard : int; seq : int }
+
+(* Wire convention: records flow toward link endpoint 1 (the backup),
+   cumulative acks flow back toward endpoint 0 (the primary). *)
+let backup_ep = 1
+let primary_ep = 0
+
+type config = {
+  mode : mode;
+  window : int;
+  retransmit_ns : int;
+  poll_ns : int;
+}
+
+let default_config =
+  { mode = Sync; window = 64; retransmit_ns = 120_000; poll_ns = 400 }
+
+let now_or_zero () = if Sched.in_simulation () then Sched.now () else 0
+
+let poll_wait cfg =
+  (* Outside the simulation time does not advance on its own, so a
+     poll loop would spin forever; callers there drive both sides by
+     hand and loops bail out instead of sleeping. *)
+  if Sched.in_simulation () then Sched.sleep cfg.poll_ns
+
+module Shipper = struct
+  type t = {
+    cfg : config;
+    link : msg Link.t;
+    next_seq : int array;
+    acked_ : int array; (* highest cumulative ack, -1 initially *)
+    unacked : (int * op) Queue.t array; (* (seq, op), oldest first *)
+    last_tx : int array; (* last (re)transmission time of the tail *)
+    mutable shipped_ : int;
+    mutable retransmits_ : int;
+    mutable max_lag_ : int;
+  }
+
+  let create cfg ~shards ~link =
+    if shards < 1 then invalid_arg "Shipper.create: shards < 1";
+    if cfg.window < 1 then invalid_arg "Shipper.create: window < 1";
+    {
+      cfg;
+      link;
+      next_seq = Array.make shards 0;
+      acked_ = Array.make shards (-1);
+      unacked = Array.init shards (fun _ -> Queue.create ());
+      last_tx = Array.make shards 0;
+      shipped_ = 0;
+      retransmits_ = 0;
+      max_lag_ = 0;
+    }
+
+  let acked t ~shard = t.acked_.(shard)
+  let lag t ~shard = Queue.length t.unacked.(shard)
+  let shipped t = t.shipped_
+  let retransmits t = t.retransmits_
+  let max_lag t = t.max_lag_
+
+  (* Drop acked records off the head of the unacked buffer. *)
+  let absorb_ack t shard seq =
+    if seq > t.acked_.(shard) then begin
+      t.acked_.(shard) <- seq;
+      let q = t.unacked.(shard) in
+      let continue = ref true in
+      while !continue do
+        match Queue.peek_opt q with
+        | Some (s, _) when s <= seq -> ignore (Queue.pop q)
+        | _ -> continue := false
+      done
+    end
+
+  let drain_acks t =
+    let continue = ref true in
+    while !continue do
+      match Link.recv t.link ~ep:primary_ep with
+      | Some { payload = Ack { shard; seq }; _ } -> absorb_ack t shard seq
+      | Some _ -> () (* a record echoed back: impossible by convention *)
+      | None -> continue := false
+    done
+
+  let all_acked t =
+    Array.for_all (fun q -> Queue.is_empty q) t.unacked
+
+  let ship t ~shard op =
+    (* Window admission: bounds unacked records, i.e. the async-mode
+       replication lag.  The handler polls; acks are drained here too
+       so progress does not depend on the pump thread's schedule. *)
+    while Queue.length t.unacked.(shard) >= t.cfg.window do
+      drain_acks t;
+      if Queue.length t.unacked.(shard) >= t.cfg.window then
+        poll_wait t.cfg
+    done;
+    let seq = t.next_seq.(shard) in
+    t.next_seq.(shard) <- seq + 1;
+    Queue.add (seq, op) t.unacked.(shard);
+    let l = Queue.length t.unacked.(shard) in
+    if l > t.max_lag_ then t.max_lag_ <- l;
+    t.shipped_ <- t.shipped_ + 1;
+    t.last_tx.(shard) <- now_or_zero ();
+    ignore (Link.send t.link ~dst:backup_ep (Rec { shard; seq; op }));
+    seq
+
+  let wait_acked t ~shard ~seq ~deadline =
+    let rec loop () =
+      drain_acks t;
+      if t.acked_.(shard) >= seq then true
+      else if Sched.in_simulation () && Sched.now () >= deadline then false
+      else if not (Sched.in_simulation ()) then
+        (* outside the simulation nothing can arrive while we spin *)
+        t.acked_.(shard) >= seq
+      else begin
+        poll_wait t.cfg;
+        loop ()
+      end
+    in
+    loop ()
+
+  (* Go-back-N: when the oldest unacked record of a shard has waited a
+     full timeout, put the whole tail back on the wire. *)
+  let retransmit_due t =
+    let now = now_or_zero () in
+    Array.iteri
+      (fun shard q ->
+        if
+          (not (Queue.is_empty q))
+          && now - t.last_tx.(shard) >= t.cfg.retransmit_ns
+        then begin
+          t.last_tx.(shard) <- now;
+          Queue.iter
+            (fun (seq, op) ->
+              t.retransmits_ <- t.retransmits_ + 1;
+              ignore
+                (Link.send t.link ~dst:backup_ep (Rec { shard; seq; op })))
+            q
+        end)
+      t.unacked
+
+  let pump t ~until ~deadline =
+    let rec loop () =
+      drain_acks t;
+      retransmit_due t;
+      let done_ = until () && all_acked t in
+      if done_ then ()
+      else if Sched.in_simulation () && Sched.now () >= deadline then ()
+      else if not (Sched.in_simulation ()) then ()
+      else begin
+        poll_wait t.cfg;
+        loop ()
+      end
+    in
+    loop ()
+end
+
+module Applier = struct
+  type t = {
+    cfg : config;
+    link : msg Link.t;
+    apply : shard:int -> op -> unit;
+    on_apply : lat_ns:int -> unit;
+    expected_ : int array; (* next sequence number accepted per shard *)
+    mutable applied_ : int;
+  }
+
+  let create ?(on_apply = fun ~lat_ns:_ -> ()) cfg ~shards ~link ~apply =
+    if shards < 1 then invalid_arg "Applier.create: shards < 1";
+    {
+      cfg;
+      link;
+      apply;
+      on_apply;
+      expected_ = Array.make shards 0;
+      applied_ = 0;
+    }
+
+  let applied t = t.applied_
+  let expected t ~shard = t.expected_.(shard)
+
+  let ack t shard =
+    ignore
+      (Link.send t.link ~dst:primary_ep
+         (Ack { shard; seq = t.expected_.(shard) - 1 }))
+
+  let handle ?(ack_back = true) ?(sent_at = 0) t = function
+    | Ack _ -> () (* impossible by convention *)
+    | Rec { shard; seq; op } ->
+        if seq = t.expected_.(shard) then begin
+          t.apply ~shard op;
+          t.expected_.(shard) <- seq + 1;
+          t.applied_ <- t.applied_ + 1;
+          if Sched.in_simulation () then
+            t.on_apply ~lat_ns:(Sched.now () - sent_at);
+          if ack_back then ack t shard
+        end
+        else if seq < t.expected_.(shard) then begin
+          (* duplicate or retransmission of applied data: re-ack so the
+             shipper's window can advance *)
+          if ack_back then ack t shard
+        end
+        else
+          (* gap — an earlier record was lost; go-back-N means we drop
+             this and re-ack the last good one to hurry the resend *)
+          if ack_back then ack t shard
+
+  let pump t ~until =
+    let rec loop () =
+      (match Link.recv t.link ~ep:backup_ep with
+      | Some { payload; sent_at; _ } ->
+          handle ~sent_at t payload;
+          loop ()
+      | None ->
+          if until () then ()
+          else if not (Sched.in_simulation ()) then ()
+          else begin
+            poll_wait t.cfg;
+            loop ()
+          end)
+    in
+    loop ()
+
+  let seal_and_replay t ~sealed_at =
+    let before = t.applied_ in
+    let continue = ref true in
+    while !continue do
+      match Link.recv t.link ~ep:backup_ep with
+      | Some { payload; delivered_at; _ } ->
+          (* Only what the wire had delivered when the primary died is
+             ours; later timestamps are in-flight data that died with
+             it.  (recv already gates on delivery time inside the
+             simulation; the explicit check also covers post-run
+             draining outside it.) *)
+          if delivered_at <= sealed_at then handle ~ack_back:false t payload
+      | None -> continue := false
+    done;
+    t.applied_ - before
+end

@@ -1,0 +1,125 @@
+(** Primary/backup log shipping over a {!Cluster.Link}.
+
+    The primary frames each shard's mutations — the same
+    PUT_INTENT/PUT_COMMITTED/DEL_INTENT operations the local store
+    already makes durable — with a dense per-shard sequence number and
+    ships them to a backup machine, which applies them {e in order}
+    into its own persistent store through a caller-supplied callback
+    (on poseidon-kv: the identical [Alloc_intf] transaction + B+-tree
+    path) and returns cumulative acknowledgements.
+
+    Loss handling is go-back-N: the shipper keeps every unacknowledged
+    record buffered and retransmits the whole tail when the oldest one
+    times out; the applier accepts only the exact next sequence number
+    per shard, re-acks duplicates and discards out-of-order arrivals.
+    The unacked window is bounded, which in [Async] mode {e is} the
+    replication-lag bound; in [Sync] mode the caller additionally
+    waits per record ({!Shipper.wait_acked}) before acking its client.
+
+    This module knows nothing about the store: records carry abstract
+    [(key, vseed)] payloads and application is a closure, so the
+    service layer composes it with {!Service.Kv} without a dependency
+    cycle. *)
+
+type op =
+  | Put of { key : int; vseed : int }
+  | Del of { key : int }
+
+type mode = Sync | Async
+
+type msg
+(** Wire messages (records toward endpoint 1, acks toward endpoint 0);
+    abstract — create the link as [msg Cluster.Link.t] and hand it to
+    both sides. *)
+
+val primary_ep : int
+(** Link endpoint the primary reads (acks travel toward it): 0. *)
+
+val backup_ep : int
+(** Link endpoint the backup reads (records travel toward it): 1. *)
+
+type config = {
+  mode : mode;
+  window : int;  (** max unacked records per shard (async lag bound) *)
+  retransmit_ns : int;  (** tail-retransmit timeout *)
+  poll_ns : int;  (** CPU charged per empty poll iteration *)
+}
+
+val default_config : config
+(** [Sync], window 64, retransmit 120_000 ns (≳ 2 RTTs on the default
+    20 µs wire), poll 400 ns. *)
+
+module Shipper : sig
+  type t
+
+  val create : config -> shards:int -> link:msg Cluster.Link.t -> t
+
+  val ship : t -> shard:int -> op -> int
+  (** Called by the shard's handler thread after the local persist.
+      Assigns the next sequence number, buffers the record and puts it
+      on the wire; blocks (polling) while the shard's unacked window
+      is full.  Returns the assigned sequence number. *)
+
+  val wait_acked : t -> shard:int -> seq:int -> deadline:int -> bool
+  (** Sync mode: poll until the backup's cumulative ack covers [seq];
+      [false] if simulated time passes [deadline] first. *)
+
+  val pump : t -> until:(unit -> bool) -> deadline:int -> unit
+  (** Replication-thread body: drain acks, retransmit timed-out tails.
+      Returns once [until ()] holds and every shipped record is acked,
+      or at [deadline] (abandoning any still-unacked tail). *)
+
+  val acked : t -> shard:int -> int
+  (** Highest cumulatively acked sequence number for [shard]; -1
+      initially. *)
+
+  val lag : t -> shard:int -> int
+  (** Records currently shipped but unacked. *)
+
+  val shipped : t -> int
+
+  val retransmits : t -> int
+
+  val max_lag : t -> int
+  (** Largest unacked count observed on any shard — the empirical
+      replication lag, ≤ [window] by construction. *)
+end
+
+module Applier : sig
+  type t
+
+  val create :
+    ?on_apply:(lat_ns:int -> unit) ->
+    config ->
+    shards:int ->
+    link:msg Cluster.Link.t ->
+    apply:(shard:int -> op -> unit) ->
+    t
+  (** [apply] must make the record durable before returning — the ack
+      sent on its return is what [Sync] mode's guarantee rests on.
+      [on_apply] observes each in-order application with its wire +
+      apply latency (ship to applied, simulated ns) — the replication
+      lag as seen at the backup; only called inside the simulation. *)
+
+  val pump : t -> until:(unit -> bool) -> unit
+  (** Applier-thread body: receive records, apply in-sequence ones,
+      ack cumulatively.  Returns when [until ()] holds (primary
+      finished or declared dead) — without draining: failover decides
+      separately what to do with the tail, see {!seal_and_replay}. *)
+
+  val seal_and_replay : t -> sealed_at:int -> int
+  (** Failover: consume every record the wire had {e delivered} by
+      [sealed_at] (the seal point — typically promote start), apply
+      the in-sequence tail, and return how many tail records were
+      replayed.  Later arrivals are beyond the sealed log and are
+      discarded: none of them was ever acknowledged, since an ack
+      implies the backup already applied the record, so no durability
+      promise attaches to them.  No acks are sent — there is no one
+      left to hear them. *)
+
+  val applied : t -> int
+  (** Total records applied (tail replay included). *)
+
+  val expected : t -> shard:int -> int
+  (** Next sequence number the applier will accept for [shard]. *)
+end

@@ -378,3 +378,462 @@ let run ~make ~reattach cfg =
     ledger = ledger_rep;
     in_flight_at_crash;
     queue_max_depth = !queue_max_depth }
+
+(* ------------------------------------------------------------------ *)
+(* Replicated serving: primary + backup on a two-machine cluster.     *)
+(* ------------------------------------------------------------------ *)
+
+type repl_config = {
+  repl_mode : Replica.mode;
+  wire_ns : int;
+  repl_window : int;
+  retransmit_ns : int;
+  link_drop_pct : int;
+  link_dup_pct : int;
+}
+
+let default_repl_config =
+  { repl_mode = Replica.Sync;
+    wire_ns = 20_000;
+    repl_window = 64;
+    retransmit_ns = 120_000;
+    link_drop_pct = 0;
+    link_dup_pct = 0 }
+
+type repl_result = {
+  base : result;
+  shipped : int;
+  acked_records : int;
+  retransmits : int;
+  max_lag : int;
+  link_dropped : int;
+  link_duplicated : int;
+  backup_applied : int;
+  tail_replayed : int;
+  backup_ledger : ledger_report option;
+  sync : bool;
+}
+
+let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
+  if cfg.shards < 1 || cfg.clients < 1 then
+    invalid_arg "Server.run_replicated: shards and clients must be >= 1";
+  if cfg.rate <= 0. || cfg.duration <= 0. then
+    invalid_arg "Server.run_replicated: rate and duration must be positive";
+  if cfg.read_pct + cfg.delete_pct + cfg.scan_pct > 100 then
+    invalid_arg "Server.run_replicated: op mix exceeds 100%";
+  (match cfg.crash_at with
+   | Some f when f <= 0. || f >= 1. ->
+     invalid_arg "Server.run_replicated: crash_at must be in (0, 1)"
+   | _ -> ());
+  if rcfg.wire_ns < 1 then
+    invalid_arg "Server.run_replicated: wire_ns < 1";
+  let sync = rcfg.repl_mode = Replica.Sync in
+
+  let cluster = Cluster.create ~cfg:mcfg ~machines:2 () in
+  let primary = Cluster.machine cluster 0 in
+  let backup = Cluster.machine cluster 1 in
+  let ncpu = mcfg.Machine.Config.num_cpus in
+  if cfg.shards > ncpu then
+    invalid_arg "Server.run_replicated: more shards than CPUs";
+  let svc = Kv.create (make primary) ~shards:cfg.shards ~value_size:cfg.value_size in
+  let svc_b = Kv.create (make backup) ~shards:cfg.shards ~value_size:cfg.value_size in
+
+  (* identical durable baseline on both machines *)
+  let preload_n = min cfg.preload cfg.keyspace in
+  for k = 1 to preload_n do
+    if not (Kv.put svc ~key:k ~vseed:k && Kv.put svc_b ~key:k ~vseed:k) then
+      failwith "Server.run_replicated: preload exhausted the heap"
+  done;
+  Nvmm.Memdev.drain (Machine.dev primary);
+  Nvmm.Memdev.drain (Machine.dev backup);
+
+  let link : Replica.msg Cluster.Link.t =
+    Cluster.Link.create ~wire_ns:rcfg.wire_ns ~capacity:1024
+      ~drop_pct:rcfg.link_drop_pct ~dup_pct:rcfg.link_dup_pct
+      ~seed:(cfg.seed lxor 0x5EA) ()
+  in
+  let repl_cfg =
+    { Replica.mode = rcfg.repl_mode;
+      window = rcfg.repl_window;
+      retransmit_ns = rcfg.retransmit_ns;
+      poll_ns = 400 }
+  in
+  let shipper = Replica.Shipper.create repl_cfg ~shards:cfg.shards ~link in
+  let repl_lag_h = Hist.create () in
+  let applier =
+    Replica.Applier.create repl_cfg ~shards:cfg.shards ~link
+      ~on_apply:(fun ~lat_ns -> Hist.record repl_lag_h lat_ns)
+      ~apply:(fun ~shard:_ op ->
+        match op with
+        | Replica.Put { key; vseed } -> ignore (Kv.put svc_b ~key ~vseed)
+        | Replica.Del { key } -> ignore (Kv.delete svc_b ~key))
+  in
+
+  let duration_ns = int_of_float (cfg.duration *. 1e9) in
+  let t_crash =
+    Option.map
+      (fun f -> max 1 (int_of_float (f *. float_of_int duration_ns)))
+      cfg.crash_at
+  in
+  let t_stop = match t_crash with Some c -> min c duration_ns | None -> duration_ns in
+  let grace_ns = 5_000_000 in
+
+  let reply_cap = max 1024 (4 * cfg.queue_capacity) in
+  let client_cpu j =
+    if cfg.shards >= ncpu then j mod ncpu
+    else cfg.shards + (j mod (ncpu - cfg.shards))
+  in
+  let ports =
+    Array.init (cfg.shards + cfg.clients) (fun i ->
+        if i < cfg.shards then (i, cfg.queue_capacity)
+        else (client_cpu (i - cfg.shards), reply_cap))
+  in
+  let net : payload Net.t = Net.create primary ~ports ~poll_ns:2_000 () in
+
+  let offered = ref 0 and admitted = ref 0 and shed = ref 0 in
+  let handled = ref 0 and completed = ref 0 and acked_mut = ref 0 in
+  let reply_drops = ref 0 in
+  let senders = ref cfg.clients in
+  let live_servers = ref cfg.shards in
+  let ship_pump_done = ref false in
+  let lat_h = Hist.create () and svc_h = Hist.create () in
+  let ledger : (int * int option * int) list ref = ref [] in
+  let outstanding : (int, pending) Hashtbl.t array =
+    Array.init cfg.clients (fun _ -> Hashtbl.create 64)
+  in
+
+  (* ---------- primary: shard handler threads ---------- *)
+  let server_body i () =
+    let server_end = match t_crash with Some c -> c | None -> max_int in
+    let sync_deadline =
+      match t_crash with Some c -> c | None -> t_stop + grace_ns
+    in
+    let handle (m : payload Net.msg) =
+      match m.payload with
+      | Rep _ -> ()
+      | Req r ->
+        let t0 = Sched.now () in
+        Machine.compute primary 200;
+        let ok, mutated =
+          match r.kind with
+          | KGet -> (Kv.get svc ~key:r.key <> None, false)
+          | KPut ->
+            let ok = Kv.put svc ~key:r.key ~vseed:r.vseed in
+            (ok, ok)
+          | KDel ->
+            let ok = Kv.delete svc ~key:r.key in
+            (ok, ok)
+          | KScan ->
+            ignore (Kv.scan svc ~from_key:r.key ~n:16);
+            (true, false)
+        in
+        (* Replication: ship each applied mutation right after its local
+           persist, before the client reply.  Sync mode additionally
+           holds the reply until the backup's cumulative ack covers the
+           record — that wait is the sync latency tax. *)
+        let replicated =
+          if not mutated then true
+          else begin
+            let op =
+              match r.kind with
+              | KPut -> Replica.Put { key = r.key; vseed = r.vseed }
+              | _ -> Replica.Del { key = r.key }
+            in
+            let seq = Replica.Shipper.ship shipper ~shard:i op in
+            if sync then
+              Replica.Shipper.wait_acked shipper ~shard:i ~seq
+                ~deadline:sync_deadline
+            else true
+          end
+        in
+        incr handled;
+        Hist.record svc_h (Sched.now () - t0);
+        (* A sync-mode reply is only sent once the backup acked: an
+           acked write must survive primary loss.  On wait timeout
+           (crash boundary) the reply is withheld, so the client keeps
+           the request outstanding and verification treats the key as
+           ambiguous rather than guaranteed. *)
+        if replicated then begin
+          let rep = Rep { rid = r.rid; ok; mutated; fin = Sched.now () } in
+          if not (Net.try_send net ~dst:(cfg.shards + r.client) rep) then
+            incr reply_drops
+        end
+    in
+    let rec loop () =
+      if Sched.now () >= server_end then ()
+      else
+        match Net.recv net ~port:i with
+        | Some m ->
+          handle m;
+          loop ()
+        | None ->
+          if !senders = 0 && Net.pending net ~port:i = 0 then ()
+          else begin
+            let until = min server_end (Sched.now () + 100_000) in
+            (match Net.recv_wait net ~port:i ~until with
+             | Some m -> handle m
+             | None -> ());
+            loop ()
+          end
+    in
+    loop ();
+    decr live_servers
+  in
+
+  (* ---------- primary: replication pump thread ---------- *)
+  let ship_pump_body () =
+    let deadline =
+      match t_crash with Some c -> c | None -> t_stop + (4 * grace_ns)
+    in
+    Replica.Shipper.pump shipper ~until:(fun () -> !live_servers = 0) ~deadline;
+    ship_pump_done := true
+  in
+
+  (* ---------- backup: applier thread ---------- *)
+  let applier_body () =
+    let until =
+      match t_crash with
+      | Some _ ->
+        (* On a crash run the applier stops where the primary's pump
+           stopped; whatever the wire still holds is the tail that the
+           failover replays — and its replay cost is what we charge to
+           the promote RTO. *)
+        fun () -> !ship_pump_done
+      | None ->
+        fun () ->
+          !ship_pump_done && Cluster.Link.pending link ~ep:1 = 0
+    in
+    Replica.Applier.pump applier ~until
+  in
+
+  (* ---------- clients (identical to the unreplicated run) ---------- *)
+  let zipf = Zipf.create ~theta:cfg.zipf_theta cfg.keyspace in
+  let client_body j () =
+    let rng = Prng.create (cfg.seed + (7919 * (j + 1))) in
+    let lg =
+      Net.Loadgen.create
+        ~rate:(cfg.rate /. float_of_int cfg.clients)
+        ~seed:(cfg.seed lxor (j * 65537) lxor 0x10AD)
+    in
+    let out = outstanding.(j) in
+    let port = cfg.shards + j in
+    let seq = ref 0 in
+    let drain () =
+      let rec go () =
+        match Net.recv net ~port with
+        | Some { payload = Rep r; delivered_at; _ } ->
+          (match Hashtbl.find_opt out r.rid with
+           | Some p ->
+             Hashtbl.remove out r.rid;
+             incr completed;
+             Hist.record lat_h (delivered_at - p.p_sent);
+             if r.mutated then begin
+               incr acked_mut;
+               let v = if p.p_kind = KPut then Some p.p_vseed else None in
+               ledger := (p.p_key, v, r.fin) :: !ledger
+             end
+           | None -> ());
+          go ()
+        | Some _ -> go ()
+        | None -> ()
+      in
+      go ()
+    in
+    let rec send_loop t_next =
+      if t_next >= t_stop then ()
+      else begin
+        let now = Sched.now () in
+        if now < t_next then Sched.sleep (t_next - now);
+        if Sched.now () >= t_stop then ()
+        else begin
+          drain ();
+          let key = 1 + Zipf.scrambled zipf rng in
+          let die = Prng.int rng 100 in
+          let kind =
+            if die < cfg.read_pct then KGet
+            else if die < cfg.read_pct + cfg.delete_pct then KDel
+            else if die < cfg.read_pct + cfg.delete_pct + cfg.scan_pct then
+              KScan
+            else KPut
+          in
+          incr offered;
+          let rid = (j lsl 32) lor !seq in
+          incr seq;
+          let dst = Kv.shard_of_key svc key in
+          if Net.try_send net ~dst (Req { rid; client = j; kind; key; vseed = rid })
+          then begin
+            incr admitted;
+            Hashtbl.replace out rid
+              { p_kind = kind; p_key = key; p_vseed = rid; p_sent = Sched.now () }
+          end
+          else incr shed;
+          send_loop (t_next + Net.Loadgen.next_gap_ns lg)
+        end
+      end
+    in
+    send_loop (Net.Loadgen.next_gap_ns lg);
+    decr senders;
+    (match t_crash with
+     | Some _ -> drain ()
+     | None ->
+       let deadline = t_stop + grace_ns in
+       let rec wait () =
+         drain ();
+         if Hashtbl.length out > 0 && Sched.now () < deadline then begin
+           Sched.sleep 10_000;
+           wait ()
+         end
+       in
+       wait ())
+  in
+
+  for i = 0 to cfg.shards - 1 do
+    ignore (Machine.spawn primary ~cpu:i (server_body i))
+  done;
+  ignore (Machine.spawn primary ~cpu:(ncpu - 1) ship_pump_body);
+  ignore (Machine.spawn backup ~cpu:0 applier_body);
+  for j = 0 to cfg.clients - 1 do
+    ignore (Machine.spawn primary ~cpu:(client_cpu j) (client_body j))
+  done;
+  let t_run0 = Sched.horizon (Cluster.engine cluster) in
+  Cluster.run cluster;
+  let sim_ns = Sched.horizon (Cluster.engine cluster) - t_run0 in
+
+  let in_flight_keys = Hashtbl.create 64 in
+  Array.iter
+    (fun out ->
+      Hashtbl.iter
+        (fun _ p ->
+          if p.p_kind = KPut || p.p_kind = KDel then
+            Hashtbl.replace in_flight_keys p.p_key ())
+        out)
+    outstanding;
+  let in_flight_at_crash = Hashtbl.length in_flight_keys in
+
+  let verify store =
+    let expected = Hashtbl.create (preload_n + 64) in
+    for k = 1 to preload_n do
+      Hashtbl.replace expected k (Some k)
+    done;
+    let entries =
+      List.sort (fun (_, _, a) (_, _, b) -> compare a b) !ledger
+    in
+    List.iter (fun (k, v, _) -> Hashtbl.replace expected k v) entries;
+    Hashtbl.iter
+      (fun k () ->
+        if not (Hashtbl.mem expected k) then Hashtbl.replace expected k None)
+      in_flight_keys;
+    let checked = ref 0 and ambiguous = ref 0 and mismatches = ref 0 in
+    Hashtbl.iter
+      (fun k exp ->
+        if Hashtbl.mem in_flight_keys k then incr ambiguous
+        else begin
+          incr checked;
+          let got = Kv.get store ~key:k in
+          let want =
+            Option.map (fun vs -> Kv.value_checksum store ~vseed:vs) exp
+          in
+          if got <> want then incr mismatches
+        end)
+      expected;
+    { checked = !checked; ambiguous = !ambiguous; mismatches = !mismatches }
+  in
+
+  let tail_replayed = ref 0 in
+  let crashed, rto_ns, ledger_rep, backup_ledger =
+    match t_crash with
+    | None ->
+      (* clean run: primary serves; the backup must have converged to
+         the same acked state (the shipper pump runs until fully
+         acked) — report its ledger check alongside *)
+      (false, 0, verify svc, Some (verify svc_b))
+    | Some _ ->
+      (* the primary machine is gone — wipe its unfenced state to make
+         the point, then promote the backup: seal the shipped log,
+         replay the in-order tail the wire had delivered, and serve.
+         The promote makespan is the failover RTO. *)
+      Nvmm.Memdev.crash (Machine.dev primary) `Strict;
+      let secs =
+        Machine.parallel backup ~threads:1 (fun _ ->
+            (* the log is sealed at promote start: records the wire has
+               not yet delivered are cut off — none of them was ever
+               acked (an ack implies the backup already applied) *)
+            let sealed_at = Sched.now () in
+            Machine.compute backup 1_000 (* failover decision + seal *);
+            tail_replayed :=
+              Replica.Applier.seal_and_replay applier ~sealed_at)
+      in
+      Kv.check svc_b;
+      (true, int_of_float (secs *. 1e9), verify svc_b, None)
+  in
+
+  let queue_max_depth = ref 0 in
+  for i = 0 to cfg.shards - 1 do
+    let s = Net.stats net ~port:i in
+    if s.Net.max_depth > !queue_max_depth then queue_max_depth := s.Net.max_depth
+  done;
+
+  let acked_records =
+    let n = ref 0 in
+    for s = 0 to cfg.shards - 1 do
+      n := !n + Replica.Shipper.acked shipper ~shard:s + 1
+    done;
+    !n
+  in
+  let lstats = Cluster.Link.stats link ~ep:1 in
+  let astats = Cluster.Link.stats link ~ep:0 in
+
+  let secs = float_of_int t_stop /. 1e9 in
+  let scope = cfg.scope in
+  let g name v = Obs.Metrics.set_gauge ~scope name v in
+  g "offered" (float_of_int !offered);
+  g "admitted" (float_of_int !admitted);
+  g "shed" (float_of_int !shed);
+  g "handled" (float_of_int !handled);
+  g "completed" (float_of_int !completed);
+  g "acked_mutations" (float_of_int !acked_mut);
+  g "reply_drops" (float_of_int !reply_drops);
+  g "queue_max_depth" (float_of_int !queue_max_depth);
+  g "rto_ns" (float_of_int rto_ns);
+  g "repl_shipped" (float_of_int (Replica.Shipper.shipped shipper));
+  g "repl_acked_records" (float_of_int acked_records);
+  g "repl_retransmits" (float_of_int (Replica.Shipper.retransmits shipper));
+  g "repl_max_lag" (float_of_int (Replica.Shipper.max_lag shipper));
+  g "repl_backup_applied" (float_of_int (Replica.Applier.applied applier));
+  g "repl_link_dropped" (float_of_int (lstats.Cluster.Link.dropped + astats.Cluster.Link.dropped));
+  g "repl_link_duplicated" (float_of_int (lstats.Cluster.Link.duplicated + astats.Cluster.Link.duplicated));
+  g "repl_tail_replayed" (float_of_int !tail_replayed);
+  Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "latency_ns") lat_h;
+  Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "service_ns") svc_h;
+  Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "repl_lag_ns") repl_lag_h;
+
+  let base =
+    { offered = !offered;
+      admitted = !admitted;
+      shed = !shed;
+      completed = !completed;
+      acked_mutations = !acked_mut;
+      sim_ns;
+      throughput = float_of_int !handled /. secs;
+      goodput = float_of_int !completed /. secs;
+      latency = percentiles_of lat_h;
+      service = percentiles_of svc_h;
+      crashed;
+      rto_ns;
+      recovery = None;
+      ledger = ledger_rep;
+      in_flight_at_crash;
+      queue_max_depth = !queue_max_depth }
+  in
+  { base;
+    shipped = Replica.Shipper.shipped shipper;
+    acked_records;
+    retransmits = Replica.Shipper.retransmits shipper;
+    max_lag = Replica.Shipper.max_lag shipper;
+    link_dropped = lstats.Cluster.Link.dropped + astats.Cluster.Link.dropped;
+    link_duplicated =
+      lstats.Cluster.Link.duplicated + astats.Cluster.Link.duplicated;
+    backup_applied = Replica.Applier.applied applier;
+    tail_replayed = !tail_replayed;
+    backup_ledger;
+    sync }

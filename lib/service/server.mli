@@ -88,3 +88,69 @@ val run :
     publishes metrics (counters, gauges and p50/p99/p999 log
     histograms) under [config.scope] in the default obs registry.
     Raises [Invalid_argument] on nonsensical configs. *)
+
+(** {2 Replicated serving}
+
+    The same traffic harness on a two-machine {!Cluster}: the primary
+    serves clients exactly as {!run} does, and every applied mutation
+    is also shipped (per-shard sequence numbers, go-back-N) over an
+    inter-machine link to a backup machine that applies it into its
+    own persistent store.  In [Sync] mode a mutation's reply is held
+    until the backup's cumulative ack covers it — an acked write then
+    survives the loss of the whole primary, not just a cache-line
+    crash — while [Async] mode replies after the local persist and
+    bounds the backup's lag by the shipping window.
+
+    Crash model: at the cut the primary machine is lost outright
+    ([`Strict] device wipe); instead of re-attaching it, the backup
+    {e promotes} — seals the shipped log, replays the in-order tail
+    the wire had delivered, and becomes the serving store.  The
+    promote makespan is the failover RTO ([base.rto_ns]), directly
+    comparable with {!run}'s replay-on-restart RTO under the same
+    traffic and seed; the ledger of acked mutations is verified
+    against the {e backup}. *)
+
+type repl_config = {
+  repl_mode : Replica.mode;
+  wire_ns : int; (** one-way inter-machine latency *)
+  repl_window : int; (** max unacked records per shard (async lag bound) *)
+  retransmit_ns : int; (** go-back-N tail timeout *)
+  link_drop_pct : int; (** seeded wire loss, [0, 100) *)
+  link_dup_pct : int; (** seeded duplicate delivery, [0, 100] *)
+}
+
+val default_repl_config : repl_config
+(** Sync, 20 µs wire, window 64, retransmit 120 µs, clean link. *)
+
+type repl_result = {
+  base : result;
+  (** [rto_ns] is the {e promote} RTO on crash runs; [ledger] checks
+      the serving store (the backup after failover); [recovery] is
+      [None] — nothing is replayed from a micro-log, the tail comes
+      off the wire *)
+  shipped : int; (** mutation records put on the wire (first sends) *)
+  acked_records : int; (** records covered by cumulative backup acks *)
+  retransmits : int; (** go-back-N resends (loss recovery) *)
+  max_lag : int; (** high-water unacked records on any shard *)
+  link_dropped : int; (** fault-injected wire losses, both directions *)
+  link_duplicated : int;
+  backup_applied : int; (** records applied by the backup, tail included *)
+  tail_replayed : int; (** records applied during promote (0 clean) *)
+  backup_ledger : ledger_report option;
+  (** clean runs only: the backup checked against the same ledger —
+      proof of convergence without a failover *)
+  sync : bool;
+}
+
+val run_replicated :
+  make:(Machine.t -> Alloc_intf.instance) ->
+  ?mcfg:Machine.Config.t ->
+  config ->
+  repl_config ->
+  repl_result
+(** [make] builds one heap+allocator on a given machine; it is called
+    twice (primary, backup).  Metrics go under [config.scope]:
+    the {!run} set plus [repl_shipped], [repl_acked_records],
+    [repl_retransmits], [repl_max_lag], [repl_backup_applied],
+    [repl_tail_replayed], link fault counters and the [repl_lag_ns]
+    histogram (ship→applied latency seen at the backup). *)

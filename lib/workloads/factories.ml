@@ -22,6 +22,17 @@ let poseidon ?(sub_data_size = 128 * 1024 * 1024) ?(window = default_window)
         in
         (mach, Poseidon.instance heap)) }
 
+(** Same heap on an {e existing} machine — the multi-machine (cluster)
+    case, where the caller owns machine creation so that all members
+    share one engine. *)
+let poseidon_on ?(sub_data_size = 128 * 1024 * 1024) ?(window = default_window)
+    ?(protected = true) mach =
+  let heap =
+    Poseidon.Heap.create mach ~base:heap_base ~size:window ~heap_id:1
+      ~sub_data_size ~protected ()
+  in
+  Poseidon.instance heap
+
 let pmdk ?(window = default_window) ?(canary = false) () =
   { name = "PMDK";
     make =

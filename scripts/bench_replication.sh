@@ -1,0 +1,12 @@
+#!/bin/sh
+# poseidon-kv replication benchmark: sync vs async clean runs (the
+# sync-mode latency tax under identical zipfian traffic), then the RTO
+# experiment — promote-the-backup failover vs replay-on-restart, same
+# traffic and seed.  Leaves a machine-readable snapshot in
+# BENCH_replication.json at the repo root; exits non-zero if any
+# sync-acked write is lost in the failover.  Pass --full for longer
+# traffic windows.
+set -eu
+cd "$(dirname "$0")/.."
+dune build bench/main.exe
+dune exec bench/main.exe -- --suite replication "$@"

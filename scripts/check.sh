@@ -24,4 +24,10 @@ dune exec bin/main.exe -- crashcheck --scenario kv-put --max-points 8 \
 # exits non-zero if the recovered store loses any acked write.
 dune exec bin/main.exe -- serve --shards 2 --clients 8 --rate 40000 \
   --duration 0.005 --crash-at 0.5 > /dev/null
-echo "check: build + all test suites + crashcheck + serve smoke OK"
+# failover smoke: the same traffic on a two-machine cluster with sync
+# replication; the primary is lost at the midpoint and the backup is
+# promoted.  Exits non-zero if any sync-acked write is missing from
+# the promoted store's ledger.
+dune exec bin/main.exe -- serve --replicate --shards 2 --clients 8 \
+  --rate 40000 --duration 0.005 --crash-at 0.5 > /dev/null
+echo "check: build + all test suites + crashcheck + serve/failover smoke OK"

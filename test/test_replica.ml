@@ -1,0 +1,305 @@
+(* Replication subsystem: the two-machine cluster and its faulty link,
+   the seq-numbered shipper/applier protocol, and the replicated
+   server — async lag bounds, sync ack ordering, failover with zero
+   acked-write loss, and loss recovery on a lossy wire. *)
+
+module S = Service.Server
+module Link = Cluster.Link
+module R = Replica
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------- Net: loadgen determinism + fault injection ---------- *)
+
+let test_loadgen_determinism () =
+  let gaps seed =
+    let lg = Net.Loadgen.create ~rate:50_000. ~seed in
+    List.init 256 (fun _ -> Net.Loadgen.next_gap_ns lg)
+  in
+  check "same seed, same gap sequence" true (gaps 7 = gaps 7);
+  check "different seed, different sequence" true (gaps 7 <> gaps 8);
+  check "rate must be positive" true
+    (try
+       ignore (Net.Loadgen.create ~rate:0. ~seed:1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_net_fault_injection () =
+  let mach = Machine.create () in
+  (* clean net: the fault counters stay zero and nothing is lost *)
+  let clean : int Net.t = Net.create mach ~ports:[| (0, 1024) |] () in
+  for i = 1 to 100 do
+    check "clean send accepted" true (Net.try_send clean ~dst:0 i)
+  done;
+  let s = Net.stats clean ~port:0 in
+  check_int "clean: all enqueued" 100 s.Net.enqueued;
+  check_int "clean: none dropped" 0 s.Net.dropped;
+  check_int "clean: none duplicated" 0 s.Net.duplicated;
+  check_int "clean: all pending" 100 (Net.pending clean ~port:0);
+  (* lossy net: drops and duplicates both occur, are counted, and the
+     queue holds exactly enqueued - dropped + duplicated messages *)
+  let lossy : int Net.t =
+    Net.create mach ~ports:[| (0, 4096) |] ~drop_pct:30 ~dup_pct:20
+      ~fault_seed:99 ()
+  in
+  for i = 1 to 1000 do
+    check "lossy send still reports true" true (Net.try_send lossy ~dst:0 i)
+  done;
+  let s = Net.stats lossy ~port:0 in
+  check "some messages dropped" true (s.Net.dropped > 0);
+  check "some messages duplicated" true (s.Net.duplicated > 0);
+  check_int "queue accounts for every fault"
+    (s.Net.enqueued - s.Net.dropped + s.Net.duplicated)
+    (Net.pending lossy ~port:0);
+  (* seeded: the same seed reproduces the exact fault pattern *)
+  let replay : int Net.t =
+    Net.create mach ~ports:[| (0, 4096) |] ~drop_pct:30 ~dup_pct:20
+      ~fault_seed:99 ()
+  in
+  for i = 1 to 1000 do
+    ignore (Net.try_send replay ~dst:0 i)
+  done;
+  let s' = Net.stats replay ~port:0 in
+  check_int "same seed, same drops" s.Net.dropped s'.Net.dropped;
+  check_int "same seed, same dups" s.Net.duplicated s'.Net.duplicated;
+  check "drop_pct = 100 refused" true
+    (try
+       ignore (Net.create mach ~ports:[| (0, 8) |] ~drop_pct:100 ()
+               : int Net.t);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- cluster: two machines, one engine ---------- *)
+
+let test_cluster_shared_engine () =
+  let c = Cluster.create ~machines:2 () in
+  check_int "two members" 2 (Cluster.size c);
+  let m0 = Cluster.machine c 0 and m1 = Cluster.machine c 1 in
+  check "machines share the engine" true
+    (Machine.engine m0 == Machine.engine m1);
+  let order = ref [] in
+  ignore
+    (Machine.spawn m0 ~cpu:0 (fun () ->
+         Simcore.Sched.sleep 100;
+         order := `A :: !order;
+         Simcore.Sched.sleep 400;
+         order := `C :: !order));
+  ignore
+    (Machine.spawn m1 ~cpu:0 (fun () ->
+         Simcore.Sched.sleep 300;
+         order := `B :: !order));
+  Cluster.run c;
+  (* threads of the two machines interleave on one timeline *)
+  check "cross-machine interleaving by simulated time" true
+    (List.rev !order = [ `A; `B; `C ]);
+  check "shared horizon covers both machines" true
+    (Simcore.Sched.horizon (Cluster.engine c) >= 500);
+  check "but devices are distinct" true (Machine.dev m0 != Machine.dev m1)
+
+let test_link_basics () =
+  let l : int Link.t = Link.create ~capacity:4 ~wire_ns:20_000 () in
+  (* outside the simulation: zero latency, immediate delivery *)
+  check "send" true (Link.send l ~dst:1 10);
+  check "send" true (Link.send l ~dst:1 11);
+  check_int "pending toward 1" 2 (Link.pending l ~ep:1);
+  check_int "nothing toward 0" 0 (Link.pending l ~ep:0);
+  (match Link.recv l ~ep:1 with
+   | Some m -> check_int "FIFO head" 10 m.Link.payload
+   | None -> Alcotest.fail "expected delivery");
+  (* acks flow the other way on the same link *)
+  check "reverse direction" true (Link.send l ~dst:0 99);
+  check "reverse delivery" true (Link.recv l ~ep:0 <> None);
+  (* bounded: the 5th message toward a capacity-4 endpoint is refused *)
+  for i = 1 to 3 do
+    ignore (Link.send l ~dst:1 i)
+  done;
+  check "full endpoint refuses" false (Link.send l ~dst:1 5);
+  let s = Link.stats l ~ep:1 in
+  check_int "rejection counted" 1 s.Link.rejected;
+  check "in-simulation delivery respects wire latency" true
+    (let c = Cluster.create ~machines:2 () in
+     let l : int Link.t = Link.create ~wire_ns:20_000 () in
+     let saw_early = ref false and saw_late = ref false in
+     ignore
+       (Machine.spawn (Cluster.machine c 0) ~cpu:0 (fun () ->
+            ignore (Link.send l ~dst:1 42)));
+     ignore
+       (Machine.spawn (Cluster.machine c 1) ~cpu:0 (fun () ->
+            Simcore.Sched.sleep 1_000;
+            saw_early := Link.recv l ~ep:1 <> None;
+            Simcore.Sched.sleep 40_000;
+            saw_late := Link.recv l ~ep:1 <> None));
+     Cluster.run c;
+     (not !saw_early) && !saw_late)
+
+(* ---------- shipper/applier protocol, driven by hand ---------- *)
+
+let test_protocol_dedup_and_ack () =
+  let cfg = { R.default_config with R.window = 8 } in
+  let link : R.msg Link.t = Link.create ~dup_pct:50 ~seed:3 () in
+  let sh = R.Shipper.create cfg ~shards:2 ~link in
+  let applied = ref [] in
+  let ap =
+    R.Applier.create cfg ~shards:2 ~link ~apply:(fun ~shard op ->
+        applied := (shard, op) :: !applied)
+  in
+  for k = 1 to 6 do
+    let shard = k mod 2 in
+    ignore (R.Shipper.ship sh ~shard (R.Put { key = k; vseed = k }))
+  done;
+  (* the link duplicates aggressively; the applier must apply each
+     record exactly once and keep per-shard sequence order *)
+  R.Applier.pump ap ~until:(fun () -> Link.pending link ~ep:1 = 0);
+  check_int "each record applied exactly once" 6 (R.Applier.applied ap);
+  check_int "shard 0 expects next seq" 3 (R.Applier.expected ap ~shard:0);
+  check_int "shard 1 expects next seq" 3 (R.Applier.expected ap ~shard:1);
+  (* cumulative acks release the shipper's window *)
+  check "acks arrived" true (R.Shipper.wait_acked sh ~shard:0 ~seq:2 ~deadline:0);
+  check_int "shard 0 fully acked" 2 (R.Shipper.acked sh ~shard:0);
+  check_int "shard 1 fully acked" 2 (R.Shipper.acked sh ~shard:1);
+  check_int "no unacked residue" 0
+    (R.Shipper.lag sh ~shard:0 + R.Shipper.lag sh ~shard:1)
+
+(* ---------- replicated server runs ---------- *)
+
+let repl_serve cfg rcfg =
+  S.run_replicated
+    ~make:(fun mach -> Workloads.Factories.poseidon_on mach)
+    cfg rcfg
+
+let base_cfg =
+  { S.default_config with
+    S.shards = 2;
+    clients = 8;
+    rate = 30_000.;
+    duration = 0.005;
+    keyspace = 512;
+    preload = 256;
+    scope = "test/replica" }
+
+let test_async_lag_bound () =
+  let r =
+    repl_serve
+      { base_cfg with S.scope = "test/replica/async" }
+      { S.default_repl_config with
+        S.repl_mode = R.Async;
+        repl_window = 4 }
+  in
+  check "mutations were shipped" true (r.S.shipped > 0);
+  check "lag observed" true (r.S.max_lag > 0);
+  check "async lag bounded by the window" true (r.S.max_lag <= 4);
+  check "clean run converged: everything acked" true
+    (r.S.acked_records >= r.S.shipped);
+  (match r.S.backup_ledger with
+   | Some l -> check_int "backup reproduces every acked write" 0 l.S.mismatches
+   | None -> Alcotest.fail "clean run must report the backup ledger");
+  check_int "no retransmits on a clean link" 0 r.S.retransmits
+
+let test_sync_ack_ordering () =
+  let mut_cfg =
+    { base_cfg with
+      S.rate = 15_000.;
+      read_pct = 0;
+      scan_pct = 0;
+      delete_pct = 10 }
+  in
+  let sync_r =
+    repl_serve
+      { mut_cfg with S.scope = "test/replica/sync" }
+      S.default_repl_config
+  in
+  check "sync mode" true sync_r.S.sync;
+  check "completions" true (sync_r.S.base.S.completed > 0);
+  (* no reply ever precedes its backup ack: on a clean run every
+     shipped record is acked and the backup matches the ledger *)
+  check "all shipped records acked" true
+    (sync_r.S.acked_records >= sync_r.S.shipped);
+  (match sync_r.S.backup_ledger with
+   | Some l ->
+     check "backup checked" true (l.S.checked > 0);
+     check_int "sync: backup holds every acked write" 0 l.S.mismatches
+   | None -> Alcotest.fail "clean run must report the backup ledger");
+  (* the sync latency tax is visible against an identical async run *)
+  let async_r =
+    repl_serve
+      { mut_cfg with S.scope = "test/replica/sync-vs-async" }
+      { S.default_repl_config with S.repl_mode = R.Async }
+  in
+  check "sync pays the round trip on the median mutation" true
+    (sync_r.S.base.S.latency.S.p50 > async_r.S.base.S.latency.S.p50);
+  check "async keeps lag within the default window" true
+    (async_r.S.max_lag <= S.default_repl_config.S.repl_window)
+
+let test_failover_ledger () =
+  let r =
+    repl_serve
+      { base_cfg with
+        S.crash_at = Some 0.5;
+        scope = "test/replica/failover" }
+      S.default_repl_config
+  in
+  check "crashed" true r.S.base.S.crashed;
+  check "promote RTO is nonzero simulated time" true (r.S.base.S.rto_ns > 0);
+  check "ledger checked keys" true (r.S.base.S.ledger.S.checked > 0);
+  check_int "sync failover: no acked write lost" 0
+    (r.S.base.S.ledger.S.mismatches);
+  check "backup applied records" true (r.S.backup_applied > 0)
+
+let test_lossy_link_retry () =
+  let r =
+    repl_serve
+      { base_cfg with S.rate = 15_000.; scope = "test/replica/lossy" }
+      { S.default_repl_config with
+        S.link_drop_pct = 20;
+        link_dup_pct = 10;
+        retransmit_ns = 60_000 }
+  in
+  check "wire lost messages" true (r.S.link_dropped > 0);
+  check "go-back-N retransmitted" true (r.S.retransmits > 0);
+  check "still converged: everything acked" true
+    (r.S.acked_records >= r.S.shipped);
+  (match r.S.backup_ledger with
+   | Some l -> check_int "loss recovery: no acked write lost" 0 l.S.mismatches
+   | None -> Alcotest.fail "clean run must report the backup ledger")
+
+(* Bounded slice of the exhaustive fence sweep (bin/main.exe crashcheck
+   runs it in full): crash the whole two-machine cluster at strided
+   points of the ship → backup-persist → ack pipeline and demand every
+   sync-acked write be readable on the recovered backup. *)
+let test_crashcheck_replicated_sweep () =
+  let scn = Option.get (Crashcheck.scenario_by_name "kv-replicated-put") in
+  let r = Crashcheck.run ~max_points:6 ~subsets_per_point:1 scn in
+  check "sweep covers both machines' fences" true
+    (r.Crashcheck.fences_total > 0);
+  check "sweeps the strided points" true (r.Crashcheck.points_explored >= 6);
+  check_int "no acked write lost at any crash point" 0
+    (List.length r.Crashcheck.counterexamples)
+
+let () =
+  Alcotest.run "replica"
+    [ ( "net",
+        [ Alcotest.test_case "loadgen: same seed, same gaps" `Quick
+            test_loadgen_determinism;
+          Alcotest.test_case "fault injection: seeded drop/dup" `Quick
+            test_net_fault_injection ] );
+      ( "cluster",
+        [ Alcotest.test_case "two machines, one timeline" `Quick
+            test_cluster_shared_engine;
+          Alcotest.test_case "link: FIFO, bounded, wire latency" `Quick
+            test_link_basics ] );
+      ( "protocol",
+        [ Alcotest.test_case "dedup + cumulative ack" `Quick
+            test_protocol_dedup_and_ack ] );
+      ( "server",
+        [ Alcotest.test_case "async: lag bounded by window" `Quick
+            test_async_lag_bound;
+          Alcotest.test_case "sync: ack ordering + latency tax" `Quick
+            test_sync_ack_ordering;
+          Alcotest.test_case "failover: acked writes survive" `Quick
+            test_failover_ledger;
+          Alcotest.test_case "lossy link: retransmit to convergence" `Quick
+            test_lossy_link_retry ] );
+      ( "crashcheck",
+        [ Alcotest.test_case "cluster crash sweep: acked survives" `Quick
+            test_crashcheck_replicated_sweep ] ) ]
