@@ -742,6 +742,107 @@ let replication_suite () =
     note "  WARNING: promote RTO did not beat replay-on-restart RTO";
   List.rev !runs
 
+(* ---------- txn suite: cross-shard 2PC transactions ---------- *)
+
+(* Same traffic harness with a transactional mix (server --txn-pct):
+   a single-op baseline against transactional mixes at identical seed
+   and offered rate exposes the 2PC tax — commit latency vs single-op
+   latency, abort rate — and a crash run checks that recovery keeps
+   every transaction atomic (the ledger treats a txn's keys as one
+   all-or-nothing group). *)
+let txn_suite () =
+  note "";
+  note "### Transactions: cross-shard 2PC over poseidon-kv";
+  note "(single-op baseline vs transactional mixes, same seed and rate:";
+  note " abort rate and the commit-latency tax of the coordinator-record";
+  note " protocol; then a crash run — atomicity must survive recovery)";
+  let module S = Service.Server in
+  let factory = Workloads.Factories.poseidon () in
+  let make () = factory.Workloads.Factories.make () in
+  let reattach mach =
+    Poseidon.instance
+      (Poseidon.Heap.attach mach ~base:Workloads.Factories.heap_base ())
+  in
+  let base scope =
+    { S.default_config with
+      S.shards = 4;
+      clients = 32;
+      rate = 50_000.;
+      duration = (if !full then 0.05 else 0.02);
+      value_size = 128;
+      keyspace = 4096;
+      queue_capacity = 64;
+      scope }
+  in
+  let runs = ref [] in
+  let run_one label cfg =
+    let r = S.run ~make ~reattach cfg in
+    runs := (label, cfg, r) :: !runs;
+    r
+  in
+  let baseline = run_one "baseline" (base "bench/txn/baseline") in
+  let mixes =
+    [ ("txn25-2op", 25, 2); ("txn25-4op", 25, 4); ("txn100-4op", 100, 4) ]
+  in
+  let table =
+    Tablefmt.create ~title:"poseidon-kv: transactional mixes (4 shards)"
+      ~columns:
+        [ "mix"; "goodput"; "committed"; "aborted"; "abort %"; "txn p50 ns";
+          "txn p99 ns" ]
+  in
+  Tablefmt.add_row table "baseline"
+    [ Printf.sprintf "%.0f" baseline.S.goodput; "-"; "-"; "-";
+      string_of_int baseline.S.latency.S.p50;
+      string_of_int baseline.S.latency.S.p99 ];
+  List.iter
+    (fun (label, pct, ops) ->
+      let cfg = { (base ("bench/txn/" ^ label)) with S.txn_pct = pct; txn_ops = ops } in
+      let cfg =
+        if pct = 100 then
+          { cfg with S.read_pct = 0; delete_pct = 0; scan_pct = 0 }
+        else cfg
+      in
+      let r = run_one label cfg in
+      let attempts = r.S.txns_committed + r.S.txns_aborted in
+      Tablefmt.add_row table label
+        [ Printf.sprintf "%.0f" r.S.goodput;
+          string_of_int r.S.txns_committed;
+          string_of_int r.S.txns_aborted;
+          Printf.sprintf "%.1f"
+            (100.0 *. float_of_int r.S.txns_aborted
+            /. Float.max 1.0 (float_of_int attempts));
+          string_of_int r.S.txn_latency.S.p50;
+          string_of_int r.S.txn_latency.S.p99 ])
+    mixes;
+  Tablefmt.print table;
+  (match List.assoc_opt "txn25-2op" (List.map (fun (l, _, r) -> (l, r)) !runs)
+   with
+  | Some r when r.S.txn_latency.S.samples > 0 ->
+    note "  2PC tax (25%% mix, 2 ops): txn p50 %d ns vs baseline single-op \
+          p50 %d ns"
+      r.S.txn_latency.S.p50 baseline.S.latency.S.p50
+  | _ -> ());
+  let crash =
+    run_one "crash"
+      { (base "bench/txn/crash") with
+        S.txn_pct = 25;
+        txn_ops = 3;
+        crash_at = Some 0.5 }
+  in
+  note
+    "  crash run: %d committed / %d aborted before+after; RTO %d ns; ledger \
+     %d checked, %d ambiguous, %d mismatch(es)"
+    crash.S.txns_committed crash.S.txns_aborted crash.S.rto_ns
+    crash.S.ledger.S.checked crash.S.ledger.S.ambiguous
+    crash.S.ledger.S.mismatches;
+  if crash.S.ledger.S.mismatches > 0 then begin
+    Printf.eprintf
+      "bench txn: LEDGER MISMATCH — transaction atomicity violated across \
+       crash\n";
+    exit 1
+  end;
+  List.rev !runs
+
 (* ---------- JSON output ---------- *)
 
 let rev_json () =
@@ -899,6 +1000,74 @@ let write_replication_results runs =
   in
   write_doc (if !json_out = "" then "BENCH_replication.json" else !json_out) doc
 
+let write_txn_results runs =
+  let module S = Service.Server in
+  let module J = Obs.Json in
+  let num i = J.Num (float_of_int i) in
+  let pct (p : S.percentiles) =
+    J.Obj
+      [ ("p50", num p.S.p50); ("p99", num p.S.p99); ("p999", num p.S.p999);
+        ("mean", J.Num p.S.mean); ("max", num p.S.max);
+        ("samples", num p.S.samples) ]
+  in
+  let run_json (label, (cfg : S.config), (r : S.result)) =
+    let attempts = r.S.txns_committed + r.S.txns_aborted in
+    J.Obj
+      [ ("label", J.Str label);
+        ( "config",
+          J.Obj
+            [ ("shards", num cfg.S.shards); ("clients", num cfg.S.clients);
+              ("rate", J.Num cfg.S.rate); ("duration", J.Num cfg.S.duration);
+              ("txn_pct", num cfg.S.txn_pct); ("txn_ops", num cfg.S.txn_ops);
+              ("seed", num cfg.S.seed);
+              ( "crash_at",
+                match cfg.S.crash_at with
+                | Some f -> J.Num f
+                | None -> J.Null ) ] );
+        ("offered", num r.S.offered); ("completed", num r.S.completed);
+        ("throughput", J.Num r.S.throughput); ("goodput", J.Num r.S.goodput);
+        ("latency", pct r.S.latency);
+        ("txns_committed", num r.S.txns_committed);
+        ("txns_aborted", num r.S.txns_aborted);
+        ( "abort_rate",
+          J.Num
+            (float_of_int r.S.txns_aborted
+            /. Float.max 1.0 (float_of_int attempts)) );
+        ("txn_latency", pct r.S.txn_latency);
+        ("crashed", J.Bool r.S.crashed); ("rto_ns", num r.S.rto_ns);
+        ( "ledger",
+          J.Obj
+            [ ("checked", num r.S.ledger.S.checked);
+              ("ambiguous", num r.S.ledger.S.ambiguous);
+              ("mismatches", num r.S.ledger.S.mismatches) ] ) ]
+  in
+  let find label =
+    List.find_opt (fun (l, _, _) -> l = label) runs
+    |> Option.map (fun (_, _, r) -> r)
+  in
+  let tax =
+    match (find "baseline", find "txn25-2op") with
+    | Some b, Some t when t.S.txn_latency.S.samples > 0 ->
+      J.Obj
+        [ ("baseline_p50_ns", num b.S.latency.S.p50);
+          ("txn_p50_ns", num t.S.txn_latency.S.p50);
+          ("txn_over_single_p50",
+           J.Num
+             (float_of_int t.S.txn_latency.S.p50
+             /. Float.max 1.0 (float_of_int b.S.latency.S.p50))) ]
+    | _ -> J.Null
+  in
+  let doc =
+    J.Obj
+      [ ("schema", J.Str "poseidon-bench-txn/v1");
+        ("rev", rev_json ());
+        ("config", J.Obj [ ("full", J.Bool !full) ]);
+        ("runs", J.Arr (List.map run_json runs));
+        ("commit_latency_tax", tax);
+        ("metrics", Obs.Metrics.snapshot ()) ]
+  in
+  write_doc (if !json_out = "" then "BENCH_txn.json" else !json_out) doc
+
 (* ---------- driver ---------- *)
 
 let () =
@@ -926,7 +1095,8 @@ let () =
         "NAME  run a named suite instead of the figures ('service':\n\
         \        poseidon-kv rate sweep + crash run -> BENCH_service.json;\n\
         \        'replication': sync/async tax + promote-vs-replay RTO ->\n\
-        \        BENCH_replication.json)" );
+        \        BENCH_replication.json; 'txn': cross-shard 2PC abort rate\n\
+        \        + commit-latency tax -> BENCH_txn.json)" );
       ( "--json-out",
         Arg.Set_string json_out,
         "FILE  metrics snapshot destination (default BENCH_results.json, \
@@ -946,9 +1116,14 @@ let () =
     write_replication_results runs;
     exit 0
   end
+  else if !suite = "txn" then begin
+    let runs = txn_suite () in
+    write_txn_results runs;
+    exit 0
+  end
   else if !suite <> "" then begin
-    Printf.eprintf "bench: unknown suite %S (known: service, replication)\n"
-      !suite;
+    Printf.eprintf
+      "bench: unknown suite %S (known: service, replication, txn)\n" !suite;
     exit 2
   end;
   (if !smoke then smoke_suite ()

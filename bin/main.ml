@@ -233,9 +233,11 @@ let crashcheck_cmd =
       & info [ "scenario" ] ~docv:"NAME"
           ~doc:
             "Scenario to explore: alloc, free, tx-commit, tx-abort, extend, \
-             kv-put, kv-delete, kv-replicated-put (two-machine sync \
-             replication, cluster-wide crash), broken (deliberately buggy, \
-             for mutation sanity checks) or all (every correct one).")
+             kv-put, kv-delete, kv-txn (cross-shard 2PC transactions), \
+             kv-replicated-put (two-machine sync replication with \
+             transaction records, cluster-wide crash), broken / kv-txn-broken \
+             (deliberately buggy, for mutation sanity checks) or all (every \
+             correct one).")
   in
   let max_points_arg =
     Arg.(
@@ -498,6 +500,20 @@ let serve_cmd =
       & info [ "queue-capacity" ] ~docv:"N"
           ~doc:"Per-shard request queue bound (admission control).")
   in
+  let txn_pct_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "txn-pct" ] ~docv:"PCT"
+          ~doc:
+            "Percentage of requests that are cross-shard atomic \
+             transactions (2PC over the coordinator decision record).")
+  in
+  let txn_ops_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "txn-ops" ] ~docv:"N"
+          ~doc:"Operations per generated transaction (distinct keys).")
+  in
   let crash_at_arg =
     Arg.(
       value & opt (some float) None
@@ -558,9 +574,9 @@ let serve_cmd =
       & info [ "dup-pct" ] ~docv:"PCT"
           ~doc:"Seeded duplicate-delivery percentage (applier dedups).")
   in
-  let run shards clients rate duration value_size zipf keyspace queue crash_at
-      seed json_out replicate repl_mode wire_ns repl_window drop_pct dup_pct
-      trace_out =
+  let run shards clients rate duration value_size zipf keyspace queue txn_pct
+      txn_ops crash_at seed json_out replicate repl_mode wire_ns repl_window
+      drop_pct dup_pct trace_out =
     with_tracing trace_out @@ fun () ->
     let module S = Service.Server in
     let cfg =
@@ -573,6 +589,8 @@ let serve_cmd =
         zipf_theta = zipf;
         keyspace;
         queue_capacity = queue;
+        txn_pct;
+        txn_ops;
         crash_at;
         seed }
     in
@@ -625,6 +643,14 @@ let serve_cmd =
       r.S.latency.S.max r.S.latency.S.samples;
     Printf.printf "  max shard queue depth %d (capacity %d)\n"
       r.S.queue_max_depth queue;
+    if txn_pct > 0 then begin
+      Printf.printf "  txns: %d committed, %d aborted (%d ops each)\n"
+        r.S.txns_committed r.S.txns_aborted txn_ops;
+      Printf.printf
+        "  txn latency: p50 %d ns  p99 %d ns  mean %.0f ns (%d samples)\n"
+        r.S.txn_latency.S.p50 r.S.txn_latency.S.p99 r.S.txn_latency.S.mean
+        r.S.txn_latency.S.samples
+    end;
     if r.S.crashed then begin
       (match r.S.recovery with
        | Some rc ->
@@ -637,8 +663,8 @@ let serve_cmd =
        | Some rr ->
          Printf.printf
            "  crash: primary lost — backup promoted, %d tail record(s) \
-            replayed; RTO %d ns\n"
-           rr.S.tail_replayed r.S.rto_ns
+            replayed, %d in-doubt txn slot(s) aborted; RTO %d ns\n"
+           rr.S.tail_replayed rr.S.indoubt_aborted r.S.rto_ns
        | None -> ());
       Printf.printf "  in flight at crash: %d key(s) (not checked)\n"
         r.S.in_flight_at_crash
@@ -688,6 +714,7 @@ let serve_cmd =
                    ("value_size", num value_size); ("zipf_theta", J.Num zipf);
                    ("keyspace", num keyspace);
                    ("queue_capacity", num queue);
+                   ("txn_pct", num txn_pct); ("txn_ops", num txn_ops);
                    ( "crash_at",
                      match crash_at with
                      | Some f -> J.Num f
@@ -720,6 +747,9 @@ let serve_cmd =
                          ("mismatches", num r.S.ledger.S.mismatches) ] );
                    ("in_flight_at_crash", num r.S.in_flight_at_crash);
                    ("queue_max_depth", num r.S.queue_max_depth);
+                   ("txns_committed", num r.S.txns_committed);
+                   ("txns_aborted", num r.S.txns_aborted);
+                   ("txn_latency", pct r.S.txn_latency);
                    ( "replication",
                      match repl with
                      | None -> J.Null
@@ -735,6 +765,7 @@ let serve_cmd =
                            ("link_duplicated", num rr.S.link_duplicated);
                            ("backup_applied", num rr.S.backup_applied);
                            ("tail_replayed", num rr.S.tail_replayed);
+                           ("indoubt_aborted", num rr.S.indoubt_aborted);
                            ( "backup_ledger",
                              match rr.S.backup_ledger with
                              | Some l ->
@@ -773,9 +804,10 @@ let serve_cmd =
           failover promotion) against the client ledger.")
     Term.(
       const run $ shards_arg $ clients_arg $ rate_arg $ duration_arg
-      $ value_size_arg $ zipf_arg $ keyspace_arg $ queue_arg $ crash_at_arg
-      $ seed_arg $ json_out_arg $ replicate_arg $ repl_mode_arg $ wire_ns_arg
-      $ repl_window_arg $ drop_pct_arg $ dup_pct_arg $ trace_out_arg)
+      $ value_size_arg $ zipf_arg $ keyspace_arg $ queue_arg $ txn_pct_arg
+      $ txn_ops_arg $ crash_at_arg $ seed_arg $ json_out_arg $ replicate_arg
+      $ repl_mode_arg $ wire_ns_arg $ repl_window_arg $ drop_pct_arg
+      $ dup_pct_arg $ trace_out_arg)
 
 (* ---------- trace ---------- *)
 

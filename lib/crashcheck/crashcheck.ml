@@ -442,11 +442,37 @@ let scn_broken_missing_flush () =
 
 (* ---------- service scenarios: poseidon-kv intent protocol ---------- *)
 
-type kv_op = Kput of int * int | Kdel of int
+type kv_op =
+  | Kput of int * int
+  | Kdel of int
+  | Ktxn of Service.Kv.txn_op list
+
+let txn_op_key = function
+  | Service.Kv.Tput { key; _ } | Service.Kv.Tdel { key } -> key
+
+(* Model of {!Service.Kv.txn}'s commit rule: non-empty, distinct keys,
+   every strict delete's key present.  An aborting transaction is a
+   no-op on the model state, matching "abort leaves no durable trace". *)
+let txn_would_commit tbl ops =
+  let keys = List.map txn_op_key ops in
+  ops <> []
+  && List.length (List.sort_uniq compare keys) = List.length keys
+  && List.for_all
+       (function
+         | Service.Kv.Tdel { key } -> Hashtbl.mem tbl key
+         | Service.Kv.Tput _ -> true)
+       ops
 
 let apply_kv tbl = function
   | Kput (k, vs) -> Hashtbl.replace tbl k vs
   | Kdel k -> Hashtbl.remove tbl k
+  | Ktxn ops ->
+    if txn_would_commit tbl ops then
+      List.iter
+        (function
+          | Service.Kv.Tput { key; vseed } -> Hashtbl.replace tbl key vseed
+          | Service.Kv.Tdel { key } -> Hashtbl.remove tbl key)
+        ops
 
 (* Recovery oracle shared by the local and the replicated KV sweeps:
    re-attach the *service* on [env]'s surviving heap — running the
@@ -494,32 +520,26 @@ let kv_prefix_oracle ~oname ~preload ~plan ~acked =
                 in
                 let post = Hashtbl.copy pre in
                 Option.iter (apply_kv post) in_flight;
-                let in_flight_key =
+                let in_flight_keys =
                   match in_flight with
-                  | Some (Kput (k, _)) | Some (Kdel k) -> Some k
-                  | None -> None
+                  | Some (Kput (k, _)) | Some (Kdel k) -> [ k ]
+                  | Some (Ktxn ops) -> List.map txn_op_key ops
+                  | None -> []
                 in
                 let keys = Hashtbl.create 32 in
                 Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) pre;
                 Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) post;
-                Option.iter (fun k -> Hashtbl.replace keys k ()) in_flight_key;
+                List.iter (fun k -> Hashtbl.replace keys k ()) in_flight_keys;
                 let cks vs = Service.Kv.value_checksum s2 ~vseed:vs in
                 let err = ref None in
+                (* settled keys read exactly the acked-prefix state *)
                 Hashtbl.iter
                   (fun k () ->
-                    if !err = None then begin
+                    if !err = None && not (List.mem k in_flight_keys)
+                    then begin
                       let got = Service.Kv.get s2 ~key:k in
-                      let want_pre =
-                        Option.map cks (Hashtbl.find_opt pre k)
-                      and want_post =
-                        Option.map cks (Hashtbl.find_opt post k)
-                      in
-                      let ok =
-                        if in_flight_key = Some k then
-                          got = want_pre || got = want_post
-                        else got = want_pre
-                      in
-                      if not ok then
+                      let want = Option.map cks (Hashtbl.find_opt pre k) in
+                      if got <> want then
                         err :=
                           Some
                             (Printf.sprintf
@@ -528,6 +548,32 @@ let kv_prefix_oracle ~oname ~preload ~plan ~acked =
                                k !acked)
                     end)
                   keys;
+                (* the in-flight op is atomic as a unit: EVERY key it
+                   touches reads as pre-state, or EVERY key as
+                   post-state — for a cross-shard transaction this is
+                   exactly whole-transaction atomicity, ruling out a
+                   half-applied commit *)
+                if !err = None && in_flight_keys <> [] then begin
+                  let gots =
+                    List.map
+                      (fun k -> (k, Service.Kv.get s2 ~key:k))
+                      in_flight_keys
+                  in
+                  let matches tbl =
+                    List.for_all
+                      (fun (k, got) ->
+                        got = Option.map cks (Hashtbl.find_opt tbl k))
+                      gots
+                  in
+                  if not (matches pre || matches post) then
+                    err :=
+                      Some
+                        (Printf.sprintf
+                           "in-flight op torn across its %d key(s) (%d \
+                            op(s) acked): neither all-pre nor all-post"
+                           (List.length in_flight_keys)
+                           !acked)
+                end;
                 match !err with Some m -> Error m | None -> Ok ()
               end
             end)) }
@@ -536,13 +582,14 @@ let kv_prefix_oracle ~oname ~preload ~plan ~acked =
    snapshots [live_bytes] after each completed operation, so [slack]
    only has to cover the single in-flight op: one value block, one
    possible tree-node split and one not-yet-freed old value. *)
-let scn_kv ~sname ~preload ~plan () =
+let scn_kv ?(slack = 4096) ?(tweak = fun (_ : Service.Kv.t) -> ()) ~sname
+    ~preload ~plan () =
   let svc = ref None in
   let acked = ref 0 in
   let value_size = 64 in
   let setup () =
     let env = mk_env () in
-    env.ledger.slack <- 4096;
+    env.ledger.slack <- slack;
     let inst = Poseidon.instance env.heap in
     let s = Service.Kv.create inst ~shards:2 ~value_size in
     List.iter
@@ -550,6 +597,7 @@ let scn_kv ~sname ~preload ~plan () =
         if not (Service.Kv.put s ~key:k ~vseed:vs) then
           failwith "kv scenario: preload put failed")
       preload;
+    tweak s;
     svc := Some s;
     acked := 0;
     env.ledger.durable <- (H.stats env.heap).H.live_bytes;
@@ -561,7 +609,8 @@ let scn_kv ~sname ~preload ~plan () =
       (fun o ->
         (match o with
          | Kput (k, vs) -> ignore (Service.Kv.put s ~key:k ~vseed:vs)
-         | Kdel k -> ignore (Service.Kv.delete s ~key:k));
+         | Kdel k -> ignore (Service.Kv.delete s ~key:k)
+         | Ktxn ops -> ignore (Service.Kv.txn s ops));
         incr acked;
         env.ledger.durable <- (H.stats env.heap).H.live_bytes)
       plan
@@ -585,6 +634,49 @@ let scn_kv_delete () =
     ~plan:[ Kdel 2; Kdel 5; Kput (5, 222); Kdel 7; Kdel 99; Kdel 3; Kdel 5 ]
     ()
 
+(* Cross-shard transactions through the 2PC coordinator-record
+   protocol.  Key shard map for [shards:2]: keys 2, 3, 7, 8, 9, 10 and
+   99 hash to shard 0; keys 1, 4, 5, 6 and 11 to shard 1 — asserted
+   below so a hash change cannot silently de-fang the plan.  The plan
+   crosses shards in every transaction and covers: a 2-put commit, a
+   mixed delete+put commit with a two-op slot on one shard, a strict
+   delete abort ([Tdel 99] — key absent, so the whole transaction must
+   vanish), interleaved with single ops so the single-op intent slots
+   and the participant slots coexist at crash points. *)
+let kv_txn_plan () =
+  let s0 k = assert (Service.Kv.shard_of ~shards:2 k = 0)
+  and s1 k = assert (Service.Kv.shard_of ~shards:2 k = 1) in
+  List.iter s0 [ 2; 3; 7; 9; 99 ];
+  List.iter s1 [ 1; 4; 5; 6; 11 ];
+  [ Ktxn
+      [ Service.Kv.Tput { key = 3; vseed = 301 };
+        Service.Kv.Tput { key = 4; vseed = 302 } ];
+    Kput (9, 303);
+    Ktxn
+      [ Service.Kv.Tdel { key = 2 };
+        Service.Kv.Tput { key = 11; vseed = 304 };
+        Service.Kv.Tput { key = 7; vseed = 305 } ];
+    Ktxn
+      [ Service.Kv.Tput { key = 5; vseed = 306 };
+        Service.Kv.Tdel { key = 99 } ];
+    Kdel 6 ]
+
+let kv_txn_preload =
+  [ (1, 121); (2, 122); (3, 123); (4, 124); (5, 125); (6, 126) ]
+
+let scn_kv_txn () =
+  scn_kv ~sname:"kv-txn" ~slack:8192 ~preload:kv_txn_preload
+    ~plan:(kv_txn_plan ()) ()
+
+(* The seeded 2PC bug: the coordinator forgets to flush the decision
+   record, so a crash between the participant applies can surface half
+   a transaction.  The checker MUST find a counterexample here — the
+   mutation gate in scripts/check.sh fails CI if it does not. *)
+let scn_kv_txn_broken () =
+  scn_kv ~sname:"kv-txn-broken" ~slack:8192
+    ~tweak:Service.Kv.txn_break_decision_persist ~preload:kv_txn_preload
+    ~plan:(kv_txn_plan ()) ()
+
 (* Sweep the full sync-replication pipeline: primary local persist →
    ship over the link → backup apply/persist → cumulative ack.  Two
    machines (two devices — the primary's rides in [aux_devs], so its
@@ -597,7 +689,17 @@ let scn_kv_delete () =
    atomic (pre- or post-state, never torn). *)
 let scn_kv_replicated_put () =
   let preload = [ (1, 131); (2, 132); (3, 133); (4, 134) ] in
-  let plan = [ Kput (3, 301); Kput (9, 302); Kdel 2; Kput (10, 303) ] in
+  let plan =
+    [ Kput (3, 301);
+      Kput (9, 302);
+      Kdel 2;
+      (* a committed cross-shard transaction rides the same streams as
+         a Txn_prepare + Txn_decide pair per participant shard *)
+      Ktxn
+        [ Service.Kv.Tput { key = 5; vseed = 304 };
+          Service.Kv.Tput { key = 7; vseed = 305 } ];
+      Kput (10, 303) ]
+  in
   let state = ref None in
   let acked = ref 0 in
   let setup () =
@@ -624,11 +726,7 @@ let scn_kv_replicated_put () =
     let shipper = Replica.Shipper.create rcfg ~shards:2 ~link in
     let applier =
       Replica.Applier.create rcfg ~shards:2 ~link
-        ~apply:(fun ~shard:_ op ->
-          match op with
-          | Replica.Put { key; vseed } ->
-            ignore (Service.Kv.put svc_b ~key ~vseed)
-          | Replica.Del { key } -> ignore (Service.Kv.delete svc_b ~key))
+        ~apply:(fun ~shard op -> Service.Txn.apply_replicated svc_b ~shard op)
     in
     state := Some (svc_p, shipper, applier, link);
     acked := 0;
@@ -639,24 +737,56 @@ let scn_kv_replicated_put () =
   in
   let op env =
     let svc_p, shipper, applier, link = Option.get !state in
+    (* 3. backup applies + persists; 4. wait for every record's ack *)
+    let pump_until_acked seqs =
+      Replica.Applier.pump applier ~until:(fun () ->
+          Cluster.Link.pending link ~ep:Replica.backup_ep = 0);
+      List.iter
+        (fun (shard, seq) ->
+          if
+            not (Replica.Shipper.wait_acked shipper ~shard ~seq ~deadline:0)
+          then failwith "kv-replicated scenario: sync ack lost on clean run")
+        seqs
+    in
     List.iter
       (fun o ->
-        (* 1. primary local persist *)
+        (* 1. primary local persist; 2. ship *)
         (match o with
-         | Kput (k, vs) -> ignore (Service.Kv.put svc_p ~key:k ~vseed:vs)
-         | Kdel k -> ignore (Service.Kv.delete svc_p ~key:k));
-        let key, rop =
-          match o with
-          | Kput (k, vs) -> (k, Replica.Put { key = k; vseed = vs })
-          | Kdel k -> (k, Replica.Del { key = k })
-        in
-        let shard = Service.Kv.shard_of_key svc_p key in
-        (* 2. ship; 3. backup applies + persists; 4. wait for the ack *)
-        let seq = Replica.Shipper.ship shipper ~shard rop in
-        Replica.Applier.pump applier ~until:(fun () ->
-            Cluster.Link.pending link ~ep:Replica.backup_ep = 0);
-        if not (Replica.Shipper.wait_acked shipper ~shard ~seq ~deadline:0)
-        then failwith "kv-replicated scenario: sync ack lost on clean run";
+         | Kput (k, vs) ->
+           ignore (Service.Kv.put svc_p ~key:k ~vseed:vs);
+           let shard = Service.Kv.shard_of_key svc_p k in
+           let seq =
+             Replica.Shipper.ship shipper ~shard
+               (Replica.Put { key = k; vseed = vs })
+           in
+           pump_until_acked [ (shard, seq) ]
+         | Kdel k ->
+           ignore (Service.Kv.delete svc_p ~key:k);
+           let shard = Service.Kv.shard_of_key svc_p k in
+           let seq =
+             Replica.Shipper.ship shipper ~shard (Replica.Del { key = k })
+           in
+           pump_until_acked [ (shard, seq) ]
+         | Ktxn ops ->
+           let seqs = ref [] in
+           ignore
+             (Service.Kv.txn svc_p ops ~on_commit:(fun res ->
+                  let nparts = List.length res.Service.Kv.participants in
+                  List.iter
+                    (fun (s, sops) ->
+                      ignore
+                        (Replica.Shipper.ship shipper ~shard:s
+                           (Replica.Txn_prepare
+                              { txn = res.Service.Kv.txn_id; ops = sops }));
+                      let q =
+                        Replica.Shipper.ship shipper ~shard:s
+                          (Replica.Txn_decide
+                             { txn = res.Service.Kv.txn_id; commit = true;
+                               nparts })
+                      in
+                      seqs := (s, q) :: !seqs)
+                    res.Service.Kv.participants));
+           pump_until_acked !seqs);
         incr acked;
         env.ledger.durable <- (H.stats env.heap).H.live_bytes)
       plan
@@ -666,7 +796,7 @@ let scn_kv_replicated_put () =
 
 let all_scenarios () =
   [ scn_alloc (); scn_free (); scn_tx_commit (); scn_tx_abort ();
-    scn_extend (); scn_kv_put (); scn_kv_delete ();
+    scn_extend (); scn_kv_put (); scn_kv_delete (); scn_kv_txn ();
     scn_kv_replicated_put () ]
 
 let scenario_by_name = function
@@ -677,6 +807,8 @@ let scenario_by_name = function
   | "extend" -> Some (scn_extend ())
   | "kv-put" -> Some (scn_kv_put ())
   | "kv-delete" -> Some (scn_kv_delete ())
+  | "kv-txn" -> Some (scn_kv_txn ())
+  | "kv-txn-broken" -> Some (scn_kv_txn_broken ())
   | "kv-replicated-put" -> Some (scn_kv_replicated_put ())
   | "broken" -> Some (scn_broken_missing_flush ())
   | _ -> None

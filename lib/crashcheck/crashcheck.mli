@@ -187,6 +187,23 @@ val scn_kv_delete : unit -> scenario
 (** KV deletes (present, absent and re-inserted keys) under the same
     acked-prefix oracle. *)
 
+val scn_kv_txn : unit -> scenario
+(** Cross-shard transactions through the 2PC coordinator-record
+    protocol ({!Service.Txn}), interleaved with single ops: 2-put and
+    delete+put commits spanning both shards, a strict-delete abort.
+    The acked-prefix oracle is transaction-aware — the in-flight
+    operation must read all-pre or all-post across {e every} key it
+    touches, so a commit half-applied across shards at any fence is a
+    counterexample. *)
+
+val scn_kv_txn_broken : unit -> scenario
+(** The same plan with {!Service.Kv.txn_break_decision_persist} armed:
+    the coordinator forgets to flush the decision record.  The checker
+    {e must} report counterexamples (a crash between the participant
+    applies surfaces half a transaction) — the mutation gate in
+    [scripts/check.sh] fails CI when it does not.  Excluded from
+    {!all_scenarios}, like [broken]. *)
+
 val scn_kv_replicated_put : unit -> scenario
 (** Sync replication over a two-machine cluster: each op persists on
     the primary, ships over a {!Cluster.Link}, is applied/persisted on
@@ -207,4 +224,5 @@ val all_scenarios : unit -> scenario list
 
 val scenario_by_name : string -> scenario option
 (** ["alloc" | "free" | "tx-commit" | "tx-abort" | "extend" |
-    "kv-put" | "kv-delete" | "kv-replicated-put" | "broken"]. *)
+    "kv-put" | "kv-delete" | "kv-txn" | "kv-txn-broken" |
+    "kv-replicated-put" | "broken"]. *)

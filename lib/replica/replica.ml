@@ -1,9 +1,15 @@
 module Sched = Simcore.Sched
 module Link = Cluster.Link
 
+type txn_op =
+  | Tput of { key : int; vseed : int }
+  | Tdel of { key : int }
+
 type op =
   | Put of { key : int; vseed : int }
   | Del of { key : int }
+  | Txn_prepare of { txn : int; ops : txn_op list }
+  | Txn_decide of { txn : int; commit : bool; nparts : int }
 
 type mode = Sync | Async
 

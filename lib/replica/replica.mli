@@ -16,14 +16,43 @@
     replication-lag bound; in [Sync] mode the caller additionally
     waits per record ({!Shipper.wait_acked}) before acking its client.
 
+    Cross-shard transactions ride the same per-shard streams: a
+    [Txn_prepare] record carries one participant shard's slice of the
+    transaction and a [Txn_decide] record carries the coordinator's
+    verdict for that shard.  Because both are sequenced like any other
+    record, the backup applies them in the exact per-shard order the
+    primary produced them, and a promotion that seals the log can tell
+    a decided transaction (prepare {e and} decide delivered) from an
+    in-doubt one (prepare delivered, decide lost with the primary) —
+    see {!Service.Txn}.
+
     This module knows nothing about the store: records carry abstract
     [(key, vseed)] payloads and application is a closure, so the
     service layer composes it with {!Service.Kv} without a dependency
     cycle. *)
 
+type txn_op =
+  | Tput of { key : int; vseed : int }
+  | Tdel of { key : int }
+      (** One operation of a cross-shard transaction, as carried by a
+          [Txn_prepare] record (only the participant shard's own
+          slice). *)
+
 type op =
   | Put of { key : int; vseed : int }
   | Del of { key : int }
+  | Txn_prepare of { txn : int; ops : txn_op list }
+      (** This shard's slice of transaction [txn]: persisted as a
+          participant slot on the backup before the ack. *)
+  | Txn_decide of { txn : int; commit : bool; nparts : int }
+      (** The coordinator's verdict for [txn] on this shard's stream;
+          [commit = false] discards the prepared slice.  [nparts] is
+          the transaction's total participant count: the backup defers
+          publication until it has seen the decide of {e every}
+          participant, then publishes the whole transaction at once
+          under its own decision record — publishing slice-by-slice
+          would let a crash or promotion between two slices surface
+          half a transaction ({!Service.Kv.txn_backup_decide}). *)
 
 type mode = Sync | Async
 

@@ -1,17 +1,29 @@
 module A = Alloc_intf
+module Sched = Simcore.Sched
 
 (* superroot layout (u64 words):
-   +0  magic
-   +8  geometry: shards lor (value_size lsl 16)
-   +16 + i*64: shard record i:
+   +0   magic
+   +8   geometry: shards lor (value_size lsl 16)
+   +64  coordinator decision record: id of the one transaction whose
+        decide→apply window may be open (0 = none).  It sits on its own
+        cache line so no neighbouring persist can flush it by accident —
+        its persist IS the transaction commit point.
+   +128 + i*64: shard record i:
         +0  tree root (packed nvmptr)
         +8  intent state (st_* below)
         +16 intent key
         +24 intent new value (packed)
-        +32 intent old value (packed) *)
+        +32 intent old value (packed)
+   +128 + nshards*64 + i*256: participant txn slot for shard i:
+        +0  txn id (0 = free)
+        +8  checksum over id/meta/entries (guards torn slot persists)
+        +16 meta: nops lor (shard lsl 8)
+        +24 + j*24: entry j: key, new value (packed; null = delete),
+                    old value (packed; null = fresh insert) *)
 
-let magic = 0x00504F534B560003 (* "POSKV" v3 *)
-let hdr_size = 16
+let magic = 0x00504F534B560004 (* "POSKV" v4 *)
+let hdr_size = 128
+let decision_off = 64
 let shard_stride = 64
 let slot_root = 0
 let slot_state = 8
@@ -24,18 +36,44 @@ let st_put_intent = 1
 let st_put_committed = 2
 let st_del_intent = 3
 
+(* participant txn slots: one per shard, owned by whoever holds that
+   shard's lock, so a slot is always free when a transaction claims it *)
+let max_txn_ops = 8
+let txn_stride = 256
+let tslot_txn = 0
+let tslot_cksum = 8
+let tslot_meta = 16
+let tslot_entries = 24
+let tentry_stride = 24
+
 type shard = { tree : Btree.t; base : int (* raw addr of the record *) }
 
 type t = {
   inst : A.instance;
   mach : Machine.t;
   hid : int;
+  raw : int; (* raw addr of the superroot *)
   value_size : int;
   nshards : int;
   shard_tbl : shard array;
+  shard_locks : Machine.Lock.lock array;
+  txn_lock : Machine.Lock.lock;
+      (* serializes the decide→apply window: the single decision word
+         may only describe one in-flight transaction at a time *)
+  mutable next_txn : int;
+  mutable break_decision_persist : bool; (* mutation-testing hook *)
+  backup_decided : (int, int) Hashtbl.t;
+      (* backup role only: txn -> decides seen so far.  Volatile on
+         purpose — after a crash the prepared-but-unpublished slots are
+         presumed-aborted by recovery, so the count need not survive. *)
 }
 
-type recovery = { replayed : int; rolled_back : int }
+type recovery = {
+  replayed : int;
+  rolled_back : int;
+  txn_committed : int;
+  txn_aborted : int;
+}
 
 let shards t = t.nshards
 let value_size t = t.value_size
@@ -47,8 +85,10 @@ let mix k =
   let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
   (z lxor (z lsr 31)) land max_int
 
-let shard_of_key t k = mix k mod t.nshards
+let shard_of ~shards k = mix k mod shards
+let shard_of_key t k = shard_of ~shards:t.nshards k
 let shard t k = t.shard_tbl.(shard_of_key t k)
+let shard_lock t i = t.shard_locks.(i)
 
 let val_word vseed w = mix ((vseed lsl 8) lxor (w + 1))
 
@@ -70,11 +110,16 @@ let cell_of mach hid base =
         Machine.write_u64 mach (base + slot_root) (A.pack p);
         Machine.persist mach (base + slot_root) 8) }
 
+let mk_locks mach shards =
+  ( Array.init shards (fun i ->
+        Machine.Lock.create mach ~name:(Printf.sprintf "kv-shard-%d" i) ()),
+    Machine.Lock.create mach ~name:"kv-txn-coordinator" () )
+
 let create inst ~shards ~value_size =
   if shards < 1 || shards > 0xFFFF then invalid_arg "Kv.create: bad shards";
   let value_size = max 8 ((value_size + 7) / 8 * 8) in
   let mach = A.instance_machine inst in
-  let size = hdr_size + (shards * shard_stride) in
+  let size = hdr_size + (shards * shard_stride) + (shards * txn_stride) in
   let p =
     match A.i_alloc inst size with
     | Some p -> p
@@ -94,7 +139,10 @@ let create inst ~shards ~value_size =
         let base = raw + hdr_size + (i * shard_stride) in
         { tree = Btree.create_in inst (cell_of mach hid base); base })
   in
-  { inst; mach; hid; value_size; nshards = shards; shard_tbl }
+  let shard_locks, txn_lock = mk_locks mach shards in
+  { inst; mach; hid; raw; value_size; nshards = shards; shard_tbl;
+    shard_locks; txn_lock; next_txn = 1; break_decision_persist = false;
+      backup_decided = Hashtbl.create 8 }
 
 let set_state t sh st =
   Machine.write_u64 t.mach (sh.base + slot_state) st;
@@ -136,6 +184,139 @@ let recover_shard t sh acc =
     acc
   end
 
+(* ---------- participant txn slots ---------- *)
+
+type txn_op = Replica.txn_op =
+  | Tput of { key : int; vseed : int }
+  | Tdel of { key : int }
+
+type txn_abort =
+  | Txn_empty
+  | Txn_too_many_ops
+  | Txn_duplicate_key
+  | Txn_absent_key of int
+  | Txn_no_memory
+
+type txn_result = {
+  txn_id : int;
+  committed : bool;
+  abort : txn_abort option;
+  fin : int;
+  participants : (int * txn_op list) list;
+}
+
+let txn_key = function Tput { key; _ } | Tdel { key } -> key
+
+let tslot_base t i = t.raw + hdr_size + (t.nshards * shard_stride) + (i * txn_stride)
+
+(* Entries are (key, packed new value | null = delete, packed old
+   value | null).  The checksum makes a torn slot persist (an
+   adversarial subset of the slot's four cache lines) detectable:
+   recovery must never redo or undo from half-written intent. *)
+let tslot_checksum ~txn ~meta entries =
+  List.fold_left
+    (fun acc (k, nv, ov) -> mix (acc lxor mix k lxor mix nv lxor mix ov))
+    (mix txn lxor mix meta)
+    entries
+
+let write_tslot t i ~txn entries =
+  let base = tslot_base t i in
+  let nops = List.length entries in
+  let meta = nops lor (i lsl 8) in
+  Machine.write_u64 t.mach (base + tslot_meta) meta;
+  List.iteri
+    (fun j (k, nv, ov) ->
+      let e = base + tslot_entries + (j * tentry_stride) in
+      Machine.write_u64 t.mach e k;
+      Machine.write_u64 t.mach (e + 8) nv;
+      Machine.write_u64 t.mach (e + 16) ov)
+    entries;
+  Machine.write_u64 t.mach (base + tslot_cksum)
+    (tslot_checksum ~txn ~meta entries);
+  Machine.write_u64 t.mach (base + tslot_txn) txn;
+  Machine.persist t.mach base (tslot_entries + (nops * tentry_stride))
+
+let read_tslot t i =
+  let base = tslot_base t i in
+  let rd off = Machine.read_u64 t.mach (base + off) in
+  let txn = rd tslot_txn in
+  if txn = 0 then `Free
+  else
+    let meta = rd tslot_meta in
+    let nops = meta land 0xFF in
+    if nops < 1 || nops > max_txn_ops || meta lsr 8 <> i then `Torn
+    else
+      let entries =
+        List.init nops (fun j ->
+            let e = tslot_entries + (j * tentry_stride) in
+            (rd e, rd (e + 8), rd (e + 16)))
+      in
+      if rd tslot_cksum <> tslot_checksum ~txn ~meta entries then `Torn
+      else `Slot (txn, entries)
+
+let clear_tslot t i =
+  let base = tslot_base t i in
+  Machine.write_u64 t.mach (base + tslot_txn) 0;
+  Machine.persist t.mach (base + tslot_txn) 8
+
+(* Publish one prepared entry into shard [i]'s tree.  Insert is an
+   idempotent overwrite and free is Poseidon's safe free, so replaying
+   a half-applied slot after a crash is harmless. *)
+let publish_entry t i (key, newv, oldv) =
+  let sh = t.shard_tbl.(i) in
+  if newv = A.packed_null then ignore (Btree.delete sh.tree key)
+  else Btree.insert sh.tree ~key ~value:newv;
+  if oldv <> A.packed_null then A.i_free t.inst (A.unpack ~heap_id:t.hid oldv)
+
+let apply_tslot t i entries =
+  List.iter (publish_entry t i) entries;
+  clear_tslot t i
+
+let abort_tslot t i entries =
+  List.iter
+    (fun (_, newv, _) ->
+      if newv <> A.packed_null then
+        (* the block may already be gone when the allocator micro-log
+           rolled the prepare's transaction back — safe free absorbs *)
+        A.i_free t.inst (A.unpack ~heap_id:t.hid newv))
+    entries;
+  clear_tslot t i
+
+let read_decision t = Machine.read_u64 t.mach (t.raw + decision_off)
+
+let write_decision t v ~persist =
+  Machine.write_u64 t.mach (t.raw + decision_off) v;
+  if persist then Machine.persist t.mach (t.raw + decision_off) 8
+
+(* Recovery: the decision record names the only transaction that may
+   have been committed but not fully applied.  Its slots are redone;
+   every other occupied slot belongs to an undecided transaction whose
+   client was never answered — presumed abort. *)
+let recover_txns t =
+  let decision = read_decision t in
+  let committed = ref 0 and aborted = ref 0 in
+  for i = 0 to t.nshards - 1 do
+    match read_tslot t i with
+    | `Free -> ()
+    | `Torn ->
+      (* the slot's persist fence never completed, so the prepare's
+         allocator transaction was still open: the micro-log replay
+         already freed its blocks.  Nothing to undo but the slot. *)
+      clear_tslot t i;
+      incr aborted
+    | `Slot (txn, entries) ->
+      if txn = decision then begin
+        apply_tslot t i entries;
+        incr committed
+      end
+      else begin
+        abort_tslot t i entries;
+        incr aborted
+      end
+  done;
+  if decision <> 0 then write_decision t 0 ~persist:true;
+  (!committed, !aborted)
+
 let attach inst =
   let mach = A.instance_machine inst in
   let root = A.i_get_root inst in
@@ -152,11 +333,17 @@ let attach inst =
         let base = raw + hdr_size + (i * shard_stride) in
         { tree = Btree.attach_in inst (cell_of mach hid base); base })
   in
-  let t = { inst; mach; hid; value_size; nshards; shard_tbl } in
+  let shard_locks, txn_lock = mk_locks mach nshards in
+  let t =
+    { inst; mach; hid; raw; value_size; nshards; shard_tbl;
+      shard_locks; txn_lock; next_txn = 1; break_decision_persist = false;
+      backup_decided = Hashtbl.create 8 }
+  in
   let replayed, rolled_back =
     Array.fold_left (fun acc sh -> recover_shard t sh acc) (0, 0) t.shard_tbl
   in
-  (t, { replayed; rolled_back })
+  let txn_committed, txn_aborted = recover_txns t in
+  (t, { replayed; rolled_back; txn_committed; txn_aborted })
 
 (* ---------- operations ---------- *)
 
@@ -229,3 +416,255 @@ let count_keys t =
   Array.fold_left (fun acc sh -> acc + Btree.count_keys sh.tree) 0 t.shard_tbl
 
 let check t = Array.iter (fun sh -> Btree.check sh.tree) t.shard_tbl
+
+(* ---------- cross-shard transactions (the 2PC core) ---------- *)
+
+let txn_break_decision_persist t = t.break_decision_persist <- true
+
+(* participants in ascending shard order, each with its ops in
+   submission order — the lock-acquisition order, so concurrent
+   transactions cannot deadlock *)
+let group_participants t ops =
+  let parts = Array.make t.nshards [] in
+  List.iter
+    (fun o ->
+      let s = shard_of_key t (txn_key o) in
+      parts.(s) <- o :: parts.(s))
+    ops;
+  let out = ref [] in
+  for i = t.nshards - 1 downto 0 do
+    if parts.(i) <> [] then out := (i, List.rev parts.(i)) :: !out
+  done;
+  !out
+
+let validate_static t ops =
+  if ops = [] then Error Txn_empty
+  else begin
+    let keys = List.map txn_key ops in
+    if List.exists (fun k -> k < 1) keys then
+      invalid_arg "Kv.txn: keys must be >= 1";
+    if List.length (List.sort_uniq compare keys) <> List.length keys then
+      Error Txn_duplicate_key
+    else
+      let parts = group_participants t ops in
+      if List.exists (fun (_, l) -> List.length l > max_txn_ops) parts then
+        Error Txn_too_many_ops
+      else Ok parts
+  end
+
+(* Phase 1, caller holds every participant lock: allocate and persist
+   the new values under one open allocator transaction, then persist
+   one participant slot per shard.  The slots own the blocks once
+   [i_tx_commit] truncates the micro-log; before that a crash rolls
+   the whole prepare back at the allocator level. *)
+let prepare_locked t parts =
+  let missing = ref None in
+  List.iter
+    (fun (i, ops) ->
+      List.iter
+        (function
+          | Tdel { key } ->
+            if !missing = None && Btree.find t.shard_tbl.(i).tree key = None
+            then missing := Some key
+          | Tput _ -> ())
+        ops)
+    parts;
+  match !missing with
+  | Some k -> Error (Txn_absent_key k)
+  | None ->
+    let failed = ref false in
+    let allocated = ref [] in
+    let filled =
+      List.map
+        (fun (i, ops) ->
+          let entries =
+            List.map
+              (fun o ->
+                let find k =
+                  match Btree.find t.shard_tbl.(i).tree k with
+                  | Some v -> v
+                  | None -> A.packed_null
+                in
+                match o with
+                | Tdel { key } -> (key, A.packed_null, find key)
+                | Tput { key; vseed } ->
+                  if !failed then (key, A.packed_null, A.packed_null)
+                  else begin
+                    match A.i_tx_alloc t.inst t.value_size ~is_end:false with
+                    | None ->
+                      failed := true;
+                      (key, A.packed_null, A.packed_null)
+                    | Some p ->
+                      allocated := p :: !allocated;
+                      let vaddr = A.i_get_rawptr t.inst p in
+                      for w = 0 to (t.value_size / 8) - 1 do
+                        Machine.write_u64 t.mach (vaddr + (8 * w))
+                          (val_word vseed w)
+                      done;
+                      Machine.persist t.mach vaddr t.value_size;
+                      (key, A.pack p, find key)
+                  end)
+              ops
+          in
+          (i, entries))
+        parts
+    in
+    if !failed then begin
+      (* abort during prepare: release the blocks and close the
+         allocator transaction (net zero — nothing durable changed) *)
+      List.iter (fun p -> A.i_free t.inst p) !allocated;
+      A.i_tx_commit t.inst;
+      Error Txn_no_memory
+    end
+    else begin
+      let txn = t.next_txn in
+      t.next_txn <- txn + 1;
+      List.iter (fun (i, entries) -> write_tslot t i ~txn entries) filled;
+      A.i_tx_commit t.inst;
+      Ok txn
+    end
+
+(* Phase 2 under the coordinator lock: the decision record's persist
+   is THE commit point — before it a crash aborts every participant,
+   after it recovery redoes them from the slots. *)
+let decide_apply_locked t txn idxs =
+  Machine.Lock.acquire t.txn_lock;
+  write_decision t txn ~persist:(not t.break_decision_persist);
+  let fin = if Sched.in_simulation () then Sched.now () else 0 in
+  List.iter
+    (fun i ->
+      match read_tslot t i with
+      | `Slot (id, entries) when id = txn -> apply_tslot t i entries
+      | _ -> failwith "Kv.txn: participant slot vanished before apply")
+    idxs;
+  write_decision t 0 ~persist:true;
+  Machine.Lock.release t.txn_lock;
+  fin
+
+let abort_result a parts =
+  { txn_id = 0; committed = false; abort = Some a; fin = 0;
+    participants = parts }
+
+let txn ?on_commit t ops =
+  match validate_static t ops with
+  | Error a -> abort_result a []
+  | Ok parts ->
+    let idxs = List.map fst parts in
+    List.iter (fun i -> Machine.Lock.acquire t.shard_locks.(i)) idxs;
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter
+          (fun i -> Machine.Lock.release t.shard_locks.(i))
+          (List.rev idxs))
+      (fun () ->
+        match prepare_locked t parts with
+        | Error a -> abort_result a parts
+        | Ok txn_id ->
+          let fin = decide_apply_locked t txn_id idxs in
+          let res =
+            { txn_id; committed = true; abort = None; fin;
+              participants = parts }
+          in
+          (match on_commit with Some f -> f res | None -> ());
+          res)
+
+(* Staged variants (no locking — recovery tests and single-threaded
+   instrumentation drive the protocol one phase at a time). *)
+
+let txn_prepare t ops =
+  match validate_static t ops with
+  | Error a -> Error a
+  | Ok parts -> prepare_locked t parts
+
+let txn_decide t ~txn = write_decision t txn ~persist:(not t.break_decision_persist)
+
+let txn_apply t ~txn =
+  for i = 0 to t.nshards - 1 do
+    match read_tslot t i with
+    | `Slot (id, entries) when id = txn -> apply_tslot t i entries
+    | _ -> ()
+  done;
+  write_decision t 0 ~persist:true
+
+let txn_resolve_indoubt t =
+  Hashtbl.reset t.backup_decided;
+  let n = ref 0 in
+  for i = 0 to t.nshards - 1 do
+    match read_tslot t i with
+    | `Free -> ()
+    | `Torn ->
+      clear_tslot t i;
+      incr n
+    | `Slot (_, entries) ->
+      abort_tslot t i entries;
+      incr n
+  done;
+  !n
+
+(* ---------- backup-side participant handlers ---------- *)
+
+let txn_backup_prepare t ~txn ~shard ~ops =
+  (match read_tslot t shard with
+   | `Free -> ()
+   | `Torn | `Slot _ -> failwith "Kv.txn_backup_prepare: participant slot busy");
+  let entries =
+    List.map
+      (fun o ->
+        let find k =
+          match Btree.find t.shard_tbl.(shard).tree k with
+          | Some v -> v
+          | None -> A.packed_null
+        in
+        match o with
+        | Tdel { key } -> (key, A.packed_null, find key)
+        | Tput { key; vseed } -> (
+          match A.i_tx_alloc t.inst t.value_size ~is_end:false with
+          | None -> failwith "Kv.txn_backup_prepare: backup heap exhausted"
+          | Some p ->
+            let vaddr = A.i_get_rawptr t.inst p in
+            for w = 0 to (t.value_size / 8) - 1 do
+              Machine.write_u64 t.mach (vaddr + (8 * w)) (val_word vseed w)
+            done;
+            Machine.persist t.mach vaddr t.value_size;
+            (key, A.pack p, find key)))
+      ops
+  in
+  write_tslot t shard ~txn entries;
+  A.i_tx_commit t.inst
+
+(* Deferred group apply.  Publishing each slice as its decide arrives
+   would tear the transaction: a crash (or a promotion) between two
+   slices leaves half of it published with no way to undo.  Instead a
+   committed slice stays prepared until the decides of ALL [nparts]
+   participants have been seen; the last one publishes the whole group
+   under this store's own decision record, so the backup has the same
+   single-commit-point recovery as the primary.  The decide count is
+   volatile: if it is lost to a crash, every slot of the group is still
+   prepared and recovery presumed-aborts them — sound, because the
+   primary's sync ack waits for every participant's decide to be
+   applied here, so an incompletely counted transaction was never
+   acked. *)
+let txn_backup_decide t ~txn ~shard ~commit ~nparts =
+  match read_tslot t shard with
+  | `Slot (id, entries) when id = txn ->
+    if not commit then abort_tslot t shard entries
+    else begin
+      let decided =
+        (match Hashtbl.find_opt t.backup_decided txn with
+         | Some n -> n
+         | None -> 0)
+        + 1
+      in
+      if decided < nparts then Hashtbl.replace t.backup_decided txn decided
+      else begin
+        Hashtbl.remove t.backup_decided txn;
+        write_decision t txn ~persist:(not t.break_decision_persist);
+        for i = 0 to t.nshards - 1 do
+          match read_tslot t i with
+          | `Slot (id, es) when id = txn -> apply_tslot t i es
+          | _ -> ()
+        done;
+        write_decision t 0 ~persist:true
+      end
+    end
+  | `Free | `Torn | `Slot _ -> ()

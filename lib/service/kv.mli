@@ -23,13 +23,34 @@
     invalid/double frees, i.e. Poseidon's safe free is load-bearing
     here), PUT_COMMITTED / DEL_INTENT redo the publication.  Every
     crash point therefore resolves to "op fully applied" or "op never
-    happened", with no leak and no dangling pointer. *)
+    happened", with no leak and no dangling pointer.
+
+    {2 Cross-shard transactions}
+
+    Multi-key atomicity uses a 2PC-shaped extension of the same idea:
+    each participant shard owns a persistent {e participant slot}
+    (per-(txn, shard) intent covering up to {!max_txn_ops} operations,
+    guarded by a checksum against torn persists), and the superroot
+    holds a single {e coordinator decision record} on its own cache
+    line.  Prepare persists values + one slot per participant under an
+    open allocator transaction; the decision record's persist is the
+    commit point; apply publishes each slot into its tree and clears
+    it.  {!attach} resolves in-doubt participants by reading the
+    decision record: slots naming the decided transaction are redone,
+    all others are presumed aborted (their client was never answered)
+    and rolled back.  See {!Txn} for the protocol-level API. *)
 
 type t
 
 type recovery = {
-  replayed : int; (** slots redone (op completed after restart) *)
-  rolled_back : int; (** slots undone (op never happened) *)
+  replayed : int; (** intent slots redone (op completed after restart) *)
+  rolled_back : int; (** intent slots undone (op never happened) *)
+  txn_committed : int;
+      (** participant txn slots redone — their txn's decision record
+          had persisted, so the whole transaction must surface *)
+  txn_aborted : int;
+      (** participant txn slots rolled back (in-doubt at the crash:
+          prepared but no persisted decision — presumed abort) *)
 }
 
 val create : Alloc_intf.instance -> shards:int -> value_size:int -> t
@@ -48,6 +69,19 @@ val value_size : t -> int
 
 val shard_of_key : t -> int -> int
 (** Hash partition: which shard owns this key (stable across restarts). *)
+
+val shard_of : shards:int -> int -> int
+(** The same hash partition as a pure function of the shard count —
+    lets planners place keys without a store in hand. *)
+
+val shard_lock : t -> int -> Machine.Lock.lock
+(** The shard's mutual-exclusion lock (simulation-only; a no-op
+    outside {!Simcore.Sched} runs).  {!put}/{!delete}/{!get} do NOT
+    take it themselves — single-threaded callers need no locking and
+    existing call sites keep their exact timing — but any caller
+    running concurrent mutators (e.g. {!Server}) must hold it around
+    single-key operations so they serialize against {!txn}, which
+    acquires every participant's lock internally. *)
 
 val put : t -> key:int -> vseed:int -> bool
 (** Insert or overwrite; [false] when allocation fails (heap full). *)
@@ -70,3 +104,84 @@ val count_keys : t -> int
 
 val check : t -> unit
 (** Structural check of every shard tree; raises [Failure]. *)
+
+(** {2 Cross-shard transactions} *)
+
+val max_txn_ops : int
+(** Operations one participant slot can hold — the per-shard cap on a
+    transaction's footprint (8). *)
+
+type txn_op = Replica.txn_op =
+  | Tput of { key : int; vseed : int }
+  | Tdel of { key : int }
+(** Shared with the replication wire format so a participant's slice
+    ships unconverted. *)
+
+type txn_abort =
+  | Txn_empty
+  | Txn_too_many_ops  (** more than {!max_txn_ops} keys on one shard *)
+  | Txn_duplicate_key
+  | Txn_absent_key of int  (** strict deletes: [Tdel] of a missing key *)
+  | Txn_no_memory  (** allocation failed during prepare *)
+
+type txn_result = {
+  txn_id : int; (** 0 when aborted before a slot was claimed *)
+  committed : bool;
+  abort : txn_abort option;
+  fin : int;
+      (** simulated time of the decision record's persist — the commit
+          point; 0 on abort or outside the simulation *)
+  participants : (int * txn_op list) list;
+      (** ascending shard order; ops in submission order per shard *)
+}
+
+val txn : ?on_commit:(txn_result -> unit) -> t -> txn_op list -> txn_result
+(** Executes the operations as one atomic transaction: after a crash
+    at any fence, either every operation is visible or none is.
+    Acquires every participant's {!shard_lock} in ascending order (so
+    concurrent transactions cannot deadlock) plus the coordinator lock
+    for the decide→apply window; [on_commit] runs {e inside} the
+    critical section right after apply — the hook the replicated
+    server uses to ship prepare/decide records in mutation order.
+    Aborts ([committed = false]) leave no durable trace. *)
+
+val txn_prepare : t -> txn_op list -> (int, txn_abort) result
+(** Phase 1 only (no locking — single-threaded recovery tests and
+    instrumentation): persist values and participant slots, commit the
+    allocator transaction, return the claimed txn id.  A crash now
+    leaves the transaction in doubt; {!attach} presumed-aborts it. *)
+
+val txn_decide : t -> txn:int -> unit
+(** Persist the coordinator decision record: the commit point.  A
+    crash after this redoes the transaction from its slots. *)
+
+val txn_apply : t -> txn:int -> unit
+(** Publish and clear every slot naming [txn], then clear the
+    decision record. *)
+
+val txn_resolve_indoubt : t -> int
+(** Roll back every occupied participant slot — presumed abort.  The
+    promoting backup calls this after {!Replica.Applier.seal_and_replay}:
+    a prepare whose decide died with the primary was never acked to any
+    client, so discarding it is safe.  Returns the slots resolved. *)
+
+val txn_backup_prepare : t -> txn:int -> shard:int -> ops:txn_op list -> unit
+(** Apply a shipped [Txn_prepare] record: persist the slice's values
+    and its participant slot (durable before the applier acks). *)
+
+val txn_backup_decide :
+  t -> txn:int -> shard:int -> commit:bool -> nparts:int -> unit
+(** Apply a shipped [Txn_decide] record.  [commit = false] discards
+    the prepared slice at once; a commit is {e deferred} until the
+    decides of all [nparts] participants have arrived, and the last
+    one publishes the whole transaction under this store's own
+    decision record — publishing slice-by-slice would let a crash or
+    promotion between slices surface half a transaction.  A decide
+    for an already-resolved slot is a no-op (duplicate-delivery
+    tolerance). *)
+
+val txn_break_decision_persist : t -> unit
+(** Mutation-testing hook: every subsequent {!txn}/{!txn_decide} skips
+    the persist of the coordinator decision record — the seeded 2PC
+    bug the [kv-txn-broken] crashcheck scenario must flag.  Never call
+    this outside checker gates. *)

@@ -14,6 +14,8 @@ type config = {
   read_pct : int;
   delete_pct : int;
   scan_pct : int;
+  txn_pct : int;
+  txn_ops : int;
   queue_capacity : int;
   preload : int;
   crash_at : float option;
@@ -32,20 +34,36 @@ let default_config =
     read_pct = 50;
     delete_pct = 10;
     scan_pct = 5;
+    txn_pct = 0;
+    txn_ops = 3;
     queue_capacity = 64;
     preload = 2048;
     crash_at = None;
     seed = 42;
     scope = "service" }
 
-type op_kind = KGet | KPut | KDel | KScan
+type op_kind = KGet | KPut | KDel | KScan | KTxn
 
 type payload =
-  | Req of { rid : int; client : int; kind : op_kind; key : int; vseed : int }
+  | Req of
+      { rid : int;
+        client : int;
+        kind : op_kind;
+        key : int;
+        vseed : int;
+        ops : Kv.txn_op list (* KTxn only; [] otherwise *) }
   | Rep of { rid : int; ok : bool; mutated : bool; fin : int }
 
 (* client-side record of a request awaiting its reply *)
-type pending = { p_kind : op_kind; p_key : int; p_vseed : int; p_sent : int }
+type pending = {
+  p_kind : op_kind;
+  p_key : int;
+  p_vseed : int;
+  p_ops : Kv.txn_op list;
+  p_sent : int;
+}
+
+let txn_op_key = function Kv.Tput { key; _ } | Kv.Tdel { key } -> key
 
 type percentiles = {
   p50 : int;
@@ -83,6 +101,9 @@ type result = {
   ledger : ledger_report;
   in_flight_at_crash : int;
   queue_max_depth : int;
+  txns_committed : int;
+  txns_aborted : int;
+  txn_latency : percentiles;
 }
 
 let run ~make ~reattach cfg =
@@ -90,8 +111,10 @@ let run ~make ~reattach cfg =
     invalid_arg "Server.run: shards and clients must be >= 1";
   if cfg.rate <= 0. || cfg.duration <= 0. then
     invalid_arg "Server.run: rate and duration must be positive";
-  if cfg.read_pct + cfg.delete_pct + cfg.scan_pct > 100 then
+  if cfg.read_pct + cfg.delete_pct + cfg.scan_pct + cfg.txn_pct > 100 then
     invalid_arg "Server.run: op mix exceeds 100%";
+  if cfg.txn_ops < 1 || cfg.txn_ops > Kv.max_txn_ops then
+    invalid_arg "Server.run: txn_ops out of range";
   (match cfg.crash_at with
    | Some f when f <= 0. || f >= 1. ->
      invalid_arg "Server.run: crash_at must be in (0, 1)"
@@ -136,10 +159,14 @@ let run ~make ~reattach cfg =
   let handled = ref 0 and completed = ref 0 and acked_mut = ref 0 in
   let reply_drops = ref 0 in
   let senders = ref cfg.clients in
+  let txn_commits = ref 0 and txn_aborts = ref 0 in
   let lat_h = Hist.create () and svc_h = Hist.create () in
+  let txn_lat_h = Hist.create () in
   (* acked mutations: (key, Some vseed | None for delete, server finish ns).
-     Server finish time totally orders mutations of a key: a key lives on
-     one shard and the shard thread serializes its requests. *)
+     [fin] is captured inside the mutation's critical section (for a
+     transaction: the decision record's persist), so per key it orders
+     exactly as the store applied the mutations even when single ops
+     and cross-shard transactions interleave. *)
   let ledger : (int * int option * int) list ref = ref [] in
   let outstanding : (int, pending) Hashtbl.t array =
     Array.init cfg.clients (fun _ -> Hashtbl.create 64)
@@ -154,22 +181,34 @@ let run ~make ~reattach cfg =
       | Req r ->
         let t0 = Sched.now () in
         Machine.compute mach 200 (* request decode / dispatch overhead *);
-        let ok, mutated =
+        let ok, mutated, fin =
           match r.kind with
-          | KGet -> (Kv.get svc ~key:r.key <> None, false)
-          | KPut ->
-            let ok = Kv.put svc ~key:r.key ~vseed:r.vseed in
-            (ok, ok)
-          | KDel ->
-            let ok = Kv.delete svc ~key:r.key in
-            (ok, ok)
-          | KScan ->
-            ignore (Kv.scan svc ~from_key:r.key ~n:16);
-            (true, false)
+          | KTxn ->
+            (* Kv.txn takes every participant's shard lock itself *)
+            let res = Kv.txn svc r.ops in
+            if res.Kv.committed then incr txn_commits else incr txn_aborts;
+            (res.Kv.committed, res.Kv.committed, res.Kv.fin)
+          | _ ->
+            Machine.Lock.with_lock (Kv.shard_lock svc i) (fun () ->
+                let ok, mutated =
+                  match r.kind with
+                  | KGet -> (Kv.get svc ~key:r.key <> None, false)
+                  | KPut ->
+                    let ok = Kv.put svc ~key:r.key ~vseed:r.vseed in
+                    (ok, ok)
+                  | KDel ->
+                    let ok = Kv.delete svc ~key:r.key in
+                    (ok, ok)
+                  | KScan ->
+                    ignore (Kv.scan svc ~from_key:r.key ~n:16);
+                    (true, false)
+                  | KTxn -> assert false
+                in
+                (ok, mutated, Sched.now ()))
         in
         incr handled;
         Hist.record svc_h (Sched.now () - t0);
-        let rep = Rep { rid = r.rid; ok; mutated; fin = Sched.now () } in
+        let rep = Rep { rid = r.rid; ok; mutated; fin } in
         if not (Net.try_send net ~dst:(cfg.shards + r.client) rep) then
           incr reply_drops
     in
@@ -197,6 +236,23 @@ let run ~make ~reattach cfg =
   let zipf = Zipf.create ~theta:cfg.zipf_theta cfg.keyspace in
   let client_body j () =
     let rng = Prng.create (cfg.seed + (7919 * (j + 1))) in
+    (* a transaction's keys: distinct draws from the same zipfian
+       popularity; ~1 in 4 ops is a strict delete, so transactions
+       abort at a real rate once a hot key is already gone *)
+    let gen_txn_ops rid =
+      let rec pick ks n guard =
+        if n = 0 || guard = 0 then List.rev ks
+        else
+          let k = 1 + Zipf.scrambled zipf rng in
+          if List.mem k ks then pick ks n (guard - 1)
+          else pick (k :: ks) (n - 1) (guard - 1)
+      in
+      List.mapi
+        (fun idx k ->
+          if Prng.int rng 100 < 25 then Kv.Tdel { key = k }
+          else Kv.Tput { key = k; vseed = (rid lsl 4) lor idx })
+        (pick [] cfg.txn_ops (8 * cfg.txn_ops))
+    in
     let lg =
       Net.Loadgen.create
         ~rate:(cfg.rate /. float_of_int cfg.clients)
@@ -216,8 +272,21 @@ let run ~make ~reattach cfg =
              Hist.record lat_h (delivered_at - p.p_sent);
              if r.mutated then begin
                incr acked_mut;
-               let v = if p.p_kind = KPut then Some p.p_vseed else None in
-               ledger := (p.p_key, v, r.fin) :: !ledger
+               match p.p_kind with
+               | KTxn ->
+                 Hist.record txn_lat_h (delivered_at - p.p_sent);
+                 List.iter
+                   (fun o ->
+                     let k, v =
+                       match o with
+                       | Kv.Tput { key; vseed } -> (key, Some vseed)
+                       | Kv.Tdel { key } -> (key, None)
+                     in
+                     ledger := (k, v, r.fin) :: !ledger)
+                   p.p_ops
+               | _ ->
+                 let v = if p.p_kind = KPut then Some p.p_vseed else None in
+                 ledger := (p.p_key, v, r.fin) :: !ledger
              end
            | None -> ());
           go ()
@@ -236,22 +305,38 @@ let run ~make ~reattach cfg =
           drain ();
           let key = 1 + Zipf.scrambled zipf rng in
           let die = Prng.int rng 100 in
-          let kind =
-            if die < cfg.read_pct then KGet
-            else if die < cfg.read_pct + cfg.delete_pct then KDel
-            else if die < cfg.read_pct + cfg.delete_pct + cfg.scan_pct then
-              KScan
-            else KPut
-          in
           incr offered;
           let rid = (j lsl 32) lor !seq in
           incr seq;
+          let kind, ops =
+            if die < cfg.read_pct then (KGet, [])
+            else if die < cfg.read_pct + cfg.delete_pct then (KDel, [])
+            else if die < cfg.read_pct + cfg.delete_pct + cfg.scan_pct then
+              (KScan, [])
+            else if
+              die < cfg.read_pct + cfg.delete_pct + cfg.scan_pct + cfg.txn_pct
+            then begin
+              match gen_txn_ops rid with
+              | [] -> (KPut, []) (* key draws starved out: degrade to a put *)
+              | ops -> (KTxn, ops)
+            end
+            else (KPut, [])
+          in
+          (* a transaction is addressed to its first key's shard; the
+             handler fans out to the other participants itself *)
+          let key = match ops with o :: _ -> txn_op_key o | [] -> key in
           let dst = Kv.shard_of_key svc key in
-          if Net.try_send net ~dst (Req { rid; client = j; kind; key; vseed = rid })
+          if
+            Net.try_send net ~dst
+              (Req { rid; client = j; kind; key; vseed = rid; ops })
           then begin
             incr admitted;
             Hashtbl.replace out rid
-              { p_kind = kind; p_key = key; p_vseed = rid; p_sent = Sched.now () }
+              { p_kind = kind;
+                p_key = key;
+                p_vseed = rid;
+                p_ops = ops;
+                p_sent = Sched.now () }
           end
           else incr shed (* Overloaded: admission refused, request dropped *);
           send_loop (t_next + Net.Loadgen.next_gap_ns lg)
@@ -290,8 +375,13 @@ let run ~make ~reattach cfg =
     (fun out ->
       Hashtbl.iter
         (fun _ p ->
-          if p.p_kind = KPut || p.p_kind = KDel then
-            Hashtbl.replace in_flight_keys p.p_key ())
+          match p.p_kind with
+          | KPut | KDel -> Hashtbl.replace in_flight_keys p.p_key ()
+          | KTxn ->
+            List.iter
+              (fun o -> Hashtbl.replace in_flight_keys (txn_op_key o) ())
+              p.p_ops
+          | KGet | KScan -> ())
         out)
     outstanding;
   let in_flight_at_crash = Hashtbl.length in_flight_keys in
@@ -359,8 +449,11 @@ let run ~make ~reattach cfg =
   g "reply_drops" (float_of_int !reply_drops);
   g "queue_max_depth" (float_of_int !queue_max_depth);
   g "rto_ns" (float_of_int rto_ns);
+  g "txn_committed" (float_of_int !txn_commits);
+  g "txn_aborted" (float_of_int !txn_aborts);
   Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "latency_ns") lat_h;
   Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "service_ns") svc_h;
+  Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "txn_latency_ns") txn_lat_h;
 
   { offered = !offered;
     admitted = !admitted;
@@ -377,7 +470,10 @@ let run ~make ~reattach cfg =
     recovery;
     ledger = ledger_rep;
     in_flight_at_crash;
-    queue_max_depth = !queue_max_depth }
+    queue_max_depth = !queue_max_depth;
+    txns_committed = !txn_commits;
+    txns_aborted = !txn_aborts;
+    txn_latency = percentiles_of txn_lat_h }
 
 (* ------------------------------------------------------------------ *)
 (* Replicated serving: primary + backup on a two-machine cluster.     *)
@@ -410,6 +506,7 @@ type repl_result = {
   link_duplicated : int;
   backup_applied : int;
   tail_replayed : int;
+  indoubt_aborted : int;
   backup_ledger : ledger_report option;
   sync : bool;
 }
@@ -419,8 +516,10 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
     invalid_arg "Server.run_replicated: shards and clients must be >= 1";
   if cfg.rate <= 0. || cfg.duration <= 0. then
     invalid_arg "Server.run_replicated: rate and duration must be positive";
-  if cfg.read_pct + cfg.delete_pct + cfg.scan_pct > 100 then
+  if cfg.read_pct + cfg.delete_pct + cfg.scan_pct + cfg.txn_pct > 100 then
     invalid_arg "Server.run_replicated: op mix exceeds 100%";
+  if cfg.txn_ops < 1 || cfg.txn_ops > Kv.max_txn_ops then
+    invalid_arg "Server.run_replicated: txn_ops out of range";
   (match cfg.crash_at with
    | Some f when f <= 0. || f >= 1. ->
      invalid_arg "Server.run_replicated: crash_at must be in (0, 1)"
@@ -463,10 +562,7 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
   let applier =
     Replica.Applier.create repl_cfg ~shards:cfg.shards ~link
       ~on_apply:(fun ~lat_ns -> Hist.record repl_lag_h lat_ns)
-      ~apply:(fun ~shard:_ op ->
-        match op with
-        | Replica.Put { key; vseed } -> ignore (Kv.put svc_b ~key ~vseed)
-        | Replica.Del { key } -> ignore (Kv.delete svc_b ~key))
+      ~apply:(fun ~shard op -> Txn.apply_replicated svc_b ~shard op)
   in
 
   let duration_ns = int_of_float (cfg.duration *. 1e9) in
@@ -496,7 +592,10 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
   let senders = ref cfg.clients in
   let live_servers = ref cfg.shards in
   let ship_pump_done = ref false in
+  let txn_commits = ref 0 and txn_aborts = ref 0 in
+  let indoubt_aborted = ref 0 in
   let lat_h = Hist.create () and svc_h = Hist.create () in
+  let txn_lat_h = Hist.create () in
   let ledger : (int * int option * int) list ref = ref [] in
   let outstanding : (int, pending) Hashtbl.t array =
     Array.init cfg.clients (fun _ -> Hashtbl.create 64)
@@ -514,47 +613,100 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
       | Req r ->
         let t0 = Sched.now () in
         Machine.compute primary 200;
-        let ok, mutated =
-          match r.kind with
-          | KGet -> (Kv.get svc ~key:r.key <> None, false)
-          | KPut ->
-            let ok = Kv.put svc ~key:r.key ~vseed:r.vseed in
-            (ok, ok)
-          | KDel ->
-            let ok = Kv.delete svc ~key:r.key in
-            (ok, ok)
-          | KScan ->
-            ignore (Kv.scan svc ~from_key:r.key ~n:16);
-            (true, false)
+        (* Replication: each mutation ships inside its critical section
+           (right after the local persist, before the lock is released)
+           so every shard's sequenced stream orders exactly as the store
+           applied the mutations.  The seqs of all shipped records are
+           collected so a sync-mode reply can wait on every participant
+           stream. *)
+        let seqs = ref [] in
+        let ship shard op =
+          seqs := (shard, Replica.Shipper.ship shipper ~shard op) :: !seqs
         in
-        (* Replication: ship each applied mutation right after its local
-           persist, before the client reply.  Sync mode additionally
-           holds the reply until the backup's cumulative ack covers the
-           record — that wait is the sync latency tax. *)
-        let replicated =
-          if not mutated then true
-          else begin
-            let op =
-              match r.kind with
-              | KPut -> Replica.Put { key = r.key; vseed = r.vseed }
-              | _ -> Replica.Del { key = r.key }
+        let txn_wait_ok = ref true in
+        let ok, mutated, fin =
+          match r.kind with
+          | KTxn ->
+            let res =
+              Kv.txn svc r.ops ~on_commit:(fun res ->
+                  let nparts = List.length res.Kv.participants in
+                  let dseqs =
+                    List.map
+                      (fun (s, ops) ->
+                        ignore
+                          (Replica.Shipper.ship shipper ~shard:s
+                             (Replica.Txn_prepare
+                                { txn = res.Kv.txn_id; ops }));
+                        ( s,
+                          Replica.Shipper.ship shipper ~shard:s
+                            (Replica.Txn_decide
+                               { txn = res.Kv.txn_id; commit = true; nparts })
+                        ))
+                      res.Kv.participants
+                  in
+                  (* 2PC lock discipline: hold the participant locks
+                     until the backup has acked the whole group — in
+                     BOTH modes, not just sync.  Streams are shipped
+                     under these locks, so the wait guarantees the next
+                     transaction touching one of these shards cannot
+                     reach the backup while this group's slots are
+                     still pending; without it a decide lagging on one
+                     stream (loss, retransmit) lets a later prepare
+                     collide with the occupied slot. *)
+                  txn_wait_ok :=
+                    List.for_all
+                      (fun (shard, seq) ->
+                        Replica.Shipper.wait_acked shipper ~shard ~seq
+                          ~deadline:sync_deadline)
+                      dseqs)
             in
-            let seq = Replica.Shipper.ship shipper ~shard:i op in
-            if sync then
-              Replica.Shipper.wait_acked shipper ~shard:i ~seq
-                ~deadline:sync_deadline
-            else true
-          end
+            if res.Kv.committed then incr txn_commits else incr txn_aborts;
+            (res.Kv.committed, res.Kv.committed, res.Kv.fin)
+          | _ ->
+            Machine.Lock.with_lock (Kv.shard_lock svc i) (fun () ->
+                let ok, mutated =
+                  match r.kind with
+                  | KGet -> (Kv.get svc ~key:r.key <> None, false)
+                  | KPut ->
+                    let ok = Kv.put svc ~key:r.key ~vseed:r.vseed in
+                    (ok, ok)
+                  | KDel ->
+                    let ok = Kv.delete svc ~key:r.key in
+                    (ok, ok)
+                  | KScan ->
+                    ignore (Kv.scan svc ~from_key:r.key ~n:16);
+                    (true, false)
+                  | KTxn -> assert false
+                in
+                if mutated then
+                  ship i
+                    (match r.kind with
+                     | KPut -> Replica.Put { key = r.key; vseed = r.vseed }
+                     | _ -> Replica.Del { key = r.key });
+                (ok, mutated, Sched.now ()))
+        in
+        (* Sync mode holds the reply until the backup's cumulative ack
+           covers every shipped record — an acked mutation (single op
+           or whole transaction) must survive primary loss.  On wait
+           timeout (crash boundary) the reply is withheld: the client
+           keeps the request outstanding and verification treats its
+           keys as ambiguous rather than guaranteed, which is what
+           makes a promote-time presumed-abort of a half-delivered
+           transaction safe. *)
+        let replicated =
+          if r.kind = KTxn then (not sync) || !txn_wait_ok
+          else
+            (not sync)
+            || List.for_all
+                 (fun (shard, seq) ->
+                   Replica.Shipper.wait_acked shipper ~shard ~seq
+                     ~deadline:sync_deadline)
+                 !seqs
         in
         incr handled;
         Hist.record svc_h (Sched.now () - t0);
-        (* A sync-mode reply is only sent once the backup acked: an
-           acked write must survive primary loss.  On wait timeout
-           (crash boundary) the reply is withheld, so the client keeps
-           the request outstanding and verification treats the key as
-           ambiguous rather than guaranteed. *)
         if replicated then begin
-          let rep = Rep { rid = r.rid; ok; mutated; fin = Sched.now () } in
+          let rep = Rep { rid = r.rid; ok; mutated; fin } in
           if not (Net.try_send net ~dst:(cfg.shards + r.client) rep) then
             incr reply_drops
         end
@@ -610,6 +762,23 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
   let zipf = Zipf.create ~theta:cfg.zipf_theta cfg.keyspace in
   let client_body j () =
     let rng = Prng.create (cfg.seed + (7919 * (j + 1))) in
+    (* a transaction's keys: distinct draws from the same zipfian
+       popularity; ~1 in 4 ops is a strict delete, so transactions
+       abort at a real rate once a hot key is already gone *)
+    let gen_txn_ops rid =
+      let rec pick ks n guard =
+        if n = 0 || guard = 0 then List.rev ks
+        else
+          let k = 1 + Zipf.scrambled zipf rng in
+          if List.mem k ks then pick ks n (guard - 1)
+          else pick (k :: ks) (n - 1) (guard - 1)
+      in
+      List.mapi
+        (fun idx k ->
+          if Prng.int rng 100 < 25 then Kv.Tdel { key = k }
+          else Kv.Tput { key = k; vseed = (rid lsl 4) lor idx })
+        (pick [] cfg.txn_ops (8 * cfg.txn_ops))
+    in
     let lg =
       Net.Loadgen.create
         ~rate:(cfg.rate /. float_of_int cfg.clients)
@@ -629,8 +798,21 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
              Hist.record lat_h (delivered_at - p.p_sent);
              if r.mutated then begin
                incr acked_mut;
-               let v = if p.p_kind = KPut then Some p.p_vseed else None in
-               ledger := (p.p_key, v, r.fin) :: !ledger
+               match p.p_kind with
+               | KTxn ->
+                 Hist.record txn_lat_h (delivered_at - p.p_sent);
+                 List.iter
+                   (fun o ->
+                     let k, v =
+                       match o with
+                       | Kv.Tput { key; vseed } -> (key, Some vseed)
+                       | Kv.Tdel { key } -> (key, None)
+                     in
+                     ledger := (k, v, r.fin) :: !ledger)
+                   p.p_ops
+               | _ ->
+                 let v = if p.p_kind = KPut then Some p.p_vseed else None in
+                 ledger := (p.p_key, v, r.fin) :: !ledger
              end
            | None -> ());
           go ()
@@ -649,22 +831,38 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
           drain ();
           let key = 1 + Zipf.scrambled zipf rng in
           let die = Prng.int rng 100 in
-          let kind =
-            if die < cfg.read_pct then KGet
-            else if die < cfg.read_pct + cfg.delete_pct then KDel
-            else if die < cfg.read_pct + cfg.delete_pct + cfg.scan_pct then
-              KScan
-            else KPut
-          in
           incr offered;
           let rid = (j lsl 32) lor !seq in
           incr seq;
+          let kind, ops =
+            if die < cfg.read_pct then (KGet, [])
+            else if die < cfg.read_pct + cfg.delete_pct then (KDel, [])
+            else if die < cfg.read_pct + cfg.delete_pct + cfg.scan_pct then
+              (KScan, [])
+            else if
+              die < cfg.read_pct + cfg.delete_pct + cfg.scan_pct + cfg.txn_pct
+            then begin
+              match gen_txn_ops rid with
+              | [] -> (KPut, []) (* key draws starved out: degrade to a put *)
+              | ops -> (KTxn, ops)
+            end
+            else (KPut, [])
+          in
+          (* a transaction is addressed to its first key's shard; the
+             handler fans out to the other participants itself *)
+          let key = match ops with o :: _ -> txn_op_key o | [] -> key in
           let dst = Kv.shard_of_key svc key in
-          if Net.try_send net ~dst (Req { rid; client = j; kind; key; vseed = rid })
+          if
+            Net.try_send net ~dst
+              (Req { rid; client = j; kind; key; vseed = rid; ops })
           then begin
             incr admitted;
             Hashtbl.replace out rid
-              { p_kind = kind; p_key = key; p_vseed = rid; p_sent = Sched.now () }
+              { p_kind = kind;
+                p_key = key;
+                p_vseed = rid;
+                p_ops = ops;
+                p_sent = Sched.now () }
           end
           else incr shed;
           send_loop (t_next + Net.Loadgen.next_gap_ns lg)
@@ -704,8 +902,13 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
     (fun out ->
       Hashtbl.iter
         (fun _ p ->
-          if p.p_kind = KPut || p.p_kind = KDel then
-            Hashtbl.replace in_flight_keys p.p_key ())
+          match p.p_kind with
+          | KPut | KDel -> Hashtbl.replace in_flight_keys p.p_key ()
+          | KTxn ->
+            List.iter
+              (fun o -> Hashtbl.replace in_flight_keys (txn_op_key o) ())
+              p.p_ops
+          | KGet | KScan -> ())
         out)
     outstanding;
   let in_flight_at_crash = Hashtbl.length in_flight_keys in
@@ -761,7 +964,10 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
             let sealed_at = Sched.now () in
             Machine.compute backup 1_000 (* failover decision + seal *);
             tail_replayed :=
-              Replica.Applier.seal_and_replay applier ~sealed_at)
+              Replica.Applier.seal_and_replay applier ~sealed_at;
+            (* prepares whose decide died with the primary: presumed
+               abort — none of those transactions was ever acked *)
+            indoubt_aborted := Kv.txn_resolve_indoubt svc_b)
       in
       Kv.check svc_b;
       (true, int_of_float (secs *. 1e9), verify svc_b, None)
@@ -803,9 +1009,13 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
   g "repl_link_dropped" (float_of_int (lstats.Cluster.Link.dropped + astats.Cluster.Link.dropped));
   g "repl_link_duplicated" (float_of_int (lstats.Cluster.Link.duplicated + astats.Cluster.Link.duplicated));
   g "repl_tail_replayed" (float_of_int !tail_replayed);
+  g "repl_indoubt_aborted" (float_of_int !indoubt_aborted);
+  g "txn_committed" (float_of_int !txn_commits);
+  g "txn_aborted" (float_of_int !txn_aborts);
   Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "latency_ns") lat_h;
   Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "service_ns") svc_h;
   Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "repl_lag_ns") repl_lag_h;
+  Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "txn_latency_ns") txn_lat_h;
 
   let base =
     { offered = !offered;
@@ -823,7 +1033,10 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
       recovery = None;
       ledger = ledger_rep;
       in_flight_at_crash;
-      queue_max_depth = !queue_max_depth }
+      queue_max_depth = !queue_max_depth;
+      txns_committed = !txn_commits;
+      txns_aborted = !txn_aborts;
+      txn_latency = percentiles_of txn_lat_h }
   in
   { base;
     shipped = Replica.Shipper.shipped shipper;
@@ -835,5 +1048,6 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
       lstats.Cluster.Link.duplicated + astats.Cluster.Link.duplicated;
     backup_applied = Replica.Applier.applied applier;
     tail_replayed = !tail_replayed;
+    indoubt_aborted = !indoubt_aborted;
     backup_ledger;
     sync }

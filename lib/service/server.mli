@@ -19,7 +19,7 @@
     acked mutations.  Requests in flight at the cut are ambiguous
     (either outcome is legal) and are reported, not checked.  The
     sub-request crash space is covered exhaustively by the [kv-put] /
-    [kv-delete] crashcheck scenarios. *)
+    [kv-delete] / [kv-txn] crashcheck scenarios. *)
 
 type config = {
   shards : int;
@@ -31,7 +31,11 @@ type config = {
   zipf_theta : float;
   read_pct : int; (** % of arrivals that are gets *)
   delete_pct : int;
-  scan_pct : int; (** remainder after read/delete/scan is puts *)
+  scan_pct : int;
+  txn_pct : int;
+      (** % of arrivals that are cross-shard transactions ({!Kv.txn});
+          the remainder after read/delete/scan/txn is puts *)
+  txn_ops : int; (** operations per generated transaction, 1..{!Kv.max_txn_ops} *)
   queue_capacity : int; (** per-shard request queue bound *)
   preload : int; (** keys put (and drained) before traffic starts *)
   crash_at : float option; (** fraction of [duration], e.g. 0.5 *)
@@ -76,6 +80,13 @@ type result = {
   ledger : ledger_report;
   in_flight_at_crash : int;
   queue_max_depth : int; (** high-water mark across shard queues *)
+  txns_committed : int;
+  txns_aborted : int;
+      (** server-observed aborts (strict-delete misses, duplicate keys,
+          allocation failures) — an abort leaves no durable trace *)
+  txn_latency : percentiles;
+      (** client-observed latency of committed transactions only, ns —
+          compare against [latency] for the 2PC overhead *)
 }
 
 val run :
@@ -136,6 +147,11 @@ type repl_result = {
   link_duplicated : int;
   backup_applied : int; (** records applied by the backup, tail included *)
   tail_replayed : int; (** records applied during promote (0 clean) *)
+  indoubt_aborted : int;
+      (** participant slots presumed-aborted at promote: a [Txn_prepare]
+          arrived but its [Txn_decide] died with the primary.  Safe
+          because a sync reply waits for {e every} participant's ack —
+          an unresolved transaction was never acked to a client. *)
   backup_ledger : ledger_report option;
   (** clean runs only: the backup checked against the same ledger —
       proof of convergence without a failover *)

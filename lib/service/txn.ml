@@ -1,0 +1,48 @@
+(* Protocol-level face of the cross-shard transaction engine living in
+   Kv (which owns the superroot layout).  See txn.mli. *)
+
+type op = Replica.txn_op =
+  | Tput of { key : int; vseed : int }
+  | Tdel of { key : int }
+
+type abort = Kv.txn_abort =
+  | Txn_empty
+  | Txn_too_many_ops
+  | Txn_duplicate_key
+  | Txn_absent_key of int
+  | Txn_no_memory
+
+type result = Kv.txn_result = {
+  txn_id : int;
+  committed : bool;
+  abort : abort option;
+  fin : int;
+  participants : (int * op list) list;
+}
+
+let max_ops = Kv.max_txn_ops
+let exec = Kv.txn
+let prepare = Kv.txn_prepare
+let decide = Kv.txn_decide
+let apply = Kv.txn_apply
+let resolve_indoubt = Kv.txn_resolve_indoubt
+
+let abort_to_string = function
+  | Txn_empty -> "empty"
+  | Txn_too_many_ops -> "too-many-ops"
+  | Txn_duplicate_key -> "duplicate-key"
+  | Txn_absent_key k -> Printf.sprintf "absent-key:%d" k
+  | Txn_no_memory -> "no-memory"
+
+(* One backup-side dispatch for everything the replication stream can
+   carry — single-op records and both transaction record kinds — so
+   every applier (server, crashcheck, tests) resolves the Replica.op
+   variant in exactly one place. *)
+let apply_replicated store ~shard (op : Replica.op) =
+  match op with
+  | Replica.Put { key; vseed } -> ignore (Kv.put store ~key ~vseed)
+  | Replica.Del { key } -> ignore (Kv.delete store ~key)
+  | Replica.Txn_prepare { txn; ops } ->
+    Kv.txn_backup_prepare store ~txn ~shard ~ops
+  | Replica.Txn_decide { txn; commit; nparts } ->
+    Kv.txn_backup_decide store ~txn ~shard ~commit ~nparts

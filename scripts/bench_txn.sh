@@ -1,0 +1,12 @@
+#!/bin/sh
+# poseidon-kv transaction benchmark: a single-op baseline against
+# cross-shard transactional mixes at the same seed and offered rate
+# (abort rate and the 2PC commit-latency tax of the coordinator-record
+# protocol), then a crash run whose ledger check proves transaction
+# atomicity survives recovery.  Leaves a machine-readable snapshot in
+# BENCH_txn.json at the repo root; exits non-zero if any transaction
+# is torn across the crash.  Pass --full for longer traffic windows.
+set -eu
+cd "$(dirname "$0")/.."
+dune build bench/main.exe
+dune exec bench/main.exe -- --suite txn "$@"

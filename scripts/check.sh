@@ -1,33 +1,111 @@
 #!/bin/sh
-# Tier-1 verification: full build plus every test suite, then a
-# budget-capped persistency-model-checker smoke run.
+# Tier-1 verification: shell lint, full build, every test suite, the
+# persistency-model-checker gates (including the cross-shard 2PC
+# protocol and its seeded-mutation sanity check), crash/failover serve
+# smokes, and a benchmark determinism gate.
+#
+# Every randomized gate runs under CRASH_SEED (default 42), and a red
+# run prints the failing step plus the seed, so a CI failure replays
+# locally with:  CRASH_SEED=<printed seed> scripts/check.sh
 set -eu
 cd "$(dirname "$0")/.."
+
+CRASH_SEED="${CRASH_SEED:-42}"
+step="startup"
+on_exit() {
+  status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "check: FAILED at step \"$step\" (seed $CRASH_SEED)" >&2
+    echo "check: replay with: CRASH_SEED=$CRASH_SEED scripts/check.sh" >&2
+  fi
+}
+trap on_exit EXIT
+
+# Shell lint (CI installs shellcheck; skip quietly where it's absent).
+step="shellcheck scripts/*.sh"
+if command -v shellcheck >/dev/null 2>&1; then
+  shellcheck scripts/*.sh
+else
+  echo "check: shellcheck not found - skipping shell lint"
+fi
+
+step="dune build"
 dune build
+step="dune runtest"
 dune runtest
+
 # crashcheck smoke: a strided sample of crash points per operation so
 # tier-1 stays fast (the exhaustive sweep runs in test_crashcheck and
 # via `bin/main.exe crashcheck` with no budget).
-dune exec bin/main.exe -- crashcheck --max-points 6 --subsets 1 > /dev/null
+step="crashcheck smoke"
+dune exec bin/main.exe -- crashcheck --max-points 6 --subsets 1 \
+  --seed "$CRASH_SEED" > /dev/null
 # mutation sanity: the checker must flag the deliberately-broken
 # missing-flush protocol (non-zero exit = counterexample found).
+step="crashcheck mutation gate (broken)"
 if dune exec bin/main.exe -- crashcheck --scenario broken --max-points 2 \
-     --subsets 0 > /dev/null 2>&1; then
+     --subsets 0 --seed "$CRASH_SEED" > /dev/null 2>&1; then
   echo "check: crashcheck FAILED to detect the seeded missing-flush bug" >&2
   exit 1
 fi
 # service crash-point sweep: the KV write path's intent protocol,
 # strided for tier-1 speed (exhaustive in test_crashcheck / manual runs).
+step="crashcheck kv-put sweep"
 dune exec bin/main.exe -- crashcheck --scenario kv-put --max-points 8 \
-  --subsets 1 > /dev/null
+  --subsets 1 --seed "$CRASH_SEED" > /dev/null
+# cross-shard transaction sweep, EXHAUSTIVE: every fence-to-fence crash
+# point of the 2PC coordinator-record protocol (prepare slots, decision
+# record, apply, recovery) must keep each transaction all-or-nothing.
+# Cheap enough (~0.5 s) to run unstrided in tier-1.
+step="crashcheck kv-txn exhaustive sweep"
+dune exec bin/main.exe -- crashcheck --scenario kv-txn \
+  --seed "$CRASH_SEED" > /dev/null
+# 2PC mutation gate: same sweep against a coordinator that skips the
+# decision-record flush; the checker MUST produce a counterexample
+# (non-zero exit), or it has lost the power to see the commit point.
+step="crashcheck mutation gate (kv-txn-broken)"
+if dune exec bin/main.exe -- crashcheck --scenario kv-txn-broken \
+     --seed "$CRASH_SEED" > /dev/null 2>&1; then
+  echo "check: crashcheck FAILED to detect the seeded unflushed 2PC decision record" >&2
+  exit 1
+fi
 # serve smoke: bounded open-loop traffic with a crash at the midpoint;
 # exits non-zero if the recovered store loses any acked write.
+step="serve crash smoke"
 dune exec bin/main.exe -- serve --shards 2 --clients 8 --rate 40000 \
-  --duration 0.005 --crash-at 0.5 > /dev/null
+  --duration 0.005 --crash-at 0.5 --seed "$CRASH_SEED" > /dev/null
+# transactional serve smoke: the same crash run with a cross-shard
+# transaction mix; the ledger treats each transaction's keys as one
+# all-or-nothing group, so a torn transaction fails the run.
+step="serve txn crash smoke"
+dune exec bin/main.exe -- serve --shards 2 --clients 8 --rate 40000 \
+  --duration 0.005 --txn-pct 20 --crash-at 0.5 --seed "$CRASH_SEED" \
+  > /dev/null
 # failover smoke: the same traffic on a two-machine cluster with sync
 # replication; the primary is lost at the midpoint and the backup is
 # promoted.  Exits non-zero if any sync-acked write is missing from
-# the promoted store's ledger.
+# the promoted store's ledger.  The txn mix also exercises in-doubt
+# participant-slot resolution during promotion.
+step="serve failover smoke"
 dune exec bin/main.exe -- serve --replicate --shards 2 --clients 8 \
-  --rate 40000 --duration 0.005 --crash-at 0.5 > /dev/null
-echo "check: build + all test suites + crashcheck + serve/failover smoke OK"
+  --rate 40000 --duration 0.005 --txn-pct 20 --crash-at 0.5 \
+  --seed "$CRASH_SEED" > /dev/null
+# determinism gate: the whole stack runs on a simulated machine, so two
+# identical bench runs must produce byte-identical metrics snapshots
+# (only the git rev line may differ).
+step="bench determinism gate"
+tmpdir="$(mktemp -d)"
+dune exec bench/main.exe -- --smoke --json-out "$tmpdir/a.json" > /dev/null
+dune exec bench/main.exe -- --smoke --json-out "$tmpdir/b.json" > /dev/null
+sed 's/"rev":[^,}]*//' "$tmpdir/a.json" > "$tmpdir/a.norm"
+sed 's/"rev":[^,}]*//' "$tmpdir/b.json" > "$tmpdir/b.norm"
+if ! diff -u "$tmpdir/a.norm" "$tmpdir/b.norm" > /dev/null; then
+  echo "check: bench --smoke is NOT deterministic across identical runs:" >&2
+  diff -u "$tmpdir/a.norm" "$tmpdir/b.norm" >&2 || true
+  rm -rf "$tmpdir"
+  exit 1
+fi
+rm -rf "$tmpdir"
+
+step="done"
+echo "check: lint + build + tests + crashcheck (incl. 2PC gates) + serve/txn/failover smokes + determinism OK"
