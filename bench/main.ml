@@ -843,6 +843,168 @@ let txn_suite () =
   end;
   List.rev !runs
 
+(* ---------- attrib suite: where does the time go? ---------- *)
+
+(* The tracing tentpole's payoff: identical zipfian traffic (same seed,
+   same offered load) run unreplicated, async- and sync-replicated,
+   single-op and all-transaction, each with the span store on.  The
+   per-run latency budget (Obs.Attrib over the span trees) then names
+   the stage that dominates each configuration's critical path — so
+   the two headline taxes stop being mystery multiples: sync
+   replication's latency multiple must be pinned on the group-commit
+   ack wait (repl_ack) and the 2PC commit tax on the transaction
+   critical section (txn).  A budget that explains < 90% of
+   end-to-end time fails the run: it means the stage taxonomy has a
+   hole, and the numbers above it can't be trusted. *)
+let attrib_suite () =
+  note "";
+  note "### Attribution: per-stage latency budgets (where does the time go?)";
+  note "(same seed and offered load, five configurations; span trees name";
+  note " the dominant stage of each one's critical path)";
+  let module S = Service.Server in
+  let module A = Obs.Attrib in
+  let factory = Workloads.Factories.poseidon () in
+  let make () = factory.Workloads.Factories.make () in
+  let reattach mach =
+    Poseidon.instance
+      (Poseidon.Heap.attach mach ~base:Workloads.Factories.heap_base ())
+  in
+  (* below saturation: attribution should explain service time, not
+     admission queueing (that regime is the service suite's job) *)
+  let base scope =
+    { S.default_config with
+      S.shards = 4;
+      clients = 32;
+      rate = 20_000.;
+      duration = (if !full then 0.05 else 0.02);
+      value_size = 128;
+      keyspace = 4096;
+      read_pct = 20;
+      queue_capacity = 64;
+      scope }
+  in
+  let txn cfg =
+    { cfg with
+      S.txn_pct = 100;
+      txn_ops = 3;
+      read_pct = 0;
+      delete_pct = 0;
+      scan_pct = 0 }
+  in
+  let runs = ref [] in
+  let run_one label ?repl cfg =
+    Obs.Span.clear ();
+    Obs.Span.start ();
+    let r =
+      match repl with
+      | None -> S.run ~make ~reattach cfg
+      | Some rcfg ->
+        (S.run_replicated
+           ~make:(fun mach -> Workloads.Factories.poseidon_on mach)
+           cfg rcfg)
+          .S.base
+    in
+    let att = A.analyze () in
+    Obs.Span.clear ();
+    let mode =
+      match repl with
+      | None -> "none"
+      | Some rcfg ->
+        (match rcfg.S.repl_mode with
+         | Replica.Sync -> "sync"
+         | Replica.Async -> "async")
+    in
+    runs := (label, cfg, mode, r, att) :: !runs;
+    att
+  in
+  let sync_rcfg = S.default_repl_config in
+  let async_rcfg = { S.default_repl_config with S.repl_mode = Replica.Async } in
+  let ua = run_one "single-unrepl" (base "bench/attrib/single-unrepl") in
+  let _ =
+    run_one "single-async" ~repl:async_rcfg (base "bench/attrib/single-async")
+  in
+  let sa =
+    run_one "single-sync" ~repl:sync_rcfg (base "bench/attrib/single-sync")
+  in
+  let ta = run_one "txn-unrepl" (txn (base "bench/attrib/txn-unrepl")) in
+  let _ =
+    run_one "txn-sync" ~repl:sync_rcfg (txn (base "bench/attrib/txn-sync"))
+  in
+  let dom (att : A.report) =
+    match A.dominant_stage att with
+    | Some row -> Obs.Span.stage_name row.A.stage
+    | None -> "-"
+  in
+  let table =
+    Tablefmt.create
+      ~title:"poseidon-kv latency budgets (4 shards, same seed and load)"
+      ~columns:
+        [ "run"; "e2e p50 ns"; "coverage"; "dominant stage"; "dom p50 ns" ]
+  in
+  List.iter
+    (fun (label, _, _, _, (att : A.report)) ->
+      let dp50 =
+        match A.dominant_stage att with
+        | Some row -> string_of_int row.A.p50_ns
+        | None -> "-"
+      in
+      Tablefmt.add_row table label
+        [ string_of_int att.A.e2e_p50_ns;
+          Printf.sprintf "%.1f%%" (100. *. att.A.coverage);
+          dom att; dp50 ])
+    (List.rev !runs);
+  Tablefmt.print table;
+  let mult a b = float_of_int a /. Float.max 1.0 (float_of_int b) in
+  (* a tax is pinned on the budget stage whose summed time grew most
+     over the same-seed baseline — the per-run dominant vote answers a
+     different question (where a typical request's time goes) and can
+     be carried by requests the tax never touches (e.g. reads under
+     sync replication) *)
+  let tax_stage (n : A.report) (d : A.report) =
+    let base st =
+      match
+        List.find_opt (fun (r : A.stage_row) -> r.A.stage = st) d.A.budget
+      with
+      | Some r -> r.A.total_ns
+      | None -> 0
+    in
+    List.fold_left
+      (fun acc (row : A.stage_row) ->
+        let delta = row.A.total_ns - base row.A.stage in
+        match acc with
+        | Some (_, best) when best >= delta -> acc
+        | _ -> Some (row.A.stage, delta))
+      None n.A.budget
+  in
+  let tax_name n d =
+    match tax_stage n d with
+    | Some (st, _) -> Obs.Span.stage_name st
+    | None -> "-"
+  in
+  note
+    "  sync-replication tax: e2e p50 %d ns vs %d ns unreplicated (%.1fx) — \
+     dominated by %s"
+    sa.A.e2e_p50_ns ua.A.e2e_p50_ns
+    (mult sa.A.e2e_p50_ns ua.A.e2e_p50_ns)
+    (tax_name sa ua);
+  note
+    "  2PC commit tax: all-txn e2e p50 %d ns vs single-op %d ns (%.1fx) — \
+     dominated by %s"
+    ta.A.e2e_p50_ns ua.A.e2e_p50_ns
+    (mult ta.A.e2e_p50_ns ua.A.e2e_p50_ns)
+    (tax_name ta ua);
+  List.iter
+    (fun (label, _, _, _, (att : A.report)) ->
+      if att.A.requests > 0 && att.A.coverage < 0.9 then begin
+        Printf.eprintf
+          "bench attrib: %s: budget explains only %.1f%% (< 90%%) of \
+           end-to-end time — stage taxonomy has a hole\n"
+          label (100. *. att.A.coverage);
+        exit 1
+      end)
+    !runs;
+  List.rev !runs
+
 (* ---------- JSON output ---------- *)
 
 let rev_json () =
@@ -1068,6 +1230,94 @@ let write_txn_results runs =
   in
   write_doc (if !json_out = "" then "BENCH_txn.json" else !json_out) doc
 
+let write_attrib_results runs =
+  let module S = Service.Server in
+  let module A = Obs.Attrib in
+  let module J = Obs.Json in
+  let num i = J.Num (float_of_int i) in
+  let pct (p : S.percentiles) =
+    J.Obj
+      [ ("p50", num p.S.p50); ("p99", num p.S.p99); ("p999", num p.S.p999);
+        ("mean", J.Num p.S.mean); ("max", num p.S.max);
+        ("samples", num p.S.samples) ]
+  in
+  let run_json (label, (cfg : S.config), mode, (r : S.result), att) =
+    J.Obj
+      [ ("label", J.Str label);
+        ( "config",
+          J.Obj
+            [ ("shards", num cfg.S.shards); ("clients", num cfg.S.clients);
+              ("rate", J.Num cfg.S.rate); ("duration", J.Num cfg.S.duration);
+              ("txn_pct", num cfg.S.txn_pct); ("txn_ops", num cfg.S.txn_ops);
+              ("seed", num cfg.S.seed); ("replication", J.Str mode) ] );
+        ("throughput", J.Num r.S.throughput); ("goodput", J.Num r.S.goodput);
+        ("latency", pct r.S.latency); ("txn_latency", pct r.S.txn_latency);
+        ("attribution", A.report_json att) ]
+  in
+  let find label =
+    List.find_opt (fun (l, _, _, _, _) -> l = label) runs
+    |> Option.map (fun (_, _, _, _, a) -> a)
+  in
+  let dom_name (a : A.report) =
+    match A.dominant_stage a with
+    | Some row -> J.Str (Obs.Span.stage_name row.A.stage)
+    | None -> J.Null
+  in
+  (* the headline pins: each tax's latency multiple plus the budget
+     stage the span trees blame it on — the stage whose summed time
+     grew most over the same-seed baseline *)
+  let tax_stage (n : A.report) (d : A.report) =
+    let base st =
+      match
+        List.find_opt (fun (r : A.stage_row) -> r.A.stage = st) d.A.budget
+      with
+      | Some r -> r.A.total_ns
+      | None -> 0
+    in
+    List.fold_left
+      (fun acc (row : A.stage_row) ->
+        let delta = row.A.total_ns - base row.A.stage in
+        match acc with
+        | Some (_, best) when best >= delta -> acc
+        | _ -> Some (row.A.stage, delta))
+      None n.A.budget
+  in
+  let pin nom den =
+    match (find nom, find den) with
+    | Some (n : A.report), Some (d : A.report) ->
+      J.Obj
+        [ ("p50_ns", num n.A.e2e_p50_ns);
+          ("baseline_p50_ns", num d.A.e2e_p50_ns);
+          ( "multiple",
+            J.Num
+              (float_of_int n.A.e2e_p50_ns
+              /. Float.max 1.0 (float_of_int d.A.e2e_p50_ns)) );
+          ( "dominant_stage",
+            match tax_stage n d with
+            | Some (st, _) -> J.Str (Obs.Span.stage_name st)
+            | None -> J.Null );
+          ( "dominant_stage_delta_ns",
+            match tax_stage n d with
+            | Some (_, delta) -> num delta
+            | None -> J.Null );
+          ("vote_dominant_stage", dom_name n);
+          ("coverage", J.Num n.A.coverage) ]
+    | _ -> J.Null
+  in
+  let doc =
+    J.Obj
+      [ ("schema", J.Str "poseidon-bench-attrib/v1");
+        ("rev", rev_json ());
+        ("config", J.Obj [ ("full", J.Bool !full) ]);
+        ("runs", J.Arr (List.map run_json runs));
+        ( "pins",
+          J.Obj
+            [ ("sync_replication_tax", pin "single-sync" "single-unrepl");
+              ("txn_commit_tax", pin "txn-unrepl" "single-unrepl") ] );
+        ("metrics", Obs.Metrics.snapshot ()) ]
+  in
+  write_doc (if !json_out = "" then "BENCH_attrib.json" else !json_out) doc
+
 (* ---------- driver ---------- *)
 
 let () =
@@ -1096,7 +1346,8 @@ let () =
         \        poseidon-kv rate sweep + crash run -> BENCH_service.json;\n\
         \        'replication': sync/async tax + promote-vs-replay RTO ->\n\
         \        BENCH_replication.json; 'txn': cross-shard 2PC abort rate\n\
-        \        + commit-latency tax -> BENCH_txn.json)" );
+        \        + commit-latency tax -> BENCH_txn.json; 'attrib': per-stage\n\
+        \        latency budgets + dominant-stage pins -> BENCH_attrib.json)" );
       ( "--json-out",
         Arg.Set_string json_out,
         "FILE  metrics snapshot destination (default BENCH_results.json, \
@@ -1121,9 +1372,15 @@ let () =
     write_txn_results runs;
     exit 0
   end
+  else if !suite = "attrib" then begin
+    let runs = attrib_suite () in
+    write_attrib_results runs;
+    exit 0
+  end
   else if !suite <> "" then begin
     Printf.eprintf
-      "bench: unknown suite %S (known: service, replication, txn)\n" !suite;
+      "bench: unknown suite %S (known: service, replication, txn, attrib)\n"
+      !suite;
     exit 2
   end;
   (if !smoke then smoke_suite ()

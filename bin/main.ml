@@ -72,10 +72,23 @@ let with_tracing trace_out f =
     let r =
       try
         Obs.Trace.write_chrome file;
+        let dropped = Obs.Trace.dropped () in
         Printf.printf "trace: %d events -> %s (%d emitted, %d dropped)\n"
           (Obs.Trace.count ()) file
           (Obs.Trace.total_emitted ())
-          (Obs.Trace.dropped ());
+          dropped;
+        if dropped > 0 then
+          Printf.printf
+            "trace: WARNING: ring overflowed — the oldest %d event(s) were \
+             overwritten and are missing from %s (raise the ring capacity or \
+             trace a shorter run)\n"
+            dropped file;
+        let span_dropped = Obs.Span.dropped () in
+        if span_dropped > 0 then
+          Printf.printf
+            "trace: WARNING: span store filled — %d span(s) dropped; the \
+             exported span trees are incomplete\n"
+            span_dropped;
         r
       with Sys_error msg ->
         Printf.eprintf "trace: cannot write trace file: %s\n" msg;
@@ -579,6 +592,11 @@ let serve_cmd =
       drop_pct dup_pct trace_out =
     with_tracing trace_out @@ fun () ->
     let module S = Service.Server in
+    (* Span store on for every serve run — attribution is part of the
+       result, not an opt-in.  Cleared (not stopped) afterwards so a
+       --trace-out export written by [with_tracing] still sees it. *)
+    Obs.Span.clear ();
+    Obs.Span.start ();
     let cfg =
       { S.default_config with
         shards;
@@ -689,6 +707,19 @@ let serve_cmd =
              mismatch(es)\n"
             l.S.checked l.S.ambiguous l.S.mismatches
         | None -> ()));
+    let att = Obs.Attrib.analyze () in
+    Format.printf "%a@?" Obs.Attrib.pp_report att;
+    Obs.Metrics.set_gauge ~scope:"trace" "span_count"
+      (float_of_int att.Obs.Attrib.span_count);
+    Obs.Metrics.set_gauge ~scope:"trace" "span_dropped"
+      (float_of_int att.Obs.Attrib.span_dropped);
+    Obs.Metrics.set_gauge ~scope:"trace" "dropped_events"
+      (float_of_int (Obs.Trace.dropped ()));
+    if att.Obs.Attrib.span_dropped > 0 then
+      Printf.printf
+        "  WARNING: span store filled — %d span(s) dropped, attribution \
+         covers a prefix of the run\n"
+        att.Obs.Attrib.span_dropped;
     (match json_out with
      | None -> ()
      | Some file ->
@@ -774,6 +805,7 @@ let serve_cmd =
                                    ("ambiguous", num l.S.ambiguous);
                                    ("mismatches", num l.S.mismatches) ]
                              | None -> J.Null ) ] ) ] );
+             ("attribution", Obs.Attrib.report_json att);
              ("metrics", Obs.Metrics.snapshot ()) ]
        in
        let oc = open_out file in
@@ -842,6 +874,125 @@ let trace_cmd =
        ~doc:"Generate a random trace and replay it on every allocator.")
     Term.(const run $ events_arg $ seed_arg)
 
+(* ---------- tracecheck ---------- *)
+
+(* Validates an exported Chrome trace: JSON well-formedness, required
+   fields per event phase, and flow-event integrity — every
+   cross-machine flow start ("ph":"s") must have a matching finish
+   ("ph":"f") and vice versa, else Perfetto silently drops the arrow
+   and the causal link between machines is lost.  check.sh gates on
+   this after exporting a replicated serve trace. *)
+let tracecheck_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Chrome trace-event JSON file to validate.")
+  in
+  let run file =
+    let module J = Obs.Json in
+    let read_all f =
+      let ic = open_in_bin f in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match
+      try Ok (J.parse (read_all file)) with
+      | Sys_error m -> Error m
+      | J.Parse_error m -> Error (Printf.sprintf "JSON parse error: %s" m)
+    with
+    | Error m ->
+      Printf.eprintf "tracecheck: %s: %s\n" file m;
+      1
+    | Ok root ->
+      let errors = ref 0 in
+      let err fmt =
+        Printf.ksprintf
+          (fun m ->
+            incr errors;
+            if !errors <= 20 then Printf.eprintf "tracecheck: %s\n" m)
+          fmt
+      in
+      let events =
+        match Option.bind (J.member "traceEvents" root) J.to_list with
+        | Some evs -> evs
+        | None ->
+          err "top-level object has no \"traceEvents\" array";
+          []
+      in
+      let slices = ref 0 and insts = ref 0 and metas = ref 0 in
+      (* flow links keyed by (cat, id); counts tolerate duplicates *)
+      let starts : (string * int, int) Hashtbl.t = Hashtbl.create 64 in
+      let finishes : (string * int, int) Hashtbl.t = Hashtbl.create 64 in
+      let bump tbl k =
+        Hashtbl.replace tbl k
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+      in
+      List.iteri
+        (fun i ev ->
+          let num k = Option.bind (J.member k ev) J.to_float in
+          let str k = Option.bind (J.member k ev) J.to_str in
+          match str "ph" with
+          | None -> err "event %d: missing \"ph\"" i
+          | Some ph ->
+            let need k =
+              if num k = None then
+                err "event %d (ph %S): missing numeric %S" i ph k
+            in
+            (match ph with
+             | "X" ->
+               incr slices;
+               List.iter need [ "ts"; "dur"; "pid"; "tid" ];
+               if str "name" = None then err "event %d (X): missing name" i
+             | "i" ->
+               incr insts;
+               List.iter need [ "ts"; "pid"; "tid" ]
+             | "M" -> incr metas
+             | "s" | "f" ->
+               List.iter need [ "ts"; "pid"; "tid" ];
+               if ph = "f" && str "bp" <> Some "e" then
+                 err "event %d (f): missing \"bp\":\"e\" binding" i;
+               (match num "id" with
+                | None -> err "event %d (ph %S): flow without id" i ph
+                | Some id ->
+                  let k =
+                    (Option.value ~default:"" (str "cat"), int_of_float id)
+                  in
+                  if ph = "s" then bump starts k else bump finishes k)
+             | other -> err "event %d: unknown \"ph\":%S" i other))
+        events;
+      Hashtbl.iter
+        (fun (cat, id) _ ->
+          if Hashtbl.find_opt finishes (cat, id) = None then
+            err "flow start (cat %S, id %d) has no matching finish" cat id)
+        starts;
+      Hashtbl.iter
+        (fun (cat, id) _ ->
+          if Hashtbl.find_opt starts (cat, id) = None then
+            err "flow finish (cat %S, id %d) has no matching start" cat id)
+        finishes;
+      if !errors = 0 then begin
+        Printf.printf
+          "tracecheck: %s OK — %d event(s): %d slice(s), %d instant(s), %d \
+           metadata, %d flow link(s) all matched\n"
+          file (List.length events) !slices !insts !metas
+          (Hashtbl.length starts);
+        0
+      end
+      else begin
+        Printf.eprintf "tracecheck: %s: %d violation(s)\n" file !errors;
+        1
+      end
+  in
+  Cmd.v
+    (Cmd.info "tracecheck"
+       ~doc:
+         "Validate an exported Chrome trace file: JSON shape, per-phase \
+          required fields, and that every cross-machine flow start has a \
+          matching finish.")
+    Term.(const run $ file_arg)
+
 let () =
   let info =
     Cmd.info "poseidon-repro"
@@ -853,4 +1004,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ bench_cmd; safety_cmd; stress_cmd; crashcheck_cmd; inspect_cmd;
-            fsck_cmd; serve_cmd; trace_cmd ]))
+            fsck_cmd; serve_cmd; trace_cmd; tracecheck_cmd ]))

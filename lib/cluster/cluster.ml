@@ -14,7 +14,13 @@ let engine t = t.engine
 let run t = Simcore.Sched.run t.engine
 
 module Link = struct
-  type 'a msg = { payload : 'a; sent_at : int; delivered_at : int }
+  type 'a msg = {
+    payload : 'a;
+    sent_at : int;
+    delivered_at : int;
+    trace : int;
+    span : int;
+  }
 
   type stats = {
     sent : int;
@@ -78,7 +84,7 @@ module Link = struct
 
   let in_sim () = Simcore.Sched.in_simulation ()
 
-  let send t ~dst payload =
+  let send ?(trace = -1) ?(span = -1) t ~dst payload =
     check_ep dst;
     let e = t.eps.(dst) in
     if Queue.length e.q >= t.capacity then (
@@ -98,7 +104,7 @@ module Link = struct
       if dropped then e.dropped <- e.dropped + 1
       else begin
         let delivered_at = if in_sim () then now + t.wire_ns else 0 in
-        let m = { payload; sent_at = now; delivered_at } in
+        let m = { payload; sent_at = now; delivered_at; trace; span } in
         Queue.add m e.q;
         if
           t.dup_pct > 0

@@ -44,6 +44,8 @@ module Link : sig
     payload : 'a;
     sent_at : int;
     delivered_at : int;
+    trace : int; (** trace id for distributed tracing; -1 = none *)
+    span : int; (** sender's span id (the receiver's causal parent) *)
   }
 
   type 'a t
@@ -64,10 +66,12 @@ module Link : sig
       drops everything cannot carry a protocol); [seed] for the fault
       PRNG. *)
 
-  val send : 'a t -> dst:int -> 'a -> bool
+  val send : ?trace:int -> ?span:int -> 'a t -> dst:int -> 'a -> bool
   (** Enqueue toward endpoint [dst]; [false] when its queue is full
       (counted as a rejection).  [true] on a fault-injected drop — the
-      sender cannot observe wire loss. *)
+      sender cannot observe wire loss.  [trace]/[span] (default -1 =
+      none) carry the {!Obs.Span} context across the machine boundary;
+      a fault-injected duplicate carries the same context. *)
 
   val recv : 'a t -> ep:int -> 'a msg option
   (** Head of [ep]'s queue if delivered; non-blocking. *)

@@ -5,6 +5,8 @@ type 'a msg = {
   sent_at : int;
   delivered_at : int;
   src_cpu : int;
+  trace : int;
+  span : int;
 }
 
 type 'a port = {
@@ -69,7 +71,7 @@ let latency t ~src_cpu ~dst_cpu =
   if Machine.Config.cpu_numa cfg src_cpu = Machine.Config.cpu_numa cfg dst_cpu then t.local_ns
   else t.remote_ns
 
-let try_send t ~dst payload =
+let try_send ?(trace = -1) ?(span = -1) t ~dst payload =
   let p = t.ports.(dst) in
   if Queue.length p.q >= p.capacity then begin
     p.rejected <- p.rejected + 1;
@@ -90,7 +92,10 @@ let try_send t ~dst payload =
       (* Wire loss is invisible to the sender: still [true]. *)
       p.dropped <- p.dropped + 1
     else begin
-      let m = { payload; sent_at = now; delivered_at = now + lat; src_cpu } in
+      let m =
+        { payload; sent_at = now; delivered_at = now + lat; src_cpu;
+          trace; span }
+      in
       Queue.push m p.q;
       if
         faulty

@@ -20,6 +20,8 @@ type 'a msg = {
   sent_at : int; (** simulated ns at {!try_send} *)
   delivered_at : int; (** simulated ns the message reached the port *)
   src_cpu : int;
+  trace : int; (** trace id carried for distributed tracing; -1 = none *)
+  span : int; (** sender's span id (the receiver's causal parent) *)
 }
 
 type 'a t
@@ -53,11 +55,13 @@ val create :
     default to 0, in which case the fault PRNG ([fault_seed]) is never
     consulted and behaviour is bit-identical to a fault-free build. *)
 
-val try_send : 'a t -> dst:int -> 'a -> bool
+val try_send : ?trace:int -> ?span:int -> 'a t -> dst:int -> 'a -> bool
 (** Enqueue for port [dst]; [false] if its queue is full (the message
     is dropped — admission control; the drop is counted).  With fault
     injection enabled the message may instead be silently lost or
-    duplicated, counted in {!port_stats}. *)
+    duplicated, counted in {!port_stats}.  [trace]/[span] (default -1
+    = none) ride the envelope as the {!Obs.Span} context: the
+    receiver's spans use [span] as their causal parent. *)
 
 val recv : 'a t -> port:int -> 'a msg option
 (** Dequeue the head of [port]'s queue if it has been delivered

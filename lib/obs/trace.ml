@@ -31,7 +31,9 @@ type clock = {
 let clock : clock option ref = ref None
 
 let set_clock ~in_sim ~now ~tid ~cpu =
-  clock := Some { in_sim; now; tid; cpu }
+  clock := Some { in_sim; now; tid; cpu };
+  (* one registration wires both the event ring and the span store *)
+  Span.set_clock ~in_sim ~now ~tid
 
 let node_of_cpu : (int -> int) ref = ref (fun _ -> -1)
 let set_node_of_cpu f = node_of_cpu := f
@@ -226,6 +228,8 @@ let to_chrome_json () =
            "\"pid\":0,\"tid\":%d,\"args\":{\"cpu\":%d,\"node\":%d,\
             \"a1\":%d,\"a2\":%d}}"
            tid cpu node a1 a2));
+  (* request-scoped spans + cross-machine flow arrows, if collected *)
+  Span.chrome_events buf ~sep;
   Buffer.add_string buf "],\"displayTimeUnit\":\"ns\"}";
   Buffer.contents buf
 

@@ -44,21 +44,25 @@ module Shipper = struct
   type t = {
     cfg : config;
     link : msg Link.t;
+    mach : int; (* primary's machine id, for ack-wire spans *)
     next_seq : int array;
     acked_ : int array; (* highest cumulative ack, -1 initially *)
-    unacked : (int * op) Queue.t array; (* (seq, op), oldest first *)
+    (* (seq, op, trace, span), oldest first; the span context is kept
+       so retransmissions carry the same causal parent *)
+    unacked : (int * op * int * int) Queue.t array;
     last_tx : int array; (* last (re)transmission time of the tail *)
     mutable shipped_ : int;
     mutable retransmits_ : int;
     mutable max_lag_ : int;
   }
 
-  let create cfg ~shards ~link =
+  let create ?(mach = 0) cfg ~shards ~link =
     if shards < 1 then invalid_arg "Shipper.create: shards < 1";
     if cfg.window < 1 then invalid_arg "Shipper.create: window < 1";
     {
       cfg;
       link;
+      mach;
       next_seq = Array.make shards 0;
       acked_ = Array.make shards (-1);
       unacked = Array.init shards (fun _ -> Queue.create ());
@@ -82,7 +86,7 @@ module Shipper = struct
       let continue = ref true in
       while !continue do
         match Queue.peek_opt q with
-        | Some (s, _) when s <= seq -> ignore (Queue.pop q)
+        | Some (s, _, _, _) when s <= seq -> ignore (Queue.pop q)
         | _ -> continue := false
       done
     end
@@ -91,7 +95,14 @@ module Shipper = struct
     let continue = ref true in
     while !continue do
       match Link.recv t.link ~ep:primary_ep with
-      | Some { payload = Ack { shard; seq }; _ } -> absorb_ack t shard seq
+      | Some { payload = Ack { shard; seq }; sent_at; trace; span; _ } ->
+          (* the ack's hop back to the primary, attributed to the
+             request whose record it (cumulatively) acknowledges *)
+          if trace >= 0 && Sched.in_simulation () then
+            ignore
+              (Obs.Span.add_span ~trace ~parent:span ~mach:t.mach
+                 Obs.Span.Ack_wire ~t0:sent_at ~t1:(Sched.now ()));
+          absorb_ack t shard seq
       | Some _ -> () (* a record echoed back: impossible by convention *)
       | None -> continue := false
     done
@@ -99,7 +110,7 @@ module Shipper = struct
   let all_acked t =
     Array.for_all (fun q -> Queue.is_empty q) t.unacked
 
-  let ship t ~shard op =
+  let ship ?(trace = -1) ?(span = -1) t ~shard op =
     (* Window admission: bounds unacked records, i.e. the async-mode
        replication lag.  The handler polls; acks are drained here too
        so progress does not depend on the pump thread's schedule. *)
@@ -110,12 +121,12 @@ module Shipper = struct
     done;
     let seq = t.next_seq.(shard) in
     t.next_seq.(shard) <- seq + 1;
-    Queue.add (seq, op) t.unacked.(shard);
+    Queue.add (seq, op, trace, span) t.unacked.(shard);
     let l = Queue.length t.unacked.(shard) in
     if l > t.max_lag_ then t.max_lag_ <- l;
     t.shipped_ <- t.shipped_ + 1;
     t.last_tx.(shard) <- now_or_zero ();
-    ignore (Link.send t.link ~dst:backup_ep (Rec { shard; seq; op }));
+    ignore (Link.send ~trace ~span t.link ~dst:backup_ep (Rec { shard; seq; op }));
     seq
 
   let wait_acked t ~shard ~seq ~deadline =
@@ -145,10 +156,11 @@ module Shipper = struct
         then begin
           t.last_tx.(shard) <- now;
           Queue.iter
-            (fun (seq, op) ->
+            (fun (seq, op, trace, span) ->
               t.retransmits_ <- t.retransmits_ + 1;
               ignore
-                (Link.send t.link ~dst:backup_ep (Rec { shard; seq; op })))
+                (Link.send ~trace ~span t.link ~dst:backup_ep
+                   (Rec { shard; seq; op })))
             q
         end)
       t.unacked
@@ -173,17 +185,20 @@ module Applier = struct
   type t = {
     cfg : config;
     link : msg Link.t;
+    mach : int; (* backup's machine id, for wire/apply spans *)
     apply : shard:int -> op -> unit;
     on_apply : lat_ns:int -> unit;
     expected_ : int array; (* next sequence number accepted per shard *)
     mutable applied_ : int;
   }
 
-  let create ?(on_apply = fun ~lat_ns:_ -> ()) cfg ~shards ~link ~apply =
+  let create ?(on_apply = fun ~lat_ns:_ -> ()) ?(mach = 1) cfg ~shards ~link
+      ~apply =
     if shards < 1 then invalid_arg "Applier.create: shards < 1";
     {
       cfg;
       link;
+      mach;
       apply;
       on_apply;
       expected_ = Array.make shards 0;
@@ -193,21 +208,36 @@ module Applier = struct
   let applied t = t.applied_
   let expected t ~shard = t.expected_.(shard)
 
-  let ack t shard =
+  let ack ?(trace = -1) ?(span = -1) t shard =
     ignore
-      (Link.send t.link ~dst:primary_ep
+      (Link.send ~trace ~span t.link ~dst:primary_ep
          (Ack { shard; seq = t.expected_.(shard) - 1 }))
 
-  let handle ?(ack_back = true) ?(sent_at = 0) t = function
+  let handle ?(ack_back = true) ?(sent_at = 0) ?(trace = -1) ?(span = -1) t
+      = function
     | Ack _ -> () (* impossible by convention *)
     | Rec { shard; seq; op } ->
         if seq = t.expected_.(shard) then begin
+          (* span the record's wire hop (known only now that it
+             arrived) and the in-order apply; the ack carries the
+             apply span so the primary can close the causal loop *)
+          let in_sim = Sched.in_simulation () in
+          let wire =
+            if trace >= 0 && in_sim then
+              Obs.Span.add_span ~trace ~parent:span ~mach:t.mach
+                Obs.Span.Repl_wire ~t0:sent_at ~t1:(Sched.now ())
+            else -1
+          in
+          let apl =
+            Obs.Span.open_span ~trace ~parent:wire ~mach:t.mach
+              Obs.Span.Backup_apply
+          in
           t.apply ~shard op;
+          Obs.Span.close_span apl;
           t.expected_.(shard) <- seq + 1;
           t.applied_ <- t.applied_ + 1;
-          if Sched.in_simulation () then
-            t.on_apply ~lat_ns:(Sched.now () - sent_at);
-          if ack_back then ack t shard
+          if in_sim then t.on_apply ~lat_ns:(Sched.now () - sent_at);
+          if ack_back then ack ~trace ~span:apl t shard
         end
         else if seq < t.expected_.(shard) then begin
           (* duplicate or retransmission of applied data: re-ack so the
@@ -222,8 +252,8 @@ module Applier = struct
   let pump t ~until =
     let rec loop () =
       (match Link.recv t.link ~ep:backup_ep with
-      | Some { payload; sent_at; _ } ->
-          handle ~sent_at t payload;
+      | Some { payload; sent_at; trace; span; _ } ->
+          handle ~sent_at ~trace ~span t payload;
           loop ()
       | None ->
           if until () then ()

@@ -81,13 +81,18 @@ val default_config : config
 module Shipper : sig
   type t
 
-  val create : config -> shards:int -> link:msg Cluster.Link.t -> t
+  val create : ?mach:int -> config -> shards:int -> link:msg Cluster.Link.t -> t
+  (** [mach] (default 0) is the primary's machine id, used as the
+      process id of ack-wire spans when tracing is on. *)
 
-  val ship : t -> shard:int -> op -> int
+  val ship : ?trace:int -> ?span:int -> t -> shard:int -> op -> int
   (** Called by the shard's handler thread after the local persist.
       Assigns the next sequence number, buffers the record and puts it
       on the wire; blocks (polling) while the shard's unacked window
-      is full.  Returns the assigned sequence number. *)
+      is full.  Returns the assigned sequence number.  [trace]/[span]
+      attach the request's {!Obs.Span} context to the record (and to
+      any retransmission of it), so the backup's wire/apply spans and
+      the ack's return hop join the request's span tree. *)
 
   val wait_acked : t -> shard:int -> seq:int -> deadline:int -> bool
   (** Sync mode: poll until the backup's cumulative ack covers [seq];
@@ -119,6 +124,7 @@ module Applier : sig
 
   val create :
     ?on_apply:(lat_ns:int -> unit) ->
+    ?mach:int ->
     config ->
     shards:int ->
     link:msg Cluster.Link.t ->
@@ -128,7 +134,10 @@ module Applier : sig
       sent on its return is what [Sync] mode's guarantee rests on.
       [on_apply] observes each in-order application with its wire +
       apply latency (ship to applied, simulated ns) — the replication
-      lag as seen at the backup; only called inside the simulation. *)
+      lag as seen at the backup; only called inside the simulation.
+      [mach] (default 1) is the backup's machine id, the process id of
+      the wire/apply spans emitted when a record carries a trace
+      context. *)
 
   val pump : t -> until:(unit -> bool) -> unit
   (** Applier-thread body: receive records, apply in-sequence ones,

@@ -545,7 +545,7 @@ let abort_result a parts =
   { txn_id = 0; committed = false; abort = Some a; fin = 0;
     participants = parts }
 
-let txn ?on_commit t ops =
+let txn ?on_commit ?(trace = -1) ?(span = -1) t ops =
   match validate_static t ops with
   | Error a -> abort_result a []
   | Ok parts ->
@@ -557,10 +557,20 @@ let txn ?on_commit t ops =
           (fun i -> Machine.Lock.release t.shard_locks.(i))
           (List.rev idxs))
       (fun () ->
+        let sprep =
+          Obs.Span.open_span ~trace ~parent:span Obs.Span.Txn_prepare
+        in
         match prepare_locked t parts with
-        | Error a -> abort_result a parts
+        | Error a ->
+          Obs.Span.close_span sprep;
+          abort_result a parts
         | Ok txn_id ->
+          Obs.Span.close_span sprep;
+          let sdec =
+            Obs.Span.open_span ~trace ~parent:span Obs.Span.Txn_decide
+          in
           let fin = decide_apply_locked t txn_id idxs in
+          Obs.Span.close_span sdec;
           let res =
             { txn_id; committed = true; abort = None; fin;
               participants = parts }

@@ -135,7 +135,13 @@ type txn_result = {
       (** ascending shard order; ops in submission order per shard *)
 }
 
-val txn : ?on_commit:(txn_result -> unit) -> t -> txn_op list -> txn_result
+val txn :
+  ?on_commit:(txn_result -> unit) ->
+  ?trace:int ->
+  ?span:int ->
+  t ->
+  txn_op list ->
+  txn_result
 (** Executes the operations as one atomic transaction: after a crash
     at any fence, either every operation is visible or none is.
     Acquires every participant's {!shard_lock} in ascending order (so
@@ -143,7 +149,10 @@ val txn : ?on_commit:(txn_result -> unit) -> t -> txn_op list -> txn_result
     for the decide→apply window; [on_commit] runs {e inside} the
     critical section right after apply — the hook the replicated
     server uses to ship prepare/decide records in mutation order.
-    Aborts ([committed = false]) leave no durable trace. *)
+    Aborts ([committed = false]) leave no durable trace.
+    [trace]/[span] (default -1 = off) attach {!Obs.Span.Txn_prepare} /
+    {!Obs.Span.Txn_decide} detail spans under the caller's transaction
+    span. *)
 
 val txn_prepare : t -> txn_op list -> (int, txn_abort) result
 (** Phase 1 only (no locking — single-threaded recovery tests and

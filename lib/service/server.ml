@@ -61,6 +61,8 @@ type pending = {
   p_vseed : int;
   p_ops : Kv.txn_op list;
   p_sent : int;
+  p_trace : int; (* Obs.Span trace id; -1 when tracing is off *)
+  p_span : int; (* the request's root span, closed at reply delivery *)
 }
 
 let txn_op_key = function Kv.Tput { key; _ } | Kv.Tdel { key } -> key
@@ -180,16 +182,46 @@ let run ~make ~reattach cfg =
       | Rep _ -> ()
       | Req r ->
         let t0 = Sched.now () in
+        let trace = m.trace in
+        (* the request's hop in, split at the delivery timestamp: pure
+           wire, then inbox queue wait — known only at dequeue *)
+        ignore
+          (Obs.Span.add_span ~trace ~parent:m.span Obs.Span.Req_wire
+             ~t0:m.sent_at ~t1:m.delivered_at);
+        if t0 > m.delivered_at then
+          ignore
+            (Obs.Span.add_span ~trace ~parent:m.span Obs.Span.Queue
+               ~t0:m.delivered_at ~t1:t0);
+        let sdec = Obs.Span.open_span ~trace ~parent:m.span Obs.Span.Decode in
         Machine.compute mach 200 (* request decode / dispatch overhead *);
+        Obs.Span.close_span sdec;
         let ok, mutated, fin =
           match r.kind with
           | KTxn ->
             (* Kv.txn takes every participant's shard lock itself *)
-            let res = Kv.txn svc r.ops in
+            let stx = Obs.Span.open_span ~trace ~parent:m.span Obs.Span.Txn in
+            let pmark = Obs.Span.persist_mark () in
+            let res = Kv.txn svc r.ops ~trace ~span:stx in
+            let pns = Obs.Span.persist_since pmark in
+            Obs.Span.close_span stx;
+            if pns > 0 then begin
+              let now = Sched.now () in
+              ignore
+                (Obs.Span.add_span ~trace ~parent:stx Obs.Span.Persist
+                   ~t0:(now - pns) ~t1:now)
+            end;
             if res.Kv.committed then incr txn_commits else incr txn_aborts;
             (res.Kv.committed, res.Kv.committed, res.Kv.fin)
           | _ ->
+            let slw =
+              Obs.Span.open_span ~trace ~parent:m.span Obs.Span.Lock_wait
+            in
             Machine.Lock.with_lock (Kv.shard_lock svc i) (fun () ->
+                Obs.Span.close_span slw;
+                let sst =
+                  Obs.Span.open_span ~trace ~parent:m.span Obs.Span.Store
+                in
+                let pmark = Obs.Span.persist_mark () in
                 let ok, mutated =
                   match r.kind with
                   | KGet -> (Kv.get svc ~key:r.key <> None, false)
@@ -204,13 +236,23 @@ let run ~make ~reattach cfg =
                     (true, false)
                   | KTxn -> assert false
                 in
-                (ok, mutated, Sched.now ()))
+                let pns = Obs.Span.persist_since pmark in
+                let fin = Sched.now () in
+                Obs.Span.close_span sst;
+                if pns > 0 then
+                  ignore
+                    (Obs.Span.add_span ~trace ~parent:sst Obs.Span.Persist
+                       ~t0:(fin - pns) ~t1:fin);
+                (ok, mutated, fin))
         in
         incr handled;
         Hist.record svc_h (Sched.now () - t0);
         let rep = Rep { rid = r.rid; ok; mutated; fin } in
-        if not (Net.try_send net ~dst:(cfg.shards + r.client) rep) then
-          incr reply_drops
+        if
+          not
+            (Net.try_send ~trace ~span:m.span net ~dst:(cfg.shards + r.client)
+               rep)
+        then incr reply_drops
     in
     let rec loop () =
       if Sched.now () >= server_end then ()
@@ -264,12 +306,18 @@ let run ~make ~reattach cfg =
     let drain () =
       let rec go () =
         match Net.recv net ~port with
-        | Some { payload = Rep r; delivered_at; _ } ->
+        | Some { payload = Rep r; delivered_at; sent_at; _ } ->
           (match Hashtbl.find_opt out r.rid with
            | Some p ->
              Hashtbl.remove out r.rid;
              incr completed;
              Hist.record lat_h (delivered_at - p.p_sent);
+             (* the reply's hop back, then the root closes at delivery
+                (not at this drain) so root = measured latency *)
+             ignore
+               (Obs.Span.add_span ~trace:p.p_trace ~parent:p.p_span
+                  Obs.Span.Rep_wire ~t0:sent_at ~t1:delivered_at);
+             Obs.Span.close_span_at p.p_span ~t1:delivered_at;
              if r.mutated then begin
                incr acked_mut;
                match p.p_kind with
@@ -326,17 +374,29 @@ let run ~make ~reattach cfg =
              handler fans out to the other participants itself *)
           let key = match ops with o :: _ -> txn_op_key o | [] -> key in
           let dst = Kv.shard_of_key svc key in
+          (* root span opened before the send so its id can ride the
+             envelope; a refused send leaves it open (incomplete) *)
+          let trace = Obs.Span.new_trace () in
+          let root =
+            Obs.Span.open_span ~trace ~parent:(-1) Obs.Span.Request
+          in
           if
-            Net.try_send net ~dst
+            Net.try_send ~trace ~span:root net ~dst
               (Req { rid; client = j; kind; key; vseed = rid; ops })
           then begin
             incr admitted;
+            let p_sent = Sched.now () in
+            (* align the root with the send timestamp (the send's CPU
+               charge lands between open_span and here) *)
+            Obs.Span.set_start root ~t0:p_sent;
             Hashtbl.replace out rid
               { p_kind = kind;
                 p_key = key;
                 p_vseed = rid;
                 p_ops = ops;
-                p_sent = Sched.now () }
+                p_sent;
+                p_trace = trace;
+                p_span = root }
           end
           else incr shed (* Overloaded: admission refused, request dropped *);
           send_loop (t_next + Net.Loadgen.next_gap_ns lg)
@@ -612,7 +672,17 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
       | Rep _ -> ()
       | Req r ->
         let t0 = Sched.now () in
+        let trace = m.trace in
+        ignore
+          (Obs.Span.add_span ~trace ~parent:m.span Obs.Span.Req_wire
+             ~t0:m.sent_at ~t1:m.delivered_at);
+        if t0 > m.delivered_at then
+          ignore
+            (Obs.Span.add_span ~trace ~parent:m.span Obs.Span.Queue
+               ~t0:m.delivered_at ~t1:t0);
+        let sdec = Obs.Span.open_span ~trace ~parent:m.span Obs.Span.Decode in
         Machine.compute primary 200;
+        Obs.Span.close_span sdec;
         (* Replication: each mutation ships inside its critical section
            (right after the local persist, before the lock is released)
            so every shard's sequenced stream orders exactly as the store
@@ -620,25 +690,31 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
            collected so a sync-mode reply can wait on every participant
            stream. *)
         let seqs = ref [] in
-        let ship shard op =
-          seqs := (shard, Replica.Shipper.ship shipper ~shard op) :: !seqs
+        let ship ~sp shard op =
+          seqs :=
+            (shard, Replica.Shipper.ship shipper ~trace ~span:sp ~shard op)
+            :: !seqs
         in
         let txn_wait_ok = ref true in
         let ok, mutated, fin =
           match r.kind with
           | KTxn ->
+            let stx = Obs.Span.open_span ~trace ~parent:m.span Obs.Span.Txn in
+            let pmark = Obs.Span.persist_mark () in
             let res =
-              Kv.txn svc r.ops ~on_commit:(fun res ->
+              Kv.txn svc r.ops ~trace ~span:stx ~on_commit:(fun res ->
                   let nparts = List.length res.Kv.participants in
                   let dseqs =
                     List.map
                       (fun (s, ops) ->
                         ignore
-                          (Replica.Shipper.ship shipper ~shard:s
+                          (Replica.Shipper.ship shipper ~trace ~span:stx
+                             ~shard:s
                              (Replica.Txn_prepare
                                 { txn = res.Kv.txn_id; ops }));
                         ( s,
-                          Replica.Shipper.ship shipper ~shard:s
+                          Replica.Shipper.ship shipper ~trace ~span:stx
+                            ~shard:s
                             (Replica.Txn_decide
                                { txn = res.Kv.txn_id; commit = true; nparts })
                         ))
@@ -653,17 +729,37 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
                      still pending; without it a decide lagging on one
                      stream (loss, retransmit) lets a later prepare
                      collide with the occupied slot. *)
+                  let sra =
+                    Obs.Span.open_span ~trace ~parent:stx Obs.Span.Repl_ack
+                  in
                   txn_wait_ok :=
                     List.for_all
                       (fun (shard, seq) ->
                         Replica.Shipper.wait_acked shipper ~shard ~seq
                           ~deadline:sync_deadline)
-                      dseqs)
+                      dseqs;
+                  Obs.Span.close_span sra)
             in
+            let pns = Obs.Span.persist_since pmark in
+            Obs.Span.close_span stx;
+            if pns > 0 then begin
+              let now = Sched.now () in
+              ignore
+                (Obs.Span.add_span ~trace ~parent:stx Obs.Span.Persist
+                   ~t0:(now - pns) ~t1:now)
+            end;
             if res.Kv.committed then incr txn_commits else incr txn_aborts;
             (res.Kv.committed, res.Kv.committed, res.Kv.fin)
           | _ ->
+            let slw =
+              Obs.Span.open_span ~trace ~parent:m.span Obs.Span.Lock_wait
+            in
             Machine.Lock.with_lock (Kv.shard_lock svc i) (fun () ->
+                Obs.Span.close_span slw;
+                let sst =
+                  Obs.Span.open_span ~trace ~parent:m.span Obs.Span.Store
+                in
+                let pmark = Obs.Span.persist_mark () in
                 let ok, mutated =
                   match r.kind with
                   | KGet -> (Kv.get svc ~key:r.key <> None, false)
@@ -679,11 +775,18 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
                   | KTxn -> assert false
                 in
                 if mutated then
-                  ship i
+                  ship ~sp:sst i
                     (match r.kind with
                      | KPut -> Replica.Put { key = r.key; vseed = r.vseed }
                      | _ -> Replica.Del { key = r.key });
-                (ok, mutated, Sched.now ()))
+                let pns = Obs.Span.persist_since pmark in
+                let fin = Sched.now () in
+                Obs.Span.close_span sst;
+                if pns > 0 then
+                  ignore
+                    (Obs.Span.add_span ~trace ~parent:sst Obs.Span.Persist
+                       ~t0:(fin - pns) ~t1:fin);
+                (ok, mutated, fin))
         in
         (* Sync mode holds the reply until the backup's cumulative ack
            covers every shipped record — an acked mutation (single op
@@ -695,20 +798,31 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
            transaction safe. *)
         let replicated =
           if r.kind = KTxn then (not sync) || !txn_wait_ok
-          else
-            (not sync)
-            || List.for_all
-                 (fun (shard, seq) ->
-                   Replica.Shipper.wait_acked shipper ~shard ~seq
-                     ~deadline:sync_deadline)
-                 !seqs
+          else if (not sync) || !seqs = [] then true
+          else begin
+            let sra =
+              Obs.Span.open_span ~trace ~parent:m.span Obs.Span.Repl_ack
+            in
+            let acked =
+              List.for_all
+                (fun (shard, seq) ->
+                  Replica.Shipper.wait_acked shipper ~shard ~seq
+                    ~deadline:sync_deadline)
+                !seqs
+            in
+            Obs.Span.close_span sra;
+            acked
+          end
         in
         incr handled;
         Hist.record svc_h (Sched.now () - t0);
         if replicated then begin
           let rep = Rep { rid = r.rid; ok; mutated; fin } in
-          if not (Net.try_send net ~dst:(cfg.shards + r.client) rep) then
-            incr reply_drops
+          if
+            not
+              (Net.try_send ~trace ~span:m.span net
+                 ~dst:(cfg.shards + r.client) rep)
+          then incr reply_drops
         end
     in
     let rec loop () =
@@ -790,12 +904,18 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
     let drain () =
       let rec go () =
         match Net.recv net ~port with
-        | Some { payload = Rep r; delivered_at; _ } ->
+        | Some { payload = Rep r; delivered_at; sent_at; _ } ->
           (match Hashtbl.find_opt out r.rid with
            | Some p ->
              Hashtbl.remove out r.rid;
              incr completed;
              Hist.record lat_h (delivered_at - p.p_sent);
+             (* the reply's hop back, then the root closes at delivery
+                (not at this drain) so root = measured latency *)
+             ignore
+               (Obs.Span.add_span ~trace:p.p_trace ~parent:p.p_span
+                  Obs.Span.Rep_wire ~t0:sent_at ~t1:delivered_at);
+             Obs.Span.close_span_at p.p_span ~t1:delivered_at;
              if r.mutated then begin
                incr acked_mut;
                match p.p_kind with
@@ -852,17 +972,29 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
              handler fans out to the other participants itself *)
           let key = match ops with o :: _ -> txn_op_key o | [] -> key in
           let dst = Kv.shard_of_key svc key in
+          (* root span opened before the send so its id can ride the
+             envelope; a refused send leaves it open (incomplete) *)
+          let trace = Obs.Span.new_trace () in
+          let root =
+            Obs.Span.open_span ~trace ~parent:(-1) Obs.Span.Request
+          in
           if
-            Net.try_send net ~dst
+            Net.try_send ~trace ~span:root net ~dst
               (Req { rid; client = j; kind; key; vseed = rid; ops })
           then begin
             incr admitted;
+            let p_sent = Sched.now () in
+            (* align the root with the send timestamp (the send's CPU
+               charge lands between open_span and here) *)
+            Obs.Span.set_start root ~t0:p_sent;
             Hashtbl.replace out rid
               { p_kind = kind;
                 p_key = key;
                 p_vseed = rid;
                 p_ops = ops;
-                p_sent = Sched.now () }
+                p_sent;
+                p_trace = trace;
+                p_span = root }
           end
           else incr shed;
           send_loop (t_next + Net.Loadgen.next_gap_ns lg)

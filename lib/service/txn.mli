@@ -53,10 +53,17 @@ type result = Kv.txn_result = {
 val max_ops : int
 (** Per-shard operation cap ({!Kv.max_txn_ops}). *)
 
-val exec : ?on_commit:(result -> unit) -> Kv.t -> op list -> result
+val exec :
+  ?on_commit:(result -> unit) ->
+  ?trace:int ->
+  ?span:int ->
+  Kv.t ->
+  op list ->
+  result
 (** {!Kv.txn}: the whole protocol under the participant + coordinator
     locks.  [on_commit] fires inside the critical section, after
-    apply — where the replicated server ships its records. *)
+    apply — where the replicated server ships its records.
+    [trace]/[span] attach prepare/decide detail spans ({!Obs.Span}). *)
 
 val prepare : Kv.t -> op list -> (int, abort) Stdlib.result
 (** {!Kv.txn_prepare} — staged phase 1 (tests/instrumentation). *)

@@ -1,0 +1,14 @@
+#!/bin/sh
+# poseidon-kv latency attribution: identical traffic run unreplicated,
+# async- and sync-replicated, single-op and all-transaction, with the
+# span store on.  The per-run latency budget names the dominant stage
+# of each configuration's critical path, and the pins section blames
+# the sync-replication and 2PC-commit latency taxes on the stage whose
+# summed time grew most over the same-seed baseline.  Fails if any
+# budget explains < 90% of end-to-end time.  Leaves a machine-readable
+# snapshot in BENCH_attrib.json at the repo root.  Pass --full for
+# longer traffic windows.
+set -eu
+cd "$(dirname "$0")/.."
+dune build bench/main.exe
+dune exec bench/main.exe -- --suite attrib "$@"

@@ -90,6 +90,18 @@ step="serve failover smoke"
 dune exec bin/main.exe -- serve --replicate --shards 2 --clients 8 \
   --rate 40000 --duration 0.005 --txn-pct 20 --crash-at 0.5 \
   --seed "$CRASH_SEED" > /dev/null
+# trace-validity gate: export a Chrome trace from a replicated serve
+# run and validate it — JSON shape, per-phase required fields, and
+# that every cross-machine flow start ("ph":"s") has its matching
+# finish ("ph":"f").  A broken pairing means Perfetto silently drops
+# the causal arrow between primary and backup.
+step="trace validity gate"
+tracedir="$(mktemp -d)"
+dune exec bin/main.exe -- serve --replicate --shards 2 --clients 8 \
+  --rate 30000 --duration 0.005 --txn-pct 20 --seed "$CRASH_SEED" \
+  --trace-out "$tracedir/serve-trace.json" > /dev/null
+dune exec bin/main.exe -- tracecheck "$tracedir/serve-trace.json" > /dev/null
+rm -rf "$tracedir"
 # determinism gate: the whole stack runs on a simulated machine, so two
 # identical bench runs must produce byte-identical metrics snapshots
 # (only the git rev line may differ).
@@ -108,4 +120,4 @@ fi
 rm -rf "$tmpdir"
 
 step="done"
-echo "check: lint + build + tests + crashcheck (incl. 2PC gates) + serve/txn/failover smokes + determinism OK"
+echo "check: lint + build + tests + crashcheck (incl. 2PC gates) + serve/txn/failover smokes + trace validity + determinism OK"
