@@ -742,6 +742,99 @@ let replication_suite () =
     note "  WARNING: promote RTO did not beat replay-on-restart RTO";
   List.rev !runs
 
+(* ---------- batch suite: group commit + pipelined persistence ---------- *)
+
+(* Sync replication pays a wire round trip per mutation: the shard
+   handler holds its lock through ship → backup persist → ack, so at
+   any real load the RTTs line up behind each other and the queue wait
+   dwarfs the store itself.  Group commit amortizes that — one covering
+   persist chain, one doorbell frame and ONE ack wait per group of
+   consecutive queued mutations — so batched sync should land within
+   ~2x of async p50 at the same offered load, where unbatched sync
+   drowns.  The sweep runs async and sync at identical rate/seed across
+   batch windows; the exit gate demands some window make the 2x bar. *)
+let batch_suite () =
+  note "";
+  note "### Group commit: batched sync vs async at identical offered load";
+  note "(one flush + one ack wait per group; window 1 = the unbatched path)";
+  let module S = Service.Server in
+  let base scope =
+    { S.default_config with
+      S.shards = 4;
+      clients = 32;
+      rate = 400_000.;
+      duration = (if !full then 0.05 else 0.02);
+      value_size = 128;
+      keyspace = 4096;
+      read_pct = 20;
+      queue_capacity = 64;
+      scope }
+  in
+  let make mach = Workloads.Factories.poseidon_on mach in
+  let runs = ref [] in
+  let repl label window mode =
+    let cfg =
+      { (base ("bench/batch/" ^ label)) with S.batch_window = window }
+    in
+    let rcfg =
+      { S.default_repl_config with S.repl_mode = mode; wire_ns = 5_000 }
+    in
+    let rr = S.run_replicated ~make cfg rcfg in
+    (match rr.S.backup_ledger with
+     | Some l when l.S.mismatches > 0 ->
+       Printf.eprintf "bench batch: BACKUP MISMATCH in %s\n" label;
+       exit 1
+     | _ -> ());
+    runs := (label, window, cfg, rr) :: !runs;
+    rr
+  in
+  let async_r = repl "async" 1 Replica.Async in
+  let windows = [ 1; 4; 8; 16; 32 ] in
+  let sync_rs =
+    List.map
+      (fun w -> (w, repl (Printf.sprintf "sync-w%d" w) w Replica.Sync))
+      windows
+  in
+  let table =
+    Tablefmt.create
+      ~title:"poseidon-kv sync group commit vs async (4 shards, same load)"
+      ~columns:
+        [ "run"; "window"; "goodput"; "p50 ns"; "p99 ns"; "shed"; "flushes" ]
+  in
+  let row label w (rr : S.repl_result) =
+    let r = rr.S.base in
+    Tablefmt.add_row table label
+      [ string_of_int w;
+        Printf.sprintf "%.0f" r.S.goodput;
+        string_of_int r.S.latency.S.p50;
+        string_of_int r.S.latency.S.p99;
+        string_of_int r.S.shed;
+        string_of_int rr.S.link_flushes ]
+  in
+  row "async" 1 async_r;
+  List.iter (fun (w, rr) -> row (Printf.sprintf "sync-w%d" w) w rr) sync_rs;
+  Tablefmt.print table;
+  let async_p50 = async_r.S.base.S.latency.S.p50 in
+  let best_w, best_rr =
+    List.fold_left
+      (fun (bw, (brr : S.repl_result)) (w, (rr : S.repl_result)) ->
+        if rr.S.base.S.latency.S.p50 < brr.S.base.S.latency.S.p50 then (w, rr)
+        else (bw, brr))
+      (List.hd sync_rs) (List.tl sync_rs)
+  in
+  let best_p50 = best_rr.S.base.S.latency.S.p50 in
+  note "  async p50 %d ns; best sync p50 %d ns at window %d (%.2fx async)"
+    async_p50 best_p50 best_w
+    (float_of_int best_p50 /. float_of_int (max 1 async_p50));
+  if best_p50 > 2 * async_p50 then begin
+    Printf.eprintf
+      "bench batch: GATE FAILED — best sync p50 %d ns > 2x async p50 %d ns \
+       at every batch window\n"
+      best_p50 async_p50;
+    exit 1
+  end;
+  (List.rev !runs, async_p50, best_w, best_p50)
+
 (* ---------- txn suite: cross-shard 2PC transactions ---------- *)
 
 (* Same traffic harness with a transactional mix (server --txn-pct):
@@ -1162,6 +1255,61 @@ let write_replication_results runs =
   in
   write_doc (if !json_out = "" then "BENCH_replication.json" else !json_out) doc
 
+let write_batch_results (runs, async_p50, best_window, best_p50) =
+  let module S = Service.Server in
+  let module J = Obs.Json in
+  let num i = J.Num (float_of_int i) in
+  let pct (p : S.percentiles) =
+    J.Obj
+      [ ("p50", num p.S.p50); ("p99", num p.S.p99); ("p999", num p.S.p999);
+        ("mean", J.Num p.S.mean); ("max", num p.S.max);
+        ("samples", num p.S.samples) ]
+  in
+  let run_json (label, window, (cfg : S.config), (rr : S.repl_result)) =
+    let r = rr.S.base in
+    J.Obj
+      [ ("label", J.Str label);
+        ("mode", J.Str (if rr.S.sync then "sync" else "async"));
+        ("batch_window", num window);
+        ( "config",
+          J.Obj
+            [ ("shards", num cfg.S.shards); ("clients", num cfg.S.clients);
+              ("rate", J.Num cfg.S.rate); ("duration", J.Num cfg.S.duration);
+              ("read_pct", num cfg.S.read_pct); ("seed", num cfg.S.seed);
+              ("batch_bytes", num cfg.S.batch_bytes) ] );
+        ("offered", num r.S.offered); ("completed", num r.S.completed);
+        ("shed", num r.S.shed);
+        ("throughput", J.Num r.S.throughput); ("goodput", J.Num r.S.goodput);
+        ("latency", pct r.S.latency); ("service", pct r.S.service);
+        ("shipped", num rr.S.shipped);
+        ("acked_records", num rr.S.acked_records);
+        ("retransmits", num rr.S.retransmits);
+        ("link_flushes", num rr.S.link_flushes);
+        ( "backup_mismatches",
+          match rr.S.backup_ledger with
+          | Some l -> num l.S.mismatches
+          | None -> J.Null ) ]
+  in
+  let doc =
+    J.Obj
+      [ ("schema", J.Str "poseidon-bench-batch/v1");
+        ("rev", rev_json ());
+        ("config", J.Obj [ ("full", J.Bool !full) ]);
+        ("runs", J.Arr (List.map run_json runs));
+        ( "gate",
+          J.Obj
+            [ ("async_p50_ns", num async_p50);
+              ("best_sync_p50_ns", num best_p50);
+              ("best_window", num best_window);
+              ( "ratio",
+                J.Num
+                  (float_of_int best_p50 /. float_of_int (max 1 async_p50)) );
+              ("sync_within_2x_async", J.Bool (best_p50 <= 2 * async_p50)) ]
+        );
+        ("metrics", Obs.Metrics.snapshot ()) ]
+  in
+  write_doc (if !json_out = "" then "BENCH_batch.json" else !json_out) doc
+
 let write_txn_results runs =
   let module S = Service.Server in
   let module J = Obs.Json in
@@ -1347,7 +1495,9 @@ let () =
         \        'replication': sync/async tax + promote-vs-replay RTO ->\n\
         \        BENCH_replication.json; 'txn': cross-shard 2PC abort rate\n\
         \        + commit-latency tax -> BENCH_txn.json; 'attrib': per-stage\n\
-        \        latency budgets + dominant-stage pins -> BENCH_attrib.json)" );
+        \        latency budgets + dominant-stage pins -> BENCH_attrib.json;\n\
+        \        'batch': group-commit window sweep, sync-vs-async p50 gate\n\
+        \        -> BENCH_batch.json)" );
       ( "--json-out",
         Arg.Set_string json_out,
         "FILE  metrics snapshot destination (default BENCH_results.json, \
@@ -1377,9 +1527,15 @@ let () =
     write_attrib_results runs;
     exit 0
   end
+  else if !suite = "batch" then begin
+    let res = batch_suite () in
+    write_batch_results res;
+    exit 0
+  end
   else if !suite <> "" then begin
     Printf.eprintf
-      "bench: unknown suite %S (known: service, replication, txn, attrib)\n"
+      "bench: unknown suite %S (known: service, replication, txn, attrib, \
+       batch)\n"
       !suite;
     exit 2
   end;

@@ -248,7 +248,9 @@ let crashcheck_cmd =
             "Scenario to explore: alloc, free, tx-commit, tx-abort, extend, \
              kv-put, kv-delete, kv-txn (cross-shard 2PC transactions), \
              kv-replicated-put (two-machine sync replication with \
-             transaction records, cluster-wide crash), broken / kv-txn-broken \
+             transaction records, cluster-wide crash), kv-batched-put \
+             (group commit + doorbell-batched replication, cluster-wide \
+             crash), broken / kv-txn-broken / kv-batched-broken \
              (deliberately buggy, for mutation sanity checks) or all (every \
              correct one).")
   in
@@ -581,6 +583,23 @@ let serve_cmd =
       & info [ "drop-pct" ] ~docv:"PCT"
           ~doc:"Seeded link loss percentage (go-back-N recovers).")
   in
+  let batch_window_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "batch-window" ] ~docv:"N"
+          ~doc:
+            "Group-commit window: up to N consecutive queued mutations \
+             persist under one covering flush and ship as one replication \
+             frame.  1 (default) = the per-op path, byte-identically.")
+  in
+  let batch_bytes_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "batch-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Byte cap on a commit group (0 = unlimited): a group closes \
+             once its encoded payload would exceed this.")
+  in
   let dup_pct_arg =
     Arg.(
       value & opt int 0
@@ -589,7 +608,7 @@ let serve_cmd =
   in
   let run shards clients rate duration value_size zipf keyspace queue txn_pct
       txn_ops crash_at seed json_out replicate repl_mode wire_ns repl_window
-      drop_pct dup_pct trace_out =
+      drop_pct dup_pct batch_window batch_bytes trace_out =
     with_tracing trace_out @@ fun () ->
     let module S = Service.Server in
     (* Span store on for every serve run — attribution is part of the
@@ -610,7 +629,9 @@ let serve_cmd =
         txn_pct;
         txn_ops;
         crash_at;
-        seed }
+        seed;
+        batch_window;
+        batch_bytes }
     in
     let factory = Workloads.Factories.poseidon () in
     let repl, r =
@@ -746,6 +767,8 @@ let serve_cmd =
                    ("keyspace", num keyspace);
                    ("queue_capacity", num queue);
                    ("txn_pct", num txn_pct); ("txn_ops", num txn_ops);
+                   ("batch_window", num batch_window);
+                   ("batch_bytes", num batch_bytes);
                    ( "crash_at",
                      match crash_at with
                      | Some f -> J.Num f
@@ -839,7 +862,7 @@ let serve_cmd =
       $ value_size_arg $ zipf_arg $ keyspace_arg $ queue_arg $ txn_pct_arg
       $ txn_ops_arg $ crash_at_arg $ seed_arg $ json_out_arg $ replicate_arg
       $ repl_mode_arg $ wire_ns_arg $ repl_window_arg $ drop_pct_arg
-      $ dup_pct_arg $ trace_out_arg)
+      $ dup_pct_arg $ batch_window_arg $ batch_bytes_arg $ trace_out_arg)
 
 (* ---------- trace ---------- *)
 

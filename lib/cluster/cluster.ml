@@ -29,16 +29,19 @@ module Link = struct
     duplicated : int;
     received : int;
     max_depth : int;
+    flushes : int;
   }
 
   type 'a endpoint = {
     q : 'a msg Queue.t;
+    buf : ('a * int * int) Queue.t; (* doorbell: (payload, trace, span) *)
     mutable sent : int;
     mutable rejected : int;
     mutable dropped : int;
     mutable duplicated : int;
     mutable received : int;
     mutable max_depth : int;
+    mutable flushes : int;
   }
 
   type 'a t = {
@@ -54,12 +57,14 @@ module Link = struct
   let mk_endpoint () =
     {
       q = Queue.create ();
+      buf = Queue.create ();
       sent = 0;
       rejected = 0;
       dropped = 0;
       duplicated = 0;
       received = 0;
       max_depth = 0;
+      flushes = 0;
     }
 
   let create ?(wire_ns = 20_000) ?(capacity = 256) ?(send_cpu_ns = 300)
@@ -120,6 +125,69 @@ module Link = struct
       true
     end
 
+  (* Doorbell batching: [buffer] stages a record toward [dst] with no
+     latency or CPU charge; [flush] rings the doorbell — the whole
+     staged frame pays ONE sender CPU charge, ONE fault roll and ONE
+     wire traversal (every record stamped with the same delivery
+     instant), instead of one of each per record.  The receive side is
+     unchanged: records still arrive individually, in order. *)
+
+  let buffer ?(trace = -1) ?(span = -1) t ~dst payload =
+    check_ep dst;
+    Queue.add (payload, trace, span) t.eps.(dst).buf
+
+  let buffered t ~dst =
+    check_ep dst;
+    Queue.length t.eps.(dst).buf
+
+  let flush t ~dst =
+    check_ep dst;
+    let e = t.eps.(dst) in
+    let n = Queue.length e.buf in
+    if n = 0 then 0
+    else begin
+      let now = if in_sim () then Simcore.Sched.now () else 0 in
+      if in_sim () && t.send_cpu_ns > 0 then
+        Simcore.Sched.charge t.send_cpu_ns;
+      e.flushes <- e.flushes + 1;
+      e.sent <- e.sent + n;
+      (* One fault roll per frame: a dropped frame loses every record
+         in it (go-back-N retransmission recovers), a duplicated frame
+         is re-delivered whole, right behind the first copy.  Clean
+         links skip the PRNG so defaults stay bit-identical. *)
+      let faulty = t.drop_pct > 0 || t.dup_pct > 0 in
+      let dropped = faulty && Repro_util.Prng.int t.prng 100 < t.drop_pct in
+      let accepted = ref 0 in
+      if dropped then e.dropped <- e.dropped + n
+      else begin
+        let delivered_at = if in_sim () then now + t.wire_ns else 0 in
+        let dup =
+          t.dup_pct > 0 && Repro_util.Prng.int t.prng 100 < t.dup_pct
+        in
+        let enqueue_frame count_accept =
+          Queue.iter
+            (fun (payload, trace, span) ->
+              if Queue.length e.q >= t.capacity then
+                e.rejected <- e.rejected + 1
+              else begin
+                Queue.add { payload; sent_at = now; delivered_at; trace; span }
+                  e.q;
+                if count_accept then incr accepted
+              end)
+            e.buf
+        in
+        enqueue_frame true;
+        if dup then begin
+          e.duplicated <- e.duplicated + n;
+          enqueue_frame false
+        end;
+        if Queue.length e.q > e.max_depth then
+          e.max_depth <- Queue.length e.q
+      end;
+      Queue.clear e.buf;
+      if dropped then n else !accepted
+    end
+
   let deliverable t ~ep =
     check_ep ep;
     let e = t.eps.(ep) in
@@ -154,5 +222,6 @@ module Link = struct
       duplicated = e.duplicated;
       received = e.received;
       max_depth = e.max_depth;
+      flushes = e.flushes;
     }
 end

@@ -73,6 +73,29 @@ module Link : sig
       none) carry the {!Obs.Span} context across the machine boundary;
       a fault-injected duplicate carries the same context. *)
 
+  val buffer : ?trace:int -> ?span:int -> 'a t -> dst:int -> 'a -> unit
+  (** Doorbell batching, stage 1: park a record toward [dst] with no
+      latency or CPU charge.  Nothing is visible to the receiver until
+      {!flush} rings the doorbell.  Buffered records survive unsent if
+      the sender crashes — batching callers must not ack anything
+      covered only by a buffer. *)
+
+  val flush : 'a t -> dst:int -> int
+  (** Doorbell batching, stage 2: send everything staged toward [dst]
+      as one framed batch — one sender CPU charge, one seeded fault
+      roll (a drop loses the whole frame, a duplicate re-delivers it
+      whole) and one wire traversal; every record is stamped with the
+      same delivery instant but still delivered individually, in
+      order, to the unchanged receive side.  Returns the number of
+      records the frame carried into the destination queue (records
+      past [capacity] are counted as rejections; a fault-dropped frame
+      still returns its full size — the sender cannot observe wire
+      loss).  [0] when nothing was staged: an empty flush charges
+      nothing. *)
+
+  val buffered : 'a t -> dst:int -> int
+  (** Records staged toward [dst] awaiting a {!flush}. *)
+
   val recv : 'a t -> ep:int -> 'a msg option
   (** Head of [ep]'s queue if delivered; non-blocking. *)
 
@@ -89,6 +112,7 @@ module Link : sig
     duplicated : int;  (** fault-injected duplicate deliveries *)
     received : int;  (** messages handed to the reader *)
     max_depth : int;
+    flushes : int;  (** doorbell batches sent via {!flush} *)
   }
 
   val stats : 'a t -> ep:int -> stats

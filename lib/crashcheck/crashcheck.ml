@@ -480,8 +480,16 @@ let apply_kv tbl = function
    still sane after replay mutated it, the store matches the acked
    prefix of [plan] applied over [preload] exactly, and the one
    in-flight operation is atomic (its key reads as either the pre- or
-   the post-state, never a torn value). *)
-let kv_prefix_oracle ~oname ~preload ~plan ~acked =
+   the post-state, never a torn value).
+
+   [window] (default 1) generalizes the prefix rule to group commit:
+   with up to [window] ops in flight beyond the acked prefix, the
+   recovered store must equal the plan-prefix state for SOME length
+   m ∈ [acked, acked + window] — a crash mid-batch may lose any
+   suffix of the unacked window, but never an acked op and never
+   anything beyond the window.  (Chunks apply in plan order, so every
+   legal crash state IS such a prefix.) *)
+let kv_prefix_oracle ?(window = 1) ~oname ~preload ~plan ~acked () =
   { oname;
     check =
       (fun env ->
@@ -506,6 +514,42 @@ let kv_prefix_oracle ~oname ~preload ~plan ~acked =
                   (Printf.sprintf
                      "post-replay leak: live %d + free %d <> capacity %d"
                      live free cap)
+              else if window > 1 then begin
+                Service.Kv.check s2;
+                let universe = Hashtbl.create 32 in
+                List.iter (fun (k, _) -> Hashtbl.replace universe k ()) preload;
+                List.iter
+                  (function
+                    | Kput (k, _) | Kdel k -> Hashtbl.replace universe k ()
+                    | Ktxn ops ->
+                      List.iter
+                        (fun o -> Hashtbl.replace universe (txn_op_key o) ())
+                        ops)
+                  plan;
+                let cks vs = Service.Kv.value_checksum s2 ~vseed:vs in
+                let matches m =
+                  let tbl = Hashtbl.create 32 in
+                  List.iter (fun (k, vs) -> Hashtbl.replace tbl k vs) preload;
+                  List.iteri (fun i o -> if i < m then apply_kv tbl o) plan;
+                  Hashtbl.fold
+                    (fun k () ok ->
+                      ok
+                      && Service.Kv.get s2 ~key:k
+                         = Option.map cks (Hashtbl.find_opt tbl k))
+                    universe true
+                in
+                let lo = !acked
+                and hi = min (List.length plan) (!acked + window) in
+                let rec any m = m <= hi && (matches m || any (m + 1)) in
+                if any lo then Ok ()
+                else
+                  Error
+                    (Printf.sprintf
+                       "recovered store matches no plan prefix in [%d, %d]: \
+                        an acked op was lost or more than the batch window \
+                        leaked"
+                       lo hi)
+              end
               else begin
                 Service.Kv.check s2;
                 let pre = Hashtbl.create 32 in
@@ -615,7 +659,7 @@ let scn_kv ?(slack = 4096) ?(tweak = fun (_ : Service.Kv.t) -> ()) ~sname
         env.ledger.durable <- (H.stats env.heap).H.live_bytes)
       plan
   in
-  let o_kv = kv_prefix_oracle ~oname:"kv-store" ~preload ~plan ~acked in
+  let o_kv = kv_prefix_oracle ~oname:"kv-store" ~preload ~plan ~acked () in
   { sname; setup; op; extra_oracles = [ o_kv ] }
 
 let scn_kv_put () =
@@ -791,13 +835,137 @@ let scn_kv_replicated_put () =
         env.ledger.durable <- (H.stats env.heap).H.live_bytes)
       plan
   in
-  let o_kv = kv_prefix_oracle ~oname:"kv-replica" ~preload ~plan ~acked in
+  let o_kv = kv_prefix_oracle ~oname:"kv-replica" ~preload ~plan ~acked () in
   { sname = "kv-replicated-put"; setup; op; extra_oracles = [ o_kv ] }
+
+(* Sweep the batched pipeline end to end: queue → group commit (one
+   covering persist chain per chunk) → doorbell-batched ship (one
+   frame per chunk) → batched cumulative ack.  Same two-machine,
+   correlated-crash setup as [scn_kv_replicated_put]; [acked] advances
+   a whole group at a time, only after the group's covering flush is
+   acked, so the windowed prefix oracle asserts the loss bound: a
+   crash mid-group loses at most the unacked window, never an acked
+   op.  [premature_ack] is the seeded bug for the mutation gate: the
+   driver claims the group durable BEFORE executing/flushing it —
+   acks ahead of the covering flush — which the checker must flag. *)
+let scn_kv_batched ?(window = 4) ?(premature_ack = false) ~sname () =
+  (* all keys on shard 0 of 2 (asserted below): a commit group is a
+     single-shard run by construction, mirroring the server's
+     per-shard inbox *)
+  let preload = [ (2, 141); (3, 142); (7, 143); (8, 144) ] in
+  let plan =
+    [ Kput (3, 401); Kput (9, 402); Kdel 2; Kput (10, 403); Kput (3, 404);
+      Kdel 99; Kput (2, 405); Kdel 8; Kput (7, 406); Kput (99, 407) ]
+  in
+  List.iter
+    (fun o ->
+      let k = match o with Kput (k, _) | Kdel k -> k | Ktxn _ -> assert false in
+      assert (Service.Kv.shard_of ~shards:2 k = 0))
+    plan;
+  let state = ref None in
+  let acked = ref 0 in
+  let setup () =
+    let env = mk_env () in
+    env.ledger.slack <- 4096 + (1024 * window);
+    let svc_b =
+      Service.Kv.create (Poseidon.instance env.heap) ~shards:2 ~value_size:64
+    in
+    let penv = mk_env () in
+    let svc_p =
+      Service.Kv.create (Poseidon.instance penv.heap) ~shards:2 ~value_size:64
+    in
+    List.iter
+      (fun (k, vs) ->
+        if
+          not
+            (Service.Kv.put svc_p ~key:k ~vseed:vs
+            && Service.Kv.put svc_b ~key:k ~vseed:vs)
+        then failwith "kv-batched scenario: preload put failed")
+      preload;
+    let link = Cluster.Link.create () in
+    let rcfg = { Replica.default_config with Replica.window = 32 } in
+    let shipper = Replica.Shipper.create rcfg ~shards:2 ~link in
+    let applier =
+      Replica.Applier.create rcfg ~shards:2 ~link ~ack_batch:true
+        ~apply:(fun ~shard op -> Service.Txn.apply_replicated svc_b ~shard op)
+        ~apply_group:(fun ~shard ops ->
+          Service.Txn.apply_replicated_group svc_b ~shard ops)
+    in
+    state := Some (svc_p, shipper, applier, link);
+    acked := 0;
+    env.aux_devs <- [ Machine.dev penv.mach ];
+    Memdev.drain (Machine.dev penv.mach);
+    env.ledger.durable <- (H.stats env.heap).H.live_bytes;
+    finish_setup env
+  in
+  let op env =
+    let svc_p, shipper, applier, link = Option.get !state in
+    let rec groups = function
+      | [] -> []
+      | ops ->
+        let rec take n = function
+          | o :: rest when n > 0 ->
+            let g, rest' = take (n - 1) rest in
+            (o :: g, rest')
+          | rest -> ([], rest)
+        in
+        let g, rest = take window ops in
+        g :: groups rest
+    in
+    List.iter
+      (fun gops ->
+        if premature_ack then acked := !acked + List.length gops;
+        let last = ref (-1) in
+        let kv_ops =
+          List.map
+            (function
+              | Kput (k, vs) -> Service.Kv.Tput { key = k; vseed = vs }
+              | Kdel k -> Service.Kv.Tdel { key = k }
+              | Ktxn _ -> assert false)
+            gops
+        in
+        ignore
+          (Service.Kv.group_commit svc_p ~shard:0 kv_ops
+             ~on_chunk:(fun ~fin:_ cops ->
+               List.iter
+                 (fun op ->
+                   let rop =
+                     match op with
+                     | Service.Kv.Tput { key; vseed } ->
+                       Replica.Put { key; vseed }
+                     | Service.Kv.Tdel { key } -> Replica.Del { key }
+                   in
+                   last := Replica.Shipper.ship_buffered shipper ~shard:0 rop)
+                 cops;
+               ignore (Replica.Shipper.flush shipper)));
+        if !last >= 0 then begin
+          Replica.Applier.pump applier ~until:(fun () ->
+              Cluster.Link.pending link ~ep:Replica.backup_ep = 0);
+          if
+            not
+              (Replica.Shipper.wait_acked shipper ~shard:0 ~seq:!last
+                 ~deadline:0)
+          then failwith "kv-batched scenario: ack lost on clean run"
+        end;
+        if not premature_ack then acked := !acked + List.length gops;
+        env.ledger.durable <- (H.stats env.heap).H.live_bytes)
+      (groups plan)
+  in
+  let o_kv =
+    kv_prefix_oracle ~window ~oname:"kv-batched" ~preload ~plan ~acked ()
+  in
+  { sname; setup; op; extra_oracles = [ o_kv ] }
+
+let scn_kv_batched_put ?window ?premature_ack () =
+  scn_kv_batched ?window ?premature_ack ~sname:"kv-batched-put" ()
+
+let scn_kv_batched_broken () =
+  scn_kv_batched ~premature_ack:true ~sname:"kv-batched-broken" ()
 
 let all_scenarios () =
   [ scn_alloc (); scn_free (); scn_tx_commit (); scn_tx_abort ();
     scn_extend (); scn_kv_put (); scn_kv_delete (); scn_kv_txn ();
-    scn_kv_replicated_put () ]
+    scn_kv_replicated_put (); scn_kv_batched_put () ]
 
 let scenario_by_name = function
   | "alloc" -> Some (scn_alloc ())
@@ -810,5 +978,7 @@ let scenario_by_name = function
   | "kv-txn" -> Some (scn_kv_txn ())
   | "kv-txn-broken" -> Some (scn_kv_txn_broken ())
   | "kv-replicated-put" -> Some (scn_kv_replicated_put ())
+  | "kv-batched-put" -> Some (scn_kv_batched_put ())
+  | "kv-batched-broken" -> Some (scn_kv_batched_broken ())
   | "broken" -> Some (scn_broken_missing_flush ())
   | _ -> None

@@ -213,6 +213,24 @@ val scn_kv_replicated_put : unit -> scenario
     the {e backup}; the oracle asserts every sync-acked write is
     readable there after primary loss. *)
 
+val scn_kv_batched_put : ?window:int -> ?premature_ack:bool -> unit -> scenario
+(** The batched pipeline end to end: queued mutations drain in groups
+    of [window] (default 4) through {!Service.Kv.group_commit} (one
+    covering persist chain per chunk), ship as one doorbell frame per
+    chunk ({!Replica.Shipper.ship_buffered} + [flush]) and are acked
+    cumulatively by a batched applier.  Same correlated cluster-wide
+    crash as [kv-replicated-put]; the oracle is the {e windowed}
+    prefix rule — the recovered backup must equal the plan prefix at
+    some length in [acked, acked + window], i.e. a crash mid-batch
+    loses at most the unacked window and never an acked op.
+    [premature_ack] (default false) arms the seeded bug below. *)
+
+val scn_kv_batched_broken : unit -> scenario
+(** Mutation sanity check for the batching layer: the driver claims a
+    group durable {e before} its covering flush is acked — exactly the
+    "ack before fence" bug group commit must not introduce.  The
+    checker MUST flag it; excluded from {!all_scenarios}. *)
+
 val scn_broken_missing_flush : unit -> scenario
 (** Mutation sanity check: a two-line "write data, persist commit
     flag" protocol that {e forgets the clwb on the data line}.  Its

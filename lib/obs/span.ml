@@ -41,6 +41,9 @@ type stage =
   | Repl_wire  (** detail of Repl_ack: record's primary -> backup hop *)
   | Backup_apply  (** detail of Repl_ack: in-order apply on the backup *)
   | Ack_wire  (** detail of Repl_ack: cumulative ack's hop back *)
+  | Flush_wait
+      (** group commit: waiting for the covering batch flush + ack —
+          the shared replication wait of a batched mutation group *)
 
 let stage_name = function
   | Request -> "request"
@@ -58,6 +61,7 @@ let stage_name = function
   | Repl_wire -> "repl_wire"
   | Backup_apply -> "backup_apply"
   | Ack_wire -> "ack_wire"
+  | Flush_wait -> "flush_wait"
 
 let stage_to_int = function
   | Request -> 0
@@ -75,6 +79,7 @@ let stage_to_int = function
   | Repl_wire -> 12
   | Backup_apply -> 13
   | Ack_wire -> 14
+  | Flush_wait -> 15
 
 let stage_of_int = function
   | 0 -> Request
@@ -92,15 +97,16 @@ let stage_of_int = function
   | 12 -> Repl_wire
   | 13 -> Backup_apply
   | 14 -> Ack_wire
+  | 15 -> Flush_wait
   | n -> invalid_arg (Printf.sprintf "Span.stage_of_int: %d" n)
 
-let stage_count = 15
+let stage_count = 16
 
 (** Budget stages: direct children of the request root whose durations
     are meant to partition its wall-clock time. *)
 let is_budget = function
   | Req_wire | Queue | Decode | Lock_wait | Store | Txn | Repl_ack | Rep_wire
-    -> true
+  | Flush_wait -> true
   | Request | Persist | Txn_prepare | Txn_decide | Repl_wire
   | Backup_apply | Ack_wire -> false
 

@@ -129,6 +129,30 @@ module Shipper = struct
     ignore (Link.send ~trace ~span t.link ~dst:backup_ep (Rec { shard; seq; op }));
     seq
 
+  (* Doorbell variant: buffer the record toward the backup without
+     paying a wire charge; a later [flush] ships every buffered record
+     of every shard as one framed batch.  Sequence-number assignment,
+     window admission and go-back-N bookkeeping are identical to
+     [ship] — a frame lost on the wire is recovered record-by-record
+     by [retransmit_due], exactly like individual losses. *)
+  let ship_buffered ?(trace = -1) ?(span = -1) t ~shard op =
+    while Queue.length t.unacked.(shard) >= t.cfg.window do
+      drain_acks t;
+      if Queue.length t.unacked.(shard) >= t.cfg.window then
+        poll_wait t.cfg
+    done;
+    let seq = t.next_seq.(shard) in
+    t.next_seq.(shard) <- seq + 1;
+    Queue.add (seq, op, trace, span) t.unacked.(shard);
+    let l = Queue.length t.unacked.(shard) in
+    if l > t.max_lag_ then t.max_lag_ <- l;
+    t.shipped_ <- t.shipped_ + 1;
+    t.last_tx.(shard) <- now_or_zero ();
+    Link.buffer ~trace ~span t.link ~dst:backup_ep (Rec { shard; seq; op });
+    seq
+
+  let flush t = Link.flush t.link ~dst:backup_ep
+
   let wait_acked t ~shard ~seq ~deadline =
     let rec loop () =
       drain_acks t;
@@ -190,10 +214,17 @@ module Applier = struct
     on_apply : lat_ns:int -> unit;
     expected_ : int array; (* next sequence number accepted per shard *)
     mutable applied_ : int;
+    ack_batch : bool;
+    touched : bool array; (* shards applied since the last batched ack *)
+    apply_group : (shard:int -> op list -> unit) option;
+    (* in-order single-op records parked during a drain burst, applied
+       as one group per shard before the burst's cumulative ack:
+       (op, sent_at, arrived_at, trace, span) *)
+    stash : (op * int * int * int * int) Queue.t array;
   }
 
-  let create ?(on_apply = fun ~lat_ns:_ -> ()) ?(mach = 1) cfg ~shards ~link
-      ~apply =
+  let create ?(on_apply = fun ~lat_ns:_ -> ()) ?(mach = 1) ?(ack_batch = false)
+      ?apply_group cfg ~shards ~link ~apply =
     if shards < 1 then invalid_arg "Applier.create: shards < 1";
     {
       cfg;
@@ -203,6 +234,10 @@ module Applier = struct
       on_apply;
       expected_ = Array.make shards 0;
       applied_ = 0;
+      ack_batch;
+      touched = Array.make shards false;
+      apply_group;
+      stash = Array.init shards (fun _ -> Queue.create ());
     }
 
   let applied t = t.applied_
@@ -249,13 +284,97 @@ module Applier = struct
              this and re-ack the last good one to hurry the resend *)
           if ack_back then ack t shard
 
+  (* Group apply: a burst's parked records for one shard go down as a
+     single [apply_group] call (the backup-side commit-group chain —
+     one covering persist per chunk instead of one intent round per
+     record).  Sequence numbers were advanced at park time, so the
+     ordering check stays per record; the durability receipt moves
+     with the apply — [flush_stash] always runs before [flush_acks],
+     so a cumulative ack never covers a parked, unapplied record. *)
+  let flush_stash t shard =
+    let q = t.stash.(shard) in
+    if not (Queue.is_empty q) then begin
+      let recs = List.of_seq (Queue.to_seq q) in
+      Queue.clear q;
+      let f =
+        match t.apply_group with Some f -> f | None -> assert false
+      in
+      let t0 = now_or_zero () in
+      f ~shard (List.map (fun (op, _, _, _, _) -> op) recs);
+      let t1 = now_or_zero () in
+      let in_sim = Sched.in_simulation () in
+      List.iter
+        (fun (_, sent_at, arrived_at, trace, span) ->
+          if trace >= 0 && in_sim then begin
+            let wire =
+              Obs.Span.add_span ~trace ~parent:span ~mach:t.mach
+                Obs.Span.Repl_wire ~t0:sent_at ~t1:arrived_at
+            in
+            ignore
+              (Obs.Span.add_span ~trace ~parent:wire ~mach:t.mach
+                 Obs.Span.Backup_apply ~t0 ~t1)
+          end;
+          t.applied_ <- t.applied_ + 1;
+          if in_sim then t.on_apply ~lat_ns:(t1 - sent_at))
+        recs
+    end
+
+  let flush_stashes t =
+    Array.iteri (fun shard _ -> flush_stash t shard) t.stash
+
+  (* Cumulative batched acks: one ack per touched shard per drained
+     burst, all of them flushed as one doorbell frame — the ack path's
+     mirror of the shipper's record batching.  The ack is still only
+     produced after every covered record's apply returned (i.e. after
+     its durability point), so the Sync guarantee is unchanged; it is
+     merely coalesced. *)
+  let flush_acks t =
+    let any = ref false in
+    Array.iteri
+      (fun shard touched ->
+        if touched then begin
+          t.touched.(shard) <- false;
+          any := true;
+          Link.buffer t.link ~dst:primary_ep
+            (Ack { shard; seq = t.expected_.(shard) - 1 })
+        end)
+      t.touched;
+    if !any then ignore (Link.flush t.link ~dst:primary_ep)
+
   let pump t ~until =
     let rec loop () =
       (match Link.recv t.link ~ep:backup_ep with
       | Some { payload; sent_at; trace; span; _ } ->
-          handle ~sent_at ~trace ~span t payload;
+          if t.ack_batch then begin
+            (match (payload, t.apply_group) with
+            | ( Rec { shard; seq; op = (Put _ | Del _) as op },
+                Some _ )
+              when seq = t.expected_.(shard) ->
+                (* park for the burst's group apply; the seq advances
+                   now so ordering checks see it, the durability point
+                   (and the ack) comes at [flush_stash] *)
+                t.expected_.(shard) <- seq + 1;
+                Queue.add
+                  (op, sent_at, now_or_zero (), trace, span)
+                  t.stash.(shard)
+            | Rec { shard; _ }, _ ->
+                (* transaction records are group barriers (they own
+                   the participant slot); out-of-sequence records need
+                   [handle]'s duplicate/gap re-ack bookkeeping *)
+                flush_stash t shard;
+                handle ~ack_back:false ~sent_at ~trace ~span t payload
+            | Ack _, _ -> ());
+            (match payload with
+            | Rec { shard; _ } -> t.touched.(shard) <- true
+            | Ack _ -> ())
+          end
+          else handle ~sent_at ~trace ~span t payload;
           loop ()
       | None ->
+          if t.ack_batch then begin
+            flush_stashes t;
+            flush_acks t
+          end;
           if until () then ()
           else if not (Sched.in_simulation ()) then ()
           else begin
@@ -267,6 +386,10 @@ module Applier = struct
 
   let seal_and_replay t ~sealed_at =
     let before = t.applied_ in
+    (* records parked mid-burst were delivered before the seal: apply
+       them before walking the remaining wire tail (never acked, so no
+       promise attaches either way — but they are ours to keep) *)
+    if t.ack_batch then flush_stashes t;
     let continue = ref true in
     while !continue do
       match Link.recv t.link ~ep:backup_ep with

@@ -94,6 +94,21 @@ module Shipper : sig
       any retransmission of it), so the backup's wire/apply spans and
       the ack's return hop join the request's span tree. *)
 
+  val ship_buffered : ?trace:int -> ?span:int -> t -> shard:int -> op -> int
+  (** Like {!ship}, but stages the record in the link's doorbell buffer
+      ({!Cluster.Link.buffer}) instead of putting it on the wire: no
+      per-record wire charge, nothing visible to the backup until
+      {!flush}.  Sequencing, window admission and go-back-N
+      bookkeeping are identical — a frame lost in flight is recovered
+      record-by-record by the retransmit timer.  Callers must not ack
+      a client for a record that has not been covered by a {!flush}. *)
+
+  val flush : t -> int
+  (** Ring the doorbell: ship every record staged by {!ship_buffered}
+      (all shards) as one framed batch — one wire latency charge for
+      the whole group.  Returns the number of records in the frame
+      ([0] = nothing staged, nothing charged). *)
+
   val wait_acked : t -> shard:int -> seq:int -> deadline:int -> bool
   (** Sync mode: poll until the backup's cumulative ack covers [seq];
       [false] if simulated time passes [deadline] first. *)
@@ -125,6 +140,8 @@ module Applier : sig
   val create :
     ?on_apply:(lat_ns:int -> unit) ->
     ?mach:int ->
+    ?ack_batch:bool ->
+    ?apply_group:(shard:int -> op list -> unit) ->
     config ->
     shards:int ->
     link:msg Cluster.Link.t ->
@@ -137,7 +154,18 @@ module Applier : sig
       lag as seen at the backup; only called inside the simulation.
       [mach] (default 1) is the backup's machine id, the process id of
       the wire/apply spans emitted when a record carries a trace
-      context. *)
+      context.  [ack_batch] (default [false]) switches {!pump} to
+      cumulative batched acks: instead of one ack per record, it sends
+      one cumulative ack per touched shard per drained burst, all in a
+      single doorbell frame — acks are still only produced after every
+      covered apply returned, so the durability receipt is unchanged,
+      merely coalesced.  [apply_group] (only consulted under
+      [ack_batch]) batches the {e applies} too: in-sequence [Put]/[Del]
+      records park during a drain burst and go down as one call per
+      shard before the burst's ack — must make the whole burst durable
+      before returning.  Transaction records and out-of-sequence
+      arrivals still go through [apply] per record, after the shard's
+      parked run is flushed (they are ordering barriers). *)
 
   val pump : t -> until:(unit -> bool) -> unit
   (** Applier-thread body: receive records, apply in-sequence ones,

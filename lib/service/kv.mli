@@ -154,6 +154,31 @@ val txn :
     {!Obs.Span.Txn_decide} detail spans under the caller's transaction
     span. *)
 
+val group_commit :
+  ?on_chunk:(fin:int -> txn_op list -> unit) ->
+  t ->
+  shard:int ->
+  txn_op list ->
+  (bool * int) list
+(** Group commit: execute a run of single-key mutations, all bound for
+    [shard] ({!shard_of_key}), as a chain of single-participant
+    transaction chunks of up to {!max_txn_ops} ops each — one covering
+    slot persist (whose fence also commits the chunk's fence-free
+    clwb'd values), one micro-log truncate and one decision round per
+    {e chunk} instead of ~5 fences per {e op}.  Acquires the shard
+    lock itself.  A chunk splits early when it would hold two entries
+    for one key; an absent delete is a no-op that never enters a chunk
+    (its result reflects every earlier op of the group, applied or
+    still buffered).  Returns one [(ok, fin)] per input op, in order:
+    [ok] as {!put}/{!delete} would have reported, [fin] the simulated
+    time of the covering decision persist (the op's durability point).
+    [on_chunk] runs inside the shard lock right after each chunk's
+    apply, with the chunk's ops in order — the replicated server's
+    shipping hook, mirroring {!txn}'s [on_commit].  Crash recovery is
+    unchanged: a chunk is redone or presumed-aborted by {!attach} like
+    any other transaction, so a crash loses at most the chunks (and
+    never a completed chunk) of the in-flight group. *)
+
 val txn_prepare : t -> txn_op list -> (int, txn_abort) result
 (** Phase 1 only (no locking — single-threaded recovery tests and
     instrumentation): persist values and participant slots, commit the
@@ -177,6 +202,16 @@ val txn_resolve_indoubt : t -> int
 val txn_backup_prepare : t -> txn:int -> shard:int -> ops:txn_op list -> unit
 (** Apply a shipped [Txn_prepare] record: persist the slice's values
     and its participant slot (durable before the applier acks). *)
+
+val group_apply : t -> shard:int -> txn_op list -> unit
+(** Backup-side group apply: run a drained burst of in-order shipped
+    single-key records through the same chunked commit chain as
+    {!group_commit} — one covering persist per chunk instead of one
+    intent round per record.  If the shard's participant slot is held
+    by an in-flight 2PC prepare (its decides still arriving), the
+    burst degrades to the legacy per-record path so the chunk chain
+    never overwrites the prepared slot.  Results are discarded: the
+    backup replays the primary's already-decided outcomes. *)
 
 val txn_backup_decide :
   t -> txn:int -> shard:int -> commit:bool -> nparts:int -> unit

@@ -21,6 +21,8 @@ type config = {
   crash_at : float option;
   seed : int;
   scope : string;
+  batch_window : int;
+  batch_bytes : int;
 }
 
 let default_config =
@@ -40,7 +42,9 @@ let default_config =
     preload = 2048;
     crash_at = None;
     seed = 42;
-    scope = "service" }
+    scope = "service";
+    batch_window = 1;
+    batch_bytes = 0 }
 
 type op_kind = KGet | KPut | KDel | KScan | KTxn
 
@@ -66,6 +70,20 @@ type pending = {
 }
 
 let txn_op_key = function Kv.Tput { key; _ } | Kv.Tdel { key } -> key
+
+(* a commit-group member after decode: the message plus its request
+   fields (copied out — [Req]'s inlined record cannot escape a match),
+   its decode-start time and its still-open store span *)
+type gmember = {
+  g_msg : payload Net.msg;
+  g_rid : int;
+  g_client : int;
+  g_kind : op_kind;
+  g_key : int;
+  g_vseed : int;
+  g_t0 : int;
+  g_store : int;
+}
 
 type percentiles = {
   p50 : int;
@@ -117,6 +135,8 @@ let run ~make ~reattach cfg =
     invalid_arg "Server.run: op mix exceeds 100%";
   if cfg.txn_ops < 1 || cfg.txn_ops > Kv.max_txn_ops then
     invalid_arg "Server.run: txn_ops out of range";
+  if cfg.batch_window < 1 then invalid_arg "Server.run: batch_window < 1";
+  if cfg.batch_bytes < 0 then invalid_arg "Server.run: batch_bytes < 0";
   (match cfg.crash_at with
    | Some f when f <= 0. || f >= 1. ->
      invalid_arg "Server.run: crash_at must be in (0, 1)"
@@ -254,6 +274,101 @@ let run ~make ~reattach cfg =
                rep)
         then incr reply_drops
     in
+    (* Group commit (batch_window > 1): consecutive already-queued
+       single-key mutations drain into one commit group executed by
+       [Kv.group_commit] — one covering persist chain per chunk
+       instead of per op.  Collection is greedy over the inbox, no
+       timers: while one group persists, more requests queue behind
+       it, so the batch size self-tunes to the offered load.  A read
+       or transaction ends collection and is handled, in arrival
+       order, by the unbatched path. *)
+    let is_group_member = function
+      | Req r -> r.kind = KPut || r.kind = KDel
+      | Rep _ -> false
+    in
+    let op_bytes = function
+      | Req { kind = KPut; _ } -> 24 + cfg.value_size
+      | _ -> 24
+    in
+    let rec gather acc n bytes =
+      if
+        n >= cfg.batch_window
+        || (cfg.batch_bytes > 0 && bytes >= cfg.batch_bytes)
+      then (List.rev acc, None)
+      else
+        match Net.recv net ~port:i with
+        | Some m when is_group_member m.Net.payload ->
+          gather (m :: acc) (n + 1) (bytes + op_bytes m.Net.payload)
+        | Some m -> (List.rev acc, Some m)
+        | None -> (List.rev acc, None)
+    in
+    let handle_group msgs =
+      (* per-request ingress spans and decode; each request's store
+         span opens at its own decode end and closes at the group's
+         commit, so the shared group-execution interval partitions
+         every member's latency budget *)
+      let members =
+        List.map
+          (fun (m : payload Net.msg) ->
+            let rid, client, kind, key, vseed =
+              match m.Net.payload with
+              | Req { rid; client; kind; key; vseed; _ } ->
+                (rid, client, kind, key, vseed)
+              | Rep _ -> assert false
+            in
+            let t0 = Sched.now () in
+            ignore
+              (Obs.Span.add_span ~trace:m.Net.trace ~parent:m.Net.span
+                 Obs.Span.Req_wire ~t0:m.Net.sent_at ~t1:m.Net.delivered_at);
+            if t0 > m.Net.delivered_at then
+              ignore
+                (Obs.Span.add_span ~trace:m.Net.trace ~parent:m.Net.span
+                   Obs.Span.Queue ~t0:m.Net.delivered_at ~t1:t0);
+            let sdec =
+              Obs.Span.open_span ~trace:m.Net.trace ~parent:m.Net.span
+                Obs.Span.Decode
+            in
+            Machine.compute mach 200;
+            Obs.Span.close_span sdec;
+            let sst =
+              Obs.Span.open_span ~trace:m.Net.trace ~parent:m.Net.span
+                Obs.Span.Store
+            in
+            { g_msg = m; g_rid = rid; g_client = client; g_kind = kind;
+              g_key = key; g_vseed = vseed; g_t0 = t0; g_store = sst })
+          msgs
+      in
+      let ops =
+        List.map
+          (fun g ->
+            match g.g_kind with
+            | KPut -> Kv.Tput { key = g.g_key; vseed = g.g_vseed }
+            | KDel -> Kv.Tdel { key = g.g_key }
+            | _ -> assert false)
+          members
+      in
+      let results = Kv.group_commit svc ~shard:i ops in
+      List.iter2
+        (fun g (ok, fin) ->
+          Obs.Span.close_span g.g_store;
+          incr handled;
+          Hist.record svc_h (Sched.now () - g.g_t0);
+          let rep = Rep { rid = g.g_rid; ok; mutated = ok; fin } in
+          if
+            not
+              (Net.try_send ~trace:g.g_msg.Net.trace ~span:g.g_msg.Net.span
+                 net ~dst:(cfg.shards + g.g_client) rep)
+          then incr reply_drops)
+        members results
+    in
+    let handle_batched m =
+      if is_group_member m.Net.payload then begin
+        let group, leftover = gather [ m ] 1 (op_bytes m.Net.payload) in
+        handle_group group;
+        match leftover with Some m' -> handle m' | None -> ()
+      end
+      else handle m
+    in
     let rec loop () =
       if Sched.now () >= server_end then ()
       else
@@ -271,7 +386,27 @@ let run ~make ~reattach cfg =
             loop ()
           end
     in
-    loop ()
+    (* batch_window = 1 takes the pre-batching loop verbatim — the
+       regression gate in check.sh diffs its serve JSON byte-for-byte
+       against a build without the batching layer *)
+    let rec loop_batched () =
+      if Sched.now () >= server_end then ()
+      else
+        match Net.recv net ~port:i with
+        | Some m ->
+          handle_batched m;
+          loop_batched ()
+        | None ->
+          if !senders = 0 && Net.pending net ~port:i = 0 then ()
+          else begin
+            let until = min server_end (Sched.now () + 100_000) in
+            (match Net.recv_wait net ~port:i ~until with
+             | Some m -> handle_batched m
+             | None -> ());
+            loop_batched ()
+          end
+    in
+    if cfg.batch_window > 1 then loop_batched () else loop ()
   in
 
   (* ---------- client threads ---------- *)
@@ -564,6 +699,7 @@ type repl_result = {
   max_lag : int;
   link_dropped : int;
   link_duplicated : int;
+  link_flushes : int;
   backup_applied : int;
   tail_replayed : int;
   indoubt_aborted : int;
@@ -580,6 +716,10 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
     invalid_arg "Server.run_replicated: op mix exceeds 100%";
   if cfg.txn_ops < 1 || cfg.txn_ops > Kv.max_txn_ops then
     invalid_arg "Server.run_replicated: txn_ops out of range";
+  if cfg.batch_window < 1 then
+    invalid_arg "Server.run_replicated: batch_window < 1";
+  if cfg.batch_bytes < 0 then
+    invalid_arg "Server.run_replicated: batch_bytes < 0";
   (match cfg.crash_at with
    | Some f when f <= 0. || f >= 1. ->
      invalid_arg "Server.run_replicated: crash_at must be in (0, 1)"
@@ -621,8 +761,11 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
   let repl_lag_h = Hist.create () in
   let applier =
     Replica.Applier.create repl_cfg ~shards:cfg.shards ~link
+      ~ack_batch:(cfg.batch_window > 1)
       ~on_apply:(fun ~lat_ns -> Hist.record repl_lag_h lat_ns)
       ~apply:(fun ~shard op -> Txn.apply_replicated svc_b ~shard op)
+      ~apply_group:(fun ~shard ops ->
+        Txn.apply_replicated_group svc_b ~shard ops)
   in
 
   let duration_ns = int_of_float (cfg.duration *. 1e9) in
@@ -667,6 +810,7 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
     let sync_deadline =
       match t_crash with Some c -> c | None -> t_stop + grace_ns
     in
+    let batched = cfg.batch_window > 1 in
     let handle (m : payload Net.msg) =
       match m.payload with
       | Rep _ -> ()
@@ -705,20 +849,46 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
               Kv.txn svc r.ops ~trace ~span:stx ~on_commit:(fun res ->
                   let nparts = List.length res.Kv.participants in
                   let dseqs =
-                    List.map
-                      (fun (s, ops) ->
-                        ignore
-                          (Replica.Shipper.ship shipper ~trace ~span:stx
-                             ~shard:s
-                             (Replica.Txn_prepare
-                                { txn = res.Kv.txn_id; ops }));
-                        ( s,
-                          Replica.Shipper.ship shipper ~trace ~span:stx
-                            ~shard:s
-                            (Replica.Txn_decide
-                               { txn = res.Kv.txn_id; commit = true; nparts })
-                        ))
-                      res.Kv.participants
+                    if batched then begin
+                      (* piggybacked decide: every participant's prepare
+                         AND decide records stage in the doorbell buffer
+                         and leave as one frame — the decide stops paying
+                         its own round trip *)
+                      let ds =
+                        List.map
+                          (fun (s, ops) ->
+                            ignore
+                              (Replica.Shipper.ship_buffered shipper
+                                 ~shard:s
+                                 (Replica.Txn_prepare
+                                    { txn = res.Kv.txn_id; ops }));
+                            ( s,
+                              Replica.Shipper.ship_buffered shipper ~shard:s
+                                (Replica.Txn_decide
+                                   { txn = res.Kv.txn_id;
+                                     commit = true;
+                                     nparts }) ))
+                          res.Kv.participants
+                      in
+                      ignore (Replica.Shipper.flush shipper);
+                      ds
+                    end
+                    else
+                      List.map
+                        (fun (s, ops) ->
+                          ignore
+                            (Replica.Shipper.ship shipper ~trace ~span:stx
+                               ~shard:s
+                               (Replica.Txn_prepare
+                                  { txn = res.Kv.txn_id; ops }));
+                          ( s,
+                            Replica.Shipper.ship shipper ~trace ~span:stx
+                              ~shard:s
+                              (Replica.Txn_decide
+                                 { txn = res.Kv.txn_id;
+                                   commit = true;
+                                   nparts }) ))
+                        res.Kv.participants
                   in
                   (* 2PC lock discipline: hold the participant locks
                      until the backup has acked the whole group — in
@@ -825,6 +995,130 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
           then incr reply_drops
         end
     in
+    (* Group commit + doorbell batching (batch_window > 1): the group
+       persists as one chunk chain, its replication records stage in
+       the link's doorbell buffer and leave as one frame per chunk, and
+       sync mode pays ONE ack wait for the whole group — each member's
+       wait shows up as a Flush_wait span (waiting for the covering
+       flush), not as queueing behind its predecessors' round trips. *)
+    let is_group_member = function
+      | Req r -> r.kind = KPut || r.kind = KDel
+      | Rep _ -> false
+    in
+    let op_bytes = function
+      | Req { kind = KPut; _ } -> 24 + cfg.value_size
+      | _ -> 24
+    in
+    let rec gather acc n bytes =
+      if
+        n >= cfg.batch_window
+        || (cfg.batch_bytes > 0 && bytes >= cfg.batch_bytes)
+      then (List.rev acc, None)
+      else
+        match Net.recv net ~port:i with
+        | Some m when is_group_member m.Net.payload ->
+          gather (m :: acc) (n + 1) (bytes + op_bytes m.Net.payload)
+        | Some m -> (List.rev acc, Some m)
+        | None -> (List.rev acc, None)
+    in
+    let handle_group msgs =
+      let members =
+        List.map
+          (fun (m : payload Net.msg) ->
+            let rid, client, kind, key, vseed =
+              match m.Net.payload with
+              | Req { rid; client; kind; key; vseed; _ } ->
+                (rid, client, kind, key, vseed)
+              | Rep _ -> assert false
+            in
+            let t0 = Sched.now () in
+            ignore
+              (Obs.Span.add_span ~trace:m.Net.trace ~parent:m.Net.span
+                 Obs.Span.Req_wire ~t0:m.Net.sent_at ~t1:m.Net.delivered_at);
+            if t0 > m.Net.delivered_at then
+              ignore
+                (Obs.Span.add_span ~trace:m.Net.trace ~parent:m.Net.span
+                   Obs.Span.Queue ~t0:m.Net.delivered_at ~t1:t0);
+            let sdec =
+              Obs.Span.open_span ~trace:m.Net.trace ~parent:m.Net.span
+                Obs.Span.Decode
+            in
+            Machine.compute primary 200;
+            Obs.Span.close_span sdec;
+            let sst =
+              Obs.Span.open_span ~trace:m.Net.trace ~parent:m.Net.span
+                Obs.Span.Store
+            in
+            { g_msg = m; g_rid = rid; g_client = client; g_kind = kind;
+              g_key = key; g_vseed = vseed; g_t0 = t0; g_store = sst })
+          msgs
+      in
+      let ops =
+        List.map
+          (fun g ->
+            match g.g_kind with
+            | KPut -> Kv.Tput { key = g.g_key; vseed = g.g_vseed }
+            | KDel -> Kv.Tdel { key = g.g_key }
+            | _ -> assert false)
+          members
+      in
+      (* ship inside the shard lock, per chunk, as one doorbell frame *)
+      let last_seq = ref (-1) in
+      let results =
+        Kv.group_commit svc ~shard:i ops ~on_chunk:(fun ~fin:_ cops ->
+            List.iter
+              (fun op ->
+                let rop =
+                  match op with
+                  | Kv.Tput { key; vseed } -> Replica.Put { key; vseed }
+                  | Kv.Tdel { key } -> Replica.Del { key }
+                in
+                last_seq := Replica.Shipper.ship_buffered shipper ~shard:i rop)
+              cops;
+            ignore (Replica.Shipper.flush shipper))
+      in
+      List.iter (fun g -> Obs.Span.close_span g.g_store) members;
+      (* one cumulative ack wait covers every member of the group *)
+      let replicated =
+        if (not sync) || !last_seq < 0 then true
+        else begin
+          let waits =
+            List.map
+              (fun g ->
+                Obs.Span.open_span ~trace:g.g_msg.Net.trace
+                  ~parent:g.g_msg.Net.span Obs.Span.Flush_wait)
+              members
+          in
+          let acked =
+            Replica.Shipper.wait_acked shipper ~shard:i ~seq:!last_seq
+              ~deadline:sync_deadline
+          in
+          List.iter Obs.Span.close_span waits;
+          acked
+        end
+      in
+      List.iter2
+        (fun g (ok, fin) ->
+          incr handled;
+          Hist.record svc_h (Sched.now () - g.g_t0);
+          if replicated then begin
+            let rep = Rep { rid = g.g_rid; ok; mutated = ok; fin } in
+            if
+              not
+                (Net.try_send ~trace:g.g_msg.Net.trace ~span:g.g_msg.Net.span
+                   net ~dst:(cfg.shards + g.g_client) rep)
+            then incr reply_drops
+          end)
+        members results
+    in
+    let handle_batched m =
+      if is_group_member m.Net.payload then begin
+        let group, leftover = gather [ m ] 1 (op_bytes m.Net.payload) in
+        handle_group group;
+        match leftover with Some m' -> handle m' | None -> ()
+      end
+      else handle m
+    in
     let rec loop () =
       if Sched.now () >= server_end then ()
       else
@@ -842,7 +1136,24 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
             loop ()
           end
     in
-    loop ();
+    let rec loop_batched () =
+      if Sched.now () >= server_end then ()
+      else
+        match Net.recv net ~port:i with
+        | Some m ->
+          handle_batched m;
+          loop_batched ()
+        | None ->
+          if !senders = 0 && Net.pending net ~port:i = 0 then ()
+          else begin
+            let until = min server_end (Sched.now () + 100_000) in
+            (match Net.recv_wait net ~port:i ~until with
+             | Some m -> handle_batched m
+             | None -> ());
+            loop_batched ()
+          end
+    in
+    if batched then loop_batched () else loop ();
     decr live_servers
   in
 
@@ -1178,6 +1489,8 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
     link_dropped = lstats.Cluster.Link.dropped + astats.Cluster.Link.dropped;
     link_duplicated =
       lstats.Cluster.Link.duplicated + astats.Cluster.Link.duplicated;
+    link_flushes =
+      lstats.Cluster.Link.flushes + astats.Cluster.Link.flushes;
     backup_applied = Replica.Applier.applied applier;
     tail_replayed = !tail_replayed;
     indoubt_aborted = !indoubt_aborted;

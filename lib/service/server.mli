@@ -41,6 +41,17 @@ type config = {
   crash_at : float option; (** fraction of [duration], e.g. 0.5 *)
   seed : int;
   scope : string; (** obs metrics scope for this run *)
+  batch_window : int;
+      (** group-commit window, ≥ 1.  At 1 (the default) every mutation
+          takes the pre-batching per-op path, byte-identically.  Above
+          1, up to this many consecutive already-queued single-key
+          mutations drain into one {!Kv.group_commit} group: one
+          covering persist chain per chunk, one replication doorbell
+          frame per chunk, one sync-mode ack wait per group.  Greedy
+          over the inbox — never waits for a batch to fill. *)
+  batch_bytes : int;
+      (** additional byte cap on a commit group (0 = unlimited): a
+          group closes once its encoded payload would exceed this *)
 }
 
 val default_config : config
@@ -145,6 +156,9 @@ type repl_result = {
   max_lag : int; (** high-water unacked records on any shard *)
   link_dropped : int; (** fault-injected wire losses, both directions *)
   link_duplicated : int;
+  link_flushes : int;
+      (** doorbell frames sent, both directions — with a batch window
+          this is the wire-trip count the batching amortized into *)
   backup_applied : int; (** records applied by the backup, tail included *)
   tail_replayed : int; (** records applied during promote (0 clean) *)
   indoubt_aborted : int;

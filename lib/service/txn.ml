@@ -46,3 +46,17 @@ let apply_replicated store ~shard (op : Replica.op) =
     Kv.txn_backup_prepare store ~txn ~shard ~ops
   | Replica.Txn_decide { txn; commit; nparts } ->
     Kv.txn_backup_decide store ~txn ~shard ~commit ~nparts
+
+(* Batched counterpart: a drained burst of single-op records goes
+   through the backup's chunked group apply.  Transaction records
+   never reach here — the applier handles them per record, as group
+   barriers. *)
+let apply_replicated_group store ~shard (ops : Replica.op list) =
+  Kv.group_apply store ~shard
+    (List.map
+       (function
+         | Replica.Put { key; vseed } -> Kv.Tput { key; vseed }
+         | Replica.Del { key } -> Kv.Tdel { key }
+         | Replica.Txn_prepare _ | Replica.Txn_decide _ ->
+           invalid_arg "Txn.apply_replicated_group: transaction record")
+       ops)

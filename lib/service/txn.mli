@@ -87,3 +87,10 @@ val apply_replicated : Kv.t -> shard:int -> Replica.op -> unit
     applier's ack), [Txn_decide] discards it or — once every
     participant's decide has arrived — publishes the whole transaction
     at once ({!Kv.txn_backup_decide}). *)
+
+val apply_replicated_group : Kv.t -> shard:int -> Replica.op list -> unit
+(** Batched backup-side dispatch: apply a drained burst of in-order
+    single-op records as one {!Kv.group_apply} chunk chain — one
+    covering persist per chunk instead of one intent round per record.
+    Raises [Invalid_argument] on a transaction record: the applier
+    must handle those per record (they are group barriers). *)

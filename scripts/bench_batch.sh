@@ -1,0 +1,13 @@
+#!/bin/sh
+# poseidon-kv group commit: batched sync replication vs async at
+# identical offered load.  Sweeps --batch-window over {1,4,8,16,32} in
+# sync mode against an async baseline at the same saturating rate and
+# seed; window 1 is the unbatched per-op path.  Fails unless some
+# window brings sync p50 within 2x of async p50 — the batching gate —
+# or if any run's backup store diverges from the client ledger.
+# Leaves a machine-readable snapshot in BENCH_batch.json at the repo
+# root.  Pass --full for longer traffic windows.
+set -eu
+cd "$(dirname "$0")/.."
+dune build bench/main.exe
+dune exec bench/main.exe -- --suite batch "$@"

@@ -69,6 +69,23 @@ if dune exec bin/main.exe -- crashcheck --scenario kv-txn-broken \
   echo "check: crashcheck FAILED to detect the seeded unflushed 2PC decision record" >&2
   exit 1
 fi
+# batched replication sweep: group-committed puts shipped as doorbell
+# frames with cumulative batched acks, strided like kv-put; recovery
+# is judged by the windowed prefix oracle (ack-before-flush would
+# leave the backup behind every admissible prefix).
+step="crashcheck kv-batched-put sweep"
+dune exec bin/main.exe -- crashcheck --scenario kv-batched-put \
+  --max-points 8 --subsets 1 --seed "$CRASH_SEED" > /dev/null
+# batching mutation gate: the same sweep against a shipper that acks
+# clients BEFORE the doorbell flush; the oracle MUST flag it (non-zero
+# exit), or it can no longer see the ack-after-persist ordering the
+# group-commit guarantee rests on.
+step="crashcheck mutation gate (kv-batched-broken)"
+if dune exec bin/main.exe -- crashcheck --scenario kv-batched-broken \
+     --max-points 6 --subsets 1 --seed "$CRASH_SEED" > /dev/null 2>&1; then
+  echo "check: crashcheck FAILED to detect the seeded ack-before-flush batching bug" >&2
+  exit 1
+fi
 # serve smoke: bounded open-loop traffic with a crash at the midpoint;
 # exits non-zero if the recovered store loses any acked write.
 step="serve crash smoke"
@@ -118,6 +135,28 @@ if ! diff -u "$tmpdir/a.norm" "$tmpdir/b.norm" > /dev/null; then
   exit 1
 fi
 rm -rf "$tmpdir"
+# batching identity gate: --batch-window 1 must route every request
+# down the pre-batching per-op path, so a replicated serve run with
+# the flag spelled out is byte-identical (modulo the git rev line) to
+# the same run without it.  Catches any drift where window 1 silently
+# starts taking the grouped path.
+step="batch window-1 identity gate"
+tmpdir="$(mktemp -d)"
+dune exec bin/main.exe -- serve --replicate --shards 2 --clients 8 \
+  --rate 40000 --duration 0.005 --seed "$CRASH_SEED" \
+  --json-out "$tmpdir/plain.json" > /dev/null
+dune exec bin/main.exe -- serve --replicate --shards 2 --clients 8 \
+  --rate 40000 --duration 0.005 --seed "$CRASH_SEED" \
+  --batch-window 1 --json-out "$tmpdir/w1.json" > /dev/null
+sed 's/"rev":[^,}]*//' "$tmpdir/plain.json" > "$tmpdir/plain.norm"
+sed 's/"rev":[^,}]*//' "$tmpdir/w1.json" > "$tmpdir/w1.norm"
+if ! diff -u "$tmpdir/plain.norm" "$tmpdir/w1.norm" > /dev/null; then
+  echo "check: serve --batch-window 1 DIVERGES from the unbatched path:" >&2
+  diff -u "$tmpdir/plain.norm" "$tmpdir/w1.norm" >&2 || true
+  rm -rf "$tmpdir"
+  exit 1
+fi
+rm -rf "$tmpdir"
 
 step="done"
-echo "check: lint + build + tests + crashcheck (incl. 2PC gates) + serve/txn/failover smokes + trace validity + determinism OK"
+echo "check: lint + build + tests + crashcheck (incl. 2PC + batching gates) + serve/txn/failover smokes + trace validity + determinism + batch identity OK"
