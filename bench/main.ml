@@ -835,6 +835,133 @@ let batch_suite () =
   end;
   (List.rev !runs, async_p50, best_w, best_p50)
 
+(* ---------- mvcc suite: lock-free snapshot reads ---------- *)
+
+(* With mvcc off every get/scan queues for its shard lock behind the
+   writers; with a version window the read path touches no lock at
+   all, so (a) a read-heavy mix should sustain MORE throughput than
+   the all-write baseline at the same offered load instead of merely
+   tying it, and (b) the snapshot read itself must stay cheap — the
+   sweep pairs a 95%-read run at window 0 against window 8 and gates
+   snapshot read p50 within 1.25x of the plain read p50.  A scan-heavy
+   run exercises the multi-shard merged scan, and a crash run shows
+   snapshot serving changes nothing about recovery. *)
+let mvcc_suite () =
+  note "";
+  note "### MVCC: lock-free snapshot reads vs the locked read path";
+  note "(same offered load across read mixes; window 0 = plain path)";
+  let module S = Service.Server in
+  let factory = Workloads.Factories.poseidon () in
+  let make () = factory.Workloads.Factories.make () in
+  let reattach mach =
+    Poseidon.instance
+      (Poseidon.Heap.attach mach ~base:Workloads.Factories.heap_base ())
+  in
+  let base ~rate ~read ~scan ~window scope =
+    { S.default_config with
+      S.shards = 4;
+      clients = 32;
+      rate;
+      duration = (if !full then 0.05 else 0.02);
+      value_size = 128;
+      keyspace = 4096;
+      read_pct = read;
+      scan_pct = scan;
+      delete_pct = 0;
+      queue_capacity = 64;
+      mvcc_window = window;
+      scope }
+  in
+  let runs = ref [] in
+  let run_one label cfg =
+    let r = S.run ~make ~reattach cfg in
+    if r.S.ledger.S.mismatches > 0 then begin
+      Printf.eprintf "bench mvcc: LEDGER MISMATCH in %s\n" label;
+      exit 1
+    end;
+    runs := (label, cfg, r) :: !runs;
+    r
+  in
+  (* saturating rate: the throughput comparison needs headroom to show *)
+  let hot = 2_000_000. and warm = 50_000. in
+  let write_all =
+    run_one "write-all"
+      (base ~rate:hot ~read:0 ~scan:0 ~window:8 "bench/mvcc/write-all")
+  in
+  let _ =
+    run_one "mix-50"
+      (base ~rate:hot ~read:50 ~scan:0 ~window:8 "bench/mvcc/mix-50")
+  in
+  let read95 =
+    run_one "read-95"
+      (base ~rate:hot ~read:95 ~scan:0 ~window:8 "bench/mvcc/read-95")
+  in
+  (* the overhead pair runs below saturation so read p50 measures the
+     path, not the queue *)
+  let plain_warm =
+    run_one "read-95-plain"
+      (base ~rate:warm ~read:95 ~scan:0 ~window:0 "bench/mvcc/read-95-plain")
+  in
+  let snap_warm =
+    run_one "read-95-snap"
+      (base ~rate:warm ~read:95 ~scan:0 ~window:8 "bench/mvcc/read-95-snap")
+  in
+  let _ =
+    run_one "scan-heavy"
+      (base ~rate:warm ~read:30 ~scan:50 ~window:8 "bench/mvcc/scan-heavy")
+  in
+  let crash =
+    run_one "crash"
+      { (base ~rate:warm ~read:60 ~scan:10 ~window:8 "bench/mvcc/crash") with
+        S.crash_at = Some 0.5 }
+  in
+  note "  crash run: RTO %d ns; ledger %d checked, %d mismatch(es)"
+    crash.S.rto_ns crash.S.ledger.S.checked crash.S.ledger.S.mismatches;
+  let table =
+    Tablefmt.create
+      ~title:"poseidon-kv MVCC read path (4 shards, window 8 vs plain)"
+      ~columns:
+        [ "run"; "window"; "goodput"; "shed"; "read p50"; "write p50";
+          "scan p50" ]
+  in
+  List.iter
+    (fun (label, (cfg : S.config), (r : S.result)) ->
+      Tablefmt.add_row table label
+        [ string_of_int cfg.S.mvcc_window;
+          Printf.sprintf "%.0f" r.S.goodput;
+          string_of_int r.S.shed;
+          string_of_int r.S.read_latency.S.p50;
+          string_of_int r.S.write_latency.S.p50;
+          string_of_int r.S.scan_latency.S.p50 ])
+    (List.rev !runs);
+  Tablefmt.print table;
+  let plain_p50 = plain_warm.S.read_latency.S.p50
+  and snap_p50 = snap_warm.S.read_latency.S.p50 in
+  note "  plain read p50 %d ns; snapshot read p50 %d ns (%.2fx)" plain_p50
+    snap_p50
+    (float_of_int snap_p50 /. float_of_int (max 1 plain_p50));
+  note "  all-write throughput %.0f; 95%%-read throughput %.0f (shed %d vs %d)"
+    write_all.S.throughput read95.S.throughput read95.S.shed write_all.S.shed;
+  if 4 * snap_p50 > 5 * plain_p50 then begin
+    Printf.eprintf
+      "bench mvcc: GATE FAILED — snapshot read p50 %d ns > 1.25x plain \
+       read p50 %d ns\n"
+      snap_p50 plain_p50;
+    exit 1
+  end;
+  if
+    read95.S.throughput <= write_all.S.throughput
+    || read95.S.shed > write_all.S.shed
+  then begin
+    Printf.eprintf
+      "bench mvcc: GATE FAILED — 95%%-read mix (%.0f req/s, shed %d) does \
+       not beat the all-write baseline (%.0f req/s, shed %d)\n"
+      read95.S.throughput read95.S.shed write_all.S.throughput
+      write_all.S.shed;
+    exit 1
+  end;
+  (List.rev !runs, plain_p50, snap_p50, write_all, read95)
+
 (* ---------- txn suite: cross-shard 2PC transactions ---------- *)
 
 (* Same traffic harness with a transactional mix (server --txn-pct):
@@ -1310,6 +1437,69 @@ let write_batch_results (runs, async_p50, best_window, best_p50) =
   in
   write_doc (if !json_out = "" then "BENCH_batch.json" else !json_out) doc
 
+let write_mvcc_results (runs, plain_p50, snap_p50, write_all, read95) =
+  let module S = Service.Server in
+  let module J = Obs.Json in
+  let num i = J.Num (float_of_int i) in
+  let pct (p : S.percentiles) =
+    J.Obj
+      [ ("p50", num p.S.p50); ("p99", num p.S.p99); ("p999", num p.S.p999);
+        ("mean", J.Num p.S.mean); ("max", num p.S.max);
+        ("samples", num p.S.samples) ]
+  in
+  let run_json (label, (cfg : S.config), (r : S.result)) =
+    J.Obj
+      [ ("label", J.Str label);
+        ( "config",
+          J.Obj
+            [ ("shards", num cfg.S.shards); ("clients", num cfg.S.clients);
+              ("rate", J.Num cfg.S.rate); ("duration", J.Num cfg.S.duration);
+              ("read_pct", num cfg.S.read_pct);
+              ("scan_pct", num cfg.S.scan_pct);
+              ("mvcc_window", num cfg.S.mvcc_window);
+              ("seed", num cfg.S.seed) ] );
+        ("offered", num r.S.offered); ("completed", num r.S.completed);
+        ("shed", num r.S.shed);
+        ("throughput", J.Num r.S.throughput); ("goodput", J.Num r.S.goodput);
+        ("latency", pct r.S.latency);
+        ("read_latency", pct r.S.read_latency);
+        ("write_latency", pct r.S.write_latency);
+        ("scan_latency", pct r.S.scan_latency);
+        ( "op_mix",
+          J.Obj
+            [ ("read", num r.S.ops_read); ("write", num r.S.ops_write);
+              ("scan", num r.S.ops_scan) ] );
+        ("crashed", J.Bool r.S.crashed); ("rto_ns", num r.S.rto_ns);
+        ("ledger_mismatches", num r.S.ledger.S.mismatches) ]
+  in
+  let doc =
+    J.Obj
+      [ ("schema", J.Str "poseidon-bench-mvcc/v1");
+        ("rev", rev_json ());
+        ("config", J.Obj [ ("full", J.Bool !full) ]);
+        ("runs", J.Arr (List.map run_json runs));
+        ( "gate",
+          J.Obj
+            [ ("plain_read_p50_ns", num plain_p50);
+              ("snapshot_read_p50_ns", num snap_p50);
+              ( "read_overhead_ratio",
+                J.Num
+                  (float_of_int snap_p50 /. float_of_int (max 1 plain_p50))
+              );
+              ( "snapshot_within_1_25x_plain",
+                J.Bool (4 * snap_p50 <= 5 * plain_p50) );
+              ("write_all_throughput", J.Num write_all.S.throughput);
+              ("read95_throughput", J.Num read95.S.throughput);
+              ("write_all_shed", num write_all.S.shed);
+              ("read95_shed", num read95.S.shed);
+              ( "read_mix_outscales_writes",
+                J.Bool
+                  (read95.S.throughput > write_all.S.throughput
+                  && read95.S.shed <= write_all.S.shed) ) ] );
+        ("metrics", Obs.Metrics.snapshot ()) ]
+  in
+  write_doc (if !json_out = "" then "BENCH_mvcc.json" else !json_out) doc
+
 let write_txn_results runs =
   let module S = Service.Server in
   let module J = Obs.Json in
@@ -1497,7 +1687,8 @@ let () =
         \        + commit-latency tax -> BENCH_txn.json; 'attrib': per-stage\n\
         \        latency budgets + dominant-stage pins -> BENCH_attrib.json;\n\
         \        'batch': group-commit window sweep, sync-vs-async p50 gate\n\
-        \        -> BENCH_batch.json)" );
+        \        -> BENCH_batch.json; 'mvcc': read-mix sweep + snapshot-read\n\
+        \        overhead gate -> BENCH_mvcc.json)" );
       ( "--json-out",
         Arg.Set_string json_out,
         "FILE  metrics snapshot destination (default BENCH_results.json, \
@@ -1532,10 +1723,15 @@ let () =
     write_batch_results res;
     exit 0
   end
+  else if !suite = "mvcc" then begin
+    let res = mvcc_suite () in
+    write_mvcc_results res;
+    exit 0
+  end
   else if !suite <> "" then begin
     Printf.eprintf
       "bench: unknown suite %S (known: service, replication, txn, attrib, \
-       batch)\n"
+       batch, mvcc)\n"
       !suite;
     exit 2
   end;

@@ -247,12 +247,13 @@ let crashcheck_cmd =
           ~doc:
             "Scenario to explore: alloc, free, tx-commit, tx-abort, extend, \
              kv-put, kv-delete, kv-txn (cross-shard 2PC transactions), \
-             kv-replicated-put (two-machine sync replication with \
-             transaction records, cluster-wide crash), kv-batched-put \
-             (group commit + doorbell-batched replication, cluster-wide \
-             crash), broken / kv-txn-broken / kv-batched-broken \
-             (deliberately buggy, for mutation sanity checks) or all (every \
-             correct one).")
+             kv-snapshot (MVCC snapshot reads audited against the \
+             completed-prefix model), kv-replicated-put (two-machine sync \
+             replication with transaction records, cluster-wide crash), \
+             kv-batched-put (group commit + doorbell-batched replication, \
+             cluster-wide crash), broken / kv-txn-broken / \
+             kv-batched-broken / mvcc-broken (deliberately buggy, for \
+             mutation sanity checks) or all (every correct one).")
   in
   let max_points_arg =
     Arg.(
@@ -515,6 +516,29 @@ let serve_cmd =
       & info [ "queue-capacity" ] ~docv:"N"
           ~doc:"Per-shard request queue bound (admission control).")
   in
+  let read_pct_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "read-pct" ] ~docv:"PCT"
+          ~doc:"Percentage of requests that are gets (default 50).")
+  in
+  let scan_pct_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "scan-pct" ] ~docv:"PCT"
+          ~doc:"Percentage of requests that are scans (default 5).")
+  in
+  let mvcc_window_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "mvcc-window" ] ~docv:"K"
+          ~doc:
+            "MVCC version-chain window: retain up to K committed versions \
+             per mutated key and serve every get/scan as a lock-free \
+             snapshot read (scans become multi-shard, consistent at one \
+             timestamp).  0 (default) = the pre-MVCC locked read path, \
+             byte-identically.")
+  in
   let txn_pct_arg =
     Arg.(
       value & opt int 0
@@ -606,9 +630,10 @@ let serve_cmd =
       & info [ "dup-pct" ] ~docv:"PCT"
           ~doc:"Seeded duplicate-delivery percentage (applier dedups).")
   in
-  let run shards clients rate duration value_size zipf keyspace queue txn_pct
-      txn_ops crash_at seed json_out replicate repl_mode wire_ns repl_window
-      drop_pct dup_pct batch_window batch_bytes trace_out =
+  let run shards clients rate duration value_size zipf keyspace queue read_pct
+      scan_pct txn_pct txn_ops crash_at seed json_out replicate repl_mode
+      wire_ns repl_window drop_pct dup_pct batch_window batch_bytes mvcc_window
+      trace_out =
     with_tracing trace_out @@ fun () ->
     let module S = Service.Server in
     (* Span store on for every serve run — attribution is part of the
@@ -626,12 +651,15 @@ let serve_cmd =
         zipf_theta = zipf;
         keyspace;
         queue_capacity = queue;
+        read_pct;
+        scan_pct;
         txn_pct;
         txn_ops;
         crash_at;
         seed;
         batch_window;
-        batch_bytes }
+        batch_bytes;
+        mvcc_window }
     in
     let factory = Workloads.Factories.poseidon () in
     let repl, r =
@@ -680,6 +708,18 @@ let serve_cmd =
        (%d samples)\n"
       r.S.latency.S.p50 r.S.latency.S.p99 r.S.latency.S.p999 r.S.latency.S.mean
       r.S.latency.S.max r.S.latency.S.samples;
+    Printf.printf "  op mix (offered): %d read, %d write, %d scan%s\n"
+      r.S.ops_read r.S.ops_write r.S.ops_scan
+      (if mvcc_window > 0 then
+         Printf.sprintf "  [mvcc window %d: lock-free reads]" mvcc_window
+       else "");
+    Printf.printf "  read latency:  p50 %d ns  p99 %d ns (%d samples)\n"
+      r.S.read_latency.S.p50 r.S.read_latency.S.p99 r.S.read_latency.S.samples;
+    Printf.printf "  write latency: p50 %d ns  p99 %d ns (%d samples)\n"
+      r.S.write_latency.S.p50 r.S.write_latency.S.p99
+      r.S.write_latency.S.samples;
+    Printf.printf "  scan latency:  p50 %d ns  p99 %d ns (%d samples)\n"
+      r.S.scan_latency.S.p50 r.S.scan_latency.S.p99 r.S.scan_latency.S.samples;
     Printf.printf "  max shard queue depth %d (capacity %d)\n"
       r.S.queue_max_depth queue;
     if txn_pct > 0 then begin
@@ -766,9 +806,11 @@ let serve_cmd =
                    ("value_size", num value_size); ("zipf_theta", J.Num zipf);
                    ("keyspace", num keyspace);
                    ("queue_capacity", num queue);
+                   ("read_pct", num read_pct); ("scan_pct", num scan_pct);
                    ("txn_pct", num txn_pct); ("txn_ops", num txn_ops);
                    ("batch_window", num batch_window);
                    ("batch_bytes", num batch_bytes);
+                   ("mvcc_window", num mvcc_window);
                    ( "crash_at",
                      match crash_at with
                      | Some f -> J.Num f
@@ -804,6 +846,14 @@ let serve_cmd =
                    ("txns_committed", num r.S.txns_committed);
                    ("txns_aborted", num r.S.txns_aborted);
                    ("txn_latency", pct r.S.txn_latency);
+                   ("read_latency", pct r.S.read_latency);
+                   ("write_latency", pct r.S.write_latency);
+                   ("scan_latency", pct r.S.scan_latency);
+                   ( "op_mix",
+                     J.Obj
+                       [ ("read", num r.S.ops_read);
+                         ("write", num r.S.ops_write);
+                         ("scan", num r.S.ops_scan) ] );
                    ( "replication",
                      match repl with
                      | None -> J.Null
@@ -859,10 +909,11 @@ let serve_cmd =
           failover promotion) against the client ledger.")
     Term.(
       const run $ shards_arg $ clients_arg $ rate_arg $ duration_arg
-      $ value_size_arg $ zipf_arg $ keyspace_arg $ queue_arg $ txn_pct_arg
-      $ txn_ops_arg $ crash_at_arg $ seed_arg $ json_out_arg $ replicate_arg
-      $ repl_mode_arg $ wire_ns_arg $ repl_window_arg $ drop_pct_arg
-      $ dup_pct_arg $ batch_window_arg $ batch_bytes_arg $ trace_out_arg)
+      $ value_size_arg $ zipf_arg $ keyspace_arg $ queue_arg $ read_pct_arg
+      $ scan_pct_arg $ txn_pct_arg $ txn_ops_arg $ crash_at_arg $ seed_arg
+      $ json_out_arg $ replicate_arg $ repl_mode_arg $ wire_ns_arg
+      $ repl_window_arg $ drop_pct_arg $ dup_pct_arg $ batch_window_arg
+      $ batch_bytes_arg $ mvcc_window_arg $ trace_out_arg)
 
 (* ---------- trace ---------- *)
 

@@ -410,6 +410,79 @@ let scan t ~from_key ~n f =
     else leaf := raw_of t (ptr_of_packed t sib)
   done
 
+let fold_range t ~from_key ~to_key ~init f =
+  let acc = ref init in
+  let leaf = ref (descend t (raw_of t t.root) from_key) in
+  let first = ref true in
+  let continue = ref true in
+  while !continue do
+    let meta = read_meta t.mach !leaf in
+    let count = count_of meta in
+    let start =
+      if !first then lower_bound t.mach !leaf count from_key else 0
+    in
+    first := false;
+    let i = ref start in
+    while !continue && !i < count do
+      let k = key_at t.mach !leaf !i in
+      if k > to_key then continue := false
+      else begin
+        acc := f !acc k (value_at t.mach !leaf !i);
+        incr i
+      end
+    done;
+    if !continue then begin
+      let sib = Machine.read_u64 t.mach (!leaf + sibling_off) in
+      if sib = Alloc_intf.packed_null then continue := false
+      else leaf := raw_of t (ptr_of_packed t sib)
+    end
+  done;
+  !acc
+
+(* ---------- pull-based cursor (merged multi-tree scans) ---------- *)
+
+type cursor = {
+  ct : t;
+  mutable cleaf : int; (* raw leaf addr; -1 = exhausted *)
+  mutable cidx : int;
+  mutable ccount : int;
+}
+
+(* advance to the next leaf with at least one entry at/after [cidx] *)
+let rec cursor_settle c =
+  if c.cleaf >= 0 && c.cidx >= c.ccount then begin
+    let sib = Machine.read_u64 c.ct.mach (c.cleaf + sibling_off) in
+    if sib = Alloc_intf.packed_null then c.cleaf <- -1
+    else begin
+      c.cleaf <- raw_of c.ct (ptr_of_packed c.ct sib);
+      c.cidx <- 0;
+      c.ccount <- count_of (read_meta c.ct.mach c.cleaf);
+      cursor_settle c
+    end
+  end
+
+let cursor_open t ~from_key =
+  let leaf = descend t (raw_of t t.root) from_key in
+  let count = count_of (read_meta t.mach leaf) in
+  let c =
+    { ct = t;
+      cleaf = leaf;
+      cidx = lower_bound t.mach leaf count from_key;
+      ccount = count }
+  in
+  cursor_settle c;
+  c
+
+let cursor_next c =
+  if c.cleaf < 0 then None
+  else begin
+    let k = key_at c.ct.mach c.cleaf c.cidx
+    and v = value_at c.ct.mach c.cleaf c.cidx in
+    c.cidx <- c.cidx + 1;
+    cursor_settle c;
+    Some (k, v)
+  end
+
 (* ---------- introspection ---------- *)
 
 let rec depth t addr =

@@ -54,6 +54,25 @@ val scan : t -> from_key:int -> n:int -> (int -> int -> unit) -> unit
 (** In-order traversal of up to [n] entries with key ≥ [from_key],
     following the leaf sibling chain. *)
 
+val fold_range : t -> from_key:int -> to_key:int -> init:'a -> ('a -> int -> int -> 'a) -> 'a
+(** In-order fold over every entry with [from_key <= key <= to_key],
+    following the leaf sibling chain; stops at the first key past
+    [to_key]. *)
+
+type cursor
+(** A pull-based in-order iterator: where {!scan}/{!fold_range} drive
+    one tree to completion, a cursor yields one entry per call so
+    several trees (e.g. the shards of a KV store) can be merged
+    key-by-key.  Reads the live tree — entries inserted behind the
+    cursor's position are not revisited. *)
+
+val cursor_open : t -> from_key:int -> cursor
+(** Position a cursor at the first key [>= from_key]. *)
+
+val cursor_next : cursor -> (int * int) option
+(** The entry under the cursor (advancing past it), or [None] once the
+    leaf chain is exhausted. *)
+
 val tree_depth : t -> int
 val count_keys : t -> int
 

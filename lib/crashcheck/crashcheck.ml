@@ -721,6 +721,201 @@ let scn_kv_txn_broken () =
     ~tweak:Service.Kv.txn_break_decision_persist ~preload:kv_txn_preload
     ~plan:(kv_txn_plan ()) ()
 
+(* MVCC read-path sweep: the kv-put/delete/txn op mix again, but on a
+   store with a version window, and after every completed operation the
+   driver mints a snapshot and audits it against the completed-prefix
+   model — every key in the universe via [snapshot_get] and the whole
+   keyspace via one multi-shard [snapshot_scan].  A stale, torn or
+   phantom read is recorded as a violation and surfaces through the
+   [snapshot-reads] oracle at every crash point past the offending op,
+   naming that op.  Recovery is still checked by the standard prefix
+   oracle: version chains are volatile DRAM, so a crash must leave the
+   re-attached store indistinguishable from the no-MVCC sweeps. *)
+let scn_kv_snapshot () =
+  let preload =
+    [ (1, 151); (2, 152); (3, 153); (4, 154); (5, 155); (6, 156) ]
+  in
+  let plan =
+    [ Kput (3, 501); Kput (9, 502); Kdel 2;
+      Ktxn
+        [ Service.Kv.Tput { key = 5; vseed = 503 };
+          Service.Kv.Tput { key = 7; vseed = 504 } ];
+      Kput (3, 505); Kdel 5; Kput (10, 506) ]
+  in
+  let universe =
+    List.sort_uniq compare
+      (List.map fst preload
+      @ List.concat_map
+          (function
+            | Kput (k, _) | Kdel k -> [ k ]
+            | Ktxn ops -> List.map txn_op_key ops)
+          plan)
+  in
+  let svc = ref None in
+  let acked = ref 0 in
+  let violations = ref [] in
+  let setup () =
+    let env = mk_env () in
+    env.ledger.slack <- 8192;
+    let inst = Poseidon.instance env.heap in
+    let s = Service.Kv.create ~mvcc_window:4 inst ~shards:2 ~value_size:64 in
+    List.iter
+      (fun (k, vs) ->
+        if not (Service.Kv.put s ~key:k ~vseed:vs) then
+          failwith "kv-snapshot scenario: preload put failed")
+      preload;
+    svc := Some s;
+    acked := 0;
+    violations := [];
+    env.ledger.durable <- (H.stats env.heap).H.live_bytes;
+    finish_setup env
+  in
+  let op env =
+    let s = Option.get !svc in
+    let model = Hashtbl.create 32 in
+    List.iter (fun (k, vs) -> Hashtbl.replace model k vs) preload;
+    let cks vs = Service.Kv.value_checksum s ~vseed:vs in
+    let audit i =
+      let ts = Service.Kv.snapshot s in
+      List.iter
+        (fun k ->
+          let got = Service.Kv.snapshot_get s ~ts ~key:k
+          and want = Option.map cks (Hashtbl.find_opt model k) in
+          if got <> want then
+            violations :=
+              Printf.sprintf
+                "after op %d: snapshot_get key %d disagrees with the \
+                 completed-prefix model"
+                i k
+              :: !violations)
+        universe;
+      let want_scan =
+        Hashtbl.fold (fun k vs acc -> (k, cks vs) :: acc) model []
+        |> List.sort compare
+      and got_scan = ref [] in
+      let n =
+        Service.Kv.snapshot_scan s ~ts ~from_key:1 ~n:64 (fun k d ->
+            got_scan := (k, d) :: !got_scan)
+      in
+      if List.rev !got_scan <> want_scan || n <> List.length want_scan then
+        violations :=
+          Printf.sprintf
+            "after op %d: snapshot_scan visited %d entr(ies), model has %d, \
+             or contents/order differ"
+            i n (List.length want_scan)
+          :: !violations
+    in
+    List.iteri
+      (fun i o ->
+        (match o with
+         | Kput (k, vs) -> ignore (Service.Kv.put s ~key:k ~vseed:vs)
+         | Kdel k -> ignore (Service.Kv.delete s ~key:k)
+         | Ktxn ops -> ignore (Service.Kv.txn s ops));
+        apply_kv model o;
+        incr acked;
+        env.ledger.durable <- (H.stats env.heap).H.live_bytes;
+        audit i)
+      plan
+  in
+  let o_snap =
+    { oname = "snapshot-reads";
+      check =
+        (fun _env ->
+          match List.rev !violations with
+          | [] -> Ok ()
+          | v :: _ ->
+            Error
+              (Printf.sprintf "%d stale/torn snapshot read(s), first: %s"
+                 (List.length !violations)
+                 v)) }
+  in
+  let o_kv = kv_prefix_oracle ~oname:"kv-store" ~preload ~plan ~acked () in
+  { sname = "kv-snapshot"; setup; op; extra_oracles = [ o_snap; o_kv ] }
+
+(* The seeded MVCC bug: {!Service.Kv.mvcc_break_early_publish} makes a
+   staged [txn_prepare] publish the transaction's versions before any
+   decision record exists.  The driver stages prepare → observes a
+   snapshot → decides → applies; the observation between prepare and
+   decide reads values no committed history contains, so the
+   [snapshot-reads] oracle must produce counterexamples — the mutation
+   gate in scripts/check.sh fails CI when the checker stays green. *)
+let scn_mvcc_broken () =
+  let preload = [ (3, 161); (4, 162); (5, 163) ] in
+  let plan =
+    [ Ktxn
+        [ Service.Kv.Tput { key = 3; vseed = 601 };
+          Service.Kv.Tput { key = 4; vseed = 602 } ];
+      Ktxn
+        [ Service.Kv.Tput { key = 5; vseed = 603 };
+          Service.Kv.Tput { key = 7; vseed = 604 } ] ]
+  in
+  let svc = ref None in
+  let acked = ref 0 in
+  let violations = ref [] in
+  let setup () =
+    let env = mk_env () in
+    env.ledger.slack <- 8192;
+    let inst = Poseidon.instance env.heap in
+    let s = Service.Kv.create ~mvcc_window:4 inst ~shards:2 ~value_size:64 in
+    List.iter
+      (fun (k, vs) ->
+        if not (Service.Kv.put s ~key:k ~vseed:vs) then
+          failwith "mvcc-broken scenario: preload put failed")
+      preload;
+    Service.Kv.mvcc_break_early_publish s;
+    svc := Some s;
+    acked := 0;
+    violations := [];
+    env.ledger.durable <- (H.stats env.heap).H.live_bytes;
+    finish_setup env
+  in
+  let op env =
+    let s = Option.get !svc in
+    let model = Hashtbl.create 32 in
+    List.iter (fun (k, vs) -> Hashtbl.replace model k vs) preload;
+    let cks vs = Service.Kv.value_checksum s ~vseed:vs in
+    List.iteri
+      (fun i o ->
+        let ops = match o with Ktxn ops -> ops | _ -> assert false in
+        (match Service.Kv.txn_prepare s ops with
+         | Error _ -> failwith "mvcc-broken scenario: prepare aborted"
+         | Ok txn ->
+           (* the transaction is prepared but undecided: no snapshot may
+              see its writes yet — with the bug armed, it does *)
+           let ts = Service.Kv.snapshot s in
+           List.iter
+             (fun top ->
+               let k = txn_op_key top in
+               let got = Service.Kv.snapshot_get s ~ts ~key:k
+               and want = Option.map cks (Hashtbl.find_opt model k) in
+               if got <> want then
+                 violations :=
+                   Printf.sprintf
+                     "txn %d: snapshot observed undecided write to key %d"
+                     i k
+                   :: !violations)
+             ops;
+           Service.Kv.txn_decide s ~txn;
+           Service.Kv.txn_apply s ~txn);
+        apply_kv model o;
+        incr acked;
+        env.ledger.durable <- (H.stats env.heap).H.live_bytes)
+      plan
+  in
+  let o_snap =
+    { oname = "snapshot-reads";
+      check =
+        (fun _env ->
+          match List.rev !violations with
+          | [] -> Ok ()
+          | v :: _ ->
+            Error
+              (Printf.sprintf "%d uncommitted-read violation(s), first: %s"
+                 (List.length !violations)
+                 v)) }
+  in
+  { sname = "mvcc-broken"; setup; op; extra_oracles = [ o_snap ] }
+
 (* Sweep the full sync-replication pipeline: primary local persist →
    ship over the link → backup apply/persist → cumulative ack.  Two
    machines (two devices — the primary's rides in [aux_devs], so its
@@ -965,7 +1160,7 @@ let scn_kv_batched_broken () =
 let all_scenarios () =
   [ scn_alloc (); scn_free (); scn_tx_commit (); scn_tx_abort ();
     scn_extend (); scn_kv_put (); scn_kv_delete (); scn_kv_txn ();
-    scn_kv_replicated_put (); scn_kv_batched_put () ]
+    scn_kv_snapshot (); scn_kv_replicated_put (); scn_kv_batched_put () ]
 
 let scenario_by_name = function
   | "alloc" -> Some (scn_alloc ())
@@ -977,6 +1172,8 @@ let scenario_by_name = function
   | "kv-delete" -> Some (scn_kv_delete ())
   | "kv-txn" -> Some (scn_kv_txn ())
   | "kv-txn-broken" -> Some (scn_kv_txn_broken ())
+  | "kv-snapshot" -> Some (scn_kv_snapshot ())
+  | "mvcc-broken" -> Some (scn_mvcc_broken ())
   | "kv-replicated-put" -> Some (scn_kv_replicated_put ())
   | "kv-batched-put" -> Some (scn_kv_batched_put ())
   | "kv-batched-broken" -> Some (scn_kv_batched_broken ())

@@ -204,6 +204,23 @@ val scn_kv_txn_broken : unit -> scenario
     [scripts/check.sh] fails CI when it does not.  Excluded from
     {!all_scenarios}, like [broken]. *)
 
+val scn_kv_snapshot : unit -> scenario
+(** The kv op mix on a store with an MVCC version window: after every
+    completed operation the driver audits a freshly minted snapshot —
+    [snapshot_get] over the key universe plus one multi-shard
+    [snapshot_scan] — against the completed-prefix model, and any
+    stale, torn or phantom read is a [snapshot-reads] counterexample.
+    Recovery keeps the standard acked-prefix oracle: version chains
+    are volatile, so the re-attached store must be indistinguishable
+    from the no-MVCC sweeps. *)
+
+val scn_mvcc_broken : unit -> scenario
+(** Mutation sanity check for the MVCC layer:
+    {!Service.Kv.mvcc_break_early_publish} makes a staged prepare
+    publish versions before any decision exists, so a snapshot taken
+    between prepare and decide observes an undecided write.  The
+    checker MUST flag it; excluded from {!all_scenarios}. *)
+
 val scn_kv_replicated_put : unit -> scenario
 (** Sync replication over a two-machine cluster: each op persists on
     the primary, ships over a {!Cluster.Link}, is applied/persisted on
@@ -243,4 +260,5 @@ val all_scenarios : unit -> scenario list
 val scenario_by_name : string -> scenario option
 (** ["alloc" | "free" | "tx-commit" | "tx-abort" | "extend" |
     "kv-put" | "kv-delete" | "kv-txn" | "kv-txn-broken" |
-    "kv-replicated-put" | "broken"]. *)
+    "kv-snapshot" | "mvcc-broken" | "kv-replicated-put" |
+    "kv-batched-put" | "kv-batched-broken" | "broken"]. *)

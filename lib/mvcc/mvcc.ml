@@ -1,0 +1,130 @@
+(* Volatile per-shard version chains over commit timestamps.
+
+   The store is pure DRAM state (plain OCaml hashtables) layered over
+   the persistent trees: every mutation publishes (ts, value digest)
+   for its keys, a read-only transaction mints the current safe
+   timestamp and resolves each key to the newest version <= ts.  A key
+   with no chain has never been mutated since this store was built, so
+   the persistent tree IS its version for every mintable timestamp —
+   the floor.
+
+   Two invariants carry the whole consistency argument:
+
+   - [safe_ts] only advances AFTER every version of the commit it
+     names is in its chain ([publish]/[publish_group] append first,
+     advance last, in one OCaml step with no simulated-machine call in
+     between — the cooperative scheduler cannot interleave a reader);
+   - a writer seeds a key's floor pre-image BEFORE it first touches
+     the tree entry ([seed]), so a concurrent lock-free reader never
+     resolves a mutated key through the in-flux tree.
+
+   Everything here is volatile by construction: a crash drops the
+   chains, [attach] rebuilds them empty, and the persistent tree —
+   which recovery already proves prefix-consistent — becomes the floor
+   again.  That is why the crashcheck oracles need no new persistence
+   reasoning for the read path. *)
+
+type entry = { ts : int; value : int option (* None = absent/deleted *) }
+
+type t = {
+  window : int; (* K committed versions kept per chain; 0 = disabled *)
+  nshards : int;
+  chains : (int, entry list) Hashtbl.t array; (* newest-first per key *)
+  watermark : int array; (* newest fully-published ts per shard *)
+  mutable safe_ts : int; (* newest fully-published ts store-wide *)
+}
+
+let create ~shards ~window =
+  if shards < 1 then invalid_arg "Mvcc.create: shards must be >= 1";
+  if window < 0 then invalid_arg "Mvcc.create: window must be >= 0";
+  { window;
+    nshards = shards;
+    chains = Array.init shards (fun _ -> Hashtbl.create 64);
+    watermark = Array.make shards 0;
+    safe_ts = 0 }
+
+let window t = t.window
+let enabled t = t.window > 0
+let shards t = t.nshards
+let snapshot t = t.safe_ts
+let watermark t ~shard = t.watermark.(shard)
+
+let reset t =
+  Array.iter Hashtbl.reset t.chains;
+  Array.fill t.watermark 0 t.nshards 0;
+  t.safe_ts <- 0
+
+let has_chain t ~shard ~key = Hashtbl.mem t.chains.(shard) key
+
+let chain_length t ~shard ~key =
+  match Hashtbl.find_opt t.chains.(shard) key with
+  | Some c -> List.length c
+  | None -> 0
+
+let seed t ~shard ~key ~value =
+  if enabled t && not (Hashtbl.mem t.chains.(shard) key) then
+    (* the floor pre-image: valid for every snapshot older than the
+       first published version (all real timestamps are >= 0) *)
+    Hashtbl.replace t.chains.(shard) key [ { ts = 0; value } ]
+
+(* keep the newest [window] committed versions plus one older entry as
+   the in-chain floor *)
+let trim t c =
+  let cap = t.window + 1 in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | e :: rest -> e :: take (n - 1) rest
+  in
+  take cap c
+
+let publish_one t ~shard ~ts (key, value) =
+  let tbl = t.chains.(shard) in
+  let chain = match Hashtbl.find_opt tbl key with Some c -> c | None -> [] in
+  Hashtbl.replace tbl key (trim t ({ ts; value } :: chain))
+
+let advance t ~shard ~ts =
+  if ts > t.watermark.(shard) then t.watermark.(shard) <- ts;
+  if ts > t.safe_ts then t.safe_ts <- ts
+
+let publish t ~shard ~ts versions =
+  if enabled t then begin
+    List.iter (publish_one t ~shard ~ts) versions;
+    advance t ~shard ~ts
+  end
+
+let publish_group t ~ts parts =
+  if enabled t then begin
+    (* every participant's versions enter their chains before ANY
+       shard's watermark moves: a snapshot either predates the whole
+       transaction or sees all of it *)
+    List.iter
+      (fun (shard, versions) -> List.iter (publish_one t ~shard ~ts) versions)
+      parts;
+    List.iter (fun (shard, _) -> advance t ~shard ~ts) parts
+  end
+
+let lookup t ~shard ~key ~ts =
+  if not (enabled t) then None
+  else
+    match Hashtbl.find_opt t.chains.(shard) key with
+    | None -> None
+    | Some chain ->
+      let rec resolve = function
+        | [] -> None (* unreachable: chains are never stored empty *)
+        | [ oldest ] ->
+          (* snapshot older than the oldest retained version: degrade
+             to the oldest we still have (the bounded-history cost a
+             long-held snapshot pays; see DESIGN §13) *)
+          Some oldest.value
+        | e :: rest -> if e.ts <= ts then Some e.value else resolve rest
+      in
+      resolve chain
+
+(* sorted keys >= [from_key] that have a chain on [shard] — the
+   chain-side input of a merged snapshot scan *)
+let chain_keys_from t ~shard ~from_key =
+  Hashtbl.fold
+    (fun k _ acc -> if k >= from_key then k :: acc else acc)
+    t.chains.(shard) []
+  |> List.sort compare

@@ -44,6 +44,9 @@ type stage =
   | Flush_wait
       (** group commit: waiting for the covering batch flush + ack —
           the shared replication wait of a batched mutation group *)
+  | Snapshot
+      (** MVCC read path: lock-free snapshot get/scan work (version
+          chain resolution + tree floor reads), no shard lock taken *)
 
 let stage_name = function
   | Request -> "request"
@@ -62,6 +65,7 @@ let stage_name = function
   | Backup_apply -> "backup_apply"
   | Ack_wire -> "ack_wire"
   | Flush_wait -> "flush_wait"
+  | Snapshot -> "snapshot"
 
 let stage_to_int = function
   | Request -> 0
@@ -80,6 +84,7 @@ let stage_to_int = function
   | Backup_apply -> 13
   | Ack_wire -> 14
   | Flush_wait -> 15
+  | Snapshot -> 16
 
 let stage_of_int = function
   | 0 -> Request
@@ -98,15 +103,16 @@ let stage_of_int = function
   | 13 -> Backup_apply
   | 14 -> Ack_wire
   | 15 -> Flush_wait
+  | 16 -> Snapshot
   | n -> invalid_arg (Printf.sprintf "Span.stage_of_int: %d" n)
 
-let stage_count = 16
+let stage_count = 17
 
 (** Budget stages: direct children of the request root whose durations
     are meant to partition its wall-clock time. *)
 let is_budget = function
   | Req_wire | Queue | Decode | Lock_wait | Store | Txn | Repl_ack | Rep_wire
-  | Flush_wait -> true
+  | Flush_wait | Snapshot -> true
   | Request | Persist | Txn_prepare | Txn_decide | Repl_wire
   | Backup_apply | Ack_wire -> false
 

@@ -62,6 +62,14 @@ type t = {
          may only describe one in-flight transaction at a time *)
   mutable next_txn : int;
   mutable break_decision_persist : bool; (* mutation-testing hook *)
+  mvcc : Mvcc.t;
+      (* volatile per-shard version chains for lock-free snapshot
+         reads; window 0 (the default) disables every hook *)
+  mutable mvcc_publish_early : bool;
+      (* mutation-testing hook: the staged prepare publishes versions
+         before any decision exists, so snapshot readers can observe a
+         transaction that may still abort — the seeded bug the
+         [mvcc-broken] crashcheck scenario must flag *)
   backup_decided : (int, int) Hashtbl.t;
       (* backup role only: txn -> decides seen so far.  Volatile on
          purpose — after a crash the prepared-but-unpublished slots are
@@ -115,7 +123,7 @@ let mk_locks mach shards =
         Machine.Lock.create mach ~name:(Printf.sprintf "kv-shard-%d" i) ()),
     Machine.Lock.create mach ~name:"kv-txn-coordinator" () )
 
-let create inst ~shards ~value_size =
+let create ?(mvcc_window = 0) inst ~shards ~value_size =
   if shards < 1 || shards > 0xFFFF then invalid_arg "Kv.create: bad shards";
   let value_size = max 8 ((value_size + 7) / 8 * 8) in
   let mach = A.instance_machine inst in
@@ -142,7 +150,8 @@ let create inst ~shards ~value_size =
   let shard_locks, txn_lock = mk_locks mach shards in
   { inst; mach; hid; raw; value_size; nshards = shards; shard_tbl;
     shard_locks; txn_lock; next_txn = 1; break_decision_persist = false;
-      backup_decided = Hashtbl.create 8 }
+    mvcc = Mvcc.create ~shards ~window:mvcc_window;
+    mvcc_publish_early = false; backup_decided = Hashtbl.create 8 }
 
 let set_state t sh st =
   Machine.write_u64 t.mach (sh.base + slot_state) st;
@@ -317,7 +326,7 @@ let recover_txns t =
   if decision <> 0 then write_decision t 0 ~persist:true;
   (!committed, !aborted)
 
-let attach inst =
+let attach ?(mvcc_window = 0) inst =
   let mach = A.instance_machine inst in
   let root = A.i_get_root inst in
   if A.is_null root then invalid_arg "Kv.attach: no store at allocator root";
@@ -337,7 +346,8 @@ let attach inst =
   let t =
     { inst; mach; hid; raw; value_size; nshards; shard_tbl;
       shard_locks; txn_lock; next_txn = 1; break_decision_persist = false;
-      backup_decided = Hashtbl.create 8 }
+      mvcc = Mvcc.create ~shards:nshards ~window:mvcc_window;
+      mvcc_publish_early = false; backup_decided = Hashtbl.create 8 }
   in
   let replayed, rolled_back =
     Array.fold_left (fun acc sh -> recover_shard t sh acc) (0, 0) t.shard_tbl
@@ -347,9 +357,61 @@ let attach inst =
 
 (* ---------- operations ---------- *)
 
+let now () = if Sched.in_simulation () then Sched.now () else 0
+
+(* digest of the value block behind a packed pointer — the unit of
+   observation for gets and for published MVCC versions *)
+let block_digest t packed =
+  let vaddr = A.i_get_rawptr t.inst (A.unpack ~heap_id:t.hid packed) in
+  let words = t.value_size / 8 in
+  let acc = ref 0 in
+  for w = 0 to words - 1 do
+    acc := !acc lxor Machine.read_u64 t.mach (vaddr + (8 * w))
+  done;
+  !acc
+
+(* Seed [key]'s floor pre-image before a mutation first touches its
+   tree entry, so a concurrent lock-free snapshot reader resolves the
+   key through its chain and never reads the tree mid-update.  The
+   caller holds the shard lock, so the pre-image is committed state.
+   [known] short-circuits the tree probe when the caller already
+   looked the old value up. *)
+let mvcc_seed ?known t i key =
+  if Mvcc.enabled t.mvcc && not (Mvcc.has_chain t.mvcc ~shard:i ~key) then begin
+    let packed =
+      match known with
+      | Some p -> p
+      | None -> (
+        match Btree.find t.shard_tbl.(i).tree key with
+        | Some v -> v
+        | None -> A.packed_null)
+    in
+    let value =
+      if packed = A.packed_null then None else Some (block_digest t packed)
+    in
+    Mvcc.seed t.mvcc ~shard:i ~key ~value
+  end
+
+(* a mutation's published version: the digest comes from the vseed
+   (no memory reads), so chain append + watermark advance stay one
+   pure OCaml step *)
+let op_version t = function
+  | Tput { key; vseed } -> (key, Some (value_checksum t ~vseed))
+  | Tdel { key } -> (key, None)
+
+(* version list of a prepared slot's entries, digests read from the
+   already-persisted new-value blocks (the staged and backup apply
+   paths, where the originating vseeds are out of reach) *)
+let entry_versions t entries =
+  List.map
+    (fun (key, newv, _) ->
+      (key, if newv = A.packed_null then None else Some (block_digest t newv)))
+    entries
+
 let put t ~key ~vseed =
   if key < 1 then invalid_arg "Kv.put: keys must be >= 1";
-  let sh = shard t key in
+  let si = shard_of_key t key in
+  let sh = t.shard_tbl.(si) in
   match A.i_tx_alloc t.inst t.value_size ~is_end:false with
   | None -> false
   | Some p ->
@@ -364,6 +426,7 @@ let put t ~key ~vseed =
       | Some v -> v
       | None -> A.packed_null
     in
+    mvcc_seed ~known:old t si key;
     (* write-ahead intent: fields first, then the state flag *)
     Machine.write_u64 t.mach (sh.base + slot_key) key;
     Machine.write_u64 t.mach (sh.base + slot_new) (A.pack p);
@@ -376,26 +439,23 @@ let put t ~key ~vseed =
     Btree.insert sh.tree ~key ~value:(A.pack p);
     if old <> A.packed_null then A.i_free t.inst (A.unpack ~heap_id:t.hid old);
     set_state t sh st_empty;
+    Mvcc.publish t.mvcc ~shard:si ~ts:(now ())
+      [ (key, Some (value_checksum t ~vseed)) ];
     true
 
 let get t ~key =
   let sh = shard t key in
   match Btree.find sh.tree key with
   | None -> None
-  | Some v ->
-    let vaddr = A.i_get_rawptr t.inst (A.unpack ~heap_id:t.hid v) in
-    let words = t.value_size / 8 in
-    let acc = ref 0 in
-    for w = 0 to words - 1 do
-      acc := !acc lxor Machine.read_u64 t.mach (vaddr + (8 * w))
-    done;
-    Some !acc
+  | Some v -> Some (block_digest t v)
 
 let delete t ~key =
-  let sh = shard t key in
+  let si = shard_of_key t key in
+  let sh = t.shard_tbl.(si) in
   match Btree.find sh.tree key with
   | None -> false
   | Some old ->
+    mvcc_seed ~known:old t si key;
     Machine.write_u64 t.mach (sh.base + slot_key) key;
     Machine.write_u64 t.mach (sh.base + slot_new) A.packed_null;
     Machine.write_u64 t.mach (sh.base + slot_old) old;
@@ -404,6 +464,7 @@ let delete t ~key =
     ignore (Btree.delete sh.tree key);
     A.i_free t.inst (A.unpack ~heap_id:t.hid old);
     set_state t sh st_empty;
+    Mvcc.publish t.mvcc ~shard:si ~ts:(now ()) [ (key, None) ];
     true
 
 let scan t ~from_key ~n =
@@ -416,6 +477,114 @@ let count_keys t =
   Array.fold_left (fun acc sh -> acc + Btree.count_keys sh.tree) 0 t.shard_tbl
 
 let check t = Array.iter (fun sh -> Btree.check sh.tree) t.shard_tbl
+
+(* ---------- snapshot reads (MVCC) ---------- *)
+
+let mvcc_window t = Mvcc.window t.mvcc
+let snapshot t = Mvcc.snapshot t.mvcc
+
+let mvcc_chain_length t ~key =
+  Mvcc.chain_length t.mvcc ~shard:(shard_of_key t key) ~key
+
+let mvcc_break_early_publish t = t.mvcc_publish_early <- true
+
+let snapshot_get t ~ts ~key =
+  let i = shard_of_key t key in
+  match Mvcc.lookup t.mvcc ~shard:i ~key ~ts with
+  | Some r -> r
+  | None ->
+    (* no chain: the key has not been mutated since this store was
+       built, so the tree is its version for every snapshot *)
+    let r =
+      match Btree.find t.shard_tbl.(i).tree key with
+      | None -> None
+      | Some v -> Some (block_digest t v)
+    in
+    (* validate: a writer that raced this lock-free read seeded the
+       pre-image before touching the tree, so a chain appearing by now
+       means the floor read may be torn — the chain is authoritative
+       (its pre-image entry is exactly the committed value at [ts]) *)
+    (match Mvcc.lookup t.mvcc ~shard:i ~key ~ts with
+     | Some r' -> r'
+     | None -> r)
+
+(* One shard's merged snapshot stream: the live tree cursor
+   interleaved with the shard's chain keys (captured at open).  Chain
+   presence is re-checked on every tree-yielded key — a writer racing
+   the cursor grows a chain the open-time capture missed — and a
+   chainless tree read is validated exactly like [snapshot_get]. *)
+type sstream = {
+  ss_shard : int;
+  ss_cursor : Btree.cursor;
+  mutable ss_tree : (int * int) option; (* peeked live-tree entry *)
+  mutable ss_chain : int list; (* remaining chain keys, ascending *)
+}
+
+let sstream_open t ~shard ~from_key =
+  let c = Btree.cursor_open t.shard_tbl.(shard).tree ~from_key in
+  { ss_shard = shard;
+    ss_cursor = c;
+    ss_tree = Btree.cursor_next c;
+    ss_chain = Mvcc.chain_keys_from t.mvcc ~shard ~from_key }
+
+(* next (key, digest) visible at [ts], ascending; [None] = exhausted *)
+let rec sstream_next t st ~ts =
+  if st.ss_tree = None && st.ss_chain = [] then None
+  else begin
+    let tk = match st.ss_tree with Some (k, _) -> k | None -> max_int in
+    let ck = match st.ss_chain with k :: _ -> k | [] -> max_int in
+    let key = min tk ck in
+    let tv = if tk = key then st.ss_tree else None in
+    if tk = key then st.ss_tree <- Btree.cursor_next st.ss_cursor;
+    if ck = key then st.ss_chain <- List.tl st.ss_chain;
+    let resolved =
+      if Mvcc.has_chain t.mvcc ~shard:st.ss_shard ~key then
+        Mvcc.lookup t.mvcc ~shard:st.ss_shard ~key ~ts
+      else begin
+        match tv with
+        | None -> Some None (* chain vanished mid-scan: cannot happen *)
+        | Some (_, v) ->
+          let d = block_digest t v in
+          (match Mvcc.lookup t.mvcc ~shard:st.ss_shard ~key ~ts with
+           | Some r -> Some r
+           | None -> Some (Some d))
+      end
+    in
+    match resolved with
+    | Some (Some d) -> Some (key, d)
+    | _ -> sstream_next t st ~ts (* absent at this snapshot: skip *)
+  end
+
+let snapshot_scan t ~ts ~from_key ~n f =
+  if from_key < 1 then invalid_arg "Kv.snapshot_scan: keys must be >= 1";
+  if n <= 0 then 0
+  else begin
+    let streams =
+      Array.init t.nshards (fun i -> sstream_open t ~shard:i ~from_key)
+    in
+    let heads = Array.map (fun st -> sstream_next t st ~ts) streams in
+    let visited = ref 0 in
+    let exhausted = ref false in
+    while (not !exhausted) && !visited < n do
+      (* smallest head key across shards (the hash partition makes
+         keys unique across shards, so no cross-shard dedupe) *)
+      let best = ref (-1) and bestk = ref max_int in
+      Array.iteri
+        (fun i -> function
+          | Some (k, _) when k < !bestk ->
+            best := i;
+            bestk := k
+          | _ -> ())
+        heads;
+      if !best < 0 then exhausted := true
+      else begin
+        (match heads.(!best) with Some (k, d) -> f k d | None -> ());
+        incr visited;
+        heads.(!best) <- sstream_next t streams.(!best) ~ts
+      end
+    done;
+    !visited
+  end
 
 (* ---------- cross-shard transactions (the 2PC core) ---------- *)
 
@@ -527,10 +696,26 @@ let prepare_locked t parts =
 (* Phase 2 under the coordinator lock: the decision record's persist
    is THE commit point — before it a crash aborts every participant,
    after it recovery redoes them from the slots. *)
-let decide_apply_locked t txn idxs =
+let decide_apply_locked t txn parts =
+  let idxs = List.map fst parts in
   Machine.Lock.acquire t.txn_lock;
+  (* pre-images first: once the group publishes, snapshot readers
+     resolve every written key through its chain, so the floors must
+     be in place before any tree entry is touched below *)
+  if Mvcc.enabled t.mvcc then
+    List.iter
+      (fun (i, ops) -> List.iter (fun o -> mvcc_seed t i (txn_key o)) ops)
+      parts;
   write_decision t txn ~persist:(not t.break_decision_persist);
-  let fin = if Sched.in_simulation () then Sched.now () else 0 in
+  let fin = now () in
+  (* the whole group becomes visible at its decision timestamp in one
+     pure OCaml step (nothing yields between the fin capture and the
+     watermark advance): a snapshot minted from here on resolves the
+     written keys through their chains while the trees are still
+     being updated below *)
+  if Mvcc.enabled t.mvcc then
+    Mvcc.publish_group t.mvcc ~ts:fin
+      (List.map (fun (i, ops) -> (i, List.map (op_version t) ops)) parts);
   List.iter
     (fun i ->
       match read_tslot t i with
@@ -569,7 +754,7 @@ let txn ?on_commit ?(trace = -1) ?(span = -1) t ops =
           let sdec =
             Obs.Span.open_span ~trace ~parent:span Obs.Span.Txn_decide
           in
-          let fin = decide_apply_locked t txn_id idxs in
+          let fin = decide_apply_locked t txn_id parts in
           Obs.Span.close_span sdec;
           let res =
             { txn_id; committed = true; abort = None; fin;
@@ -589,8 +774,6 @@ let txn ?on_commit ?(trace = -1) ?(span = -1) t ops =
    ~5 fences per op on the legacy intent path.  Crash recovery needs
    nothing new: a chunk is a one-participant 2PC transaction, redone
    or presumed-aborted by [recover_txns] like any other. *)
-
-let now () = if Sched.in_simulation () then Sched.now () else 0
 
 let flush_lines t a len =
   if len > 0 then begin
@@ -684,7 +867,7 @@ let group_commit ?on_chunk t ~shard ops =
           let cops = List.map snd members in
           (match group_prepare_locked t shard cops with
           | Ok txn_id ->
-            let fin = decide_apply_locked t txn_id [ shard ] in
+            let fin = decide_apply_locked t txn_id [ (shard, cops) ] in
             List.iter
               (fun (idx, _) ->
                 oks.(idx) <- true;
@@ -734,11 +917,40 @@ let group_commit ?on_chunk t ~shard ops =
 let txn_prepare t ops =
   match validate_static t ops with
   | Error a -> Error a
-  | Ok parts -> prepare_locked t parts
+  | Ok parts -> (
+    match prepare_locked t parts with
+    | Error a -> Error a
+    | Ok txn ->
+      if t.mvcc_publish_early && Mvcc.enabled t.mvcc then begin
+        (* BROKEN (mutation testing): the group goes live before any
+           decision exists — snapshot readers can observe a
+           transaction that may still abort *)
+        List.iter
+          (fun (i, ops) -> List.iter (fun o -> mvcc_seed t i (txn_key o)) ops)
+          parts;
+        Mvcc.publish_group t.mvcc ~ts:(now ())
+          (List.map (fun (i, ops) -> (i, List.map (op_version t) ops)) parts)
+      end;
+      Ok txn)
 
 let txn_decide t ~txn = write_decision t txn ~persist:(not t.break_decision_persist)
 
 let txn_apply t ~txn =
+  (* correct staged publication point: the decision is durable, so
+     install the versions (digests read from the prepared blocks)
+     before the trees change — unless the broken mode already
+     published them at prepare *)
+  if Mvcc.enabled t.mvcc && not t.mvcc_publish_early then begin
+    let groups = ref [] in
+    for i = 0 to t.nshards - 1 do
+      match read_tslot t i with
+      | `Slot (id, entries) when id = txn ->
+        List.iter (fun (key, _, _) -> mvcc_seed t i key) entries;
+        groups := (i, entry_versions t entries) :: !groups
+      | _ -> ()
+    done;
+    Mvcc.publish_group t.mvcc ~ts:(now ()) !groups
+  end;
   for i = 0 to t.nshards - 1 do
     match read_tslot t i with
     | `Slot (id, entries) when id = txn -> apply_tslot t i entries
@@ -748,6 +960,10 @@ let txn_apply t ~txn =
 
 let txn_resolve_indoubt t =
   Hashtbl.reset t.backup_decided;
+  (* promotion: this store now serves reads itself, and the chains it
+     grew as a backup may name transactions being discarded below —
+     start over from the (recovered) trees as the floor *)
+  Mvcc.reset t.mvcc;
   let n = ref 0 in
   for i = 0 to t.nshards - 1 do
     match read_tslot t i with
@@ -818,7 +1034,21 @@ let txn_backup_decide t ~txn ~shard ~commit ~nparts =
       if decided < nparts then Hashtbl.replace t.backup_decided txn decided
       else begin
         Hashtbl.remove t.backup_decided txn;
+        (* install versions the same all-before-any-watermark way as
+           the primary, so a promoted backup's snapshots are as
+           atomic as the primary's were *)
+        let groups = ref [] in
+        if Mvcc.enabled t.mvcc then
+          for i = 0 to t.nshards - 1 do
+            match read_tslot t i with
+            | `Slot (id, es) when id = txn ->
+              List.iter (fun (key, _, _) -> mvcc_seed t i key) es;
+              groups := (i, entry_versions t es) :: !groups
+            | _ -> ()
+          done;
         write_decision t txn ~persist:(not t.break_decision_persist);
+        if Mvcc.enabled t.mvcc then
+          Mvcc.publish_group t.mvcc ~ts:(now ()) !groups;
         for i = 0 to t.nshards - 1 do
           match read_tslot t i with
           | `Slot (id, es) when id = txn -> apply_tslot t i es

@@ -53,16 +53,23 @@ type recovery = {
           prepared but no persisted decision — presumed abort) *)
 }
 
-val create : Alloc_intf.instance -> shards:int -> value_size:int -> t
+val create :
+  ?mvcc_window:int -> Alloc_intf.instance -> shards:int -> value_size:int -> t
 (** Allocates the superroot (magic, geometry, one 64-byte shard record
     each holding the tree root and the intent slot), publishes it as
     the allocator root and creates the per-shard trees.  [value_size]
-    is rounded up to a multiple of 8 (min 8).  Raises [Failure] when
+    is rounded up to a multiple of 8 (min 8).  [mvcc_window] (default
+    0 = off) is the number of committed versions retained per mutated
+    key for {!snapshot_get}/{!snapshot_scan}; it is volatile DRAM
+    state, not part of the persistent format.  Raises [Failure] when
     the heap cannot fit the superroot. *)
 
-val attach : Alloc_intf.instance -> t * recovery
+val attach : ?mvcc_window:int -> Alloc_intf.instance -> t * recovery
 (** Reopens the store of an already-attached allocator instance and
-    replays/rolls back any in-flight intent — the restart path. *)
+    replays/rolls back any in-flight intent — the restart path.  The
+    version chains restart empty (they are volatile by construction);
+    the recovered trees are the floor every snapshot reads until keys
+    are mutated again. *)
 
 val shards : t -> int
 val value_size : t -> int
@@ -104,6 +111,52 @@ val count_keys : t -> int
 
 val check : t -> unit
 (** Structural check of every shard tree; raises [Failure]. *)
+
+(** {2 Snapshot reads (MVCC)}
+
+    A volatile per-shard version store ({!Mvcc}) layered over the
+    trees: mutations publish [(commit ts, value digest)] versions for
+    their keys (cross-shard transactions publish all participants
+    before any becomes visible), and a read-only transaction mints the
+    current safe timestamp once, then resolves every key to the newest
+    version ≤ that timestamp — {e without taking any shard lock}.
+    Writers seed a key's pre-image before first touching its tree
+    entry, so a lock-free reader never observes the tree mid-update
+    for a mutated key; chainless keys read the tree directly and
+    re-validate against the chain afterwards.  With [mvcc_window = 0]
+    (the default) every hook is off and the calls below degrade to the
+    plain read path. *)
+
+val mvcc_window : t -> int
+
+val snapshot : t -> int
+(** Mint a read-only transaction's timestamp: the newest commit whose
+    versions are all published.  Costs nothing (one volatile load). *)
+
+val snapshot_get : t -> ts:int -> key:int -> int option
+(** The key's value digest as of snapshot [ts], lock-free.  A snapshot
+    older than the key's oldest retained version degrades to that
+    oldest version (bounded history: the window caps chain memory). *)
+
+val snapshot_scan : t -> ts:int -> from_key:int -> n:int -> (int -> int -> unit) -> int
+(** Visits up to [n] entries with key ≥ [from_key] {e across all
+    shards} in ascending key order, each resolved at snapshot [ts],
+    lock-free; [f key digest] per entry; returns the number visited.
+    Unlike {!scan} (one shard's tree, live state) this is a global
+    ordered view consistent at one timestamp — per shard it merges
+    the tree cursor with the shard's version chains, then K-way
+    merges the shard streams. *)
+
+val mvcc_chain_length : t -> key:int -> int
+(** Versions currently retained for the key (pre-image included);
+    0 when unmutated or MVCC is off.  Test/diagnostic use. *)
+
+val mvcc_break_early_publish : t -> unit
+(** Mutation-testing hook: subsequent staged {!txn_prepare} calls
+    publish the transaction's versions {e before} any decision exists,
+    so a snapshot can observe a transaction that may still abort — the
+    seeded bug the [mvcc-broken] crashcheck scenario must flag.  Never
+    call this outside checker gates. *)
 
 (** {2 Cross-shard transactions} *)
 

@@ -23,6 +23,7 @@ type config = {
   scope : string;
   batch_window : int;
   batch_bytes : int;
+  mvcc_window : int;
 }
 
 let default_config =
@@ -44,7 +45,8 @@ let default_config =
     seed = 42;
     scope = "service";
     batch_window = 1;
-    batch_bytes = 0 }
+    batch_bytes = 0;
+    mvcc_window = 0 }
 
 type op_kind = KGet | KPut | KDel | KScan | KTxn
 
@@ -124,6 +126,12 @@ type result = {
   txns_committed : int;
   txns_aborted : int;
   txn_latency : percentiles;
+  read_latency : percentiles;
+  write_latency : percentiles;
+  scan_latency : percentiles;
+  ops_read : int;
+  ops_write : int;
+  ops_scan : int;
 }
 
 let run ~make ~reattach cfg =
@@ -137,6 +145,7 @@ let run ~make ~reattach cfg =
     invalid_arg "Server.run: txn_ops out of range";
   if cfg.batch_window < 1 then invalid_arg "Server.run: batch_window < 1";
   if cfg.batch_bytes < 0 then invalid_arg "Server.run: batch_bytes < 0";
+  if cfg.mvcc_window < 0 then invalid_arg "Server.run: mvcc_window < 0";
   (match cfg.crash_at with
    | Some f when f <= 0. || f >= 1. ->
      invalid_arg "Server.run: crash_at must be in (0, 1)"
@@ -144,7 +153,10 @@ let run ~make ~reattach cfg =
   let mach, inst = make () in
   let ncpu = (Machine.cfg mach).Machine.Config.num_cpus in
   if cfg.shards > ncpu then invalid_arg "Server.run: more shards than CPUs";
-  let svc = Kv.create inst ~shards:cfg.shards ~value_size:cfg.value_size in
+  let svc =
+    Kv.create ~mvcc_window:cfg.mvcc_window inst ~shards:cfg.shards
+      ~value_size:cfg.value_size
+  in
 
   (* durable baseline: preloaded keys are in the ledger from the start *)
   let preload_n = min cfg.preload cfg.keyspace in
@@ -184,6 +196,12 @@ let run ~make ~reattach cfg =
   let txn_commits = ref 0 and txn_aborts = ref 0 in
   let lat_h = Hist.create () and svc_h = Hist.create () in
   let txn_lat_h = Hist.create () in
+  (* request latency split by op class, recorded at reply delivery *)
+  let read_h = Hist.create ()
+  and write_h = Hist.create ()
+  and scan_h = Hist.create () in
+  (* offered op mix, counted at generation (shed requests included) *)
+  let n_read = ref 0 and n_write = ref 0 and n_scan = ref 0 in
   (* acked mutations: (key, Some vseed | None for delete, server finish ns).
      [fin] is captured inside the mutation's critical section (for a
      transaction: the decision record's persist), so per key it orders
@@ -232,6 +250,27 @@ let run ~make ~reattach cfg =
             end;
             if res.Kv.committed then incr txn_commits else incr txn_aborts;
             (res.Kv.committed, res.Kv.committed, res.Kv.fin)
+          | (KGet | KScan) when cfg.mvcc_window > 0 ->
+            (* lock-free snapshot read: no Lock_wait, no shard lock —
+               the read minted a timestamp and resolves against the
+               version chains (KScan becomes a multi-shard merged
+               scan, ordered and consistent at one snapshot) *)
+            let ssn =
+              Obs.Span.open_span ~trace ~parent:m.span Obs.Span.Snapshot
+            in
+            let ts = Kv.snapshot svc in
+            let ok =
+              match r.kind with
+              | KGet -> Kv.snapshot_get svc ~ts ~key:r.key <> None
+              | _ ->
+                ignore
+                  (Kv.snapshot_scan svc ~ts ~from_key:r.key ~n:16
+                     (fun _ _ -> ()));
+                true
+            in
+            let fin = Sched.now () in
+            Obs.Span.close_span ssn;
+            (ok, false, fin)
           | _ ->
             let slw =
               Obs.Span.open_span ~trace ~parent:m.span Obs.Span.Lock_wait
@@ -447,6 +486,11 @@ let run ~make ~reattach cfg =
              Hashtbl.remove out r.rid;
              incr completed;
              Hist.record lat_h (delivered_at - p.p_sent);
+             (match p.p_kind with
+              | KGet -> Hist.record read_h (delivered_at - p.p_sent)
+              | KScan -> Hist.record scan_h (delivered_at - p.p_sent)
+              | KPut | KDel | KTxn ->
+                Hist.record write_h (delivered_at - p.p_sent));
              (* the reply's hop back, then the root closes at delivery
                 (not at this drain) so root = measured latency *)
              ignore
@@ -505,6 +549,10 @@ let run ~make ~reattach cfg =
             end
             else (KPut, [])
           in
+          (match kind with
+           | KGet -> incr n_read
+           | KScan -> incr n_scan
+           | KPut | KDel | KTxn -> incr n_write);
           (* a transaction is addressed to its first key's shard; the
              handler fans out to the other participants itself *)
           let key = match ops with o :: _ -> txn_op_key o | [] -> key in
@@ -619,7 +667,7 @@ let run ~make ~reattach cfg =
       let secs =
         Machine.parallel mach ~threads:1 (fun _ ->
             let inst' = reattach mach in
-            got := Some (Kv.attach inst'))
+            got := Some (Kv.attach ~mvcc_window:cfg.mvcc_window inst'))
       in
       let svc', reco = Option.get !got in
       Kv.check svc';
@@ -646,9 +694,15 @@ let run ~make ~reattach cfg =
   g "rto_ns" (float_of_int rto_ns);
   g "txn_committed" (float_of_int !txn_commits);
   g "txn_aborted" (float_of_int !txn_aborts);
+  g "ops_read" (float_of_int !n_read);
+  g "ops_write" (float_of_int !n_write);
+  g "ops_scan" (float_of_int !n_scan);
   Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "latency_ns") lat_h;
   Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "service_ns") svc_h;
   Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "txn_latency_ns") txn_lat_h;
+  Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "read_latency_ns") read_h;
+  Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "write_latency_ns") write_h;
+  Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "scan_latency_ns") scan_h;
 
   { offered = !offered;
     admitted = !admitted;
@@ -668,7 +722,13 @@ let run ~make ~reattach cfg =
     queue_max_depth = !queue_max_depth;
     txns_committed = !txn_commits;
     txns_aborted = !txn_aborts;
-    txn_latency = percentiles_of txn_lat_h }
+    txn_latency = percentiles_of txn_lat_h;
+    read_latency = percentiles_of read_h;
+    write_latency = percentiles_of write_h;
+    scan_latency = percentiles_of scan_h;
+    ops_read = !n_read;
+    ops_write = !n_write;
+    ops_scan = !n_scan }
 
 (* ------------------------------------------------------------------ *)
 (* Replicated serving: primary + backup on a two-machine cluster.     *)
@@ -720,6 +780,8 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
     invalid_arg "Server.run_replicated: batch_window < 1";
   if cfg.batch_bytes < 0 then
     invalid_arg "Server.run_replicated: batch_bytes < 0";
+  if cfg.mvcc_window < 0 then
+    invalid_arg "Server.run_replicated: mvcc_window < 0";
   (match cfg.crash_at with
    | Some f when f <= 0. || f >= 1. ->
      invalid_arg "Server.run_replicated: crash_at must be in (0, 1)"
@@ -734,8 +796,16 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
   let ncpu = mcfg.Machine.Config.num_cpus in
   if cfg.shards > ncpu then
     invalid_arg "Server.run_replicated: more shards than CPUs";
-  let svc = Kv.create (make primary) ~shards:cfg.shards ~value_size:cfg.value_size in
-  let svc_b = Kv.create (make backup) ~shards:cfg.shards ~value_size:cfg.value_size in
+  let svc =
+    Kv.create ~mvcc_window:cfg.mvcc_window (make primary) ~shards:cfg.shards
+      ~value_size:cfg.value_size
+  in
+  (* the backup grows chains too (group-installed, like the primary)
+     so a promotion can serve snapshots at once *)
+  let svc_b =
+    Kv.create ~mvcc_window:cfg.mvcc_window (make backup) ~shards:cfg.shards
+      ~value_size:cfg.value_size
+  in
 
   (* identical durable baseline on both machines *)
   let preload_n = min cfg.preload cfg.keyspace in
@@ -799,6 +869,12 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
   let indoubt_aborted = ref 0 in
   let lat_h = Hist.create () and svc_h = Hist.create () in
   let txn_lat_h = Hist.create () in
+  (* request latency split by op class, recorded at reply delivery *)
+  let read_h = Hist.create ()
+  and write_h = Hist.create ()
+  and scan_h = Hist.create () in
+  (* offered op mix, counted at generation (shed requests included) *)
+  let n_read = ref 0 and n_write = ref 0 and n_scan = ref 0 in
   let ledger : (int * int option * int) list ref = ref [] in
   let outstanding : (int, pending) Hashtbl.t array =
     Array.init cfg.clients (fun _ -> Hashtbl.create 64)
@@ -920,6 +996,27 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
             end;
             if res.Kv.committed then incr txn_commits else incr txn_aborts;
             (res.Kv.committed, res.Kv.committed, res.Kv.fin)
+          | (KGet | KScan) when cfg.mvcc_window > 0 ->
+            (* lock-free snapshot read: no Lock_wait, no shard lock —
+               the read minted a timestamp and resolves against the
+               version chains (KScan becomes a multi-shard merged
+               scan, ordered and consistent at one snapshot) *)
+            let ssn =
+              Obs.Span.open_span ~trace ~parent:m.span Obs.Span.Snapshot
+            in
+            let ts = Kv.snapshot svc in
+            let ok =
+              match r.kind with
+              | KGet -> Kv.snapshot_get svc ~ts ~key:r.key <> None
+              | _ ->
+                ignore
+                  (Kv.snapshot_scan svc ~ts ~from_key:r.key ~n:16
+                     (fun _ _ -> ()));
+                true
+            in
+            let fin = Sched.now () in
+            Obs.Span.close_span ssn;
+            (ok, false, fin)
           | _ ->
             let slw =
               Obs.Span.open_span ~trace ~parent:m.span Obs.Span.Lock_wait
@@ -1221,6 +1318,11 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
              Hashtbl.remove out r.rid;
              incr completed;
              Hist.record lat_h (delivered_at - p.p_sent);
+             (match p.p_kind with
+              | KGet -> Hist.record read_h (delivered_at - p.p_sent)
+              | KScan -> Hist.record scan_h (delivered_at - p.p_sent)
+              | KPut | KDel | KTxn ->
+                Hist.record write_h (delivered_at - p.p_sent));
              (* the reply's hop back, then the root closes at delivery
                 (not at this drain) so root = measured latency *)
              ignore
@@ -1279,6 +1381,10 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
             end
             else (KPut, [])
           in
+          (match kind with
+           | KGet -> incr n_read
+           | KScan -> incr n_scan
+           | KPut | KDel | KTxn -> incr n_write);
           (* a transaction is addressed to its first key's shard; the
              handler fans out to the other participants itself *)
           let key = match ops with o :: _ -> txn_op_key o | [] -> key in
@@ -1455,10 +1561,16 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
   g "repl_indoubt_aborted" (float_of_int !indoubt_aborted);
   g "txn_committed" (float_of_int !txn_commits);
   g "txn_aborted" (float_of_int !txn_aborts);
+  g "ops_read" (float_of_int !n_read);
+  g "ops_write" (float_of_int !n_write);
+  g "ops_scan" (float_of_int !n_scan);
   Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "latency_ns") lat_h;
   Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "service_ns") svc_h;
   Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "repl_lag_ns") repl_lag_h;
   Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "txn_latency_ns") txn_lat_h;
+  Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "read_latency_ns") read_h;
+  Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "write_latency_ns") write_h;
+  Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "scan_latency_ns") scan_h;
 
   let base =
     { offered = !offered;
@@ -1479,7 +1591,13 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
       queue_max_depth = !queue_max_depth;
       txns_committed = !txn_commits;
       txns_aborted = !txn_aborts;
-      txn_latency = percentiles_of txn_lat_h }
+      txn_latency = percentiles_of txn_lat_h;
+      read_latency = percentiles_of read_h;
+      write_latency = percentiles_of write_h;
+      scan_latency = percentiles_of scan_h;
+      ops_read = !n_read;
+      ops_write = !n_write;
+      ops_scan = !n_scan }
   in
   { base;
     shipped = Replica.Shipper.shipped shipper;

@@ -52,6 +52,13 @@ type config = {
   batch_bytes : int;
       (** additional byte cap on a commit group (0 = unlimited): a
           group closes once its encoded payload would exceed this *)
+  mvcc_window : int;
+      (** MVCC version-chain window ({!Kv.create}'s [mvcc_window]),
+          ≥ 0.  At 0 (the default) reads take the pre-MVCC path
+          byte-identically: gets and scans queue for the shard lock.
+          Above 0 every get/scan is a lock-free snapshot read under an
+          {!Obs.Span.Snapshot} stage span, and a scan becomes a
+          multi-shard merged scan consistent at one timestamp. *)
 }
 
 val default_config : config
@@ -98,6 +105,14 @@ type result = {
   txn_latency : percentiles;
       (** client-observed latency of committed transactions only, ns —
           compare against [latency] for the 2PC overhead *)
+  read_latency : percentiles;
+      (** client-observed latency of gets only — the series the MVCC
+          read path is supposed to flatten *)
+  write_latency : percentiles; (** puts, deletes and transactions *)
+  scan_latency : percentiles; (** scans only *)
+  ops_read : int; (** gets generated (shed included) *)
+  ops_write : int; (** puts + deletes + transactions generated *)
+  ops_scan : int; (** scans generated *)
 }
 
 val run :

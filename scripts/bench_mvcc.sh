@@ -1,0 +1,14 @@
+#!/bin/sh
+# poseidon-kv MVCC snapshot reads: read-mix sweep (0/50/95% reads) at a
+# saturating offered load with --mvcc-window 8, a below-saturation
+# overhead pair (95% reads at window 0 vs window 8), a scan-heavy run
+# through the multi-shard merged scan, and a crash run.  Fails unless
+# the snapshot read p50 stays within 1.25x of the plain read p50 AND
+# the 95%-read mix sustains more throughput than the all-write
+# baseline without shedding more — the lock-free-read gate — or if any
+# run loses an acked write.  Leaves a machine-readable snapshot in
+# BENCH_mvcc.json at the repo root.  Pass --full for longer traffic.
+set -eu
+cd "$(dirname "$0")/.."
+dune build bench/main.exe
+dune exec bench/main.exe -- --suite mvcc "$@"

@@ -86,6 +86,24 @@ if dune exec bin/main.exe -- crashcheck --scenario kv-batched-broken \
   echo "check: crashcheck FAILED to detect the seeded ack-before-flush batching bug" >&2
   exit 1
 fi
+# MVCC snapshot-read sweep, EXHAUSTIVE: after every completed op the
+# scenario audits a minted snapshot (snapshot_get over the key
+# universe + one multi-shard snapshot_scan) against the
+# completed-prefix model, and recovery must match the no-MVCC sweeps
+# (version chains are volatile).  Cheap enough to run unstrided.
+step="crashcheck kv-snapshot exhaustive sweep"
+dune exec bin/main.exe -- crashcheck --scenario kv-snapshot \
+  --seed "$CRASH_SEED" > /dev/null
+# MVCC mutation gate: a staged prepare that publishes its versions
+# BEFORE any decision exists; the snapshot-reads oracle MUST flag the
+# uncommitted observation (non-zero exit), or it has lost the power to
+# see the publish-at-decision rule snapshot isolation rests on.
+step="crashcheck mutation gate (mvcc-broken)"
+if dune exec bin/main.exe -- crashcheck --scenario mvcc-broken \
+     --max-points 6 --subsets 1 --seed "$CRASH_SEED" > /dev/null 2>&1; then
+  echo "check: crashcheck FAILED to detect the seeded early-publish MVCC bug" >&2
+  exit 1
+fi
 # serve smoke: bounded open-loop traffic with a crash at the midpoint;
 # exits non-zero if the recovered store loses any acked write.
 step="serve crash smoke"
@@ -157,6 +175,35 @@ if ! diff -u "$tmpdir/plain.norm" "$tmpdir/w1.norm" > /dev/null; then
   exit 1
 fi
 rm -rf "$tmpdir"
+# MVCC identity gate: --mvcc-window 0 must route every get/scan down
+# the pre-MVCC locked read path, so a serve run with the flag spelled
+# out is byte-identical (modulo the git rev line) to the same run
+# without it.  Catches any drift where window 0 silently starts
+# minting snapshots.
+step="mvcc window-0 identity gate"
+tmpdir="$(mktemp -d)"
+dune exec bin/main.exe -- serve --shards 2 --clients 8 \
+  --rate 40000 --duration 0.005 --read-pct 60 --scan-pct 10 \
+  --seed "$CRASH_SEED" --json-out "$tmpdir/plain.json" > /dev/null
+dune exec bin/main.exe -- serve --shards 2 --clients 8 \
+  --rate 40000 --duration 0.005 --read-pct 60 --scan-pct 10 \
+  --seed "$CRASH_SEED" --mvcc-window 0 --json-out "$tmpdir/w0.json" \
+  > /dev/null
+sed 's/"rev":[^,}]*//' "$tmpdir/plain.json" > "$tmpdir/plain.norm"
+sed 's/"rev":[^,}]*//' "$tmpdir/w0.json" > "$tmpdir/w0.norm"
+if ! diff -u "$tmpdir/plain.norm" "$tmpdir/w0.norm" > /dev/null; then
+  echo "check: serve --mvcc-window 0 DIVERGES from the plain read path:" >&2
+  diff -u "$tmpdir/plain.norm" "$tmpdir/w0.norm" >&2 || true
+  rm -rf "$tmpdir"
+  exit 1
+fi
+rm -rf "$tmpdir"
+# MVCC serve smoke: snapshot reads under a mid-traffic crash; exits
+# non-zero if the recovered store loses any acked write.
+step="serve mvcc crash smoke"
+dune exec bin/main.exe -- serve --shards 2 --clients 8 --rate 40000 \
+  --duration 0.005 --read-pct 60 --scan-pct 10 --mvcc-window 8 \
+  --crash-at 0.5 --seed "$CRASH_SEED" > /dev/null
 
 step="done"
-echo "check: lint + build + tests + crashcheck (incl. 2PC + batching gates) + serve/txn/failover smokes + trace validity + determinism + batch identity OK"
+echo "check: lint + build + tests + crashcheck (incl. 2PC + batching + MVCC gates) + serve/txn/failover/mvcc smokes + trace validity + determinism + batch/mvcc identity OK"

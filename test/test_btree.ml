@@ -135,6 +135,68 @@ let test_scan_crosses_leaves () =
   check_int "full scan" 500 !n;
   check "ascending across leaves" true !sorted
 
+let test_fold_range () =
+  let _, inst = poseidon_inst () in
+  let t = Btree.create inst in
+  for k = 1 to 200 do
+    Btree.insert t ~key:k ~value:(k * 3)
+  done;
+  let sum =
+    Btree.fold_range t ~from_key:50 ~to_key:60 ~init:0 (fun acc k v ->
+        check_int "fold sees the stored value" (k * 3) v;
+        acc + k)
+  in
+  check_int "inclusive bounds" (11 * 55) sum;
+  check_int "range past the last key folds init" (-1)
+    (Btree.fold_range t ~from_key:300 ~to_key:400 ~init:(-1)
+       (fun _ _ _ -> 0));
+  check_int "inverted bounds fold nothing" 7
+    (Btree.fold_range t ~from_key:60 ~to_key:50 ~init:7
+       (fun acc _ _ -> acc + 1))
+
+let test_cursor () =
+  let _, inst = poseidon_inst () in
+  let t = Btree.create inst in
+  let keys = [ 3; 7; 12; 100; 101; 250 ] in
+  List.iter (fun k -> Btree.insert t ~key:k ~value:(k + 1)) keys;
+  let c = Btree.cursor_open t ~from_key:5 in
+  let rec drain acc =
+    match Btree.cursor_next c with
+    | Some (k, v) ->
+      check_int "cursor value" (k + 1) v;
+      drain (k :: acc)
+    | None -> List.rev acc
+  in
+  Alcotest.(check (list int)) "ordered suffix from 5"
+    [ 7; 12; 100; 101; 250 ] (drain []);
+  check "an exhausted cursor stays exhausted" true
+    (Btree.cursor_next c = None);
+  let c2 = Btree.cursor_open t ~from_key:1000 in
+  check "cursor past the last key is empty" true (Btree.cursor_next c2 = None)
+
+let test_cursor_across_leaves () =
+  let _, inst = poseidon_inst () in
+  let t = Btree.create inst in
+  for k = 1 to 500 do
+    Btree.insert t ~key:k ~value:(k * 2)
+  done;
+  let c = Btree.cursor_open t ~from_key:1 in
+  let n = ref 0
+  and last = ref 0
+  and ok = ref true in
+  let rec go () =
+    match Btree.cursor_next c with
+    | Some (k, v) ->
+      if k <= !last || v <> k * 2 then ok := false;
+      last := k;
+      incr n;
+      go ()
+    | None -> ()
+  in
+  go ();
+  check_int "cursor walks every entry" 500 !n;
+  check "ascending with correct values" true !ok
+
 let test_delete_then_reinsert () =
   let _, inst = poseidon_inst () in
   let t = Btree.create inst in
@@ -292,7 +354,11 @@ let () =
         @ qsuite );
       ( "scan",
         [ Alcotest.test_case "range" `Quick test_scan;
-          Alcotest.test_case "across leaves" `Quick test_scan_crosses_leaves ] );
+          Alcotest.test_case "across leaves" `Quick test_scan_crosses_leaves;
+          Alcotest.test_case "fold_range" `Quick test_fold_range;
+          Alcotest.test_case "cursor" `Quick test_cursor;
+          Alcotest.test_case "cursor across leaves" `Quick
+            test_cursor_across_leaves ] );
       ( "delete",
         [ Alcotest.test_case "delete/reinsert" `Quick test_delete_then_reinsert;
           Alcotest.test_case "missing" `Quick test_delete_missing ] );
