@@ -153,45 +153,77 @@ let node_lock t addr =
 let ptr_of_packed t packed = Alloc_intf.unpack ~heap_id:t.hid packed
 
 (* If [k]'s range moved to a right sibling (a split whose separator
-   has not reached the parent — e.g. after a crash), follow the
-   sibling chain (FAST-FAIR). *)
+   has not reached the parent — e.g. after a crash, or a split that
+   raced a lock-free reader), follow the sibling chain (FAST-FAIR).
+   Each sibling inspection runs preemption-free so the count/first-key
+   pair it decides on is one consistent node state. *)
 let rec chase_sibling t addr k =
-  let sib = Machine.read_u64 t.mach (addr + sibling_off) in
-  if sib = Alloc_intf.packed_null then addr
-  else begin
-    let right = raw_of t (ptr_of_packed t sib) in
-    let rmeta = read_meta t.mach right in
-    if count_of rmeta > 0 && k >= key_at t.mach right 0 then
-      chase_sibling t right k
-    else addr
-  end
+  let next =
+    Machine.critical t.mach (fun () ->
+        let sib = Machine.read_u64 t.mach (addr + sibling_off) in
+        if sib = Alloc_intf.packed_null then None
+        else begin
+          let right = raw_of t (ptr_of_packed t sib) in
+          let rmeta = read_meta t.mach right in
+          if count_of rmeta > 0 && k >= key_at t.mach right 0 then Some right
+          else None
+        end)
+  in
+  match next with
+  | Some right -> chase_sibling t right k
+  | None -> addr
 
-(* descend to the leaf that should hold [k]; returns its address *)
+(* descend to the leaf that should hold [k]; returns its address.
+   Each routing step reads its node preemption-free: a concurrent
+   inner-node insert shifting entries mid-search could otherwise route
+   to a child RIGHT of [k]'s range, which the (rightward-only) sibling
+   chase can never recover from. *)
 let rec descend t addr k =
   let addr = chase_sibling t addr k in
-  let meta = read_meta t.mach addr in
-  if is_leaf_of meta then addr
+  if is_leaf_of (read_meta t.mach addr) then addr
   else begin
-    let count = count_of meta in
-    (* inner node: entry i covers keys in [key_i, key_{i+1});
-       key_0 is the smallest key of the subtree *)
-    let pos = lower_bound t.mach addr count k in
-    let child_idx =
-      if pos < count && key_at t.mach addr pos = k then pos
-      else max 0 (pos - 1)
+    let child =
+      Machine.critical t.mach (fun () ->
+          let count = count_of (read_meta t.mach addr) in
+          (* inner node: entry i covers keys in [key_i, key_{i+1});
+             key_0 is the smallest key of the subtree *)
+          let pos = lower_bound t.mach addr count k in
+          let child_idx =
+            if pos < count && key_at t.mach addr pos = k then pos
+            else max 0 (pos - 1)
+          in
+          ptr_of_packed t (value_at t.mach addr child_idx)
+      )
     in
-    let child = ptr_of_packed t (value_at t.mach addr child_idx) in
     descend t (raw_of t child) k
   end
 
+(* Probe one leaf for [k] preemption-free, re-chasing the sibling
+   chain on a miss: a split that raced the lock-free descent relocates
+   an untouched neighbor key to the right sibling AND shrinks the left
+   count, so concluding absence from the stale leaf alone would deny a
+   present key (the FAST-FAIR reader retry). *)
 let find t k =
   let leaf = descend t (raw_of t t.root) k in
-  let meta = read_meta t.mach leaf in
-  let count = count_of meta in
-  let pos = lower_bound t.mach leaf count k in
-  if pos < count && key_at t.mach leaf pos = k then
-    Some (value_at t.mach leaf pos)
-  else None
+  Machine.critical t.mach (fun () ->
+      let rec probe leaf =
+        let count = count_of (read_meta t.mach leaf) in
+        let pos = lower_bound t.mach leaf count k in
+        if pos < count && key_at t.mach leaf pos = k then
+          Some (value_at t.mach leaf pos)
+        else begin
+          let sib = Machine.read_u64 t.mach (leaf + sibling_off) in
+          if sib = Alloc_intf.packed_null then None
+          else begin
+            let right = raw_of t (ptr_of_packed t sib) in
+            let rmeta = read_meta t.mach right in
+            if count_of rmeta > 0 && k >= key_at t.mach right 0 then
+              probe right
+            else None
+          end
+        end
+      in
+      probe leaf)
 
 (* ---------- insertion ---------- *)
 
@@ -441,46 +473,55 @@ let fold_range t ~from_key ~to_key ~init f =
 
 (* ---------- pull-based cursor (merged multi-tree scans) ---------- *)
 
+(* The cursor remembers WHERE it is logically ([cnext], the lower
+   bound for the next key to yield) rather than a physical slot index:
+   concurrent inserts/deletes shift entries within a leaf and splits
+   halve it, so a cached (leaf, idx, count) triple goes stale the
+   moment a writer touches the leaf — walking it would re-yield
+   relocated keys or skip shifted ones.  Every step re-reads the leaf
+   preemption-free and re-positions with [lower_bound cnext]; since
+   committed keys only ever move RIGHT (splits), chasing the sibling
+   chain from the cached leaf always reaches them. *)
 type cursor = {
   ct : t;
-  mutable cleaf : int; (* raw leaf addr; -1 = exhausted *)
-  mutable cidx : int;
-  mutable ccount : int;
+  mutable cleaf : int; (* raw leaf addr the search resumes at; -1 = done *)
+  mutable cnext : int; (* smallest key the cursor may still yield *)
 }
 
-(* advance to the next leaf with at least one entry at/after [cidx] *)
-let rec cursor_settle c =
-  if c.cleaf >= 0 && c.cidx >= c.ccount then begin
-    let sib = Machine.read_u64 c.ct.mach (c.cleaf + sibling_off) in
-    if sib = Alloc_intf.packed_null then c.cleaf <- -1
-    else begin
-      c.cleaf <- raw_of c.ct (ptr_of_packed c.ct sib);
-      c.cidx <- 0;
-      c.ccount <- count_of (read_meta c.ct.mach c.cleaf);
-      cursor_settle c
-    end
-  end
-
 let cursor_open t ~from_key =
-  let leaf = descend t (raw_of t t.root) from_key in
-  let count = count_of (read_meta t.mach leaf) in
-  let c =
-    { ct = t;
-      cleaf = leaf;
-      cidx = lower_bound t.mach leaf count from_key;
-      ccount = count }
-  in
-  cursor_settle c;
-  c
+  { ct = t; cleaf = descend t (raw_of t t.root) from_key; cnext = from_key }
 
-let cursor_next c =
+let rec cursor_next c =
   if c.cleaf < 0 then None
   else begin
-    let k = key_at c.ct.mach c.cleaf c.cidx
-    and v = value_at c.ct.mach c.cleaf c.cidx in
-    c.cidx <- c.cidx + 1;
-    cursor_settle c;
-    Some (k, v)
+    let t = c.ct in
+    let step =
+      Machine.critical t.mach (fun () ->
+          let leaf = chase_sibling t c.cleaf c.cnext in
+          let count = count_of (read_meta t.mach leaf) in
+          let pos = lower_bound t.mach leaf count c.cnext in
+          if pos < count then begin
+            c.cleaf <- leaf;
+            let k = key_at t.mach leaf pos in
+            c.cnext <- k + 1;
+            Some (Some (k, value_at t.mach leaf pos))
+          end
+          else begin
+            (* leaf exhausted (possibly emptied by deletes): move on *)
+            let sib = Machine.read_u64 t.mach (leaf + sibling_off) in
+            if sib = Alloc_intf.packed_null then begin
+              c.cleaf <- -1;
+              Some None
+            end
+            else begin
+              c.cleaf <- raw_of t (ptr_of_packed t sib);
+              None (* retry in the sibling *)
+            end
+          end)
+    in
+    match step with
+    | Some r -> r
+    | None -> cursor_next c
   end
 
 (* ---------- introspection ---------- *)

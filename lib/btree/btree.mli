@@ -11,7 +11,13 @@
     locks; writers lock the target leaf; structure modifications
     additionally take a global SMO lock.  Node updates use FAST-style
     shifting writes and FAIR-style publication ordering, so a crash at
-    any persistence point leaves a tree that {!attach} can reopen. *)
+    any persistence point leaves a tree that {!attach} can reopen.
+    Lock-free readers ({!find}, cursors) read each node
+    preemption-free (one consistent node state per step, the atomicity
+    FAST's shifting writes give real-hardware readers by construction)
+    and re-chase the leaf sibling chain before concluding absence or
+    advancing, so a split racing the traversal can neither hide a
+    relocated key nor make a cursor repeat or skip entries. *)
 
 type t
 
@@ -64,7 +70,13 @@ type cursor
     one tree to completion, a cursor yields one entry per call so
     several trees (e.g. the shards of a KV store) can be merged
     key-by-key.  Reads the live tree — entries inserted behind the
-    cursor's position are not revisited. *)
+    cursor's position are not revisited.  The cursor tracks its
+    logical position (the lower bound of the next key), not a slot
+    index, and revalidates the leaf on every step, so concurrent
+    splits, inserts and deletes can neither make it yield a key twice
+    nor skip a key that stays present: keys are yielded in strictly
+    ascending order, and every key live for the cursor's whole
+    lifetime is yielded exactly once. *)
 
 val cursor_open : t -> from_key:int -> cursor
 (** Position a cursor at the first key [>= from_key]. *)

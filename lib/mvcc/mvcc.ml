@@ -26,10 +26,16 @@
 
 type entry = { ts : int; value : int option (* None = absent/deleted *) }
 
+type resolution =
+  | No_chain
+  | Resolved of int option
+  | Truncated of int option
+
 type t = {
   window : int; (* K committed versions kept per chain; 0 = disabled *)
   nshards : int;
   chains : (int, entry list) Hashtbl.t array; (* newest-first per key *)
+  chain_gen : int array; (* bumped whenever a shard gains a chain *)
   watermark : int array; (* newest fully-published ts per shard *)
   mutable safe_ts : int; (* newest fully-published ts store-wide *)
 }
@@ -40,6 +46,7 @@ let create ~shards ~window =
   { window;
     nshards = shards;
     chains = Array.init shards (fun _ -> Hashtbl.create 64);
+    chain_gen = Array.make shards 0;
     watermark = Array.make shards 0;
     safe_ts = 0 }
 
@@ -51,10 +58,16 @@ let watermark t ~shard = t.watermark.(shard)
 
 let reset t =
   Array.iter Hashtbl.reset t.chains;
+  (* bump, don't zero: an open scan that captured a generation must
+     notice the key set changed, and zeroing could alias its capture *)
+  for i = 0 to t.nshards - 1 do
+    t.chain_gen.(i) <- t.chain_gen.(i) + 1
+  done;
   Array.fill t.watermark 0 t.nshards 0;
   t.safe_ts <- 0
 
 let has_chain t ~shard ~key = Hashtbl.mem t.chains.(shard) key
+let chain_gen t ~shard = t.chain_gen.(shard)
 
 let chain_length t ~shard ~key =
   match Hashtbl.find_opt t.chains.(shard) key with
@@ -62,10 +75,12 @@ let chain_length t ~shard ~key =
   | None -> 0
 
 let seed t ~shard ~key ~value =
-  if enabled t && not (Hashtbl.mem t.chains.(shard) key) then
+  if enabled t && not (Hashtbl.mem t.chains.(shard) key) then begin
     (* the floor pre-image: valid for every snapshot older than the
        first published version (all real timestamps are >= 0) *)
-    Hashtbl.replace t.chains.(shard) key [ { ts = 0; value } ]
+    Hashtbl.replace t.chains.(shard) key [ { ts = 0; value } ];
+    t.chain_gen.(shard) <- t.chain_gen.(shard) + 1
+  end
 
 (* keep the newest [window] committed versions plus one older entry as
    the in-chain floor *)
@@ -80,8 +95,13 @@ let trim t c =
 
 let publish_one t ~shard ~ts (key, value) =
   let tbl = t.chains.(shard) in
-  let chain = match Hashtbl.find_opt tbl key with Some c -> c | None -> [] in
-  Hashtbl.replace tbl key (trim t ({ ts; value } :: chain))
+  let chain, fresh =
+    match Hashtbl.find_opt tbl key with
+    | Some c -> (c, false)
+    | None -> ([], true)
+  in
+  Hashtbl.replace tbl key (trim t ({ ts; value } :: chain));
+  if fresh then t.chain_gen.(shard) <- t.chain_gen.(shard) + 1
 
 let advance t ~shard ~ts =
   if ts > t.watermark.(shard) then t.watermark.(shard) <- ts;
@@ -105,19 +125,23 @@ let publish_group t ~ts parts =
   end
 
 let lookup t ~shard ~key ~ts =
-  if not (enabled t) then None
+  if not (enabled t) then No_chain
   else
     match Hashtbl.find_opt t.chains.(shard) key with
-    | None -> None
+    | None -> No_chain
     | Some chain ->
       let rec resolve = function
-        | [] -> None (* unreachable: chains are never stored empty *)
+        | [] -> No_chain (* unreachable: chains are never stored empty *)
         | [ oldest ] ->
-          (* snapshot older than the oldest retained version: degrade
-             to the oldest we still have (the bounded-history cost a
-             long-held snapshot pays; see DESIGN §13) *)
-          Some oldest.value
-        | e :: rest -> if e.ts <= ts then Some e.value else resolve rest
+          if oldest.ts <= ts then Resolved oldest.value
+          else
+            (* every retained version postdates the snapshot: trimming
+               dropped the version [ts] should observe.  Surface the
+               consistency loss — the oldest survivor is a FORWARD
+               read, not a stale one — and let the caller decide what
+               degradation means (see DESIGN §13). *)
+            Truncated oldest.value
+        | e :: rest -> if e.ts <= ts then Resolved e.value else resolve rest
       in
       resolve chain
 

@@ -52,6 +52,15 @@ val has_chain : t -> shard:int -> key:int -> bool
 val chain_length : t -> shard:int -> key:int -> int
 (** Versions retained (pre-image included); bounded by [window + 1]. *)
 
+val chain_gen : t -> shard:int -> int
+(** Chain-set generation: bumped every time the shard gains a chain it
+    did not have (a {!seed}, a {!publish} of an unseeded key, or a
+    {!reset}).  A merged scan captures it with its chain-key list and
+    re-captures the keys still ahead of its position whenever the
+    generation moves — a concurrently deleted key leaves the tree
+    before the cursor reaches it, and only its freshly seeded chain
+    still carries the snapshot-visible version. *)
+
 val publish : t -> shard:int -> ts:int -> (int * int option) list -> unit
 (** Append one commit's versions ([key, digest option]; [None] =
     delete) on one shard and advance its watermark to [ts]. *)
@@ -61,13 +70,23 @@ val publish_group : t -> ts:int -> (int * (int * int option) list) list -> unit
     versions, then advance all their watermarks — a snapshot can never
     observe half of the group. *)
 
-val lookup : t -> shard:int -> key:int -> ts:int -> int option option
-(** [Some v]: the chain resolves the key at [ts] ([v = None] means
-    absent at that snapshot).  [None]: the key has no chain — the
-    persistent tree is its version for every timestamp.  A snapshot
-    older than the oldest retained version degrades to that oldest
-    entry (bounded history; long-held snapshots trade staleness for
-    the O(K) memory bound). *)
+type resolution =
+  | No_chain
+      (** The key has no chain — the persistent tree is its version
+          for every timestamp. *)
+  | Resolved of int option
+      (** The chain resolves the key at [ts] ([None] = absent at that
+          snapshot). *)
+  | Truncated of int option
+      (** Every retained version postdates [ts]: trimming dropped the
+          version the snapshot should observe, and the carried value
+          (the oldest survivor) is a {e forward} read — a version
+          committed after the snapshot.  The O(K) memory bound traded
+          away this snapshot's consistency; callers must not present
+          it as merely stale. *)
+
+val lookup : t -> shard:int -> key:int -> ts:int -> resolution
+(** Resolve the key to the newest version [<= ts], lock-free. *)
 
 val chain_keys_from : t -> shard:int -> from_key:int -> int list
 (** Sorted chain keys [>= from_key] on one shard — the chain-side

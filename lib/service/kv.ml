@@ -65,6 +65,17 @@ type t = {
   mvcc : Mvcc.t;
       (* volatile per-shard version chains for lock-free snapshot
          reads; window 0 (the default) disables every hook *)
+  mutable mvcc_seq : int;
+      (* MVCC commit sequence: every publication mints the next value
+         as its timestamp.  A store-local counter, NOT the wall/sim
+         clock — outside the simulator a clock-based ts would pin
+         every commit at 0 and degrade snapshots to read-latest, and
+         even in simulation two commits can share one tick. *)
+  mutable mvcc_truncated : int;
+      (* snapshot reads that outlived their key's retained history and
+         were answered with a version from AFTER the snapshot (the
+         bounded-window consistency loss) — observable via
+         [mvcc_truncated_reads] so callers/tests can detect it *)
   mutable mvcc_publish_early : bool;
       (* mutation-testing hook: the staged prepare publishes versions
          before any decision exists, so snapshot readers can observe a
@@ -151,6 +162,7 @@ let create ?(mvcc_window = 0) inst ~shards ~value_size =
   { inst; mach; hid; raw; value_size; nshards = shards; shard_tbl;
     shard_locks; txn_lock; next_txn = 1; break_decision_persist = false;
     mvcc = Mvcc.create ~shards ~window:mvcc_window;
+    mvcc_seq = 0; mvcc_truncated = 0;
     mvcc_publish_early = false; backup_decided = Hashtbl.create 8 }
 
 let set_state t sh st =
@@ -347,6 +359,7 @@ let attach ?(mvcc_window = 0) inst =
     { inst; mach; hid; raw; value_size; nshards; shard_tbl;
       shard_locks; txn_lock; next_txn = 1; break_decision_persist = false;
       mvcc = Mvcc.create ~shards:nshards ~window:mvcc_window;
+      mvcc_seq = 0; mvcc_truncated = 0;
       mvcc_publish_early = false; backup_decided = Hashtbl.create 8 }
   in
   let replayed, rolled_back =
@@ -358,6 +371,14 @@ let attach ?(mvcc_window = 0) inst =
 (* ---------- operations ---------- *)
 
 let now () = if Sched.in_simulation () then Sched.now () else 0
+
+(* Mint an MVCC commit timestamp.  The mint and the publication it
+   stamps must sit in one pure OCaml step (no simulated-machine call
+   between them), so the cooperative scheduler can never interleave a
+   snapshot minted above this commit's watermark advance. *)
+let mvcc_mint t =
+  t.mvcc_seq <- t.mvcc_seq + 1;
+  t.mvcc_seq
 
 (* digest of the value block behind a packed pointer — the unit of
    observation for gets and for published MVCC versions *)
@@ -439,7 +460,7 @@ let put t ~key ~vseed =
     Btree.insert sh.tree ~key ~value:(A.pack p);
     if old <> A.packed_null then A.i_free t.inst (A.unpack ~heap_id:t.hid old);
     set_state t sh st_empty;
-    Mvcc.publish t.mvcc ~shard:si ~ts:(now ())
+    Mvcc.publish t.mvcc ~shard:si ~ts:(mvcc_mint t)
       [ (key, Some (value_checksum t ~vseed)) ];
     true
 
@@ -464,7 +485,7 @@ let delete t ~key =
     ignore (Btree.delete sh.tree key);
     A.i_free t.inst (A.unpack ~heap_id:t.hid old);
     set_state t sh st_empty;
-    Mvcc.publish t.mvcc ~shard:si ~ts:(now ()) [ (key, None) ];
+    Mvcc.publish t.mvcc ~shard:si ~ts:(mvcc_mint t) [ (key, None) ];
     true
 
 let scan t ~from_key ~n =
@@ -487,12 +508,24 @@ let mvcc_chain_length t ~key =
   Mvcc.chain_length t.mvcc ~shard:(shard_of_key t key) ~key
 
 let mvcc_break_early_publish t = t.mvcc_publish_early <- true
+let mvcc_truncated_reads t = t.mvcc_truncated
+
+(* A chain resolution as the read path consumes it: a truncated
+   lookup still answers with the oldest retained version (the bounded
+   history the window buys), but the consistency loss is counted so
+   callers and tests can see it instead of mistaking it for mere
+   staleness. *)
+let resolved_value t = function
+  | Mvcc.Resolved r -> r
+  | Mvcc.Truncated r ->
+    t.mvcc_truncated <- t.mvcc_truncated + 1;
+    r
+  | Mvcc.No_chain -> None
 
 let snapshot_get t ~ts ~key =
   let i = shard_of_key t key in
   match Mvcc.lookup t.mvcc ~shard:i ~key ~ts with
-  | Some r -> r
-  | None ->
+  | Mvcc.No_chain ->
     (* no chain: the key has not been mutated since this store was
        built, so the tree is its version for every snapshot *)
     let r =
@@ -505,54 +538,79 @@ let snapshot_get t ~ts ~key =
        means the floor read may be torn — the chain is authoritative
        (its pre-image entry is exactly the committed value at [ts]) *)
     (match Mvcc.lookup t.mvcc ~shard:i ~key ~ts with
-     | Some r' -> r'
-     | None -> r)
+     | Mvcc.No_chain -> r
+     | res -> resolved_value t res)
+  | res -> resolved_value t res
 
 (* One shard's merged snapshot stream: the live tree cursor
-   interleaved with the shard's chain keys (captured at open).  Chain
-   presence is re-checked on every tree-yielded key — a writer racing
-   the cursor grows a chain the open-time capture missed — and a
-   chainless tree read is validated exactly like [snapshot_get]. *)
+   interleaved with the shard's chain keys.  The chain-key list is
+   captured at open and RE-captured (from the merge position on)
+   whenever the shard's chain generation moves: a key deleted mid-scan
+   leaves the tree before the cursor reaches it, so the open-time
+   capture (no chain yet) and the cursor (entry gone) would both miss
+   it even though its freshly seeded chain still holds the version
+   visible at [ts].  Chain presence is also re-checked on every
+   tree-yielded key, and a chainless tree read is validated exactly
+   like [snapshot_get]. *)
 type sstream = {
   ss_shard : int;
   ss_cursor : Btree.cursor;
   mutable ss_tree : (int * int) option; (* peeked live-tree entry *)
   mutable ss_chain : int list; (* remaining chain keys, ascending *)
+  mutable ss_gen : int; (* chain generation [ss_chain] was captured at *)
+  mutable ss_pos : int; (* lower bound of the next key to merge *)
 }
 
 let sstream_open t ~shard ~from_key =
   let c = Btree.cursor_open t.shard_tbl.(shard).tree ~from_key in
+  let peek = Btree.cursor_next c in
+  (* generation and key list in one pure OCaml step, AFTER the peek:
+     a chain seeded during the (yielding) cursor reads is either in
+     this capture or bumps the generation we record *)
+  let gen = Mvcc.chain_gen t.mvcc ~shard in
   { ss_shard = shard;
     ss_cursor = c;
-    ss_tree = Btree.cursor_next c;
-    ss_chain = Mvcc.chain_keys_from t.mvcc ~shard ~from_key }
+    ss_tree = peek;
+    ss_chain = Mvcc.chain_keys_from t.mvcc ~shard ~from_key;
+    ss_gen = gen;
+    ss_pos = from_key }
 
 (* next (key, digest) visible at [ts], ascending; [None] = exhausted *)
 let rec sstream_next t st ~ts =
+  (* writers may have seeded chains since the last step (e.g. deletes
+     whose tree entries the cursor will now never see): re-capture the
+     chain keys still ahead of the merge position *)
+  let gen = Mvcc.chain_gen t.mvcc ~shard:st.ss_shard in
+  if gen <> st.ss_gen then begin
+    st.ss_gen <- gen;
+    st.ss_chain <-
+      Mvcc.chain_keys_from t.mvcc ~shard:st.ss_shard ~from_key:st.ss_pos
+  end;
   if st.ss_tree = None && st.ss_chain = [] then None
   else begin
     let tk = match st.ss_tree with Some (k, _) -> k | None -> max_int in
     let ck = match st.ss_chain with k :: _ -> k | [] -> max_int in
     let key = min tk ck in
+    st.ss_pos <- key + 1;
     let tv = if tk = key then st.ss_tree else None in
     if tk = key then st.ss_tree <- Btree.cursor_next st.ss_cursor;
     if ck = key then st.ss_chain <- List.tl st.ss_chain;
     let resolved =
       if Mvcc.has_chain t.mvcc ~shard:st.ss_shard ~key then
-        Mvcc.lookup t.mvcc ~shard:st.ss_shard ~key ~ts
+        resolved_value t (Mvcc.lookup t.mvcc ~shard:st.ss_shard ~key ~ts)
       else begin
         match tv with
-        | None -> Some None (* chain vanished mid-scan: cannot happen *)
+        | None -> None (* chain vanished mid-scan: cannot happen *)
         | Some (_, v) ->
           let d = block_digest t v in
           (match Mvcc.lookup t.mvcc ~shard:st.ss_shard ~key ~ts with
-           | Some r -> Some r
-           | None -> Some (Some d))
+           | Mvcc.No_chain -> Some d
+           | res -> resolved_value t res)
       end
     in
     match resolved with
-    | Some (Some d) -> Some (key, d)
-    | _ -> sstream_next t st ~ts (* absent at this snapshot: skip *)
+    | Some d -> Some (key, d)
+    | None -> sstream_next t st ~ts (* absent at this snapshot: skip *)
   end
 
 let snapshot_scan t ~ts ~from_key ~n f =
@@ -709,12 +767,12 @@ let decide_apply_locked t txn parts =
   write_decision t txn ~persist:(not t.break_decision_persist);
   let fin = now () in
   (* the whole group becomes visible at its decision timestamp in one
-     pure OCaml step (nothing yields between the fin capture and the
+     pure OCaml step (nothing yields between the mint and the
      watermark advance): a snapshot minted from here on resolves the
      written keys through their chains while the trees are still
      being updated below *)
   if Mvcc.enabled t.mvcc then
-    Mvcc.publish_group t.mvcc ~ts:fin
+    Mvcc.publish_group t.mvcc ~ts:(mvcc_mint t)
       (List.map (fun (i, ops) -> (i, List.map (op_version t) ops)) parts);
   List.iter
     (fun i ->
@@ -928,7 +986,7 @@ let txn_prepare t ops =
         List.iter
           (fun (i, ops) -> List.iter (fun o -> mvcc_seed t i (txn_key o)) ops)
           parts;
-        Mvcc.publish_group t.mvcc ~ts:(now ())
+        Mvcc.publish_group t.mvcc ~ts:(mvcc_mint t)
           (List.map (fun (i, ops) -> (i, List.map (op_version t) ops)) parts)
       end;
       Ok txn)
@@ -949,7 +1007,7 @@ let txn_apply t ~txn =
         groups := (i, entry_versions t entries) :: !groups
       | _ -> ()
     done;
-    Mvcc.publish_group t.mvcc ~ts:(now ()) !groups
+    Mvcc.publish_group t.mvcc ~ts:(mvcc_mint t) !groups
   end;
   for i = 0 to t.nshards - 1 do
     match read_tslot t i with
@@ -1048,7 +1106,7 @@ let txn_backup_decide t ~txn ~shard ~commit ~nparts =
           done;
         write_decision t txn ~persist:(not t.break_decision_persist);
         if Mvcc.enabled t.mvcc then
-          Mvcc.publish_group t.mvcc ~ts:(now ()) !groups;
+          Mvcc.publish_group t.mvcc ~ts:(mvcc_mint t) !groups;
         for i = 0 to t.nshards - 1 do
           match read_tslot t i with
           | `Slot (id, es) when id = txn -> apply_tslot t i es

@@ -123,9 +123,13 @@ val check : t -> unit
     Writers seed a key's pre-image before first touching its tree
     entry, so a lock-free reader never observes the tree mid-update
     for a mutated key; chainless keys read the tree directly and
-    re-validate against the chain afterwards.  With [mvcc_window = 0]
-    (the default) every hook is off and the calls below degrade to the
-    plain read path. *)
+    re-validate against the chain afterwards.  Commit timestamps are a
+    store-local monotone commit {e sequence} (minted at each
+    publication), not the simulated clock — snapshot semantics hold
+    identically outside the simulator, where a clock-based stamp would
+    pin every commit at 0 and silently degrade snapshots to
+    read-latest.  With [mvcc_window = 0] (the default) every hook is
+    off and the calls below degrade to the plain read path. *)
 
 val mvcc_window : t -> int
 
@@ -135,8 +139,17 @@ val snapshot : t -> int
 
 val snapshot_get : t -> ts:int -> key:int -> int option
 (** The key's value digest as of snapshot [ts], lock-free.  A snapshot
-    older than the key's oldest retained version degrades to that
-    oldest version (bounded history: the window caps chain memory). *)
+    older than the key's oldest retained version is answered with that
+    oldest version — a version committed {e after} the snapshot, i.e.
+    a consistency loss, not mere staleness (bounded history: the
+    window caps chain memory) — and counted in
+    {!mvcc_truncated_reads} so the caller can detect it. *)
+
+val mvcc_truncated_reads : t -> int
+(** Snapshot reads so far whose timestamp predated every retained
+    version of their key, so the answer came from after the snapshot
+    (the bounded-window degradation).  0 means every snapshot read was
+    exact. *)
 
 val snapshot_scan : t -> ts:int -> from_key:int -> n:int -> (int -> int -> unit) -> int
 (** Visits up to [n] entries with key ≥ [from_key] {e across all

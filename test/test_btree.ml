@@ -264,6 +264,77 @@ let test_concurrent_mixed_readers_writers () =
   Btree.check t;
   check_int "no lost reads" 0 !anomalies
 
+(* Regression: a lock-free cursor must not repeat or skip keys when
+   the leaf it sits on is split or shifted by concurrent inserts (a
+   cached slot index goes stale the moment the leaf changes).  The
+   reader walks the odd keys — present for the cursor's whole lifetime
+   — while the writer interleaves the even keys, splitting the
+   reader's leaves under it.  Strict ascent rules out re-yielded
+   relocated entries; the odd count rules out skips. *)
+let test_cursor_vs_concurrent_splits () =
+  let mach, inst = poseidon_inst () in
+  let t = Btree.create inst in
+  let n = 1000 in
+  for i = 0 to n - 1 do
+    Btree.insert t ~key:((2 * i) + 1) ~value:(2 * i + 2)
+  done;
+  let bad_order = ref 0 and bad_value = ref 0 and seen_odd = ref 0 in
+  let _ =
+    Machine.parallel mach ~threads:2 (fun i ->
+        if i = 0 then
+          for j = 1 to n do
+            Btree.insert t ~key:(2 * j) ~value:((2 * j) + 1)
+          done
+        else begin
+          let c = Btree.cursor_open t ~from_key:1 in
+          let last = ref 0 in
+          let rec go () =
+            match Btree.cursor_next c with
+            | Some (k, v) ->
+              if k <= !last then incr bad_order;
+              if v <> k + 1 then incr bad_value;
+              if k land 1 = 1 then incr seen_odd;
+              last := k;
+              go ()
+            | None -> ()
+          in
+          go ()
+        end)
+  in
+  Btree.check t;
+  check_int "strictly ascending under splits" 0 !bad_order;
+  check_int "every yielded value intact" 0 !bad_value;
+  check_int "every long-lived key yielded exactly once" n !seen_odd
+
+(* Regression: [find] must never report a present key absent because
+   a racing split relocated it to the right sibling between the
+   descent and the leaf probe (the FAST-FAIR reader retry). *)
+let test_find_vs_concurrent_splits () =
+  let mach, inst = poseidon_inst () in
+  let t = Btree.create inst in
+  let n = 1000 in
+  for i = 0 to n - 1 do
+    Btree.insert t ~key:((2 * i) + 1) ~value:(2 * i + 2)
+  done;
+  let misses = ref 0 in
+  let _ =
+    Machine.parallel mach ~threads:4 (fun i ->
+        if i = 0 then
+          for j = 1 to n do
+            Btree.insert t ~key:(2 * j) ~value:((2 * j) + 1)
+          done
+        else begin
+          let rng = Prng.create (100 + i) in
+          for _ = 1 to 1500 do
+            let k = (2 * Prng.int rng n) + 1 in
+            match Btree.find t k with
+            | Some v when v = k + 1 -> ()
+            | _ -> incr misses
+          done
+        end)
+  in
+  check_int "a present key is never reported absent mid-split" 0 !misses
+
 let test_crash_at_every_split_boundary () =
   (* crash at many persistence points while inserting; after attach,
      every key whose insert call returned must be findable (the
@@ -365,7 +436,11 @@ let () =
       ( "concurrency",
         [ Alcotest.test_case "parallel inserts" `Quick test_concurrent_inserts;
           Alcotest.test_case "readers/writers" `Quick
-            test_concurrent_mixed_readers_writers ] );
+            test_concurrent_mixed_readers_writers;
+          Alcotest.test_case "cursor vs splits" `Quick
+            test_cursor_vs_concurrent_splits;
+          Alcotest.test_case "find vs splits" `Quick
+            test_find_vs_concurrent_splits ] );
       ( "persistence",
         [ Alcotest.test_case "crash + attach" `Quick test_persistence_across_crash;
           Alcotest.test_case "crash at split boundaries" `Quick

@@ -35,22 +35,27 @@ let test_chain_bound_and_lookup () =
   Mvcc.publish m ~shard:0 ~ts:30 [ (1, Some 103) ];
   check_int "GC bound: window + 1" 3 (Mvcc.chain_length m ~shard:0 ~key:1);
   check "at the newest commit" true
-    (Mvcc.lookup m ~shard:0 ~key:1 ~ts:30 = Some (Some 103));
+    (Mvcc.lookup m ~shard:0 ~key:1 ~ts:30 = Mvcc.Resolved (Some 103));
   check "between commits" true
-    (Mvcc.lookup m ~shard:0 ~key:1 ~ts:25 = Some (Some 102));
+    (Mvcc.lookup m ~shard:0 ~key:1 ~ts:25 = Mvcc.Resolved (Some 102));
   check "oldest retained" true
-    (Mvcc.lookup m ~shard:0 ~key:1 ~ts:10 = Some (Some 101));
-  check "degrades to oldest below retained history" true
-    (Mvcc.lookup m ~shard:0 ~key:1 ~ts:5 = Some (Some 101));
+    (Mvcc.lookup m ~shard:0 ~key:1 ~ts:10 = Mvcc.Resolved (Some 101));
+  check "below retained history: the forward read is flagged" true
+    (Mvcc.lookup m ~shard:0 ~key:1 ~ts:5 = Mvcc.Truncated (Some 101));
   check "chainless key falls through to the tree" true
-    (Mvcc.lookup m ~shard:0 ~key:9 ~ts:30 = None);
+    (Mvcc.lookup m ~shard:0 ~key:9 ~ts:30 = Mvcc.No_chain);
   check_int "snapshot follows publication" 30 (Mvcc.snapshot m);
   Mvcc.publish m ~shard:0 ~ts:40 [ (1, None) ];
   check "a delete is a version" true
-    (Mvcc.lookup m ~shard:0 ~key:1 ~ts:40 = Some None);
+    (Mvcc.lookup m ~shard:0 ~key:1 ~ts:40 = Mvcc.Resolved None);
   Mvcc.seed m ~shard:0 ~key:1 ~value:(Some 999);
   check "seed is a no-op on an existing chain" true
-    (Mvcc.lookup m ~shard:0 ~key:1 ~ts:40 = Some None)
+    (Mvcc.lookup m ~shard:0 ~key:1 ~ts:40 = Mvcc.Resolved None);
+  (* the seed floor (ts 0) is a legitimate resolution for every real
+     snapshot, never a truncation *)
+  Mvcc.seed m ~shard:0 ~key:2 ~value:(Some 7);
+  check "seed floor resolves at ts 0" true
+    (Mvcc.lookup m ~shard:0 ~key:2 ~ts:0 = Mvcc.Resolved (Some 7))
 
 let test_group_publication_atomic () =
   let m = Mvcc.create ~shards:2 ~window:4 in
@@ -63,23 +68,35 @@ let test_group_publication_atomic () =
   check_int "watermark shard 1" 12 (Mvcc.watermark m ~shard:1);
   check_int "snapshot after the group" 12 (Mvcc.snapshot m);
   check "an old snapshot keeps the pre-group value" true
-    (Mvcc.lookup m ~shard:1 ~key:5 ~ts:11 = Some (Some 50));
+    (Mvcc.lookup m ~shard:1 ~key:5 ~ts:11 = Mvcc.Resolved (Some 50));
   check "a new snapshot sees the whole group" true
-    (Mvcc.lookup m ~shard:0 ~key:2 ~ts:12 = Some (Some 21)
-    && Mvcc.lookup m ~shard:1 ~key:5 ~ts:12 = Some (Some 51)
-    && Mvcc.lookup m ~shard:1 ~key:7 ~ts:12 = Some (Some 70));
+    (Mvcc.lookup m ~shard:0 ~key:2 ~ts:12 = Mvcc.Resolved (Some 21)
+    && Mvcc.lookup m ~shard:1 ~key:5 ~ts:12 = Mvcc.Resolved (Some 51)
+    && Mvcc.lookup m ~shard:1 ~key:7 ~ts:12 = Mvcc.Resolved (Some 70));
   check "chain_keys_from is a sorted suffix" true
     (Mvcc.chain_keys_from m ~shard:1 ~from_key:6 = [ 7 ]);
+  (* each key's first publication moves the shard's chain generation:
+     the handle a merged scan re-captures chain keys on *)
+  let g = Mvcc.chain_gen m ~shard:1 in
+  Mvcc.publish m ~shard:1 ~ts:13 [ (5, Some 52) ];
+  check_int "re-publishing a chained key keeps the generation" g
+    (Mvcc.chain_gen m ~shard:1);
+  Mvcc.publish m ~shard:1 ~ts:14 [ (9, Some 90) ];
+  check "a fresh key's publication bumps the generation" true
+    (Mvcc.chain_gen m ~shard:1 > g);
   Mvcc.reset m;
   check "reset drops the chains" true (not (Mvcc.has_chain m ~shard:1 ~key:5));
-  check_int "reset drops the watermarks" 0 (Mvcc.snapshot m)
+  check_int "reset drops the watermarks" 0 (Mvcc.snapshot m);
+  check "reset moves the generation (open scans must re-capture)" true
+    (Mvcc.chain_gen m ~shard:1 > g)
 
 let test_window_zero_disabled () =
   let m = Mvcc.create ~shards:1 ~window:0 in
   check "disabled" true (not (Mvcc.enabled m));
   Mvcc.seed m ~shard:0 ~key:1 ~value:(Some 1);
   Mvcc.publish m ~shard:0 ~ts:5 [ (1, Some 2) ];
-  check "publish is a no-op" true (Mvcc.lookup m ~shard:0 ~key:1 ~ts:5 = None);
+  check "publish is a no-op" true
+    (Mvcc.lookup m ~shard:0 ~key:1 ~ts:5 = Mvcc.No_chain);
   check_int "no chain" 0 (Mvcc.chain_length m ~shard:0 ~key:1)
 
 (* ---------- Kv snapshot reads on a quiescent store ---------- *)
@@ -119,6 +136,43 @@ let test_snapshot_get_equivalence () =
   in
   check_int "n caps the scan" 5 n';
   check_int "from_key floors the scan" 10 !first
+
+(* Regression: MVCC timestamps are a store-local commit sequence, so
+   snapshot semantics hold OUTSIDE the simulator too.  With the old
+   clock-based stamps every non-sim commit published at ts 0, the
+   watermark never advanced, and a held snapshot silently read the
+   newest version. *)
+let test_snapshot_stability_outside_sim () =
+  let _, _, s = mk_store ~shards:2 () in
+  ignore (Kv.put s ~key:3 ~vseed:100);
+  ignore (Kv.put s ~key:4 ~vseed:200);
+  let ts = Kv.snapshot s in
+  check "snapshot advances with non-sim commits" true (ts > 0);
+  ignore (Kv.put s ~key:3 ~vseed:101);
+  ignore (Kv.delete s ~key:4);
+  check "a held snapshot is immune to a later overwrite" true
+    (Kv.snapshot_get s ~ts ~key:3 = Some (Kv.value_checksum s ~vseed:100));
+  check "a held snapshot is immune to a later delete" true
+    (Kv.snapshot_get s ~ts ~key:4 = Some (Kv.value_checksum s ~vseed:200));
+  check "a fresh snapshot sees the new value" true
+    (Kv.snapshot_get s ~ts:(Kv.snapshot s) ~key:3
+    = Some (Kv.value_checksum s ~vseed:101));
+  check_int "no truncation was involved" 0 (Kv.mvcc_truncated_reads s)
+
+(* Regression: a snapshot that outlives its key's retained history is
+   answered from AFTER the snapshot — that consistency loss must be
+   observable, not silent. *)
+let test_truncated_read_detection () =
+  let _, _, s = mk_store ~mvcc_window:2 ~shards:1 () in
+  ignore (Kv.put s ~key:1 ~vseed:10);
+  let ts = Kv.snapshot s in
+  for v = 11 to 18 do
+    ignore (Kv.put s ~key:1 ~vseed:v)
+  done;
+  check_int "exact reads are not counted" 0 (Kv.mvcc_truncated_reads s);
+  ignore (Kv.snapshot_get s ~ts ~key:1);
+  check "the outlived snapshot's read is counted" true
+    (Kv.mvcc_truncated_reads s > 0)
 
 let test_kv_chain_gc_bound () =
   let _, _, s = mk_store ~mvcc_window:3 ~shards:2 () in
@@ -239,6 +293,54 @@ let test_concurrent_snapshot_stability () =
     (Kv.snapshot_get s ~ts ~key:3 = Kv.get s ~key:3
     && Kv.snapshot_get s ~ts ~key:4 = Kv.get s ~key:4)
 
+(* Regression: a key deleted WHILE a snapshot scan is running leaves
+   the tree before the cursor reaches it, and its chain did not exist
+   when the scan captured the chain keys — without generation-driven
+   re-capture the scan silently drops a key that is visible at its
+   snapshot.  The per-key [snapshot_get] oracle is exact at a held
+   timestamp (the window exceeds every commit), so any divergence is a
+   dropped, phantom or misresolved scan entry. *)
+let test_scan_vs_concurrent_deletes () =
+  let mach, inst, s0 = mk_store ~mvcc_window:64 ~shards:2 () in
+  let keys = List.init 40 (fun i -> i + 1) in
+  List.iter (fun k -> ignore (Kv.put s0 ~key:k ~vseed:(k * 7))) keys;
+  (* reopen: the version chains are volatile, so after recovery every
+     key lives only in its tree — exactly the state where a mid-scan
+     delete is covered by neither the open-time chain capture nor the
+     cursor, and only generation-driven re-capture can save it *)
+  let s, _ = Kv.attach ~mvcc_window:64 inst in
+  let mismatches = ref 0 in
+  let _ =
+    Machine.parallel mach ~threads:2 (fun i ->
+        if i = 0 then
+          (* back-to-front: a delete costs far more machine ops than a
+             scan step, so a front-to-back deleter would trail the
+             cursor and never delete ahead of it — deleting from the
+             high end guarantees keys vanish from the tree before the
+             merge reaches them *)
+          List.iter (fun k -> ignore (Kv.delete s ~key:k)) (List.rev keys)
+        else
+          for _ = 1 to 5 do
+            let ts = Kv.snapshot s in
+            let got = ref [] in
+            let _ =
+              Kv.snapshot_scan s ~ts ~from_key:1 ~n:100 (fun k d ->
+                  got := (k, d) :: !got)
+            in
+            let want =
+              List.filter_map
+                (fun k ->
+                  Option.map (fun d -> (k, d)) (Kv.snapshot_get s ~ts ~key:k))
+                keys
+            in
+            if List.rev !got <> want then incr mismatches
+          done)
+  in
+  check_int "every racing scan equals the per-key snapshot oracle" 0
+    !mismatches;
+  check_int "no snapshot outlived retained history" 0
+    (Kv.mvcc_truncated_reads s)
+
 (* ---------- crashcheck: correctness sweep + mutation gate ---------- *)
 
 let test_kv_snapshot_sweep_green () =
@@ -269,6 +371,10 @@ let () =
       ( "kv",
         [ Alcotest.test_case "snapshot reads = plain reads, quiescent"
             `Quick test_snapshot_get_equivalence;
+          Alcotest.test_case "snapshot stability outside the simulator"
+            `Quick test_snapshot_stability_outside_sim;
+          Alcotest.test_case "truncated snapshot reads are counted" `Quick
+            test_truncated_read_detection;
           Alcotest.test_case "chain GC bound through the store" `Quick
             test_kv_chain_gc_bound;
           Alcotest.test_case "staged txn all-or-none" `Quick
@@ -277,7 +383,9 @@ let () =
             test_backup_promotion_snapshots ] );
       ( "concurrency",
         [ Alcotest.test_case "snapshot stability under writers" `Quick
-            test_concurrent_snapshot_stability ] );
+            test_concurrent_snapshot_stability;
+          Alcotest.test_case "scans survive concurrent deletes" `Quick
+            test_scan_vs_concurrent_deletes ] );
       ( "crashcheck",
         [ Alcotest.test_case "kv-snapshot sweep green" `Quick
             test_kv_snapshot_sweep_green;
