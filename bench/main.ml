@@ -962,6 +962,153 @@ let mvcc_suite () =
   end;
   (List.rev !runs, plain_p50, snap_p50, write_all, read95)
 
+(* ---------- alloc suite: DRAM magazine-cache fast path ---------- *)
+
+(* The tcache wrapper turns the common allocation into a volatile bin
+   pop (no NVMM write, no fence) with batched refills and bulk frees,
+   so (a) the per-op simulated latency of a steady-state alloc/free
+   mix must drop sharply against the raw allocator — the gate demands
+   a >= 25% alloc p50 reduction — and (b) an end-to-end write-heavy
+   serve run with --tcache-mag K must beat the same-seed mag-0 run on
+   write (put) p50.  A crash run shows cached serving changes nothing
+   about recovery. *)
+let alloc_suite () =
+  note "";
+  note "### Allocation fast path: magazine cache vs raw allocator";
+  note "(steady-state 64 B alloc/free mix, one simulated thread)";
+  let module S = Service.Server in
+  let factory = Workloads.Factories.poseidon () in
+  let mag = 8 in
+  (* micro: per-op simulated ns, measured inside the simulation *)
+  let micro ~cached =
+    let mach, raw = factory.Workloads.Factories.make () in
+    let inst = if cached then fst (Tcache.wrap ~mag raw) else raw in
+    let n = scale 2000 in
+    let window = 64 in
+    let alloc_ns = Array.make n 0 and free_ns = Array.make n 0 in
+    ignore
+      (Machine.parallel mach ~threads:1 (fun _ ->
+           let live = Array.make window Alloc_intf.null in
+           (* warm the bins and the allocator's hash path *)
+           for k = 0 to window - 1 do
+             live.(k) <- Option.get (Alloc_intf.i_alloc inst 64)
+           done;
+           for k = 0 to n - 1 do
+             let slot = k mod window in
+             let t0 = Simcore.Sched.now () in
+             Alloc_intf.i_free inst live.(slot);
+             let t1 = Simcore.Sched.now () in
+             (match Alloc_intf.i_alloc inst 64 with
+              | Some p -> live.(slot) <- p
+              | None -> failwith "bench alloc: out of memory");
+             let t2 = Simcore.Sched.now () in
+             free_ns.(k) <- t1 - t0;
+             alloc_ns.(k) <- t2 - t1
+           done));
+    let p50 a =
+      let a = Array.copy a in
+      Array.sort compare a;
+      a.(Array.length a / 2)
+    in
+    let mean a =
+      float_of_int (Array.fold_left ( + ) 0 a) /. float_of_int n
+    in
+    (p50 alloc_ns, mean alloc_ns, p50 free_ns, mean free_ns)
+  in
+  let raw_p50, raw_mean, raw_fp50, raw_fmean = micro ~cached:false in
+  let tc_p50, tc_mean, tc_fp50, tc_fmean = micro ~cached:true in
+  let table =
+    Tablefmt.create
+      ~title:(Printf.sprintf "64 B alloc/free latency (mag %d)" mag)
+      ~columns:
+        [ "path"; "alloc p50"; "alloc mean"; "free p50"; "free mean" ]
+  in
+  Tablefmt.add_row table "raw"
+    [ string_of_int raw_p50; Printf.sprintf "%.0f" raw_mean;
+      string_of_int raw_fp50; Printf.sprintf "%.0f" raw_fmean ];
+  Tablefmt.add_row table "tcache"
+    [ string_of_int tc_p50; Printf.sprintf "%.0f" tc_mean;
+      string_of_int tc_fp50; Printf.sprintf "%.0f" tc_fmean ];
+  Tablefmt.print table;
+  note "  alloc p50: %d ns raw -> %d ns cached (%.2fx)" raw_p50 tc_p50
+    (float_of_int tc_p50 /. float_of_int (max 1 raw_p50));
+  if 4 * tc_p50 > 3 * raw_p50 then begin
+    Printf.eprintf
+      "bench alloc: GATE FAILED — cached alloc p50 %d ns is not 25%% below \
+       the raw p50 %d ns\n"
+      tc_p50 raw_p50;
+    exit 1
+  end;
+  (* end-to-end: write-heavy serving, same seed, mag K vs mag 0 *)
+  let make () = factory.Workloads.Factories.make () in
+  let reattach mach =
+    Poseidon.instance
+      (Poseidon.Heap.attach mach ~base:Workloads.Factories.heap_base ())
+  in
+  let base ~tcache_mag scope =
+    { S.default_config with
+      S.shards = 4;
+      clients = 32;
+      rate = 2_000_000.;
+      duration = (if !full then 0.05 else 0.02);
+      value_size = 128;
+      keyspace = 4096;
+      read_pct = 0;
+      scan_pct = 0;
+      delete_pct = 10;
+      queue_capacity = 64;
+      tcache_mag;
+      scope }
+  in
+  let runs = ref [] in
+  let run_one label cfg =
+    let r = S.run ~make ~reattach cfg in
+    if r.S.ledger.S.mismatches > 0 then begin
+      Printf.eprintf "bench alloc: LEDGER MISMATCH in %s\n" label;
+      exit 1
+    end;
+    runs := (label, cfg, r) :: !runs;
+    r
+  in
+  let plain = run_one "serve-mag0" (base ~tcache_mag:0 "bench/alloc/mag0") in
+  let cached =
+    run_one "serve-tcache" (base ~tcache_mag:mag "bench/alloc/tcache")
+  in
+  let crash =
+    run_one "serve-tcache-crash"
+      { (base ~tcache_mag:mag "bench/alloc/crash") with
+        S.crash_at = Some 0.5 }
+  in
+  let stable =
+    Tablefmt.create
+      ~title:"poseidon-kv write-heavy serving (4 shards, saturating)"
+      ~columns:[ "run"; "mag"; "goodput"; "write p50"; "write p99" ]
+  in
+  List.iter
+    (fun (label, (cfg : S.config), (r : S.result)) ->
+      Tablefmt.add_row stable label
+        [ string_of_int cfg.S.tcache_mag;
+          Printf.sprintf "%.0f" r.S.goodput;
+          string_of_int r.S.write_latency.S.p50;
+          string_of_int r.S.write_latency.S.p99 ])
+    (List.rev !runs);
+  Tablefmt.print stable;
+  note "  crash run: RTO %d ns; ledger %d checked, %d mismatch(es)"
+    crash.S.rto_ns crash.S.ledger.S.checked crash.S.ledger.S.mismatches;
+  let plain_w50 = plain.S.write_latency.S.p50
+  and tc_w50 = cached.S.write_latency.S.p50 in
+  note "  serve write p50: %d ns mag 0 -> %d ns mag %d (%.2fx)" plain_w50
+    tc_w50 mag
+    (float_of_int tc_w50 /. float_of_int (max 1 plain_w50));
+  if tc_w50 >= plain_w50 then begin
+    Printf.eprintf
+      "bench alloc: GATE FAILED — cached serve write p50 %d ns does not \
+       beat the mag-0 write p50 %d ns\n"
+      tc_w50 plain_w50;
+    exit 1
+  end;
+  (List.rev !runs, (raw_p50, raw_mean, tc_p50, tc_mean), (plain_w50, tc_w50))
+
 (* ---------- txn suite: cross-shard 2PC transactions ---------- *)
 
 (* Same traffic harness with a transactional mix (server --txn-pct):
@@ -1500,6 +1647,58 @@ let write_mvcc_results (runs, plain_p50, snap_p50, write_all, read95) =
   in
   write_doc (if !json_out = "" then "BENCH_mvcc.json" else !json_out) doc
 
+let write_alloc_results (runs, (raw_p50, raw_mean, tc_p50, tc_mean), (plain_w50, tc_w50)) =
+  let module S = Service.Server in
+  let module J = Obs.Json in
+  let num i = J.Num (float_of_int i) in
+  let pct (p : S.percentiles) =
+    J.Obj
+      [ ("p50", num p.S.p50); ("p99", num p.S.p99); ("p999", num p.S.p999);
+        ("mean", J.Num p.S.mean); ("max", num p.S.max);
+        ("samples", num p.S.samples) ]
+  in
+  let run_json (label, (cfg : S.config), (r : S.result)) =
+    J.Obj
+      [ ("label", J.Str label);
+        ( "config",
+          J.Obj
+            [ ("shards", num cfg.S.shards); ("clients", num cfg.S.clients);
+              ("rate", J.Num cfg.S.rate); ("duration", J.Num cfg.S.duration);
+              ("tcache_mag", num cfg.S.tcache_mag);
+              ("seed", num cfg.S.seed) ] );
+        ("offered", num r.S.offered); ("completed", num r.S.completed);
+        ("shed", num r.S.shed);
+        ("throughput", J.Num r.S.throughput); ("goodput", J.Num r.S.goodput);
+        ("latency", pct r.S.latency);
+        ("write_latency", pct r.S.write_latency);
+        ("crashed", J.Bool r.S.crashed); ("rto_ns", num r.S.rto_ns);
+        ("ledger_mismatches", num r.S.ledger.S.mismatches) ]
+  in
+  let doc =
+    J.Obj
+      [ ("schema", J.Str "poseidon-bench-alloc/v1");
+        ("rev", rev_json ());
+        ("config", J.Obj [ ("full", J.Bool !full) ]);
+        ("runs", J.Arr (List.map run_json runs));
+        ( "micro",
+          J.Obj
+            [ ("raw_alloc_p50_ns", num raw_p50);
+              ("raw_alloc_mean_ns", J.Num raw_mean);
+              ("tcache_alloc_p50_ns", num tc_p50);
+              ("tcache_alloc_mean_ns", J.Num tc_mean) ] );
+        ( "gate",
+          J.Obj
+            [ ( "alloc_p50_ratio",
+                J.Num (float_of_int tc_p50 /. float_of_int (max 1 raw_p50)) );
+              ( "alloc_p50_dropped_25pct",
+                J.Bool (4 * tc_p50 <= 3 * raw_p50) );
+              ("mag0_write_p50_ns", num plain_w50);
+              ("tcache_write_p50_ns", num tc_w50);
+              ("serve_write_p50_dropped", J.Bool (tc_w50 < plain_w50)) ] );
+        ("metrics", Obs.Metrics.snapshot ()) ]
+  in
+  write_doc (if !json_out = "" then "BENCH_alloc.json" else !json_out) doc
+
 let write_txn_results runs =
   let module S = Service.Server in
   let module J = Obs.Json in
@@ -1688,7 +1887,8 @@ let () =
         \        latency budgets + dominant-stage pins -> BENCH_attrib.json;\n\
         \        'batch': group-commit window sweep, sync-vs-async p50 gate\n\
         \        -> BENCH_batch.json; 'mvcc': read-mix sweep + snapshot-read\n\
-        \        overhead gate -> BENCH_mvcc.json)" );
+        \        overhead gate -> BENCH_mvcc.json; 'alloc': magazine-cache\n\
+        \        alloc p50 + serve write p50 gates -> BENCH_alloc.json)" );
       ( "--json-out",
         Arg.Set_string json_out,
         "FILE  metrics snapshot destination (default BENCH_results.json, \
@@ -1728,10 +1928,15 @@ let () =
     write_mvcc_results res;
     exit 0
   end
+  else if !suite = "alloc" then begin
+    let res = alloc_suite () in
+    write_alloc_results res;
+    exit 0
+  end
   else if !suite <> "" then begin
     Printf.eprintf
       "bench: unknown suite %S (known: service, replication, txn, attrib, \
-       batch, mvcc)\n"
+       batch, mvcc, alloc)\n"
       !suite;
     exit 2
   end;

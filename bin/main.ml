@@ -251,9 +251,11 @@ let crashcheck_cmd =
              completed-prefix model), kv-replicated-put (two-machine sync \
              replication with transaction records, cluster-wide crash), \
              kv-batched-put (group commit + doorbell-batched replication, \
-             cluster-wide crash), broken / kv-txn-broken / \
-             kv-batched-broken / mvcc-broken (deliberately buggy, for \
-             mutation sanity checks) or all (every correct one).")
+             cluster-wide crash), kv-tcache-put (magazine-cached \
+             allocation: leases, batch publish, bulk reclaim), broken / \
+             kv-txn-broken / kv-batched-broken / mvcc-broken / \
+             tcache-broken (deliberately buggy, for mutation sanity \
+             checks) or all (every correct one).")
   in
   let max_points_arg =
     Arg.(
@@ -379,10 +381,37 @@ let crashcheck_cmd =
 (* ---------- inspect ---------- *)
 
 let inspect_cmd =
-  let run allocator threads trace_out =
+  let tcache_mag_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "tcache-mag" ] ~docv:"K"
+          ~doc:
+            "Magazine size of the DRAM thread cache layered over the \
+             allocator (Poseidon only); 0 disables the cache — the \
+             uncached legacy path.")
+  in
+  let run allocator threads tcache_mag trace_out =
     with_tracing trace_out @@ fun () ->
     let factory = factory_of allocator in
-    let mach, inst = factory.Workloads.Factories.make () in
+    (* Poseidon keeps its heap handle so the aggregate statistics —
+       including the thread-cache traffic — can be rendered below *)
+    let mach, inst, pheap =
+      match allocator with
+      | `Poseidon ->
+        let mach = Machine.create () in
+        let heap =
+          Poseidon.Heap.create mach ~base:Workloads.Factories.heap_base
+            ~size:Workloads.Factories.default_window ~heap_id:1
+            ~sub_data_size:(128 * 1024 * 1024) ()
+        in
+        (mach, Poseidon.instance heap, Some heap)
+      | _ ->
+        let mach, inst = factory.Workloads.Factories.make () in
+        (mach, inst, None)
+    in
+    let inst =
+      if tcache_mag > 0 then fst (Tcache.wrap ~mag:tcache_mag inst) else inst
+    in
     let _ =
       Machine.parallel mach ~threads (fun i ->
           let rng = Repro_util.Prng.create i in
@@ -401,8 +430,26 @@ let inspect_cmd =
     in
     Printf.printf "workload done on %s with %d threads\n"
       factory.Workloads.Factories.name threads;
-    (match inst with
-     | Alloc_intf.Instance (_, _) -> ());
+    (match pheap with
+     | Some heap ->
+       let s = Poseidon.Heap.stats heap in
+       Printf.printf
+         "heap: %d subheaps, %d live B, %d free B, %d merges, %d defrag \
+          passes, %d hash extends\n"
+         s.Poseidon.Heap.subheaps_active s.Poseidon.Heap.live_bytes
+         s.Poseidon.Heap.free_bytes s.Poseidon.Heap.merges
+         s.Poseidon.Heap.defrag_passes s.Poseidon.Heap.hash_extends;
+       Printf.printf
+         "heap: %d invalid frees, %d double frees, %d tx commits, %d tx \
+          aborts, %d recovery replays\n"
+         s.Poseidon.Heap.invalid_frees s.Poseidon.Heap.double_frees
+         s.Poseidon.Heap.tx_commits s.Poseidon.Heap.tx_aborts
+         s.Poseidon.Heap.recovery_replays;
+       Printf.printf
+         "tcache: %d hits, %d misses, %d bin refills, %d bin flushes\n"
+         s.Poseidon.Heap.tcache_hits s.Poseidon.Heap.tcache_misses
+         s.Poseidon.Heap.bin_refills s.Poseidon.Heap.bin_flushes
+     | None -> ());
     let c = Nvmm.Memdev.counters (Machine.dev mach) in
     Printf.printf
       "device: %d loads, %d stores, %d lines flushed, %d fences\n"
@@ -421,7 +468,8 @@ let inspect_cmd =
   in
   Cmd.v
     (Cmd.info "inspect" ~doc:"Run a small mixed workload and dump counters.")
-    Term.(const run $ allocator_arg $ threads_arg $ trace_out_arg)
+    Term.(const run $ allocator_arg $ threads_arg $ tcache_mag_arg
+          $ trace_out_arg)
 
 (* ---------- fsck ---------- *)
 
@@ -539,6 +587,17 @@ let serve_cmd =
              timestamp).  0 (default) = the pre-MVCC locked read path, \
              byte-identically.")
   in
+  let serve_tcache_mag_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "tcache-mag" ] ~docv:"K"
+          ~doc:
+            "Magazine size of the DRAM thread cache layered over the \
+             allocator: allocations pop volatile per-CPU bins (refilled K \
+             blocks per carve under one allocator transaction) and frees \
+             stash and flush in bulk.  0 (default) = no cache, \
+             byte-identically the uncached path.")
+  in
   let txn_pct_arg =
     Arg.(
       value & opt int 0
@@ -633,7 +692,7 @@ let serve_cmd =
   let run shards clients rate duration value_size zipf keyspace queue read_pct
       scan_pct txn_pct txn_ops crash_at seed json_out replicate repl_mode
       wire_ns repl_window drop_pct dup_pct batch_window batch_bytes mvcc_window
-      trace_out =
+      tcache_mag trace_out =
     with_tracing trace_out @@ fun () ->
     let module S = Service.Server in
     (* Span store on for every serve run — attribution is part of the
@@ -659,7 +718,8 @@ let serve_cmd =
         seed;
         batch_window;
         batch_bytes;
-        mvcc_window }
+        mvcc_window;
+        tcache_mag }
     in
     let factory = Workloads.Factories.poseidon () in
     let repl, r =
@@ -710,9 +770,13 @@ let serve_cmd =
       r.S.latency.S.max r.S.latency.S.samples;
     Printf.printf "  op mix (offered): %d read, %d write, %d scan%s\n"
       r.S.ops_read r.S.ops_write r.S.ops_scan
-      (if mvcc_window > 0 then
-         Printf.sprintf "  [mvcc window %d: lock-free reads]" mvcc_window
-       else "");
+      ((if mvcc_window > 0 then
+          Printf.sprintf "  [mvcc window %d: lock-free reads]" mvcc_window
+        else "")
+      ^
+      if tcache_mag > 0 then
+        Printf.sprintf "  [tcache mag %d: cached allocs]" tcache_mag
+      else "");
     Printf.printf "  read latency:  p50 %d ns  p99 %d ns (%d samples)\n"
       r.S.read_latency.S.p50 r.S.read_latency.S.p99 r.S.read_latency.S.samples;
     Printf.printf "  write latency: p50 %d ns  p99 %d ns (%d samples)\n"
@@ -811,6 +875,7 @@ let serve_cmd =
                    ("batch_window", num batch_window);
                    ("batch_bytes", num batch_bytes);
                    ("mvcc_window", num mvcc_window);
+                   ("tcache_mag", num tcache_mag);
                    ( "crash_at",
                      match crash_at with
                      | Some f -> J.Num f
@@ -913,7 +978,8 @@ let serve_cmd =
       $ scan_pct_arg $ txn_pct_arg $ txn_ops_arg $ crash_at_arg $ seed_arg
       $ json_out_arg $ replicate_arg $ repl_mode_arg $ wire_ns_arg
       $ repl_window_arg $ drop_pct_arg $ dup_pct_arg $ batch_window_arg
-      $ batch_bytes_arg $ mvcc_window_arg $ trace_out_arg)
+      $ batch_bytes_arg $ mvcc_window_arg $ serve_tcache_mag_arg
+      $ trace_out_arg)
 
 (* ---------- trace ---------- *)
 

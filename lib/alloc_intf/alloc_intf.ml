@@ -35,6 +35,48 @@ let unpack ~heap_id w =
   if w = packed_null then null
   else { heap_id; subheap = (w lsr 48) land 0xFFFF; off = w land ((1 lsl 48) - 1) }
 
+(** {2 Magazine-cache support surface}
+
+    A DRAM-resident thread cache (lib/tcache) layers volatile per-CPU,
+    per-size-class bins over an allocator.  The allocator exposes the
+    persistent half of the protocol through these hooks; allocators
+    without deferred-reclaim support (the baselines) expose [None] and
+    the cache wrapper degrades to a transparent pass-through, keeping
+    cross-allocator comparisons honest. *)
+
+(** A block held by (or leaving) a volatile bin: the pointer plus its
+    reclaim-ledger lease slot.  While the lease is set, recovery
+    deallocates the block — it is allocated in the persistent metadata
+    but referenced only from DRAM.  [cb_lease < 0] means "no lease"
+    (only produced by the seeded broken-cache mutation). *)
+type cache_block = { cb_ptr : nvmptr; cb_lease : int }
+
+type cache_event = Cache_hit | Cache_miss | Cache_refill | Cache_flush
+
+type cache_ops = {
+  cache_max_size : int;  (** largest cacheable block size, bytes *)
+  cache_round : int -> int;  (** request size -> rounded block size *)
+  cache_carve : size:int -> count:int -> cache_block list;
+      (** batched refill: up to [count] blocks of exactly [size]
+          (pre-rounded) bytes carved from the calling CPU's sub-heap
+          under ONE allocator transaction, each covered by a reclaim
+          lease.  May return fewer, or [[]] (caller falls back). *)
+  cache_publish : cache_block list -> unit;
+      (** durably clears the leases of blocks handed out to the
+          application (one trailing fence for the whole batch) — the
+          point they stop being recovery-reclaimable.  Must run before
+          the embedding store persists its own commit record. *)
+  cache_stash : nvmptr -> (int * int) option;
+      (** deferred free: validates the pointer and durably records its
+          reclaim intent (one fence), returning [(lease, size)].
+          [None] = not stashable (invalid/double free, uncacheable
+          size, ledger full) — the caller must use a plain [free]. *)
+  cache_reclaim : cache_block list -> unit;
+      (** bulk free of stashed blocks (one allocator transaction per
+          sub-heap batch), then lease release — a magazine flush. *)
+  cache_note : cache_event -> unit;  (** hit/miss/refill/flush stats *)
+}
+
 module type S = sig
   type heap
 
@@ -82,6 +124,10 @@ module type S = sig
   val set_root : heap -> nvmptr -> unit
 
   val machine : heap -> Machine.t
+
+  val cache_ops : heap -> cache_ops option
+  (** Magazine-cache support hooks; [None] when the allocator cannot
+      defer reclamation crash-safely (the cache then passes through). *)
 end
 
 (** An allocator packaged with one of its heaps — what workloads take. *)
@@ -97,3 +143,4 @@ let i_get_rawptr (Instance ((module A), h)) p = A.get_rawptr h p
 let i_get_nvmptr (Instance ((module A), h)) a = A.get_nvmptr h a
 let i_get_root (Instance ((module A), h)) = A.get_root h
 let i_set_root (Instance ((module A), h)) p = A.set_root h p
+let i_cache_ops (Instance ((module A), h)) = A.cache_ops h

@@ -34,6 +34,11 @@ type t = {
   c_tx_allocs : int ref;
   c_tx_commits : int ref;
   c_tx_aborts : int ref;
+  (* magazine-cache traffic (bumped through {!cache_ops}) *)
+  mutable tc_hits : int;
+  mutable tc_misses : int;
+  mutable tc_refills : int;
+  mutable tc_flushes : int;
 }
 
 let mk_counters heap_id =
@@ -117,7 +122,11 @@ let create mach ~base ~size ~heap_id ?(sub_data_size = default_sub_data_size)
     c_frees;
     c_tx_allocs;
     c_tx_commits;
-    c_tx_aborts }
+    c_tx_aborts;
+    tc_hits = 0;
+    tc_misses = 0;
+    tc_refills = 0;
+    tc_flushes = 0 }
 
 let meta_region_size h =
   Layout.meta_size ~base_buckets:h.base_buckets ~levels:Layout.max_levels
@@ -168,7 +177,11 @@ let attach mach ~base ?(protected = true) () =
       c_frees;
       c_tx_allocs;
       c_tx_commits;
-      c_tx_aborts }
+      c_tx_aborts;
+    tc_hits = 0;
+    tc_misses = 0;
+    tc_refills = 0;
+    tc_flushes = 0 }
   in
   let meta_size = meta_region_size h in
   for slot = 0 to num_slots - 1 do
@@ -354,6 +367,148 @@ let free h (ptr : Alloc_intf.nvmptr) =
                 Obs.Trace.emit2 Obs.Event.Free ptr.off ptr.subheap
               | Subheap.Invalid_free | Subheap.Double_free -> ()))
 
+(* ---------- magazine-cache support (lib/tcache) ---------- *)
+
+(* Largest block size the volatile bins hold: classes 0..7.  Values,
+   tree nodes and superroots all fit; big streaming allocations keep
+   the legacy path. *)
+let tc_max_size = 4096
+
+let subheap_of h (ptr : Alloc_intf.nvmptr) =
+  if Alloc_intf.is_null ptr || ptr.heap_id <> h.heap_id
+     || ptr.subheap < 0 || ptr.subheap >= h.num_slots
+  then None
+  else h.subheaps.(ptr.subheap)
+
+(* Clear the leases of a block batch: stage every clear, commit them
+   under ONE fence, and only then recycle the slots — a slot reused
+   before the fence could leave the old lease as the line's surviving
+   snapshot under an adversarial crash. *)
+let tc_publish h blocks =
+  let cleared = ref false in
+  with_metadata_access h (fun () ->
+      List.iter
+        (fun { Alloc_intf.cb_ptr; cb_lease } ->
+          if cb_lease >= 0 then
+            match subheap_of h cb_ptr with
+            | None -> ()
+            | Some sh ->
+              Machine.Lock.with_lock sh.Subheap.lock (fun () ->
+                  Subheap.tc_lease_clear_async sh cb_lease);
+              cleared := true)
+        blocks;
+      if !cleared then Machine.sfence h.mach;
+      List.iter
+        (fun { Alloc_intf.cb_ptr; cb_lease } ->
+          if cb_lease >= 0 then
+            match subheap_of h cb_ptr with
+            | None -> ()
+            | Some sh ->
+              Machine.Lock.with_lock sh.Subheap.lock (fun () ->
+                  Subheap.tc_slot_release sh cb_lease))
+        blocks)
+
+let tc_carve h ~size ~count =
+  with_metadata_access h (fun () ->
+      match subheap_for h with
+      | None -> []
+      | Some sh ->
+        Machine.Lock.with_lock sh.Subheap.lock (fun () ->
+            List.map
+              (fun (off, slot) ->
+                { Alloc_intf.cb_ptr = mk_ptr h sh off; cb_lease = slot })
+              (Subheap.carve sh ~rsize:size ~count)))
+
+let tc_stash h (ptr : Alloc_intf.nvmptr) =
+  match subheap_of h ptr with
+  | None -> None
+  | Some sh ->
+    with_metadata_access h (fun () ->
+        Machine.Lock.with_lock sh.Subheap.lock (fun () ->
+            match Hashtable.lookup sh.Subheap.ht ptr.off with
+            | None -> None
+            | Some rec_addr ->
+              if Record.get_status h.mach rec_addr <> Layout.st_alloc then
+                None
+              else
+                let size = Record.get_size h.mach rec_addr in
+                (* only exact class-sized blocks are bin-recyclable *)
+                if size > tc_max_size || size <> Layout.round_up size then
+                  None
+                else
+                  match Subheap.tc_slot_acquire sh with
+                  | None -> None
+                  | Some slot ->
+                    Subheap.tc_lease_set sh slot ptr.off;
+                    Obs.Metrics.incr h.c_frees;
+                    Obs.Trace.emit2 Obs.Event.Free ptr.off ptr.subheap;
+                    Some (slot, size)))
+
+let tc_reclaim h blocks =
+  (* group by owning sub-heap so each batch frees under one undo op *)
+  let by_sh = Hashtbl.create 4 in
+  List.iter
+    (fun ({ Alloc_intf.cb_ptr; _ } as b) ->
+      match subheap_of h cb_ptr with
+      | None -> ()
+      | Some sh ->
+        Hashtbl.replace by_sh sh.Subheap.index
+          (b
+          :: (match Hashtbl.find_opt by_sh sh.Subheap.index with
+              | Some l -> l
+              | None -> [])))
+    blocks;
+  with_metadata_access h (fun () ->
+      let cleared = ref false in
+      Hashtbl.iter
+        (fun idx batch ->
+          match h.subheaps.(idx) with
+          | None -> ()
+          | Some sh ->
+            Machine.Lock.with_lock sh.Subheap.lock (fun () ->
+                ignore
+                  (Subheap.deallocate_many sh
+                     (List.map
+                        (fun b -> b.Alloc_intf.cb_ptr.Alloc_intf.off)
+                        batch));
+                List.iter
+                  (fun b ->
+                    if b.Alloc_intf.cb_lease >= 0 then begin
+                      Subheap.tc_lease_clear_async sh b.Alloc_intf.cb_lease;
+                      cleared := true
+                    end)
+                  batch))
+        by_sh;
+      if !cleared then Machine.sfence h.mach;
+      Hashtbl.iter
+        (fun idx batch ->
+          match h.subheaps.(idx) with
+          | None -> ()
+          | Some sh ->
+            Machine.Lock.with_lock sh.Subheap.lock (fun () ->
+                List.iter
+                  (fun b ->
+                    if b.Alloc_intf.cb_lease >= 0 then
+                      Subheap.tc_slot_release sh b.Alloc_intf.cb_lease)
+                  batch))
+        by_sh)
+
+let cache_ops h =
+  Some
+    { Alloc_intf.cache_max_size = tc_max_size;
+      cache_round = Layout.round_up;
+      cache_carve = (fun ~size ~count -> tc_carve h ~size ~count);
+      cache_publish = (fun blocks -> tc_publish h blocks);
+      cache_stash = (fun ptr -> tc_stash h ptr);
+      cache_reclaim = (fun blocks -> tc_reclaim h blocks);
+      cache_note =
+        (fun ev ->
+          match ev with
+          | Alloc_intf.Cache_hit -> h.tc_hits <- h.tc_hits + 1
+          | Alloc_intf.Cache_miss -> h.tc_misses <- h.tc_misses + 1
+          | Alloc_intf.Cache_refill -> h.tc_refills <- h.tc_refills + 1
+          | Alloc_intf.Cache_flush -> h.tc_flushes <- h.tc_flushes + 1) }
+
 let get_rawptr h (ptr : Alloc_intf.nvmptr) =
   if Alloc_intf.is_null ptr then invalid_arg "Heap.get_rawptr: null pointer";
   if ptr.heap_id <> h.heap_id || ptr.subheap < 0 || ptr.subheap >= h.num_slots
@@ -443,6 +598,10 @@ type stats = {
   recovery_replays : int;
   live_bytes : int;
   free_bytes : int;
+  tcache_hits : int;
+  tcache_misses : int;
+  bin_refills : int;
+  bin_flushes : int;
 }
 
 let stats h =
@@ -458,7 +617,11 @@ let stats h =
         tx_aborts = 0;
         recovery_replays = 0;
         live_bytes = 0;
-        free_bytes = 0 }
+        free_bytes = 0;
+        tcache_hits = h.tc_hits;
+        tcache_misses = h.tc_misses;
+        bin_refills = h.tc_refills;
+        bin_flushes = h.tc_flushes }
   in
   iter_subheaps h (fun sh ->
       s :=
@@ -473,7 +636,11 @@ let stats h =
           recovery_replays =
             !s.recovery_replays + sh.Subheap.stat_recovery_replays;
           live_bytes = !s.live_bytes + Subheap.live_bytes sh;
-          free_bytes = !s.free_bytes + Subheap.free_bytes sh });
+          free_bytes = !s.free_bytes + Subheap.free_bytes sh;
+          tcache_hits = !s.tcache_hits;
+          tcache_misses = !s.tcache_misses;
+          bin_refills = !s.bin_refills;
+          bin_flushes = !s.bin_flushes });
   !s
 
 (** Pushes heap-level metrics — aggregate statistics plus per-sub-heap
@@ -496,6 +663,10 @@ let publish_metrics ?registry h =
   g scope "recovery_replays" s.recovery_replays;
   g scope "live_bytes" s.live_bytes;
   g scope "free_bytes" s.free_bytes;
+  g scope "tcache_hits" s.tcache_hits;
+  g scope "tcache_misses" s.tcache_misses;
+  g scope "bin_refills" s.bin_refills;
+  g scope "bin_flushes" s.bin_flushes;
   iter_subheaps h (fun sh ->
       let sscope = Printf.sprintf "%s/subheap%d" scope sh.Subheap.index in
       g sscope "live_bytes" (Subheap.live_bytes sh);

@@ -125,6 +125,11 @@ val check_invariants : t -> unit
 (** Full structural validation of every sub-heap; raises
     [Subheap.Invariant_violation]. *)
 
+val cache_ops : t -> Alloc_intf.cache_ops option
+(** Magazine-cache support hooks (always [Some] for Poseidon): batched
+    carving, reclaim-ledger leases, deferred bulk frees.  See
+    DESIGN.md §14 and lib/tcache. *)
+
 type stats = {
   subheaps_active : int;
   invalid_frees : int;
@@ -139,6 +144,10 @@ type stats = {
           {!attach} recovery *)
   live_bytes : int;
   free_bytes : int;
+  tcache_hits : int; (** magazine-cache bin pops (no allocator call) *)
+  tcache_misses : int; (** bin empty — refill or inner fallback *)
+  bin_refills : int; (** batched {!carve} refills *)
+  bin_flushes : int; (** bulk reclaims of full free bins *)
 }
 
 val stats : t -> stats

@@ -79,8 +79,17 @@ let max_levels = 12
 
 let sh_off_base_buckets = sh_off_level_live + (max_levels * word)
 
+(* Thread-cache reclaim ledger (one word per slot): offset+1 of a
+   block that is allocated in the metadata but owned by a volatile
+   magazine cache — either carved ahead of use or freed into a bin —
+   so recovery must deallocate it.  0 = slot free.  The area lives in
+   the header page's existing padding, so heaps formatted before the
+   cache existed attach unchanged (their ledger reads all-zero). *)
+let tc_ledger_cap = 256
+let sh_off_tc_ledger = sh_off_base_buckets + word
+
 let sh_header_size =
-  let last = sh_off_base_buckets + word in
+  let last = sh_off_tc_ledger + (tc_ledger_cap * word) in
   ((last + page - 1) / page) * page
 
 (* ---------- hash table ---------- *)

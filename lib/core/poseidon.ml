@@ -36,6 +36,7 @@ let get_nvmptr = Heap.get_nvmptr
 let get_root = Heap.get_root
 let set_root = Heap.set_root
 let machine = Heap.machine
+let cache_ops = Heap.cache_ops
 
 (** Poseidon packaged as a first-class allocator instance. *)
 let instance heap =
@@ -56,6 +57,7 @@ let instance heap =
         let get_root = get_root
         let set_root = set_root
         let machine = machine
+        let cache_ops = cache_ops
       end : Alloc_intf.S
         with type heap = heap),
       heap )

@@ -25,6 +25,10 @@ type t = {
   mutable stat_tx_commits : int;
   mutable stat_tx_aborts : int;
   mutable stat_recovery_replays : int;
+  (* volatile free-slot stack of the thread-cache reclaim ledger,
+     rebuilt lazily from the persistent area (all-zero after recovery) *)
+  mutable tc_free_slots : int list;
+  mutable tc_slots_ready : bool;
 }
 
 let nil = Layout.nil_off
@@ -53,7 +57,9 @@ let make mach ~heap_id ~index ~cpu ~meta_base ~data_base ~data_size ~base_bucket
     stat_hash_extends = 0;
     stat_tx_commits = 0;
     stat_tx_aborts = 0;
-    stat_recovery_replays = 0 }
+    stat_recovery_replays = 0;
+    tc_free_slots = [];
+    tc_slots_ready = false }
 
 let attach mach ~heap_id ~index ~meta_base =
   if hdr_read mach meta_base Layout.sh_off_magic <> Layout.sh_magic then
@@ -308,7 +314,9 @@ let commit_tx sh = Microlog.commit sh.mach ~meta_base:sh.meta_base
 
 type free_result = Freed | Invalid_free | Double_free
 
-let deallocate sh off =
+(* Free body shared by the single and the batched path; [ctx] is an
+   open operation of the caller. *)
+let dealloc_in ctx sh off =
   match Hashtable.lookup sh.ht off with
   | None ->
     sh.stat_invalid_free <- sh.stat_invalid_free + 1;
@@ -319,12 +327,123 @@ let deallocate sh off =
       Double_free
     end
     else begin
-      op sh (fun ctx ->
-          Record.set_status ctx rec_addr Layout.st_free;
-          let size = Record.get_size sh.mach rec_addr in
-          Buddy.push_tail ctx sh.meta_base (Layout.class_of_size size) rec_addr);
+      Record.set_status ctx rec_addr Layout.st_free;
+      let size = Record.get_size sh.mach rec_addr in
+      Buddy.push_tail ctx sh.meta_base (Layout.class_of_size size) rec_addr;
       Freed
     end
+
+let deallocate sh off =
+  (* validate before opening an operation: rejected frees must not
+     pay a log truncation *)
+  match Hashtable.lookup sh.ht off with
+  | None ->
+    sh.stat_invalid_free <- sh.stat_invalid_free + 1;
+    Invalid_free
+  | Some rec_addr ->
+    if Record.get_status sh.mach rec_addr <> Layout.st_alloc then begin
+      sh.stat_double_free <- sh.stat_double_free + 1;
+      Double_free
+    end
+    else op sh (fun ctx -> dealloc_in ctx sh off)
+
+(** Frees a whole batch under ONE undo operation: first-touch logging
+    amortizes the class-list head/tail barriers across the batch, so a
+    magazine flush costs far fewer fences than [n] singleton frees.
+    Returns how many offsets actually freed (invalid and double frees
+    are absorbed into the stats, as in {!deallocate}). *)
+let deallocate_many sh offs =
+  match offs with
+  | [] -> 0
+  | _ ->
+    op sh (fun ctx ->
+        List.fold_left
+          (fun n off -> if dealloc_in ctx sh off = Freed then n + 1 else n)
+          0 offs)
+
+(* ---------- thread-cache reclaim ledger (DRAM cache support) ---------- *)
+
+let tc_ledger_addr sh slot =
+  sh.meta_base + Layout.sh_off_tc_ledger + (slot * Layout.word)
+
+let tc_init_slots sh =
+  if not sh.tc_slots_ready then begin
+    let free = ref [] in
+    for slot = Layout.tc_ledger_cap - 1 downto 0 do
+      if Machine.read_u64 sh.mach (tc_ledger_addr sh slot) = 0 then
+        free := slot :: !free
+    done;
+    sh.tc_free_slots <- !free;
+    sh.tc_slots_ready <- true
+  end
+
+let tc_slot_acquire sh =
+  tc_init_slots sh;
+  match sh.tc_free_slots with
+  | [] -> None
+  | slot :: rest ->
+    sh.tc_free_slots <- rest;
+    Some slot
+
+let tc_slot_release sh slot =
+  tc_init_slots sh;
+  sh.tc_free_slots <- slot :: sh.tc_free_slots
+
+(** Durably records "offset [off] must be deallocated on recovery" in
+    ledger slot [slot] — the write-ahead a magazine free publishes
+    BEFORE the block becomes recyclable.  One fence. *)
+let tc_lease_set sh slot off =
+  Machine.write_u64 sh.mach (tc_ledger_addr sh slot) (off + 1);
+  Machine.persist sh.mach (tc_ledger_addr sh slot) Layout.word
+
+(** Stages (clwb, no fence) the release of a lease; the caller batches
+    several clears under one trailing [sfence]. *)
+let tc_lease_clear_async sh slot =
+  Machine.write_u64 sh.mach (tc_ledger_addr sh slot) 0;
+  Machine.clwb sh.mach (tc_ledger_addr sh slot)
+
+(** Carves up to [count] blocks of exactly [rsize] bytes (already
+    rounded) in ONE undo operation, each with a ledger lease recorded
+    under the same operation — commit makes the whole batch atomic:
+    either every block is allocated and covered by a lease, or the
+    rollback returns them all.  Stops early when the pool or the
+    ledger runs dry (the caller falls back to the slow path). *)
+let carve sh ~rsize ~count =
+  if count <= 0 || rsize > sh.data_size then []
+  else
+    op sh (fun ctx ->
+        let acc = ref [] and rejects = ref [] in
+        (try
+           for _ = 1 to count do
+             match tc_slot_acquire sh with
+             | None -> raise Exit
+             | Some slot -> (
+               match alloc_once ctx sh rsize with
+               | None ->
+                 tc_slot_release sh slot;
+                 raise Exit
+               | Some off ->
+                 let size =
+                   match Hashtable.lookup sh.ht off with
+                   | Some r -> Record.get_size sh.mach r
+                   | None -> assert false
+                 in
+                 if size <> rsize then begin
+                   (* remainder insert failed and the whole block was
+                      handed out: unusable for an exact-size bin; park
+                      it and free it after the loop (freeing now would
+                      put it straight back at this class's head) *)
+                   tc_slot_release sh slot;
+                   rejects := off :: !rejects
+                 end
+                 else begin
+                   Undolog.write ctx (tc_ledger_addr sh slot) (off + 1);
+                   acc := (off, slot) :: !acc
+                 end)
+           done
+         with Exit -> ());
+        List.iter (fun off -> ignore (dealloc_in ctx sh off)) !rejects;
+        List.rev !acc)
 
 (* ---------- formatting a fresh sub-heap ---------- *)
 
@@ -343,6 +462,9 @@ let format mach ~heap_id ~index ~cpu ~meta_base ~data_base ~data_size ~base_buck
   hdr_write mach meta_base Layout.sh_off_micro_count 0;
   hdr_write mach meta_base Layout.sh_off_hash_levels 1;
   hdr_write mach meta_base Layout.sh_off_base_buckets base_buckets;
+  for slot = 0 to Layout.tc_ledger_cap - 1 do
+    hdr_write mach meta_base (Layout.sh_off_tc_ledger + (slot * Layout.word)) 0
+  done;
   Machine.persist mach meta_base Layout.sh_header_size;
   let sh =
     make mach ~heap_id ~index ~cpu ~meta_base ~data_base ~data_size ~base_buckets
@@ -379,7 +501,29 @@ let recover sh =
          check makes replaying this idempotent *)
       ignore (deallocate sh ptr.Alloc_intf.off))
     entries;
-  Microlog.commit sh.mach ~meta_base:sh.meta_base
+  Microlog.commit sh.mach ~meta_base:sh.meta_base;
+  (* thread-cache reclaim ledger: every leased block died with the
+     DRAM magazines — carved-ahead blocks nothing referenced yet, and
+     freed blocks whose batched reclaim had not landed.  Deallocate
+     them (double frees absorbed: the store's own intent replay may
+     free the same offset) and release the slots. *)
+  let tc_replayed = ref 0 in
+  for slot = 0 to Layout.tc_ledger_cap - 1 do
+    let a = tc_ledger_addr sh slot in
+    let v = Machine.read_u64 sh.mach a in
+    if v <> 0 then begin
+      ignore (deallocate sh (v - 1));
+      Machine.write_u64 sh.mach a 0;
+      Machine.clwb sh.mach a;
+      incr tc_replayed
+    end
+  done;
+  if !tc_replayed > 0 then begin
+    Machine.sfence sh.mach;
+    sh.stat_recovery_replays <- sh.stat_recovery_replays + !tc_replayed
+  end;
+  sh.tc_free_slots <- [];
+  sh.tc_slots_ready <- false
 
 (* ---------- introspection & invariants (tests, reporting) ---------- *)
 

@@ -25,8 +25,13 @@ type t = {
   mutable stat_tx_commits : int; (** maintained by the heap layer *)
   mutable stat_tx_aborts : int; (** maintained by the heap layer *)
   mutable stat_recovery_replays : int;
-      (** undo-log replays plus micro-log entries rolled back by
-          {!recover} over the sub-heap's lifetime in this process *)
+      (** undo-log replays, micro-log entries rolled back and
+          thread-cache leases reclaimed by {!recover} over the
+          sub-heap's lifetime in this process *)
+  mutable tc_free_slots : int list;
+      (** volatile free-slot stack of the thread-cache reclaim ledger
+          (maintained by the heap layer under the sub-heap lock) *)
+  mutable tc_slots_ready : bool;
 }
 
 val format :
@@ -67,6 +72,44 @@ type free_result = Freed | Invalid_free | Double_free
 val deallocate : t -> int -> free_result
 (** Validates the offset against the memblock hash table: unknown
     offsets and non-allocated statuses are rejected (§4.4, §5.5). *)
+
+val deallocate_many : t -> int list -> int
+(** Frees a whole batch under one undo operation (a magazine flush):
+    first-touch logging amortizes the persistence barriers across the
+    batch.  Returns how many offsets actually freed; invalid and
+    double frees are absorbed into the stats as in {!deallocate}. *)
+
+(** {2 Thread-cache reclaim ledger}
+
+    Persistent per-sub-heap slot array backing the volatile magazine
+    caches (lib/tcache): a non-zero slot holds [off + 1] of a block
+    that is allocated in the metadata but owned only by DRAM — carved
+    ahead of use, or freed into a bin — and {!recover} deallocates it.
+    Slot bookkeeping runs under the sub-heap lock like every other
+    operation here. *)
+
+val tc_slot_acquire : t -> int option
+(** Claims a free ledger slot ([None] when the ledger is full — the
+    caller degrades to the uncached path). *)
+
+val tc_slot_release : t -> int -> unit
+(** Returns a slot whose lease has been durably cleared. *)
+
+val tc_lease_set : t -> int -> int -> unit
+(** [tc_lease_set sh slot off] durably records the reclaim intent for
+    [off] (write + one fence) — the write-ahead that makes a freed
+    block safe to recycle from a volatile bin. *)
+
+val tc_lease_clear_async : t -> int -> unit
+(** Stages (clwb, no fence) the release of a lease; the caller batches
+    clears under one trailing [sfence] before its own commit point. *)
+
+val carve : t -> rsize:int -> count:int -> (int * int) list
+(** Carves up to [count] blocks of exactly [rsize] bytes (pre-rounded)
+    in one undo operation, each covered by a ledger lease written
+    under the same operation — the batch is crash-atomic.  Returns
+    [(off, slot)] pairs; may return fewer than [count] (pool or ledger
+    exhausted). *)
 
 val recover : t -> unit
 (** §5.8: replays the undo log, then frees every address in the micro

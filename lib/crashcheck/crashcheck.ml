@@ -626,15 +626,16 @@ let kv_prefix_oracle ?(window = 1) ~oname ~preload ~plan ~acked () =
    snapshots [live_bytes] after each completed operation, so [slack]
    only has to cover the single in-flight op: one value block, one
    possible tree-node split and one not-yet-freed old value. *)
-let scn_kv ?(slack = 4096) ?(tweak = fun (_ : Service.Kv.t) -> ()) ~sname
-    ~preload ~plan () =
+let scn_kv ?(slack = 4096) ?(wrap = fun (i : Alloc_intf.instance) -> i)
+    ?(extra = []) ?(tweak = fun (_ : Service.Kv.t) -> ()) ~sname ~preload
+    ~plan () =
   let svc = ref None in
   let acked = ref 0 in
   let value_size = 64 in
   let setup () =
     let env = mk_env () in
     env.ledger.slack <- slack;
-    let inst = Poseidon.instance env.heap in
+    let inst = wrap (Poseidon.instance env.heap) in
     let s = Service.Kv.create inst ~shards:2 ~value_size in
     List.iter
       (fun (k, vs) ->
@@ -660,7 +661,7 @@ let scn_kv ?(slack = 4096) ?(tweak = fun (_ : Service.Kv.t) -> ()) ~sname
       plan
   in
   let o_kv = kv_prefix_oracle ~oname:"kv-store" ~preload ~plan ~acked () in
-  { sname; setup; op; extra_oracles = [ o_kv ] }
+  { sname; setup; op; extra_oracles = o_kv :: extra }
 
 let scn_kv_put () =
   scn_kv ~sname:"kv-put"
@@ -1157,10 +1158,93 @@ let scn_kv_batched_put ?window ?premature_ack () =
 let scn_kv_batched_broken () =
   scn_kv_batched ~premature_ack:true ~sname:"kv-batched-broken" ()
 
+(* ---------- magazine-cache sweep (lib/tcache) ---------- *)
+
+(* Allocator-level census for the cached-allocation sweeps: after heap
+   recovery (which frees every ledger-leased block) AND service replay
+   (which resolves the in-flight intent), every live block of the
+   value class must be referenced by exactly one present key — the
+   recovered store itself is the reference model, so the oracle holds
+   at every crash point regardless of where the sweep cut.  A cache
+   that recycles a freed block before its reclaim lease persisted
+   orphans a value block here (block count > present keys): the
+   failure mode the [tcache-broken] scenario plants. *)
+let kv_value_census_oracle ~value_size ~universe () =
+  { oname = "value-census";
+    check =
+      (fun env ->
+        let inst = Poseidon.instance env.heap in
+        match Service.Kv.attach inst with
+        | exception e ->
+          Error ("service recovery raised: " ^ Printexc.to_string e)
+        | s2, _recovery ->
+          let present =
+            List.fold_left
+              (fun a k -> if Service.Kv.get s2 ~key:k <> None then a + 1 else a)
+              0 universe
+          in
+          let rsize = round_up value_size in
+          let blocks = ref 0 in
+          H.iter_subheaps env.heap (fun sh ->
+              Poseidon.Subheap.iter_blocks sh
+                (fun ~off:_ ~size ~rec_addr:_ ~status ->
+                  if status = Poseidon.Layout.st_alloc && size = rsize then
+                    incr blocks));
+          if !blocks = present then Ok ()
+          else
+            Error
+              (Printf.sprintf
+                 "%d live %d-byte value block(s) for %d present key(s): a \
+                  freed block was recycled before its reclaim persisted \
+                  (leak), or a refilled block leaked its lease"
+                 !blocks rsize present)) }
+
+(* The kv-put/delete/overwrite mix again, allocated through a magazine
+   cache (mag 4): refills carve 4-block batches under ledger leases,
+   puts pop volatile bins and publish at the commit fence, frees stash
+   a reclaim lease and recycle.  Slack widened: the durability ledger
+   snapshots [live_bytes] with bins resident (leased blocks are live
+   until crash recovery frees them), so up to 2 x mag blocks of each
+   cached class (64 B values, 512 B tree nodes) plus one in-flight
+   carve sit between the snapshot and the recovered heap. *)
+let tcache_preload =
+  [ (1, 161); (2, 162); (3, 163); (4, 164); (5, 165); (6, 166) ]
+
+let tcache_plan =
+  [ Kput (3, 601); Kput (9, 602); Kdel 2; Kput (10, 603); Kput (3, 604);
+    Kdel 5; Kput (11, 605); Kput (9, 606) ]
+
+let scn_kv_tcache ?(break = false) ~sname () =
+  let universe = Hashtbl.create 32 in
+  List.iter (fun (k, _) -> Hashtbl.replace universe k ()) tcache_preload;
+  List.iter
+    (function
+      | Kput (k, _) | Kdel k -> Hashtbl.replace universe k ()
+      | Ktxn ops ->
+        List.iter (fun o -> Hashtbl.replace universe (txn_op_key o) ()) ops)
+    tcache_plan;
+  let universe = Hashtbl.fold (fun k () a -> k :: a) universe [] in
+  scn_kv ~sname ~slack:12288
+    ~wrap:(fun inst ->
+      let wrapped, h = Tcache.wrap ~mag:4 inst in
+      if break then Tcache.break_recycle h;
+      wrapped)
+    ~extra:[ kv_value_census_oracle ~value_size:64 ~universe () ]
+    ~preload:tcache_preload ~plan:tcache_plan ()
+
+let scn_kv_tcache_put () = scn_kv_tcache ~sname:"kv-tcache-put" ()
+
+(* The seeded cache bug: frees recycle into the bins with no reclaim
+   lease and no persistent free.  The checker MUST flag this — the
+   mutation gate in scripts/check.sh fails CI if it does not. *)
+let scn_kv_tcache_broken () =
+  scn_kv_tcache ~break:true ~sname:"tcache-broken" ()
+
 let all_scenarios () =
   [ scn_alloc (); scn_free (); scn_tx_commit (); scn_tx_abort ();
     scn_extend (); scn_kv_put (); scn_kv_delete (); scn_kv_txn ();
-    scn_kv_snapshot (); scn_kv_replicated_put (); scn_kv_batched_put () ]
+    scn_kv_snapshot (); scn_kv_replicated_put (); scn_kv_batched_put ();
+    scn_kv_tcache_put () ]
 
 let scenario_by_name = function
   | "alloc" -> Some (scn_alloc ())
@@ -1177,5 +1261,7 @@ let scenario_by_name = function
   | "kv-replicated-put" -> Some (scn_kv_replicated_put ())
   | "kv-batched-put" -> Some (scn_kv_batched_put ())
   | "kv-batched-broken" -> Some (scn_kv_batched_broken ())
+  | "kv-tcache-put" -> Some (scn_kv_tcache_put ())
+  | "tcache-broken" -> Some (scn_kv_tcache_broken ())
   | "broken" -> Some (scn_broken_missing_flush ())
   | _ -> None

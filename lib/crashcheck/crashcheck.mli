@@ -248,6 +248,24 @@ val scn_kv_batched_broken : unit -> scenario
     "ack before fence" bug group commit must not introduce.  The
     checker MUST flag it; excluded from {!all_scenarios}. *)
 
+val scn_kv_tcache_put : unit -> scenario
+(** The kv-put/delete/overwrite mix allocated through a {!Tcache}
+    magazine cache (mag 4): bin-miss refills carve 4-block batches
+    under reclaim-ledger leases, puts pop volatile bins and publish
+    the lease at the commit fence, frees write a reclaim lease then
+    recycle.  On top of the standard and prefix oracles, a
+    [value-census] oracle re-attaches the service and demands the
+    recovered heap hold exactly one live value-class block per present
+    key — leased bin residue must have been freed by recovery, and no
+    recycled block may leak. *)
+
+val scn_kv_tcache_broken : unit -> scenario
+(** Mutation sanity check for the cache layer
+    ({!Tcache.break_recycle}): frees recycle into the bins with no
+    reclaim lease and no persistent free, so a crash orphans every
+    block whose store reference was dropped.  The census oracle MUST
+    flag it; excluded from {!all_scenarios}. *)
+
 val scn_broken_missing_flush : unit -> scenario
 (** Mutation sanity check: a two-line "write data, persist commit
     flag" protocol that {e forgets the clwb on the data line}.  Its
@@ -261,4 +279,5 @@ val scenario_by_name : string -> scenario option
 (** ["alloc" | "free" | "tx-commit" | "tx-abort" | "extend" |
     "kv-put" | "kv-delete" | "kv-txn" | "kv-txn-broken" |
     "kv-snapshot" | "mvcc-broken" | "kv-replicated-put" |
-    "kv-batched-put" | "kv-batched-broken" | "broken"]. *)
+    "kv-batched-put" | "kv-batched-broken" | "kv-tcache-put" |
+    "tcache-broken" | "broken"]. *)

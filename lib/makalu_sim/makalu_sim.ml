@@ -39,6 +39,7 @@ let get_root h =
 let set_root h p = Heap.set_root_packed h (Alloc_intf.pack p)
 
 let machine = Heap.machine
+let cache_ops _ = None
 
 let instance heap =
   Alloc_intf.Instance
@@ -58,6 +59,7 @@ let instance heap =
         let get_root = get_root
         let set_root = set_root
         let machine = machine
+        let cache_ops = cache_ops
       end : Alloc_intf.S
         with type heap = heap),
       heap )

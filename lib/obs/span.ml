@@ -47,6 +47,9 @@ type stage =
   | Snapshot
       (** MVCC read path: lock-free snapshot get/scan work (version
           chain resolution + tree floor reads), no shard lock taken *)
+  | Alloc
+      (** detail of Store/Txn: time inside allocator calls (bin pops,
+          refill carves, stash bookkeeping, inner alloc fallbacks) *)
 
 let stage_name = function
   | Request -> "request"
@@ -66,6 +69,7 @@ let stage_name = function
   | Ack_wire -> "ack_wire"
   | Flush_wait -> "flush_wait"
   | Snapshot -> "snapshot"
+  | Alloc -> "alloc"
 
 let stage_to_int = function
   | Request -> 0
@@ -85,6 +89,7 @@ let stage_to_int = function
   | Ack_wire -> 14
   | Flush_wait -> 15
   | Snapshot -> 16
+  | Alloc -> 17
 
 let stage_of_int = function
   | 0 -> Request
@@ -104,9 +109,10 @@ let stage_of_int = function
   | 14 -> Ack_wire
   | 15 -> Flush_wait
   | 16 -> Snapshot
+  | 17 -> Alloc
   | n -> invalid_arg (Printf.sprintf "Span.stage_of_int: %d" n)
 
-let stage_count = 17
+let stage_count = 18
 
 (** Budget stages: direct children of the request root whose durations
     are meant to partition its wall-clock time. *)
@@ -114,7 +120,7 @@ let is_budget = function
   | Req_wire | Queue | Decode | Lock_wait | Store | Txn | Repl_ack | Rep_wire
   | Flush_wait | Snapshot -> true
   | Request | Persist | Txn_prepare | Txn_decide | Repl_wire
-  | Backup_apply | Ack_wire -> false
+  | Backup_apply | Ack_wire | Alloc -> false
 
 (* ---------- clock plumbing ---------- *)
 
@@ -178,12 +184,14 @@ let start ?(capacity = default_capacity) () =
 let stop () = on := false
 
 let persist_by_tid : (int, int ref) Hashtbl.t = Hashtbl.create 64
+let alloc_by_tid : (int, int ref) Hashtbl.t = Hashtbl.create 64
 
 let clear () =
   on := false;
   store := None;
   trace_counter := 0;
-  Hashtbl.reset persist_by_tid
+  Hashtbl.reset persist_by_tid;
+  Hashtbl.reset alloc_by_tid
 
 let enabled () = !on
 
@@ -301,6 +309,26 @@ let persist_mark () =
   | None -> 0
 
 let persist_since mark = persist_mark () - mark
+
+(* Same shape for allocator time: the tcache wrapper reports the
+   simulated nanoseconds each allocator entry point spent, keyed by
+   thread, so a handler brackets one operation and emits an Alloc
+   detail span under its Store/Txn budget stage. *)
+
+let note_alloc ns =
+  if !on && ns > 0 then begin
+    let tid = tid_or_main () in
+    match Hashtbl.find_opt alloc_by_tid tid with
+    | Some r -> r := !r + ns
+    | None -> Hashtbl.add alloc_by_tid tid (ref ns)
+  end
+
+let alloc_mark () =
+  match Hashtbl.find_opt alloc_by_tid (tid_or_main ()) with
+  | Some r -> !r
+  | None -> 0
+
+let alloc_since mark = alloc_mark () - mark
 
 (* ---------- reading back ---------- *)
 

@@ -510,6 +510,16 @@ let mvcc_chain_length t ~key =
 let mvcc_break_early_publish t = t.mvcc_publish_early <- true
 let mvcc_truncated_reads t = t.mvcc_truncated
 
+let mvcc_shard_chains t =
+  Array.init t.nshards (fun shard ->
+      let keys = Mvcc.chain_keys_from t.mvcc ~shard ~from_key:min_int in
+      let versions =
+        List.fold_left
+          (fun a key -> a + Mvcc.chain_length t.mvcc ~shard ~key)
+          0 keys
+      in
+      (List.length keys, versions))
+
 (* A chain resolution as the read path consumes it: a truncated
    lookup still answers with the oldest retained version (the bounded
    history the window buys), but the consistency loss is counted so

@@ -164,6 +164,12 @@ val mvcc_chain_length : t -> key:int -> int
 (** Versions currently retained for the key (pre-image included);
     0 when unmutated or MVCC is off.  Test/diagnostic use. *)
 
+val mvcc_shard_chains : t -> (int * int) array
+(** Per-shard version-chain census [(chains, versions)]: how many keys
+    retain a chain on each shard and the total versions they hold —
+    the MVCC memory footprint the serve metrics surface as per-shard
+    gauges.  All zeros when MVCC is off. *)
+
 val mvcc_break_early_publish : t -> unit
 (** Mutation-testing hook: subsequent staged {!txn_prepare} calls
     publish the transaction's versions {e before} any decision exists,

@@ -24,6 +24,10 @@ type config = {
   batch_window : int;
   batch_bytes : int;
   mvcc_window : int;
+  tcache_mag : int;
+      (* magazine size of the DRAM thread cache wrapped around the
+         allocator (lib/tcache); 0 disables the wrapper entirely, so
+         the run is byte-identical to the pre-cache servicing path *)
 }
 
 let default_config =
@@ -46,7 +50,8 @@ let default_config =
     scope = "service";
     batch_window = 1;
     batch_bytes = 0;
-    mvcc_window = 0 }
+    mvcc_window = 0;
+    tcache_mag = 0 }
 
 type op_kind = KGet | KPut | KDel | KScan | KTxn
 
@@ -146,11 +151,18 @@ let run ~make ~reattach cfg =
   if cfg.batch_window < 1 then invalid_arg "Server.run: batch_window < 1";
   if cfg.batch_bytes < 0 then invalid_arg "Server.run: batch_bytes < 0";
   if cfg.mvcc_window < 0 then invalid_arg "Server.run: mvcc_window < 0";
+  if cfg.tcache_mag < 0 then invalid_arg "Server.run: tcache_mag < 0";
   (match cfg.crash_at with
    | Some f when f <= 0. || f >= 1. ->
      invalid_arg "Server.run: crash_at must be in (0, 1)"
    | _ -> ());
   let mach, inst = make () in
+  let inst, tch =
+    if cfg.tcache_mag > 0 then
+      let i, t = Tcache.wrap ~mag:cfg.tcache_mag inst in
+      (i, Some t)
+    else (inst, None)
+  in
   let ncpu = (Machine.cfg mach).Machine.Config.num_cpus in
   if cfg.shards > ncpu then invalid_arg "Server.run: more shards than CPUs";
   let svc =
@@ -239,14 +251,22 @@ let run ~make ~reattach cfg =
             (* Kv.txn takes every participant's shard lock itself *)
             let stx = Obs.Span.open_span ~trace ~parent:m.span Obs.Span.Txn in
             let pmark = Obs.Span.persist_mark () in
+            let amark = Obs.Span.alloc_mark () in
             let res = Kv.txn svc r.ops ~trace ~span:stx in
             let pns = Obs.Span.persist_since pmark in
+            let ans = Obs.Span.alloc_since amark in
             Obs.Span.close_span stx;
             if pns > 0 then begin
               let now = Sched.now () in
               ignore
                 (Obs.Span.add_span ~trace ~parent:stx Obs.Span.Persist
                    ~t0:(now - pns) ~t1:now)
+            end;
+            if ans > 0 then begin
+              let now = Sched.now () in
+              ignore
+                (Obs.Span.add_span ~trace ~parent:stx Obs.Span.Alloc
+                   ~t0:(now - ans) ~t1:now)
             end;
             if res.Kv.committed then incr txn_commits else incr txn_aborts;
             (res.Kv.committed, res.Kv.committed, res.Kv.fin)
@@ -281,6 +301,7 @@ let run ~make ~reattach cfg =
                   Obs.Span.open_span ~trace ~parent:m.span Obs.Span.Store
                 in
                 let pmark = Obs.Span.persist_mark () in
+                let amark = Obs.Span.alloc_mark () in
                 let ok, mutated =
                   match r.kind with
                   | KGet -> (Kv.get svc ~key:r.key <> None, false)
@@ -296,12 +317,17 @@ let run ~make ~reattach cfg =
                   | KTxn -> assert false
                 in
                 let pns = Obs.Span.persist_since pmark in
+                let ans = Obs.Span.alloc_since amark in
                 let fin = Sched.now () in
                 Obs.Span.close_span sst;
                 if pns > 0 then
                   ignore
                     (Obs.Span.add_span ~trace ~parent:sst Obs.Span.Persist
                        ~t0:(fin - pns) ~t1:fin);
+                if ans > 0 then
+                  ignore
+                    (Obs.Span.add_span ~trace ~parent:sst Obs.Span.Alloc
+                       ~t0:(fin - ans) ~t1:fin);
                 (ok, mutated, fin))
         in
         incr handled;
@@ -667,6 +693,13 @@ let run ~make ~reattach cfg =
       let secs =
         Machine.parallel mach ~threads:1 (fun _ ->
             let inst' = reattach mach in
+            let inst' =
+              (* the recovered heap reclaimed every lease; serve the
+                 post-crash store through a fresh cache *)
+              if cfg.tcache_mag > 0 then
+                fst (Tcache.wrap ~mag:cfg.tcache_mag inst')
+              else inst'
+            in
             got := Some (Kv.attach ~mvcc_window:cfg.mvcc_window inst'))
       in
       let svc', reco = Option.get !got in
@@ -697,6 +730,22 @@ let run ~make ~reattach cfg =
   g "ops_read" (float_of_int !n_read);
   g "ops_write" (float_of_int !n_write);
   g "ops_scan" (float_of_int !n_scan);
+  g "mvcc_truncated_reads" (float_of_int (Kv.mvcc_truncated_reads svc));
+  Array.iteri
+    (fun i (chains, versions) ->
+      let sscope = Printf.sprintf "%s/shard%d" scope i in
+      Obs.Metrics.set_gauge ~scope:sscope "mvcc_chains" (float_of_int chains);
+      Obs.Metrics.set_gauge ~scope:sscope "mvcc_chain_versions"
+        (float_of_int versions))
+    (Kv.mvcc_shard_chains svc);
+  (match tch with
+   | Some t ->
+     let hits, misses, refills, flushes = Tcache.stats t in
+     g "tcache_hits" (float_of_int hits);
+     g "tcache_misses" (float_of_int misses);
+     g "tcache_bin_refills" (float_of_int refills);
+     g "tcache_bin_flushes" (float_of_int flushes)
+   | None -> ());
   Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "latency_ns") lat_h;
   Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "service_ns") svc_h;
   Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "txn_latency_ns") txn_lat_h;
@@ -782,6 +831,8 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
     invalid_arg "Server.run_replicated: batch_bytes < 0";
   if cfg.mvcc_window < 0 then
     invalid_arg "Server.run_replicated: mvcc_window < 0";
+  if cfg.tcache_mag < 0 then
+    invalid_arg "Server.run_replicated: tcache_mag < 0";
   (match cfg.crash_at with
    | Some f when f <= 0. || f >= 1. ->
      invalid_arg "Server.run_replicated: crash_at must be in (0, 1)"
@@ -796,14 +847,22 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
   let ncpu = mcfg.Machine.Config.num_cpus in
   if cfg.shards > ncpu then
     invalid_arg "Server.run_replicated: more shards than CPUs";
+  let wrap_inst inst =
+    if cfg.tcache_mag > 0 then
+      let i, t = Tcache.wrap ~mag:cfg.tcache_mag inst in
+      (i, Some t)
+    else (inst, None)
+  in
+  let inst_p, tch_p = wrap_inst (make primary) in
+  let inst_b, tch_b = wrap_inst (make backup) in
   let svc =
-    Kv.create ~mvcc_window:cfg.mvcc_window (make primary) ~shards:cfg.shards
+    Kv.create ~mvcc_window:cfg.mvcc_window inst_p ~shards:cfg.shards
       ~value_size:cfg.value_size
   in
   (* the backup grows chains too (group-installed, like the primary)
      so a promotion can serve snapshots at once *)
   let svc_b =
-    Kv.create ~mvcc_window:cfg.mvcc_window (make backup) ~shards:cfg.shards
+    Kv.create ~mvcc_window:cfg.mvcc_window inst_b ~shards:cfg.shards
       ~value_size:cfg.value_size
   in
 
@@ -921,6 +980,7 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
           | KTxn ->
             let stx = Obs.Span.open_span ~trace ~parent:m.span Obs.Span.Txn in
             let pmark = Obs.Span.persist_mark () in
+            let amark = Obs.Span.alloc_mark () in
             let res =
               Kv.txn svc r.ops ~trace ~span:stx ~on_commit:(fun res ->
                   let nparts = List.length res.Kv.participants in
@@ -987,12 +1047,19 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
                   Obs.Span.close_span sra)
             in
             let pns = Obs.Span.persist_since pmark in
+            let ans = Obs.Span.alloc_since amark in
             Obs.Span.close_span stx;
             if pns > 0 then begin
               let now = Sched.now () in
               ignore
                 (Obs.Span.add_span ~trace ~parent:stx Obs.Span.Persist
                    ~t0:(now - pns) ~t1:now)
+            end;
+            if ans > 0 then begin
+              let now = Sched.now () in
+              ignore
+                (Obs.Span.add_span ~trace ~parent:stx Obs.Span.Alloc
+                   ~t0:(now - ans) ~t1:now)
             end;
             if res.Kv.committed then incr txn_commits else incr txn_aborts;
             (res.Kv.committed, res.Kv.committed, res.Kv.fin)
@@ -1027,6 +1094,7 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
                   Obs.Span.open_span ~trace ~parent:m.span Obs.Span.Store
                 in
                 let pmark = Obs.Span.persist_mark () in
+                let amark = Obs.Span.alloc_mark () in
                 let ok, mutated =
                   match r.kind with
                   | KGet -> (Kv.get svc ~key:r.key <> None, false)
@@ -1047,12 +1115,17 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
                      | KPut -> Replica.Put { key = r.key; vseed = r.vseed }
                      | _ -> Replica.Del { key = r.key });
                 let pns = Obs.Span.persist_since pmark in
+                let ans = Obs.Span.alloc_since amark in
                 let fin = Sched.now () in
                 Obs.Span.close_span sst;
                 if pns > 0 then
                   ignore
                     (Obs.Span.add_span ~trace ~parent:sst Obs.Span.Persist
                        ~t0:(fin - pns) ~t1:fin);
+                if ans > 0 then
+                  ignore
+                    (Obs.Span.add_span ~trace ~parent:sst Obs.Span.Alloc
+                       ~t0:(fin - ans) ~t1:fin);
                 (ok, mutated, fin))
         in
         (* Sync mode holds the reply until the backup's cumulative ack
@@ -1514,6 +1587,10 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
             Machine.compute backup 1_000 (* failover decision + seal *);
             tail_replayed :=
               Replica.Applier.seal_and_replay applier ~sealed_at;
+            (* role change: flush the promoted member's magazine bins
+               back to its allocator so it starts clean (the reclaim
+               cost is part of the promote makespan) *)
+            Option.iter Tcache.reset tch_b;
             (* prepares whose decide died with the primary: presumed
                abort — none of those transactions was ever acked *)
             indoubt_aborted := Kv.txn_resolve_indoubt svc_b)
@@ -1564,6 +1641,24 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
   g "ops_read" (float_of_int !n_read);
   g "ops_write" (float_of_int !n_write);
   g "ops_scan" (float_of_int !n_scan);
+  (let live = if crashed then svc_b else svc in
+   g "mvcc_truncated_reads" (float_of_int (Kv.mvcc_truncated_reads live));
+   Array.iteri
+     (fun i (chains, versions) ->
+       let sscope = Printf.sprintf "%s/shard%d" scope i in
+       Obs.Metrics.set_gauge ~scope:sscope "mvcc_chains"
+         (float_of_int chains);
+       Obs.Metrics.set_gauge ~scope:sscope "mvcc_chain_versions"
+         (float_of_int versions))
+     (Kv.mvcc_shard_chains live));
+  (match tch_p with
+   | Some t ->
+     let hits, misses, refills, flushes = Tcache.stats t in
+     g "tcache_hits" (float_of_int hits);
+     g "tcache_misses" (float_of_int misses);
+     g "tcache_bin_refills" (float_of_int refills);
+     g "tcache_bin_flushes" (float_of_int flushes)
+   | None -> ());
   Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "latency_ns") lat_h;
   Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "service_ns") svc_h;
   Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "repl_lag_ns") repl_lag_h;

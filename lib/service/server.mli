@@ -59,6 +59,16 @@ type config = {
           Above 0 every get/scan is a lock-free snapshot read under an
           {!Obs.Span.Snapshot} stage span, and a scan becomes a
           multi-shard merged scan consistent at one timestamp. *)
+  tcache_mag : int;
+      (** magazine size of the DRAM thread cache ({!Tcache.wrap})
+          layered over the allocator, ≥ 0.  At 0 (the default) the
+          wrapper is bypassed entirely — the run is byte-identical to
+          the uncached servicing path.  Above 0 allocations pop
+          volatile per-CPU bins (refilled [tcache_mag] blocks per
+          carve) and frees stash and flush in bulk; allocator time is
+          attributed under the {!Obs.Span.Alloc} detail stage and
+          surfaced as [tcache_*] gauges.  {!run_replicated} wraps both
+          members and flushes the backup's cache at promotion. *)
 }
 
 val default_config : config

@@ -1,0 +1,362 @@
+(** DRAM-resident magazine caches over a persistent allocator.
+
+    The wrapper interposes volatile per-CPU, per-size-class bins
+    between the application and an {!Alloc_intf.instance}: the common
+    allocation path is a bin pop — no NVMM write, no lock, no fence —
+    and frees stash into a local bin and flush to the allocator in
+    bulk.  The persistent half of the protocol lives behind
+    {!Alloc_intf.cache_ops} (Poseidon's per-sub-heap reclaim ledger):
+
+    - {e Refill}: a bin miss carves [mag] blocks of the class size in
+      ONE allocator transaction; each carved block carries a ledger
+      {e lease}, so a crash leaves nothing dangling — recovery frees
+      every leased block.
+    - {e Publish}: a block handed to the application is not durably
+      allocated until its lease is cleared (clwb + fence).  Singleton
+      allocs publish before returning; transactional allocs accumulate
+      on a per-CPU pending list published in one batch — one fence —
+      at the [is_end]/[tx_commit] point, strictly before the embedding
+      store persists its own commit record.
+    - {e Stash}: a free durably records a reclaim lease (one fence, a
+      write-ahead: the block may be recycled from the bin immediately,
+      because crash recovery will free it if the recycled copy's new
+      reference never persists) and joins the bin; overlong bins flush
+      their overflow through one bulk-free transaction.
+
+    Allocators without cache support ([cache_ops = None] — the
+    baselines) degrade the wrapper to a transparent pass-through, as
+    does a magazine size of zero. *)
+
+open Alloc_intf
+
+(* Cached classes: 32 B .. cache_max_size, exact powers of two. *)
+let max_classes = 8
+
+let class_of_rsize rsize =
+  let rec go c s = if s <= 32 then c else go (c + 1) (s / 2) in
+  go 0 rsize
+
+type bin = { mutable blocks : cache_block list; mutable depth : int }
+
+type cpu_state = {
+  bins : bin array;
+  mutable pending : (cache_block * int) list;
+      (** blocks handed out by [tx_alloc] whose leases are still set —
+          published in one batch at the commit point; the [int] is the
+          rounded size, so a pre-commit free (2PC abort) can return
+          the block to its bin lease-intact with zero NVMM traffic *)
+  mutable inner_tx_used : bool;
+      (** the inner allocator's transaction was entered this tx (size
+          overflow or carve failure), so commit must be forwarded *)
+}
+
+type handle = {
+  inner : instance;
+  ops : cache_ops option; (* None = pass-through *)
+  mag : int;
+  cpus : cpu_state array;
+  mutable broken : bool;
+  counts : int array; (* hit / miss / refill / flush, wrapper-side *)
+  broken_sizes : (int * int, int) Hashtbl.t;
+      (** (subheap, off) -> rounded size of blocks handed out, kept
+          only in broken mode so the leaseless free can route the
+          block to a bin without touching the allocator *)
+}
+
+type heap = handle
+
+let allocator_name = "tcache"
+
+let mk_cpu () =
+  { bins = Array.init max_classes (fun _ -> { blocks = []; depth = 0 });
+    pending = [];
+    inner_tx_used = false }
+
+let cpu_state h =
+  let n = Array.length h.cpus in
+  h.cpus.((if Simcore.Sched.in_simulation () then Machine.current_cpu () else 0)
+          mod n)
+
+(* ---------- alloc-time accounting (the Alloc detail span) ---------- *)
+
+let timed f =
+  if Simcore.Sched.in_simulation () && Obs.Span.enabled () then begin
+    let t0 = Simcore.Sched.now () in
+    let r = f () in
+    Obs.Span.note_alloc (Simcore.Sched.now () - t0);
+    r
+  end
+  else f ()
+
+(* ---------- bins ---------- *)
+
+let bin_push bin b =
+  bin.blocks <- b :: bin.blocks;
+  bin.depth <- bin.depth + 1
+
+let bin_pop bin =
+  match bin.blocks with
+  | [] -> None
+  | b :: rest ->
+    bin.blocks <- rest;
+    bin.depth <- bin.depth - 1;
+    Some b
+
+(* Pop [n] blocks for a bulk reclaim. *)
+let bin_take bin n =
+  let rec go acc n =
+    if n <= 0 then acc
+    else match bin_pop bin with None -> acc | Some b -> go (b :: acc) (n - 1)
+  in
+  go [] n
+
+let note h (ops : cache_ops) ev =
+  let i =
+    match ev with
+    | Cache_hit -> 0
+    | Cache_miss -> 1
+    | Cache_refill -> 2
+    | Cache_flush -> 3
+  in
+  h.counts.(i) <- h.counts.(i) + 1;
+  ops.cache_note ev
+
+(* Overflow policy: let a bin grow to twice the magazine, then flush
+   it back down to one magazine in a single bulk-free transaction. *)
+let maybe_flush h ops bin =
+  if bin.depth > 2 * h.mag then begin
+    let excess = bin_take bin (bin.depth - h.mag) in
+    (* leaseless (broken-mode) blocks would leak the allocator's view;
+       reclaim frees them all the same, lease or not *)
+    ops.cache_reclaim excess;
+    note h ops Cache_flush
+  end
+
+let note_handout h rsize (ptr : nvmptr) =
+  if h.broken then
+    Hashtbl.replace h.broken_sizes (ptr.subheap, ptr.off) rsize
+
+(* ---------- allocation ---------- *)
+
+let alloc h size =
+  timed (fun () ->
+      match h.ops with
+      | None -> i_alloc h.inner size
+      | Some ops ->
+        let rsize = ops.cache_round size in
+        if rsize > ops.cache_max_size then i_alloc h.inner size
+        else begin
+          let st = cpu_state h in
+          let bin = st.bins.(class_of_rsize rsize) in
+          match bin_pop bin with
+          | Some b ->
+            note h ops Cache_hit;
+            (* a singleton allocation is durable when it returns *)
+            ops.cache_publish [ b ];
+            note_handout h rsize b.cb_ptr;
+            Some b.cb_ptr
+          | None ->
+            note h ops Cache_miss;
+            (match ops.cache_carve ~size:rsize ~count:h.mag with
+             | [] -> i_alloc h.inner size
+             | b :: rest ->
+               note h ops Cache_refill;
+               List.iter (bin_push bin) rest;
+               ops.cache_publish [ b ];
+               note_handout h rsize b.cb_ptr;
+               Some b.cb_ptr)
+        end)
+
+(* Publish every pending lease in one batch (single fence), then
+   forward the commit to the inner allocator iff its transaction was
+   actually entered — an empty inner commit still costs a fence. *)
+let commit_point h ops st =
+  (match st.pending with
+   | [] -> ()
+   | pending ->
+     ops.cache_publish (List.map fst pending);
+     st.pending <- []);
+  if st.inner_tx_used then begin
+    st.inner_tx_used <- false;
+    i_tx_commit h.inner
+  end
+
+let tx_alloc h size ~is_end =
+  timed (fun () ->
+      match h.ops with
+      | None -> i_tx_alloc h.inner size ~is_end
+      | Some ops ->
+        let st = cpu_state h in
+        let rsize = ops.cache_round size in
+        if rsize > ops.cache_max_size then begin
+          st.inner_tx_used <- true;
+          let r = i_tx_alloc h.inner size ~is_end in
+          if is_end && r <> None then begin
+            (* the inner [is_end] call committed the inner tx *)
+            st.inner_tx_used <- false;
+            commit_point h ops st
+          end;
+          r
+        end
+        else begin
+          let bin = st.bins.(class_of_rsize rsize) in
+          let popped =
+            match bin_pop bin with
+            | Some b ->
+              note h ops Cache_hit;
+              Some b
+            | None ->
+              note h ops Cache_miss;
+              (match ops.cache_carve ~size:rsize ~count:h.mag with
+               | [] -> None
+               | b :: rest ->
+                 note h ops Cache_refill;
+                 List.iter (bin_push bin) rest;
+                 Some b)
+          in
+          match popped with
+          | Some b ->
+            st.pending <- (b, rsize) :: st.pending;
+            note_handout h rsize b.cb_ptr;
+            if is_end then commit_point h ops st;
+            Some b.cb_ptr
+          | None ->
+            st.inner_tx_used <- true;
+            let r = i_tx_alloc h.inner size ~is_end in
+            if is_end && r <> None then begin
+              st.inner_tx_used <- false;
+              commit_point h ops st
+            end;
+            r
+        end)
+
+let tx_commit h =
+  timed (fun () ->
+      match h.ops with
+      | None -> i_tx_commit h.inner
+      | Some ops ->
+        let st = cpu_state h in
+        commit_point h ops st)
+
+(* ---------- deallocation ---------- *)
+
+let free h ptr =
+  timed (fun () ->
+      match h.ops with
+      | None -> i_free h.inner ptr
+      | Some ops ->
+        let st = cpu_state h in
+        (* pre-commit free of a pending block (2PC abort): its lease
+           is still set, so it simply returns to a bin — no NVMM op *)
+        let rec split acc = function
+          | [] -> None
+          | ((b, _) as e) :: rest when equal_nvmptr b.cb_ptr ptr ->
+            Some (e, List.rev_append acc rest)
+          | e :: rest -> split (e :: acc) rest
+        in
+        match split [] st.pending with
+        | Some ((b, rsize), rest) ->
+          st.pending <- rest;
+          bin_push st.bins.(class_of_rsize rsize) b
+        | None ->
+          if h.broken then begin
+            (* seeded fault (crashcheck `tcache-broken`): recycle the
+               block with NO reclaim lease and NO persistent free — a
+               crash between the store dropping its reference and the
+               recycled copy's new reference persisting leaks it *)
+            match Hashtbl.find_opt h.broken_sizes (ptr.subheap, ptr.off) with
+            | Some rsize ->
+              bin_push st.bins.(class_of_rsize rsize)
+                { cb_ptr = ptr; cb_lease = -1 }
+            | None -> i_free h.inner ptr
+          end
+          else
+            match ops.cache_stash ptr with
+            | Some (lease, size) ->
+              let bin = st.bins.(class_of_rsize size) in
+              bin_push bin { cb_ptr = ptr; cb_lease = lease };
+              maybe_flush h ops bin
+            | None ->
+              (* invalid/double free, uncacheable size or full ledger *)
+              i_free h.inner ptr)
+
+(* ---------- pass-through surface ---------- *)
+
+let create _ ~base:_ ~size:_ ~heap_id:_ =
+  failwith "Tcache.create: wrap an existing instance"
+
+let attach _ ~base:_ = failwith "Tcache.attach: wrap an existing instance"
+
+let finish h = let (Instance ((module A), ih)) = h.inner in A.finish ih
+let get_rawptr h p = i_get_rawptr h.inner p
+let get_nvmptr h a = i_get_nvmptr h.inner a
+let get_root h = i_get_root h.inner
+let set_root h p = i_set_root h.inner p
+let machine h = instance_machine h.inner
+
+(* The wrapper exposes no cache surface of its own: stacking a second
+   cache on top would double-lease every block. *)
+let cache_ops _ = None
+
+(* ---------- wrapper construction & control ---------- *)
+
+let reset h =
+  match h.ops with
+  | None -> ()
+  | Some ops ->
+    Array.iter
+      (fun st ->
+        let from_bins =
+          Array.to_list st.bins
+          |> List.concat_map (fun bin ->
+                 let bs = bin.blocks in
+                 bin.blocks <- [];
+                 bin.depth <- 0;
+                 bs)
+        in
+        let blocks = List.map fst st.pending @ from_bins in
+        st.pending <- [];
+        st.inner_tx_used <- false;
+        if blocks <> [] then begin
+          ops.cache_reclaim blocks;
+          note h ops Cache_flush
+        end)
+      h.cpus;
+    Hashtbl.reset h.broken_sizes
+
+let break_recycle h = h.broken <- true
+
+let stats h = (h.counts.(0), h.counts.(1), h.counts.(2), h.counts.(3))
+
+let wrap ~mag inner =
+  let num_cpus =
+    (Machine.cfg (instance_machine inner)).Machine.Config.num_cpus
+  in
+  let h =
+    { inner;
+      ops = (if mag > 0 then i_cache_ops inner else None);
+      mag = max mag 1;
+      cpus = Array.init (max num_cpus 1) (fun _ -> mk_cpu ());
+      broken = false;
+      counts = Array.make 4 0;
+      broken_sizes = Hashtbl.create 64 }
+  in
+  let module W = struct
+    type nonrec heap = heap
+
+    let allocator_name = allocator_name
+    let create = create
+    let attach = attach
+    let finish = finish
+    let alloc = alloc
+    let tx_alloc = tx_alloc
+    let tx_commit = tx_commit
+    let free = free
+    let get_rawptr = get_rawptr
+    let get_nvmptr = get_nvmptr
+    let get_root = get_root
+    let set_root = set_root
+    let machine = machine
+    let cache_ops = cache_ops
+  end in
+  (Instance ((module W : Alloc_intf.S with type heap = heap), h), h)

@@ -1,0 +1,43 @@
+(** DRAM-resident magazine caches over a persistent allocator
+    (DESIGN.md §14).
+
+    [wrap ~mag inner] layers volatile per-CPU, per-size-class bins
+    over [inner]: allocation pops a bin (no NVMM traffic, no lock, no
+    fence on the common path), a miss carves [mag] blocks in one inner
+    transaction, frees stash into a bin and flush in bulk.  Crash
+    safety rides the inner allocator's reclaim-ledger leases exposed
+    through {!Alloc_intf.cache_ops}: a cache-handed-out block becomes
+    durably allocated only when its lease publish (fence) completes —
+    ordered before the embedding store's own commit persist — and a
+    freed block is recyclable only after its reclaim lease persisted.
+    Allocators without cache support (and [mag = 0]) degrade to a
+    transparent pass-through. *)
+
+type handle
+
+include Alloc_intf.S with type heap = handle
+
+val wrap : mag:int -> Alloc_intf.instance -> Alloc_intf.instance * handle
+(** Wraps an instance with magazine size [mag] (blocks carved per
+    refill; bins flush when they exceed twice that).  [mag = 0]
+    returns a pass-through wrapper that forwards every call verbatim
+    to [inner].  The handle controls the cache out of band. *)
+
+val reset : handle -> unit
+(** Flushes every bin and pending list back to the inner allocator
+    (bulk reclaim) and clears the cache state — used when an instance
+    changes role (e.g. a replica promoting to primary re-attaches the
+    heap; leftover DRAM state would go stale). *)
+
+val stats : handle -> int * int * int * int
+(** Wrapper-side traffic counters [(hits, misses, refills, flushes)]
+    since construction (mirrors the inner allocator's
+    [tcache_*]/[bin_*] heap statistics). *)
+
+val break_recycle : handle -> unit
+(** Seeded fault for crash-consistency checking ONLY: from now on,
+    frees recycle blocks into the bins with {e no} reclaim lease and
+    {e no} persistent free, so a crash leaks every block whose store
+    reference was dropped before its recycled copy was re-referenced.
+    The crashcheck scenario [tcache-broken] asserts the checker
+    catches this. *)

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Allocation fast path (lib/tcache): a steady-state 64 B alloc/free
+# microbenchmark comparing the raw Poseidon allocator with the DRAM
+# magazine cache (mag 8), then a same-seed write-heavy serve pair at a
+# saturating offered load (--tcache-mag 8 vs --tcache-mag 0) and a
+# crash run through the cached path.  Fails unless the cached alloc
+# p50 drops at least 25% below the raw p50 AND the cached serve write
+# p50 beats the mag-0 write p50 — the fast-path gates — or if any run
+# loses an acked write.  Leaves a machine-readable snapshot in
+# BENCH_alloc.json at the repo root.  Pass --full for longer traffic.
+set -eu
+cd "$(dirname "$0")/.."
+dune build bench/main.exe
+dune exec bench/main.exe -- --suite alloc "$@"

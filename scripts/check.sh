@@ -104,6 +104,26 @@ if dune exec bin/main.exe -- crashcheck --scenario mvcc-broken \
   echo "check: crashcheck FAILED to detect the seeded early-publish MVCC bug" >&2
   exit 1
 fi
+# magazine-cache sweep, EXHAUSTIVE: every fence-to-fence crash point
+# of the cached KV write path (batched carve under ledger leases,
+# publish-at-commit, stash-then-recycle frees) must leave the
+# recovered heap with exactly one live value block per present key —
+# leased bin residue is reclaimed, nothing leaks.  Cheap enough to run
+# unstrided in tier-1.
+step="crashcheck kv-tcache-put exhaustive sweep"
+dune exec bin/main.exe -- crashcheck --scenario kv-tcache-put \
+  --seed "$CRASH_SEED" > /dev/null
+# cache mutation gate: the same sweep against a cache that recycles
+# freed blocks with no reclaim lease and no persistent free; the
+# value-census oracle MUST flag the orphaned blocks (non-zero exit),
+# or it has lost the power to see the reclaim-before-recycle rule the
+# cache's crash safety rests on.
+step="crashcheck mutation gate (tcache-broken)"
+if dune exec bin/main.exe -- crashcheck --scenario tcache-broken \
+     --max-points 8 --subsets 1 --seed "$CRASH_SEED" > /dev/null 2>&1; then
+  echo "check: crashcheck FAILED to detect the seeded leaseless-recycle cache bug" >&2
+  exit 1
+fi
 # serve smoke: bounded open-loop traffic with a crash at the midpoint;
 # exits non-zero if the recovered store loses any acked write.
 step="serve crash smoke"
@@ -204,6 +224,33 @@ step="serve mvcc crash smoke"
 dune exec bin/main.exe -- serve --shards 2 --clients 8 --rate 40000 \
   --duration 0.005 --read-pct 60 --scan-pct 10 --mvcc-window 8 \
   --crash-at 0.5 --seed "$CRASH_SEED" > /dev/null
+# tcache identity gate: --tcache-mag 0 must bypass the magazine cache
+# entirely, so a serve run with the flag spelled out is byte-identical
+# (modulo the git rev line) to the same run without it.  Catches any
+# drift where mag 0 silently starts caching allocations.
+step="tcache mag-0 identity gate"
+tmpdir="$(mktemp -d)"
+dune exec bin/main.exe -- serve --shards 2 --clients 8 \
+  --rate 40000 --duration 0.005 --seed "$CRASH_SEED" \
+  --json-out "$tmpdir/plain.json" > /dev/null
+dune exec bin/main.exe -- serve --shards 2 --clients 8 \
+  --rate 40000 --duration 0.005 --seed "$CRASH_SEED" \
+  --tcache-mag 0 --json-out "$tmpdir/m0.json" > /dev/null
+sed 's/"rev":[^,}]*//' "$tmpdir/plain.json" > "$tmpdir/plain.norm"
+sed 's/"rev":[^,}]*//' "$tmpdir/m0.json" > "$tmpdir/m0.norm"
+if ! diff -u "$tmpdir/plain.norm" "$tmpdir/m0.norm" > /dev/null; then
+  echo "check: serve --tcache-mag 0 DIVERGES from the uncached path:" >&2
+  diff -u "$tmpdir/plain.norm" "$tmpdir/m0.norm" >&2 || true
+  rm -rf "$tmpdir"
+  exit 1
+fi
+rm -rf "$tmpdir"
+# tcache serve smoke: cached allocation under a mid-traffic crash;
+# exits non-zero if the recovered store loses any acked write.
+step="serve tcache crash smoke"
+dune exec bin/main.exe -- serve --shards 2 --clients 8 --rate 40000 \
+  --duration 0.005 --tcache-mag 4 --crash-at 0.5 --seed "$CRASH_SEED" \
+  > /dev/null
 
 step="done"
-echo "check: lint + build + tests + crashcheck (incl. 2PC + batching + MVCC gates) + serve/txn/failover/mvcc smokes + trace validity + determinism + batch/mvcc identity OK"
+echo "check: lint + build + tests + crashcheck (incl. 2PC + batching + MVCC + tcache gates) + serve/txn/failover/mvcc/tcache smokes + trace validity + determinism + batch/mvcc/tcache identity OK"
