@@ -962,6 +962,144 @@ let mvcc_suite () =
   end;
   (List.rev !runs, plain_p50, snap_p50, write_all, read95)
 
+(* ---------- rcache suite: DRAM read-cache tier ---------- *)
+
+(* With a read cache armed, a hot zipfian read mix answers most gets
+   from a DRAM probe instead of walking the persistent B+-tree and
+   digesting the NVMM value block.  The skew sweep (theta 0.6 / 0.9 /
+   1.1, 8192 entries/shard, warm rate) shows the hit-rate gradient;
+   the gate pair reruns the same 98%-read mix at theta 0.99 at a HOT
+   offered load, where the cheaper cached service time is the
+   difference between a shard queue that drains and one that builds —
+   cached read p50 must come in at or below 0.6x the uncached one —
+   and a crash run shows the volatile cache changes nothing about
+   recovery or the ledger. *)
+let rcache_suite () =
+  note "";
+  note "### RCACHE: DRAM read-cache tier over the NVMM shards";
+  note "(same 98%%-read mix across zipf skews; entries 0 = uncached path)";
+  let module S = Service.Server in
+  let factory = Workloads.Factories.poseidon () in
+  let make () = factory.Workloads.Factories.make () in
+  let reattach mach =
+    Poseidon.instance
+      (Poseidon.Heap.attach mach ~base:Workloads.Factories.heap_base ())
+  in
+  let base ?(rate = 600_000.) ?(duration = if !full then 0.08 else 0.06)
+      ~theta ~entries scope =
+    { S.default_config with
+      S.shards = 4;
+      clients = 32;
+      rate;
+      duration;
+      value_size = 512;
+      (* every key present (absent keys return early and cache
+         nothing), and the keyspace is sized so the per-shard working
+         set overflows the simulated per-CPU hardware cache (8192
+         direct-mapped lines): an uncached read then really pays the
+         NVMM tree walk + value digest, which is exactly what the
+         digest cache skips.  MVCC stays off — its version chains
+         already memoize the digest of every mutated key, so the
+         locked read path is where the cache earns its keep (the
+         snapshot path's cache interplay is covered by the
+         kv-rcache-put crashcheck sweep and the mvcc suite) *)
+      keyspace = 32768;
+      preload = 32768;
+      zipf_theta = theta;
+      read_pct = 98;
+      scan_pct = 0;
+      delete_pct = 0;
+      queue_capacity = 64;
+      mvcc_window = 0;
+      rcache_entries = entries;
+      scope }
+  in
+  let hit_rate scope =
+    let g name =
+      match Obs.Metrics.get_gauge ~scope name with Some v -> v | None -> 0.
+    in
+    let hits = g "rcache_hits" and misses = g "rcache_misses" in
+    if hits +. misses <= 0. then 0. else hits /. (hits +. misses)
+  in
+  let runs = ref [] in
+  let run_one label cfg =
+    let r = S.run ~make ~reattach cfg in
+    if r.S.ledger.S.mismatches > 0 then begin
+      Printf.eprintf "bench rcache: LEDGER MISMATCH in %s\n" label;
+      exit 1
+    end;
+    runs := (label, cfg, r, hit_rate cfg.S.scope) :: !runs;
+    r
+  in
+  (* the skew sweep runs below saturation so hit rate and read p50
+     measure the path, not the queue *)
+  List.iter
+    (fun theta ->
+      let label = Printf.sprintf "zipf-%.1f" theta in
+      ignore
+        (run_one label
+           (base ~theta ~entries:8192
+              (Printf.sprintf "bench/rcache/%s" label))))
+    [ 0.6; 0.9; 1.1 ];
+  (* the gate pair runs HOT: at this offered load the uncached read
+     path's service time backs the shard queues up, while cache hits
+     keep them drained — the latency a read cache actually buys a
+     loaded store *)
+  let hot = 2_400_000. and hot_dur = 0.24 in
+  let uncached =
+    run_one "hot-uncached"
+      (base ~rate:hot ~duration:hot_dur ~theta:0.99 ~entries:0
+         "bench/rcache/hot-uncached")
+  in
+  let cached =
+    run_one "hot-cached"
+      (base ~rate:hot ~duration:hot_dur ~theta:0.99 ~entries:8192
+         "bench/rcache/hot-cached")
+  in
+  let crash =
+    run_one "crash"
+      { (base ~theta:0.99 ~entries:8192 "bench/rcache/crash") with
+        S.crash_at = Some 0.5 }
+  in
+  note "  crash run: RTO %d ns; ledger %d checked, %d mismatch(es)"
+    crash.S.rto_ns crash.S.ledger.S.checked crash.S.ledger.S.mismatches;
+  let table =
+    Tablefmt.create
+      ~title:
+        "poseidon-kv DRAM read cache (4 shards, 98% reads, 8192 \
+         entries/shard vs none)"
+      ~columns:
+        [ "run"; "entries"; "zipf"; "goodput"; "hit rate"; "read p50";
+          "write p50" ]
+  in
+  List.iter
+    (fun (label, (cfg : S.config), (r : S.result), hr) ->
+      Tablefmt.add_row table label
+        [ string_of_int cfg.S.rcache_entries;
+          Printf.sprintf "%.2f" cfg.S.zipf_theta;
+          Printf.sprintf "%.0f" r.S.goodput;
+          Printf.sprintf "%.2f" hr;
+          string_of_int r.S.read_latency.S.p50;
+          string_of_int r.S.write_latency.S.p50 ])
+    (List.rev !runs);
+  Tablefmt.print table;
+  let un_p50 = uncached.S.read_latency.S.p50
+  and c_p50 = cached.S.read_latency.S.p50 in
+  note "  uncached service p50 %d ns; cached service p50 %d ns"
+    uncached.S.service.S.p50 cached.S.service.S.p50;
+  note "  uncached read p50 %d ns; cached read p50 %d ns (%.2fx, hit rate %.2f)"
+    un_p50 c_p50
+    (float_of_int c_p50 /. float_of_int (max 1 un_p50))
+    (hit_rate "bench/rcache/hot-cached");
+  if 5 * c_p50 > 3 * un_p50 then begin
+    Printf.eprintf
+      "bench rcache: GATE FAILED — cached read p50 %d ns > 0.6x uncached \
+       read p50 %d ns\n"
+      c_p50 un_p50;
+    exit 1
+  end;
+  (List.rev !runs, un_p50, c_p50)
+
 (* ---------- alloc suite: DRAM magazine-cache fast path ---------- *)
 
 (* The tcache wrapper turns the common allocation into a volatile bin
@@ -1647,6 +1785,62 @@ let write_mvcc_results (runs, plain_p50, snap_p50, write_all, read95) =
   in
   write_doc (if !json_out = "" then "BENCH_mvcc.json" else !json_out) doc
 
+let write_rcache_results (runs, un_p50, c_p50) =
+  let module S = Service.Server in
+  let module J = Obs.Json in
+  let num i = J.Num (float_of_int i) in
+  let pct (p : S.percentiles) =
+    J.Obj
+      [ ("p50", num p.S.p50); ("p99", num p.S.p99); ("p999", num p.S.p999);
+        ("mean", J.Num p.S.mean); ("max", num p.S.max);
+        ("samples", num p.S.samples) ]
+  in
+  let run_json (label, (cfg : S.config), (r : S.result), hr) =
+    J.Obj
+      [ ("label", J.Str label);
+        ( "config",
+          J.Obj
+            [ ("shards", num cfg.S.shards); ("clients", num cfg.S.clients);
+              ("rate", J.Num cfg.S.rate); ("duration", J.Num cfg.S.duration);
+              ("zipf_theta", J.Num cfg.S.zipf_theta);
+              ("read_pct", num cfg.S.read_pct);
+              ("mvcc_window", num cfg.S.mvcc_window);
+              ("rcache_entries", num cfg.S.rcache_entries);
+              ("seed", num cfg.S.seed) ] );
+        ("offered", num r.S.offered); ("completed", num r.S.completed);
+        ("shed", num r.S.shed);
+        ("throughput", J.Num r.S.throughput); ("goodput", J.Num r.S.goodput);
+        ("hit_rate", J.Num hr);
+        ("latency", pct r.S.latency);
+        ("read_latency", pct r.S.read_latency);
+        ("write_latency", pct r.S.write_latency);
+        ("crashed", J.Bool r.S.crashed); ("rto_ns", num r.S.rto_ns);
+        ("ledger_mismatches", num r.S.ledger.S.mismatches) ]
+  in
+  let doc =
+    J.Obj
+      [ ("schema", J.Str "poseidon-bench-rcache/v1");
+        ("rev", rev_json ());
+        ("config", J.Obj [ ("full", J.Bool !full) ]);
+        ("runs", J.Arr (List.map run_json runs));
+        ( "gate",
+          J.Obj
+            [ ("uncached_read_p50_ns", num un_p50);
+              ("cached_read_p50_ns", num c_p50);
+              ( "read_speedup_ratio",
+                J.Num (float_of_int c_p50 /. float_of_int (max 1 un_p50)) );
+              ( "cached_read_p50_le_0_6x_uncached",
+                J.Bool (5 * c_p50 <= 3 * un_p50) );
+              ( "zero_ledger_mismatches",
+                J.Bool
+                  (List.for_all
+                     (fun (_, _, (r : S.result), _) ->
+                       r.S.ledger.S.mismatches = 0)
+                     runs) ) ] );
+        ("metrics", Obs.Metrics.snapshot ()) ]
+  in
+  write_doc (if !json_out = "" then "BENCH_rcache.json" else !json_out) doc
+
 let write_alloc_results (runs, (raw_p50, raw_mean, tc_p50, tc_mean), (plain_w50, tc_w50)) =
   let module S = Service.Server in
   let module J = Obs.Json in
@@ -1888,7 +2082,9 @@ let () =
         \        'batch': group-commit window sweep, sync-vs-async p50 gate\n\
         \        -> BENCH_batch.json; 'mvcc': read-mix sweep + snapshot-read\n\
         \        overhead gate -> BENCH_mvcc.json; 'alloc': magazine-cache\n\
-        \        alloc p50 + serve write p50 gates -> BENCH_alloc.json)" );
+        \        alloc p50 + serve write p50 gates -> BENCH_alloc.json;\n\
+        \        'rcache': read-cache hit-rate/skew sweep + cached-read\n\
+        \        p50 gate -> BENCH_rcache.json)" );
       ( "--json-out",
         Arg.Set_string json_out,
         "FILE  metrics snapshot destination (default BENCH_results.json, \
@@ -1933,10 +2129,15 @@ let () =
     write_alloc_results res;
     exit 0
   end
+  else if !suite = "rcache" then begin
+    let res = rcache_suite () in
+    write_rcache_results res;
+    exit 0
+  end
   else if !suite <> "" then begin
     Printf.eprintf
       "bench: unknown suite %S (known: service, replication, txn, attrib, \
-       batch, mvcc, alloc)\n"
+       batch, mvcc, alloc, rcache)\n"
       !suite;
     exit 2
   end;

@@ -252,10 +252,12 @@ let crashcheck_cmd =
              replication with transaction records, cluster-wide crash), \
              kv-batched-put (group commit + doorbell-batched replication, \
              cluster-wide crash), kv-tcache-put (magazine-cached \
-             allocation: leases, batch publish, bulk reclaim), broken / \
+             allocation: leases, batch publish, bulk reclaim), \
+             kv-rcache-put (DRAM read cache armed; every cached read \
+             audited against the completed-prefix model), broken / \
              kv-txn-broken / kv-batched-broken / mvcc-broken / \
-             tcache-broken (deliberately buggy, for mutation sanity \
-             checks) or all (every correct one).")
+             tcache-broken / rcache-broken (deliberately buggy, for \
+             mutation sanity checks) or all (every correct one).")
   in
   let max_points_arg =
     Arg.(
@@ -598,6 +600,18 @@ let serve_cmd =
              stash and flush in bulk.  0 (default) = no cache, \
              byte-identically the uncached path.")
   in
+  let serve_rcache_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "rcache-entries" ] ~docv:"K"
+          ~doc:
+            "Per-shard slot count of the DRAM read cache layered in front \
+             of the persistent trees: gets (and snapshot gets whose \
+             timestamp allows) answer from a volatile digest cache on a \
+             hit, write-through invalidated by every mutation path.  0 \
+             (default) = no cache, byte-identically the uncached read \
+             path.")
+  in
   let txn_pct_arg =
     Arg.(
       value & opt int 0
@@ -692,7 +706,7 @@ let serve_cmd =
   let run shards clients rate duration value_size zipf keyspace queue read_pct
       scan_pct txn_pct txn_ops crash_at seed json_out replicate repl_mode
       wire_ns repl_window drop_pct dup_pct batch_window batch_bytes mvcc_window
-      tcache_mag trace_out =
+      tcache_mag rcache_entries trace_out =
     with_tracing trace_out @@ fun () ->
     let module S = Service.Server in
     (* Span store on for every serve run — attribution is part of the
@@ -719,7 +733,8 @@ let serve_cmd =
         batch_window;
         batch_bytes;
         mvcc_window;
-        tcache_mag }
+        tcache_mag;
+        rcache_entries }
     in
     let factory = Workloads.Factories.poseidon () in
     let repl, r =
@@ -773,9 +788,12 @@ let serve_cmd =
       ((if mvcc_window > 0 then
           Printf.sprintf "  [mvcc window %d: lock-free reads]" mvcc_window
         else "")
+      ^ (if tcache_mag > 0 then
+           Printf.sprintf "  [tcache mag %d: cached allocs]" tcache_mag
+         else "")
       ^
-      if tcache_mag > 0 then
-        Printf.sprintf "  [tcache mag %d: cached allocs]" tcache_mag
+      if rcache_entries > 0 then
+        Printf.sprintf "  [rcache %d/shard: cached reads]" rcache_entries
       else "");
     Printf.printf "  read latency:  p50 %d ns  p99 %d ns (%d samples)\n"
       r.S.read_latency.S.p50 r.S.read_latency.S.p99 r.S.read_latency.S.samples;
@@ -876,6 +894,7 @@ let serve_cmd =
                    ("batch_bytes", num batch_bytes);
                    ("mvcc_window", num mvcc_window);
                    ("tcache_mag", num tcache_mag);
+                   ("rcache_entries", num rcache_entries);
                    ( "crash_at",
                      match crash_at with
                      | Some f -> J.Num f
@@ -979,7 +998,7 @@ let serve_cmd =
       $ json_out_arg $ replicate_arg $ repl_mode_arg $ wire_ns_arg
       $ repl_window_arg $ drop_pct_arg $ dup_pct_arg $ batch_window_arg
       $ batch_bytes_arg $ mvcc_window_arg $ serve_tcache_mag_arg
-      $ trace_out_arg)
+      $ serve_rcache_arg $ trace_out_arg)
 
 (* ---------- trace ---------- *)
 

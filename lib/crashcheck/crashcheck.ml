@@ -917,6 +917,133 @@ let scn_mvcc_broken () =
   in
   { sname = "mvcc-broken"; setup; op; extra_oracles = [ o_snap ] }
 
+(* DRAM read-cache sweep: the kv-snapshot op mix on a store with both a
+   version window and a read cache ([rcache_entries:4] per shard —
+   smaller than the plan's per-shard keyspace, so the audits force CLOCK
+   evictions).  After every completed operation the driver audits the
+   completed-prefix model twice: every key in the universe through the
+   cached plain-[get] path (the first audit after a mutation reads
+   through and re-fills; the cache must never answer with a digest the
+   store no longer holds) and again through a fresh snapshot, which may
+   answer from the cache only when the cached version's timestamp admits
+   it.  A stale cached digest is recorded as a violation and surfaces
+   through the [cached-reads] oracle at every crash point past the
+   offending op.  Recovery is still checked by the standard prefix
+   oracle: the cache is volatile DRAM, so a crash must leave the
+   re-attached store indistinguishable from the uncached sweeps. *)
+let scn_kv_rcache ?(break = false) ~sname () =
+  let preload =
+    [ (1, 171); (2, 172); (3, 173); (4, 174); (5, 175); (6, 176) ]
+  in
+  let plan =
+    [ Kput (3, 701); Kput (9, 702); Kdel 2;
+      Ktxn
+        [ Service.Kv.Tput { key = 5; vseed = 703 };
+          Service.Kv.Tput { key = 7; vseed = 704 } ];
+      Kput (3, 705); Kdel 5; Kput (10, 706); Kput (9, 707) ]
+  in
+  let universe =
+    List.sort_uniq compare
+      (List.map fst preload
+      @ List.concat_map
+          (function
+            | Kput (k, _) | Kdel k -> [ k ]
+            | Ktxn ops -> List.map txn_op_key ops)
+          plan)
+  in
+  let svc = ref None in
+  let acked = ref 0 in
+  let violations = ref [] in
+  let setup () =
+    let env = mk_env () in
+    env.ledger.slack <- 8192;
+    let inst = Poseidon.instance env.heap in
+    let s =
+      Service.Kv.create ~mvcc_window:4 ~rcache_entries:4 inst ~shards:2
+        ~value_size:64
+    in
+    List.iter
+      (fun (k, vs) ->
+        if not (Service.Kv.put s ~key:k ~vseed:vs) then
+          failwith "kv-rcache scenario: preload put failed")
+      preload;
+    if break then Service.Kv.rcache_break_late_invalidate s;
+    svc := Some s;
+    acked := 0;
+    violations := [];
+    env.ledger.durable <- (H.stats env.heap).H.live_bytes;
+    finish_setup env
+  in
+  let op env =
+    let s = Option.get !svc in
+    let model = Hashtbl.create 32 in
+    List.iter (fun (k, vs) -> Hashtbl.replace model k vs) preload;
+    let cks vs = Service.Kv.value_checksum s ~vseed:vs in
+    let audit i =
+      List.iter
+        (fun k ->
+          let got = Service.Kv.get s ~key:k
+          and want = Option.map cks (Hashtbl.find_opt model k) in
+          if got <> want then
+            violations :=
+              Printf.sprintf
+                "after op %d: cached get of key %d disagrees with the \
+                 completed-prefix model"
+                i k
+              :: !violations)
+        universe;
+      let ts = Service.Kv.snapshot s in
+      List.iter
+        (fun k ->
+          let got = Service.Kv.snapshot_get s ~ts ~key:k
+          and want = Option.map cks (Hashtbl.find_opt model k) in
+          if got <> want then
+            violations :=
+              Printf.sprintf
+                "after op %d: snapshot_get of key %d disagrees with the \
+                 completed-prefix model (cache admitted a wrong version)"
+                i k
+              :: !violations)
+        universe
+    in
+    List.iteri
+      (fun i o ->
+        (match o with
+         | Kput (k, vs) -> ignore (Service.Kv.put s ~key:k ~vseed:vs)
+         | Kdel k -> ignore (Service.Kv.delete s ~key:k)
+         | Ktxn ops -> ignore (Service.Kv.txn s ops));
+        apply_kv model o;
+        incr acked;
+        env.ledger.durable <- (H.stats env.heap).H.live_bytes;
+        audit i)
+      plan
+  in
+  let o_rcache =
+    { oname = "cached-reads";
+      check =
+        (fun _env ->
+          match List.rev !violations with
+          | [] -> Ok ()
+          | v :: _ ->
+            Error
+              (Printf.sprintf "%d stale cached read(s), first: %s"
+                 (List.length !violations)
+                 v)) }
+  in
+  let o_kv = kv_prefix_oracle ~oname:"kv-store" ~preload ~plan ~acked () in
+  { sname; setup; op; extra_oracles = [ o_rcache; o_kv ] }
+
+let scn_kv_rcache_put () = scn_kv_rcache ~sname:"kv-rcache-put" ()
+
+(* The seeded cache bug: {!Service.Kv.rcache_break_late_invalidate}
+   defers every invalidation until the NEXT mutation starts, so between
+   a mutation's return and the following one the cache still serves the
+   overwritten (or deleted) digest.  The audits between ops read exactly
+   that window, so the [cached-reads] oracle must produce
+   counterexamples — the mutation gate in scripts/check.sh fails CI when
+   the checker stays green. *)
+let scn_rcache_broken () = scn_kv_rcache ~break:true ~sname:"rcache-broken" ()
+
 (* Sweep the full sync-replication pipeline: primary local persist →
    ship over the link → backup apply/persist → cumulative ack.  Two
    machines (two devices — the primary's rides in [aux_devs], so its
@@ -1243,8 +1370,8 @@ let scn_kv_tcache_broken () =
 let all_scenarios () =
   [ scn_alloc (); scn_free (); scn_tx_commit (); scn_tx_abort ();
     scn_extend (); scn_kv_put (); scn_kv_delete (); scn_kv_txn ();
-    scn_kv_snapshot (); scn_kv_replicated_put (); scn_kv_batched_put ();
-    scn_kv_tcache_put () ]
+    scn_kv_snapshot (); scn_kv_rcache_put (); scn_kv_replicated_put ();
+    scn_kv_batched_put (); scn_kv_tcache_put () ]
 
 let scenario_by_name = function
   | "alloc" -> Some (scn_alloc ())
@@ -1258,6 +1385,8 @@ let scenario_by_name = function
   | "kv-txn-broken" -> Some (scn_kv_txn_broken ())
   | "kv-snapshot" -> Some (scn_kv_snapshot ())
   | "mvcc-broken" -> Some (scn_mvcc_broken ())
+  | "kv-rcache-put" -> Some (scn_kv_rcache_put ())
+  | "rcache-broken" -> Some (scn_rcache_broken ())
   | "kv-replicated-put" -> Some (scn_kv_replicated_put ())
   | "kv-batched-put" -> Some (scn_kv_batched_put ())
   | "kv-batched-broken" -> Some (scn_kv_batched_broken ())

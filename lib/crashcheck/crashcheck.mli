@@ -221,6 +221,25 @@ val scn_mvcc_broken : unit -> scenario
     between prepare and decide observes an undecided write.  The
     checker MUST flag it; excluded from {!all_scenarios}. *)
 
+val scn_kv_rcache_put : unit -> scenario
+(** The kv-snapshot op mix on a store with both an MVCC window and a
+    DRAM read cache ([rcache_entries:4] per shard — smaller than the
+    per-shard keyspace, so the audits force CLOCK evictions).  After
+    every completed op the driver audits the completed-prefix model
+    through the cached plain-[get] path {e and} through a fresh
+    snapshot; a stale cached digest is a [cached-reads]
+    counterexample.  Recovery keeps the standard acked-prefix oracle:
+    the cache is volatile, so the re-attached store must be
+    indistinguishable from the uncached sweeps. *)
+
+val scn_rcache_broken : unit -> scenario
+(** Mutation sanity check for the read cache
+    ({!Service.Kv.rcache_break_late_invalidate}): invalidations are
+    deferred until the {e next} mutation starts, so between a
+    mutation's reply and the following op the cache still serves the
+    overwritten digest.  The [cached-reads] oracle MUST flag it;
+    excluded from {!all_scenarios}. *)
+
 val scn_kv_replicated_put : unit -> scenario
 (** Sync replication over a two-machine cluster: each op persists on
     the primary, ships over a {!Cluster.Link}, is applied/persisted on
@@ -278,6 +297,6 @@ val all_scenarios : unit -> scenario list
 val scenario_by_name : string -> scenario option
 (** ["alloc" | "free" | "tx-commit" | "tx-abort" | "extend" |
     "kv-put" | "kv-delete" | "kv-txn" | "kv-txn-broken" |
-    "kv-snapshot" | "mvcc-broken" | "kv-replicated-put" |
-    "kv-batched-put" | "kv-batched-broken" | "kv-tcache-put" |
-    "tcache-broken" | "broken"]. *)
+    "kv-snapshot" | "mvcc-broken" | "kv-rcache-put" | "rcache-broken" |
+    "kv-replicated-put" | "kv-batched-put" | "kv-batched-broken" |
+    "kv-tcache-put" | "tcache-broken" | "broken"]. *)

@@ -74,6 +74,11 @@ let chain_length t ~shard ~key =
   | Some c -> List.length c
   | None -> 0
 
+let newest_ts t ~shard ~key =
+  match Hashtbl.find_opt t.chains.(shard) key with
+  | Some ({ ts; _ } :: _) -> Some ts
+  | Some [] | None -> None
+
 let seed t ~shard ~key ~value =
   if enabled t && not (Hashtbl.mem t.chains.(shard) key) then begin
     (* the floor pre-image: valid for every snapshot older than the

@@ -52,6 +52,13 @@ val has_chain : t -> shard:int -> key:int -> bool
 val chain_length : t -> shard:int -> key:int -> int
 (** Versions retained (pre-image included); bounded by [window + 1]. *)
 
+val newest_ts : t -> shard:int -> key:int -> int option
+(** Commit timestamp at the head of the key's chain ([Some 0] when
+    only the seeded floor pre-image exists); [None] without a chain.
+    Read-cache fills stamp their entry's version timestamp with this:
+    a chainless key's cached value predates every mutation since
+    attach, so it is valid for every snapshot. *)
+
 val chain_gen : t -> shard:int -> int
 (** Chain-set generation: bumped every time the shard gains a chain it
     did not have (a {!seed}, a {!publish} of an unseeded key, or a

@@ -50,6 +50,9 @@ type stage =
   | Alloc
       (** detail of Store/Txn: time inside allocator calls (bin pops,
           refill carves, stash bookkeeping, inner alloc fallbacks) *)
+  | Rcache
+      (** detail of Store/Snapshot: DRAM read-cache probe charges on
+          the read path (hits answer entirely inside this stage) *)
 
 let stage_name = function
   | Request -> "request"
@@ -70,6 +73,7 @@ let stage_name = function
   | Flush_wait -> "flush_wait"
   | Snapshot -> "snapshot"
   | Alloc -> "alloc"
+  | Rcache -> "rcache"
 
 let stage_to_int = function
   | Request -> 0
@@ -90,6 +94,7 @@ let stage_to_int = function
   | Flush_wait -> 15
   | Snapshot -> 16
   | Alloc -> 17
+  | Rcache -> 18
 
 let stage_of_int = function
   | 0 -> Request
@@ -110,9 +115,10 @@ let stage_of_int = function
   | 15 -> Flush_wait
   | 16 -> Snapshot
   | 17 -> Alloc
+  | 18 -> Rcache
   | n -> invalid_arg (Printf.sprintf "Span.stage_of_int: %d" n)
 
-let stage_count = 18
+let stage_count = 19
 
 (** Budget stages: direct children of the request root whose durations
     are meant to partition its wall-clock time. *)
@@ -120,7 +126,7 @@ let is_budget = function
   | Req_wire | Queue | Decode | Lock_wait | Store | Txn | Repl_ack | Rep_wire
   | Flush_wait | Snapshot -> true
   | Request | Persist | Txn_prepare | Txn_decide | Repl_wire
-  | Backup_apply | Ack_wire | Alloc -> false
+  | Backup_apply | Ack_wire | Alloc | Rcache -> false
 
 (* ---------- clock plumbing ---------- *)
 
@@ -185,13 +191,15 @@ let stop () = on := false
 
 let persist_by_tid : (int, int ref) Hashtbl.t = Hashtbl.create 64
 let alloc_by_tid : (int, int ref) Hashtbl.t = Hashtbl.create 64
+let rcache_by_tid : (int, int ref) Hashtbl.t = Hashtbl.create 64
 
 let clear () =
   on := false;
   store := None;
   trace_counter := 0;
   Hashtbl.reset persist_by_tid;
-  Hashtbl.reset alloc_by_tid
+  Hashtbl.reset alloc_by_tid;
+  Hashtbl.reset rcache_by_tid
 
 let enabled () = !on
 
@@ -329,6 +337,25 @@ let alloc_mark () =
   | None -> 0
 
 let alloc_since mark = alloc_mark () - mark
+
+(* And for read-cache probes: the Kv read path reports each probe's
+   simulated cost, so a handler brackets one get/snapshot-get and
+   emits an Rcache detail span under its Store/Snapshot budget stage. *)
+
+let note_rcache ns =
+  if !on && ns > 0 then begin
+    let tid = tid_or_main () in
+    match Hashtbl.find_opt rcache_by_tid tid with
+    | Some r -> r := !r + ns
+    | None -> Hashtbl.add rcache_by_tid tid (ref ns)
+  end
+
+let rcache_mark () =
+  match Hashtbl.find_opt rcache_by_tid (tid_or_main ()) with
+  | Some r -> !r
+  | None -> 0
+
+let rcache_since mark = rcache_mark () - mark
 
 (* ---------- reading back ---------- *)
 

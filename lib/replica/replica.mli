@@ -165,7 +165,17 @@ module Applier : sig
       shard before the burst's ack — must make the whole burst durable
       before returning.  Transaction records and out-of-sequence
       arrivals still go through [apply] per record, after the shard's
-      parked run is flushed (they are ordering barriers). *)
+      parked run is flushed (they are ordering barriers).
+
+      Both callbacks must also invalidate any {e volatile} read-side
+      state the backup keeps over its store (MVCC version chains, the
+      {!Rcache} read cache) for every key they mutate, {e before}
+      returning: a promotion can happen right after any ack, and the
+      promoted store serves reads from exactly that state.  Driving
+      the callbacks through {!Kv.put}/{!Kv.delete}/{!Kv.group_apply}
+      (as {!Server.run_replicated} does) satisfies this for free —
+      those paths publish versions and kill cache entries in the same
+      pure step as the mutation. *)
 
   val pump : t -> until:(unit -> bool) -> unit
   (** Applier-thread body: receive records, apply in-sequence ones,

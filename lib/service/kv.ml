@@ -81,6 +81,12 @@ type t = {
          before any decision exists, so snapshot readers can observe a
          transaction that may still abort — the seeded bug the
          [mvcc-broken] crashcheck scenario must flag *)
+  rcache : Rcache.t;
+      (* DRAM-resident read cache over the shards: key -> newest
+         committed digest, write-through invalidated in the same pure
+         OCaml step as each mutation's MVCC publication.  Volatile by
+         construction (attach starts empty); entries 0 (the default)
+         disables every hook. *)
   backup_decided : (int, int) Hashtbl.t;
       (* backup role only: txn -> decides seen so far.  Volatile on
          purpose — after a crash the prepared-but-unpublished slots are
@@ -134,7 +140,7 @@ let mk_locks mach shards =
         Machine.Lock.create mach ~name:(Printf.sprintf "kv-shard-%d" i) ()),
     Machine.Lock.create mach ~name:"kv-txn-coordinator" () )
 
-let create ?(mvcc_window = 0) inst ~shards ~value_size =
+let create ?(mvcc_window = 0) ?(rcache_entries = 0) inst ~shards ~value_size =
   if shards < 1 || shards > 0xFFFF then invalid_arg "Kv.create: bad shards";
   let value_size = max 8 ((value_size + 7) / 8 * 8) in
   let mach = A.instance_machine inst in
@@ -163,7 +169,9 @@ let create ?(mvcc_window = 0) inst ~shards ~value_size =
     shard_locks; txn_lock; next_txn = 1; break_decision_persist = false;
     mvcc = Mvcc.create ~shards ~window:mvcc_window;
     mvcc_seq = 0; mvcc_truncated = 0;
-    mvcc_publish_early = false; backup_decided = Hashtbl.create 8 }
+    mvcc_publish_early = false;
+    rcache = Rcache.create ~shards ~entries:rcache_entries;
+    backup_decided = Hashtbl.create 8 }
 
 let set_state t sh st =
   Machine.write_u64 t.mach (sh.base + slot_state) st;
@@ -338,7 +346,7 @@ let recover_txns t =
   if decision <> 0 then write_decision t 0 ~persist:true;
   (!committed, !aborted)
 
-let attach ?(mvcc_window = 0) inst =
+let attach ?(mvcc_window = 0) ?(rcache_entries = 0) inst =
   let mach = A.instance_machine inst in
   let root = A.i_get_root inst in
   if A.is_null root then invalid_arg "Kv.attach: no store at allocator root";
@@ -360,7 +368,9 @@ let attach ?(mvcc_window = 0) inst =
       shard_locks; txn_lock; next_txn = 1; break_decision_persist = false;
       mvcc = Mvcc.create ~shards:nshards ~window:mvcc_window;
       mvcc_seq = 0; mvcc_truncated = 0;
-      mvcc_publish_early = false; backup_decided = Hashtbl.create 8 }
+      mvcc_publish_early = false;
+      rcache = Rcache.create ~shards:nshards ~entries:rcache_entries;
+      backup_decided = Hashtbl.create 8 }
   in
   let replayed, rolled_back =
     Array.fold_left (fun acc sh -> recover_shard t sh acc) (0, 0) t.shard_tbl
@@ -429,8 +439,23 @@ let entry_versions t entries =
       (key, if newv = A.packed_null then None else Some (block_digest t newv)))
     entries
 
+(* Simulated cost of one read-cache probe: an index lookup plus a slot
+   line, ~2 DRAM reads at the machine model's DRAM latency.  The probe
+   itself is pure OCaml (its atomicity carries the consistency
+   argument); the cost is charged separately, and only when the cache
+   is armed so an --rcache-entries 0 store stays byte-identical to a
+   cacheless one. *)
+let rcache_probe_ns = 160
+
+let rcache_charge t =
+  if Rcache.enabled t.rcache then begin
+    Machine.compute t.mach rcache_probe_ns;
+    Obs.Span.note_rcache rcache_probe_ns
+  end
+
 let put t ~key ~vseed =
   if key < 1 then invalid_arg "Kv.put: keys must be >= 1";
+  Rcache.drain_pending t.rcache;
   let si = shard_of_key t key in
   let sh = t.shard_tbl.(si) in
   match A.i_tx_alloc t.inst t.value_size ~is_end:false with
@@ -460,17 +485,37 @@ let put t ~key ~vseed =
     Btree.insert sh.tree ~key ~value:(A.pack p);
     if old <> A.packed_null then A.i_free t.inst (A.unpack ~heap_id:t.hid old);
     set_state t sh st_empty;
+    (* one pure OCaml step: the new version becomes visible and the
+       stale cache entry disappears together *)
+    Rcache.invalidate t.rcache ~shard:si ~key;
     Mvcc.publish t.mvcc ~shard:si ~ts:(mvcc_mint t)
       [ (key, Some (value_checksum t ~vseed)) ];
     true
 
 let get t ~key =
-  let sh = shard t key in
-  match Btree.find sh.tree key with
-  | None -> None
-  | Some v -> Some (block_digest t v)
+  let si = shard_of_key t key in
+  let cached = Rcache.find t.rcache ~shard:si ~key in
+  rcache_charge t;
+  match cached with
+  | Some d -> Some d
+  | None -> (
+    match Btree.find t.shard_tbl.(si).tree key with
+    | None -> None
+    | Some v ->
+      let d = block_digest t v in
+      (* fill under the caller's shard lock: [d] is the key's newest
+         committed value, stamped with its chain-head commit ts (0 =
+         never mutated since attach, valid for every snapshot) *)
+      let vts =
+        match Mvcc.newest_ts t.mvcc ~shard:si ~key with
+        | Some ts -> ts
+        | None -> 0
+      in
+      Rcache.insert t.rcache ~shard:si ~key ~digest:d ~vts;
+      Some d)
 
 let delete t ~key =
+  Rcache.drain_pending t.rcache;
   let si = shard_of_key t key in
   let sh = t.shard_tbl.(si) in
   match Btree.find sh.tree key with
@@ -485,6 +530,7 @@ let delete t ~key =
     ignore (Btree.delete sh.tree key);
     A.i_free t.inst (A.unpack ~heap_id:t.hid old);
     set_state t sh st_empty;
+    Rcache.invalidate t.rcache ~shard:si ~key;
     Mvcc.publish t.mvcc ~shard:si ~ts:(mvcc_mint t) [ (key, None) ];
     true
 
@@ -510,6 +556,17 @@ let mvcc_chain_length t ~key =
 let mvcc_break_early_publish t = t.mvcc_publish_early <- true
 let mvcc_truncated_reads t = t.mvcc_truncated
 
+(* ---------- read-cache introspection ---------- *)
+
+let rcache_entries t = Rcache.entries t.rcache
+let rcache_stats t = Rcache.stats t.rcache
+let rcache_cached t = Rcache.cached t.rcache
+
+let rcache_mem t ~key =
+  Rcache.mem t.rcache ~shard:(shard_of_key t key) ~key
+
+let rcache_break_late_invalidate t = Rcache.break_late_invalidate t.rcache
+
 let mvcc_shard_chains t =
   Array.init t.nshards (fun shard ->
       let keys = Mvcc.chain_keys_from t.mvcc ~shard ~from_key:min_int in
@@ -534,6 +591,21 @@ let resolved_value t = function
 
 let snapshot_get t ~ts ~key =
   let i = shard_of_key t key in
+  (* cache probe first, pure: a present entry digests the key's newest
+     committed version at commit timestamp [vts], so it is exactly the
+     version this snapshot must observe whenever [vts <= ts]. *)
+  let cached = Rcache.find_at t.rcache ~shard:i ~key ~ts in
+  rcache_charge t;
+  (* a miss may fill, but only inside a pure step that also proves the
+     resolved version is still the key's newest — the lock-free read
+     below may race a writer, and a fill that lost such a race would
+     serve the OLD digest to every later snapshot.  Chain resolutions
+     are pure (chain values are digests), so guard + insert share one
+     atomic step; any later publish kills the entry in its own pure
+     step. *)
+  match cached with
+  | Some d -> Some d
+  | None -> (
   match Mvcc.lookup t.mvcc ~shard:i ~key ~ts with
   | Mvcc.No_chain ->
     (* no chain: the key has not been mutated since this store was
@@ -548,9 +620,25 @@ let snapshot_get t ~ts ~key =
        means the floor read may be torn — the chain is authoritative
        (its pre-image entry is exactly the committed value at [ts]) *)
     (match Mvcc.lookup t.mvcc ~shard:i ~key ~ts with
-     | Mvcc.No_chain -> r
+     | Mvcc.No_chain ->
+       (* still no chain (pure revalidation): with MVCC on, a writer
+          always seeds the chain before touching the tree, so the
+          floor read above was clean and is the newest version *)
+       (match r with
+        | Some d when Mvcc.enabled t.mvcc ->
+          Rcache.insert t.rcache ~shard:i ~key ~digest:d ~vts:0
+        | _ -> ());
+       r
      | res -> resolved_value t res)
-  | res -> resolved_value t res
+  | res ->
+    let r = resolved_value t res in
+    (* fill only when the version this snapshot resolved is the chain
+       head — [newest_ts <= ts] proves it in the same pure step *)
+    (match (r, Mvcc.newest_ts t.mvcc ~shard:i ~key) with
+     | Some d, Some vts when vts <= ts ->
+       Rcache.insert t.rcache ~shard:i ~key ~digest:d ~vts
+     | _ -> ());
+    r)
 
 (* One shard's merged snapshot stream: the live tree cursor
    interleaved with the shard's chain keys.  The chain-key list is
@@ -767,6 +855,7 @@ let prepare_locked t parts =
 let decide_apply_locked t txn parts =
   let idxs = List.map fst parts in
   Machine.Lock.acquire t.txn_lock;
+  Rcache.drain_pending t.rcache;
   (* pre-images first: once the group publishes, snapshot readers
      resolve every written key through its chain, so the floors must
      be in place before any tree entry is touched below *)
@@ -784,6 +873,15 @@ let decide_apply_locked t txn parts =
   if Mvcc.enabled t.mvcc then
     Mvcc.publish_group t.mvcc ~ts:(mvcc_mint t)
       (List.map (fun (i, ops) -> (i, List.map (op_version t) ops)) parts);
+  (* still the same pure step as the publication above: a lock-free
+     snapshot reader can never pair the group's watermark with a stale
+     cached digest of one of its keys *)
+  List.iter
+    (fun (i, ops) ->
+      List.iter
+        (fun o -> Rcache.invalidate t.rcache ~shard:i ~key:(txn_key o))
+        ops)
+    parts;
   List.iter
     (fun i ->
       match read_tslot t i with
@@ -1004,21 +1102,30 @@ let txn_prepare t ops =
 let txn_decide t ~txn = write_decision t txn ~persist:(not t.break_decision_persist)
 
 let txn_apply t ~txn =
+  Rcache.drain_pending t.rcache;
   (* correct staged publication point: the decision is durable, so
      install the versions (digests read from the prepared blocks)
      before the trees change — unless the broken mode already
-     published them at prepare *)
-  if Mvcc.enabled t.mvcc && not t.mvcc_publish_early then begin
-    let groups = ref [] in
+     published them at prepare.  The slot reads and digests yield, so
+     versions AND cache-kill keys are gathered first; publication and
+     invalidation then share one pure OCaml step. *)
+  let want_mvcc = Mvcc.enabled t.mvcc && not t.mvcc_publish_early in
+  let groups = ref [] and kills = ref [] in
+  if want_mvcc || Rcache.enabled t.rcache then
     for i = 0 to t.nshards - 1 do
       match read_tslot t i with
       | `Slot (id, entries) when id = txn ->
-        List.iter (fun (key, _, _) -> mvcc_seed t i key) entries;
-        groups := (i, entry_versions t entries) :: !groups
+        if want_mvcc then begin
+          List.iter (fun (key, _, _) -> mvcc_seed t i key) entries;
+          groups := (i, entry_versions t entries) :: !groups
+        end;
+        kills := List.map (fun (key, _, _) -> (i, key)) entries :: !kills
       | _ -> ()
     done;
-    Mvcc.publish_group t.mvcc ~ts:(mvcc_mint t) !groups
-  end;
+  if want_mvcc then Mvcc.publish_group t.mvcc ~ts:(mvcc_mint t) !groups;
+  List.iter
+    (List.iter (fun (i, key) -> Rcache.invalidate t.rcache ~shard:i ~key))
+    !kills;
   for i = 0 to t.nshards - 1 do
     match read_tslot t i with
     | `Slot (id, entries) when id = txn -> apply_tslot t i entries
@@ -1030,8 +1137,11 @@ let txn_resolve_indoubt t =
   Hashtbl.reset t.backup_decided;
   (* promotion: this store now serves reads itself, and the chains it
      grew as a backup may name transactions being discarded below —
-     start over from the (recovered) trees as the floor *)
+     start over from the (recovered) trees as the floor.  The read
+     cache restarts empty for the same reason: entries filled as a
+     backup may digest values the presumed-abort pass discards. *)
   Mvcc.reset t.mvcc;
+  Rcache.reset t.rcache;
   let n = ref 0 in
   for i = 0 to t.nshards - 1 do
     match read_tslot t i with
@@ -1102,21 +1212,30 @@ let txn_backup_decide t ~txn ~shard ~commit ~nparts =
       if decided < nparts then Hashtbl.replace t.backup_decided txn decided
       else begin
         Hashtbl.remove t.backup_decided txn;
+        Rcache.drain_pending t.rcache;
         (* install versions the same all-before-any-watermark way as
            the primary, so a promoted backup's snapshots are as
-           atomic as the primary's were *)
-        let groups = ref [] in
-        if Mvcc.enabled t.mvcc then
+           atomic as the primary's were; cache-kill keys gathered
+           alongside so invalidation shares the publication's pure
+           step below *)
+        let groups = ref [] and kills = ref [] in
+        if Mvcc.enabled t.mvcc || Rcache.enabled t.rcache then
           for i = 0 to t.nshards - 1 do
             match read_tslot t i with
             | `Slot (id, es) when id = txn ->
-              List.iter (fun (key, _, _) -> mvcc_seed t i key) es;
-              groups := (i, entry_versions t es) :: !groups
+              if Mvcc.enabled t.mvcc then begin
+                List.iter (fun (key, _, _) -> mvcc_seed t i key) es;
+                groups := (i, entry_versions t es) :: !groups
+              end;
+              kills := List.map (fun (key, _, _) -> (i, key)) es :: !kills
             | _ -> ()
           done;
         write_decision t txn ~persist:(not t.break_decision_persist);
         if Mvcc.enabled t.mvcc then
           Mvcc.publish_group t.mvcc ~ts:(mvcc_mint t) !groups;
+        List.iter
+          (List.iter (fun (i, key) -> Rcache.invalidate t.rcache ~shard:i ~key))
+          !kills;
         for i = 0 to t.nshards - 1 do
           match read_tslot t i with
           | `Slot (id, es) when id = txn -> apply_tslot t i es

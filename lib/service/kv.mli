@@ -54,22 +54,31 @@ type recovery = {
 }
 
 val create :
-  ?mvcc_window:int -> Alloc_intf.instance -> shards:int -> value_size:int -> t
+  ?mvcc_window:int ->
+  ?rcache_entries:int ->
+  Alloc_intf.instance ->
+  shards:int ->
+  value_size:int ->
+  t
 (** Allocates the superroot (magic, geometry, one 64-byte shard record
     each holding the tree root and the intent slot), publishes it as
     the allocator root and creates the per-shard trees.  [value_size]
     is rounded up to a multiple of 8 (min 8).  [mvcc_window] (default
     0 = off) is the number of committed versions retained per mutated
     key for {!snapshot_get}/{!snapshot_scan}; it is volatile DRAM
-    state, not part of the persistent format.  Raises [Failure] when
-    the heap cannot fit the superroot. *)
+    state, not part of the persistent format.  [rcache_entries]
+    (default 0 = off) is the per-shard slot count of the DRAM read
+    cache ({!Rcache}) layered in front of the trees — also pure
+    volatile state; 0 keeps the store byte-identical to a cacheless
+    one.  Raises [Failure] when the heap cannot fit the superroot. *)
 
-val attach : ?mvcc_window:int -> Alloc_intf.instance -> t * recovery
+val attach :
+  ?mvcc_window:int -> ?rcache_entries:int -> Alloc_intf.instance -> t * recovery
 (** Reopens the store of an already-attached allocator instance and
     replays/rolls back any in-flight intent — the restart path.  The
-    version chains restart empty (they are volatile by construction);
-    the recovered trees are the floor every snapshot reads until keys
-    are mutated again. *)
+    version chains and the read cache restart empty (both are volatile
+    by construction); the recovered trees are the floor every snapshot
+    reads until keys are mutated again. *)
 
 val shards : t -> int
 val value_size : t -> int
@@ -94,7 +103,9 @@ val put : t -> key:int -> vseed:int -> bool
 (** Insert or overwrite; [false] when allocation fails (heap full). *)
 
 val get : t -> key:int -> int option
-(** Checksum of the stored value (reads every word), or [None]. *)
+(** Checksum of the stored value, or [None].  A read-cache hit answers
+    from DRAM at probe cost; a miss reads every word of the value from
+    the tree and fills the cache (cacheless without [rcache_entries]). *)
 
 val delete : t -> key:int -> bool
 (** [false] when the key was absent (no state change). *)
@@ -176,6 +187,44 @@ val mvcc_break_early_publish : t -> unit
     so a snapshot can observe a transaction that may still abort — the
     seeded bug the [mvcc-broken] crashcheck scenario must flag.  Never
     call this outside checker gates. *)
+
+(** {2 DRAM read cache}
+
+    A bounded per-shard volatile cache of [key -> newest committed
+    digest] ({!Rcache}) in front of the trees.  Every mutation path —
+    {!put}, {!delete}, {!txn}, {!group_commit} chunks, the backup's
+    replicated applies and deferred {!txn_backup_decide} — removes its
+    keys in the same pure OCaml step as its MVCC publication, so a
+    present entry always digests the newest committed value and a
+    lock-free snapshot reader can never pair a new watermark with a
+    stale cached digest.  Each entry carries the commit timestamp of
+    the value it caches; {!snapshot_get} consumes a hit only when that
+    timestamp satisfies its snapshot, and fills on a miss only inside
+    a pure step that also proves the resolved version is still the
+    key's newest — a lock-free fill that lost a race with a writer
+    would otherwise pin the old digest for every later snapshot.
+    {!txn_resolve_indoubt} (promotion) resets the cache like the
+    version chains. *)
+
+val rcache_entries : t -> int
+(** The per-shard capacity the store was created with (0 = off). *)
+
+val rcache_stats : t -> int * int * int * int
+(** Cumulative [(hits, misses, evictions, invalidations)] — the serve
+    gauges.  All zeros when the cache is off. *)
+
+val rcache_cached : t -> int
+(** Entries currently cached across all shards. *)
+
+val rcache_mem : t -> key:int -> bool
+(** Whether the key is currently cached (uncounted; tests). *)
+
+val rcache_break_late_invalidate : t -> unit
+(** Mutation-testing hook: mutations defer their cache invalidations
+    until the {e next} mutation begins — invalidate-after-reply, so a
+    read landing between the two can consume a stale digest.  The
+    seeded bug the [rcache-broken] crashcheck scenario must flag.
+    Never call this outside checker gates. *)
 
 (** {2 Cross-shard transactions} *)
 

@@ -28,6 +28,10 @@ type config = {
       (* magazine size of the DRAM thread cache wrapped around the
          allocator (lib/tcache); 0 disables the wrapper entirely, so
          the run is byte-identical to the pre-cache servicing path *)
+  rcache_entries : int;
+      (* per-shard slot count of the DRAM read cache in front of the
+         persistent trees (lib/rcache); 0 disables every hook, so the
+         run is byte-identical to the pre-cache read path *)
 }
 
 let default_config =
@@ -51,7 +55,8 @@ let default_config =
     batch_window = 1;
     batch_bytes = 0;
     mvcc_window = 0;
-    tcache_mag = 0 }
+    tcache_mag = 0;
+    rcache_entries = 0 }
 
 type op_kind = KGet | KPut | KDel | KScan | KTxn
 
@@ -152,6 +157,7 @@ let run ~make ~reattach cfg =
   if cfg.batch_bytes < 0 then invalid_arg "Server.run: batch_bytes < 0";
   if cfg.mvcc_window < 0 then invalid_arg "Server.run: mvcc_window < 0";
   if cfg.tcache_mag < 0 then invalid_arg "Server.run: tcache_mag < 0";
+  if cfg.rcache_entries < 0 then invalid_arg "Server.run: rcache_entries < 0";
   (match cfg.crash_at with
    | Some f when f <= 0. || f >= 1. ->
      invalid_arg "Server.run: crash_at must be in (0, 1)"
@@ -166,8 +172,8 @@ let run ~make ~reattach cfg =
   let ncpu = (Machine.cfg mach).Machine.Config.num_cpus in
   if cfg.shards > ncpu then invalid_arg "Server.run: more shards than CPUs";
   let svc =
-    Kv.create ~mvcc_window:cfg.mvcc_window inst ~shards:cfg.shards
-      ~value_size:cfg.value_size
+    Kv.create ~mvcc_window:cfg.mvcc_window ~rcache_entries:cfg.rcache_entries
+      inst ~shards:cfg.shards ~value_size:cfg.value_size
   in
 
   (* durable baseline: preloaded keys are in the ledger from the start *)
@@ -278,6 +284,7 @@ let run ~make ~reattach cfg =
             let ssn =
               Obs.Span.open_span ~trace ~parent:m.span Obs.Span.Snapshot
             in
+            let rmark = Obs.Span.rcache_mark () in
             let ts = Kv.snapshot svc in
             let ok =
               match r.kind with
@@ -288,8 +295,13 @@ let run ~make ~reattach cfg =
                      (fun _ _ -> ()));
                 true
             in
+            let rns = Obs.Span.rcache_since rmark in
             let fin = Sched.now () in
             Obs.Span.close_span ssn;
+            if rns > 0 then
+              ignore
+                (Obs.Span.add_span ~trace ~parent:ssn Obs.Span.Rcache
+                   ~t0:(fin - rns) ~t1:fin);
             (ok, false, fin)
           | _ ->
             let slw =
@@ -302,6 +314,7 @@ let run ~make ~reattach cfg =
                 in
                 let pmark = Obs.Span.persist_mark () in
                 let amark = Obs.Span.alloc_mark () in
+                let rmark = Obs.Span.rcache_mark () in
                 let ok, mutated =
                   match r.kind with
                   | KGet -> (Kv.get svc ~key:r.key <> None, false)
@@ -318,6 +331,7 @@ let run ~make ~reattach cfg =
                 in
                 let pns = Obs.Span.persist_since pmark in
                 let ans = Obs.Span.alloc_since amark in
+                let rns = Obs.Span.rcache_since rmark in
                 let fin = Sched.now () in
                 Obs.Span.close_span sst;
                 if pns > 0 then
@@ -328,6 +342,10 @@ let run ~make ~reattach cfg =
                   ignore
                     (Obs.Span.add_span ~trace ~parent:sst Obs.Span.Alloc
                        ~t0:(fin - ans) ~t1:fin);
+                if rns > 0 then
+                  ignore
+                    (Obs.Span.add_span ~trace ~parent:sst Obs.Span.Rcache
+                       ~t0:(fin - rns) ~t1:fin);
                 (ok, mutated, fin))
         in
         incr handled;
@@ -700,7 +718,10 @@ let run ~make ~reattach cfg =
                 fst (Tcache.wrap ~mag:cfg.tcache_mag inst')
               else inst'
             in
-            got := Some (Kv.attach ~mvcc_window:cfg.mvcc_window inst'))
+            got :=
+              Some
+                (Kv.attach ~mvcc_window:cfg.mvcc_window
+                   ~rcache_entries:cfg.rcache_entries inst'))
       in
       let svc', reco = Option.get !got in
       Kv.check svc';
@@ -746,6 +767,13 @@ let run ~make ~reattach cfg =
      g "tcache_bin_refills" (float_of_int refills);
      g "tcache_bin_flushes" (float_of_int flushes)
    | None -> ());
+  if cfg.rcache_entries > 0 then begin
+    let hits, misses, evictions, invalidations = Kv.rcache_stats svc in
+    g "rcache_hits" (float_of_int hits);
+    g "rcache_misses" (float_of_int misses);
+    g "rcache_evictions" (float_of_int evictions);
+    g "rcache_invalidations" (float_of_int invalidations)
+  end;
   Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "latency_ns") lat_h;
   Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "service_ns") svc_h;
   Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "txn_latency_ns") txn_lat_h;
@@ -833,6 +861,8 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
     invalid_arg "Server.run_replicated: mvcc_window < 0";
   if cfg.tcache_mag < 0 then
     invalid_arg "Server.run_replicated: tcache_mag < 0";
+  if cfg.rcache_entries < 0 then
+    invalid_arg "Server.run_replicated: rcache_entries < 0";
   (match cfg.crash_at with
    | Some f when f <= 0. || f >= 1. ->
      invalid_arg "Server.run_replicated: crash_at must be in (0, 1)"
@@ -856,14 +886,15 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
   let inst_p, tch_p = wrap_inst (make primary) in
   let inst_b, tch_b = wrap_inst (make backup) in
   let svc =
-    Kv.create ~mvcc_window:cfg.mvcc_window inst_p ~shards:cfg.shards
-      ~value_size:cfg.value_size
+    Kv.create ~mvcc_window:cfg.mvcc_window ~rcache_entries:cfg.rcache_entries
+      inst_p ~shards:cfg.shards ~value_size:cfg.value_size
   in
   (* the backup grows chains too (group-installed, like the primary)
-     so a promotion can serve snapshots at once *)
+     so a promotion can serve snapshots at once — and caches reads the
+     same way, its entries invalidated by the replicated applies *)
   let svc_b =
-    Kv.create ~mvcc_window:cfg.mvcc_window inst_b ~shards:cfg.shards
-      ~value_size:cfg.value_size
+    Kv.create ~mvcc_window:cfg.mvcc_window ~rcache_entries:cfg.rcache_entries
+      inst_b ~shards:cfg.shards ~value_size:cfg.value_size
   in
 
   (* identical durable baseline on both machines *)
@@ -1071,6 +1102,7 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
             let ssn =
               Obs.Span.open_span ~trace ~parent:m.span Obs.Span.Snapshot
             in
+            let rmark = Obs.Span.rcache_mark () in
             let ts = Kv.snapshot svc in
             let ok =
               match r.kind with
@@ -1081,8 +1113,13 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
                      (fun _ _ -> ()));
                 true
             in
+            let rns = Obs.Span.rcache_since rmark in
             let fin = Sched.now () in
             Obs.Span.close_span ssn;
+            if rns > 0 then
+              ignore
+                (Obs.Span.add_span ~trace ~parent:ssn Obs.Span.Rcache
+                   ~t0:(fin - rns) ~t1:fin);
             (ok, false, fin)
           | _ ->
             let slw =
@@ -1095,6 +1132,7 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
                 in
                 let pmark = Obs.Span.persist_mark () in
                 let amark = Obs.Span.alloc_mark () in
+                let rmark = Obs.Span.rcache_mark () in
                 let ok, mutated =
                   match r.kind with
                   | KGet -> (Kv.get svc ~key:r.key <> None, false)
@@ -1116,6 +1154,7 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
                      | _ -> Replica.Del { key = r.key });
                 let pns = Obs.Span.persist_since pmark in
                 let ans = Obs.Span.alloc_since amark in
+                let rns = Obs.Span.rcache_since rmark in
                 let fin = Sched.now () in
                 Obs.Span.close_span sst;
                 if pns > 0 then
@@ -1126,6 +1165,10 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
                   ignore
                     (Obs.Span.add_span ~trace ~parent:sst Obs.Span.Alloc
                        ~t0:(fin - ans) ~t1:fin);
+                if rns > 0 then
+                  ignore
+                    (Obs.Span.add_span ~trace ~parent:sst Obs.Span.Rcache
+                       ~t0:(fin - rns) ~t1:fin);
                 (ok, mutated, fin))
         in
         (* Sync mode holds the reply until the backup's cumulative ack
@@ -1659,6 +1702,15 @@ let run_replicated ~make ?(mcfg = Machine.Config.default) cfg rcfg =
      g "tcache_bin_refills" (float_of_int refills);
      g "tcache_bin_flushes" (float_of_int flushes)
    | None -> ());
+  if cfg.rcache_entries > 0 then begin
+    (* the store that actually served reads at the end of the run *)
+    let live = if crashed then svc_b else svc in
+    let hits, misses, evictions, invalidations = Kv.rcache_stats live in
+    g "rcache_hits" (float_of_int hits);
+    g "rcache_misses" (float_of_int misses);
+    g "rcache_evictions" (float_of_int evictions);
+    g "rcache_invalidations" (float_of_int invalidations)
+  end;
   Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "latency_ns") lat_h;
   Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "service_ns") svc_h;
   Hist.merge ~into:(Obs.Metrics.log_histogram ~scope "repl_lag_ns") repl_lag_h;

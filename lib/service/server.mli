@@ -69,6 +69,16 @@ type config = {
           attributed under the {!Obs.Span.Alloc} detail stage and
           surfaced as [tcache_*] gauges.  {!run_replicated} wraps both
           members and flushes the backup's cache at promotion. *)
+  rcache_entries : int;
+      (** per-shard slot count of the DRAM read cache
+          ({!Kv.create}'s [rcache_entries]), ≥ 0.  At 0 (the default)
+          every read walks the persistent tree byte-identically to the
+          pre-cache path.  Above 0 gets (and snapshot gets, when their
+          timestamp allows) answer from DRAM on a hit; probe time is
+          attributed under the {!Obs.Span.Rcache} detail stage and the
+          run surfaces [rcache_*] gauges.  {!run_replicated} arms both
+          members — the backup's cache is invalidated by the
+          replicated applies and wiped at promotion. *)
 }
 
 val default_config : config

@@ -1,0 +1,67 @@
+#!/bin/sh
+# Bench regression gate: compare each freshly produced BENCH_*.json
+# against the baseline committed at HEAD and fail on a >25% regression
+# in any gated p50 metric (the "*_p50_ns" fields the suite writers emit
+# alongside their pass/fail gates).  The simulation clock is
+# deterministic, so any drift is a code change, not measurement noise.
+#
+# Metrics are paired by name in document order (BENCH_attrib.json emits
+# several runs under the same e2e_p50_ns name; the nth fresh occurrence
+# is compared against the nth baseline occurrence).  A snapshot whose
+# metric-name sequence changed shape -- a new suite, a renamed gate --
+# is skipped with a warning instead of failing, so intentional schema
+# changes only need the refreshed baseline committed alongside them.
+set -eu
+cd "$(dirname "$0")/.."
+
+# Emit "name value" lines for every gated p50 in document order.
+extract() {
+  grep -o '"[a-z_0-9]*_p50_ns"[ ]*:[ ]*[0-9][0-9]*' "$1" | tr -d '"' | tr ':' ' ' || true
+}
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+fail=0
+for f in BENCH_*.json; do
+  [ -f "$f" ] || continue
+  if ! git cat-file -e "HEAD:$f" 2>/dev/null; then
+    echo "bench_diff: $f has no committed baseline, skipping"
+    continue
+  fi
+  git show "HEAD:$f" >"$tmpdir/base.json"
+  extract "$tmpdir/base.json" >"$tmpdir/base.m"
+  extract "$f" >"$tmpdir/fresh.m"
+  if ! [ -s "$tmpdir/base.m" ]; then
+    echo "bench_diff: $f has no gated p50 metrics, skipping"
+    continue
+  fi
+  if [ "$(cut -d' ' -f1 "$tmpdir/base.m")" != "$(cut -d' ' -f1 "$tmpdir/fresh.m")" ]; then
+    echo "bench_diff: WARNING: $f gated-metric set changed shape;" \
+      "skipping comparison (commit the refreshed baseline)"
+    continue
+  fi
+  # base.m / fresh.m now agree line-for-line on metric names; compare values.
+  if ! paste -d' ' "$tmpdir/base.m" "$tmpdir/fresh.m" |
+    awk -v file="$f" '
+      4 * $4 > 5 * $2 {
+        printf "bench_diff: %s: %s regressed %d -> %d ns (>25%%)\n",
+          file, $1, $2, $4
+        bad = 1
+      }
+      { n++ }
+      END {
+        if (!bad)
+          printf "bench_diff: %s: %d gated p50(s) within 25%% of baseline\n",
+            file, n
+        exit bad
+      }'; then
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "bench_diff: FAILED -- at least one gated p50 regressed by more than 25%"
+  exit 1
+fi
+echo "bench_diff: OK"

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Benchmark the DRAM read-cache tier: a zipf-skew sweep (0.6 / 0.9 / 1.1)
+# at a fixed read-heavy mix with 8192 cache entries per shard, then the
+# gated hot pair -- the same zipf-0.99 load offered to an uncached and a
+# cached service -- and a crash/recovery run with the cache armed.
+# Emits BENCH_rcache.json and fails if the cached read p50 is not at or
+# below 0.6x the uncached one, or if any run finishes with a ledger
+# mismatch.
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build bench/main.exe
+dune exec bench/main.exe -- --suite rcache "$@"

@@ -124,6 +124,24 @@ if dune exec bin/main.exe -- crashcheck --scenario tcache-broken \
   echo "check: crashcheck FAILED to detect the seeded leaseless-recycle cache bug" >&2
   exit 1
 fi
+# read-cache sweep: the cache-armed put/delete/txn plan audits every
+# key through BOTH read paths (cached plain gets and a minted
+# snapshot) against the completed-prefix model after each op, strided
+# like kv-put; recovery starts from an empty cache by construction.
+step="crashcheck kv-rcache-put sweep"
+dune exec bin/main.exe -- crashcheck --scenario kv-rcache-put \
+  --max-points 8 --subsets 1 --seed "$CRASH_SEED" > /dev/null
+# read-cache mutation gate: the same sweep against a cache whose
+# invalidations are deferred past the mutation's return
+# (invalidate-after-reply); the cached-reads oracle MUST flag the
+# stale window (non-zero exit), or it has lost the power to see the
+# write-through rule the cache's coherence rests on.
+step="crashcheck mutation gate (rcache-broken)"
+if dune exec bin/main.exe -- crashcheck --scenario rcache-broken \
+     --max-points 8 --subsets 1 --seed "$CRASH_SEED" > /dev/null 2>&1; then
+  echo "check: crashcheck FAILED to detect the seeded late-invalidation cache bug" >&2
+  exit 1
+fi
 # serve smoke: bounded open-loop traffic with a crash at the midpoint;
 # exits non-zero if the recovered store loses any acked write.
 step="serve crash smoke"
@@ -251,6 +269,37 @@ step="serve tcache crash smoke"
 dune exec bin/main.exe -- serve --shards 2 --clients 8 --rate 40000 \
   --duration 0.005 --tcache-mag 4 --crash-at 0.5 --seed "$CRASH_SEED" \
   > /dev/null
+# rcache identity gate: --rcache-entries 0 must bypass the read cache
+# entirely — no probe charge, no statistics — so a serve run with the
+# flag spelled out is byte-identical (modulo the git rev line) to the
+# same run without it.  Catches any drift where entries 0 silently
+# starts probing.
+step="rcache entries-0 identity gate"
+tmpdir="$(mktemp -d)"
+dune exec bin/main.exe -- serve --shards 2 --clients 8 \
+  --rate 40000 --duration 0.005 --read-pct 60 --scan-pct 10 \
+  --seed "$CRASH_SEED" --json-out "$tmpdir/plain.json" > /dev/null
+dune exec bin/main.exe -- serve --shards 2 --clients 8 \
+  --rate 40000 --duration 0.005 --read-pct 60 --scan-pct 10 \
+  --seed "$CRASH_SEED" --rcache-entries 0 --json-out "$tmpdir/e0.json" \
+  > /dev/null
+sed 's/"rev":[^,}]*//' "$tmpdir/plain.json" > "$tmpdir/plain.norm"
+sed 's/"rev":[^,}]*//' "$tmpdir/e0.json" > "$tmpdir/e0.norm"
+if ! diff -u "$tmpdir/plain.norm" "$tmpdir/e0.norm" > /dev/null; then
+  echo "check: serve --rcache-entries 0 DIVERGES from the cacheless path:" >&2
+  diff -u "$tmpdir/plain.norm" "$tmpdir/e0.norm" >&2 || true
+  rm -rf "$tmpdir"
+  exit 1
+fi
+rm -rf "$tmpdir"
+# rcache serve smoke: cached reads under a mid-traffic crash (the
+# cache is volatile, so recovery restarts it empty); exits non-zero
+# if the recovered store loses any acked write or any cached read
+# diverges from the ledger.
+step="serve rcache crash smoke"
+dune exec bin/main.exe -- serve --shards 2 --clients 8 --rate 40000 \
+  --duration 0.005 --read-pct 60 --scan-pct 10 --rcache-entries 64 \
+  --crash-at 0.5 --seed "$CRASH_SEED" > /dev/null
 
 step="done"
-echo "check: lint + build + tests + crashcheck (incl. 2PC + batching + MVCC + tcache gates) + serve/txn/failover/mvcc/tcache smokes + trace validity + determinism + batch/mvcc/tcache identity OK"
+echo "check: lint + build + tests + crashcheck (incl. 2PC + batching + MVCC + tcache + rcache gates) + serve/txn/failover/mvcc/tcache/rcache smokes + trace validity + determinism + batch/mvcc/tcache/rcache identity OK"
